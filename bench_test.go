@@ -1,0 +1,115 @@
+package meshlab
+
+// The bench harness regenerates every table and figure of the thesis's
+// evaluation, one benchmark per artifact (see DESIGN.md §4 for the
+// experiment index). Each iteration runs the experiment end to end against
+// a shared quick-scale fleet, so the reported ns/op is the cost of
+// regenerating that artifact from raw probe/client data (with the
+// context's memoized routing solutions reset each iteration via a fresh
+// Analysis).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"sync"
+	"testing"
+)
+
+var benchOnce sync.Once
+var benchFleet *Fleet
+
+func benchmarkFleet(b *testing.B) *Fleet {
+	benchOnce.Do(func() {
+		f, err := GenerateFleet(QuickOptions(20100521)) // thesis submission date
+		if err != nil {
+			panic(err)
+		}
+		benchFleet = f
+	})
+	if benchFleet == nil {
+		b.Fatal("no fleet")
+	}
+	return benchFleet
+}
+
+// benchExperiment runs one artifact's regeneration per iteration.
+func benchExperiment(b *testing.B, id string) {
+	fleet := benchmarkFleet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := NewAnalysis(fleet)
+		if _, err := a.Run(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Chapter 3 — the data.
+
+func BenchmarkFig3_1(b *testing.B) { benchExperiment(b, "fig3.1") }
+
+// Chapter 4 — bit rate analysis.
+
+func BenchmarkFig4_1(b *testing.B)   { benchExperiment(b, "fig4.1") }
+func BenchmarkFig4_2(b *testing.B)   { benchExperiment(b, "fig4.2") }
+func BenchmarkFig4_3(b *testing.B)   { benchExperiment(b, "fig4.3") }
+func BenchmarkFig4_4(b *testing.B)   { benchExperiment(b, "fig4.4") }
+func BenchmarkFig4_5(b *testing.B)   { benchExperiment(b, "fig4.5") }
+func BenchmarkFig4_6(b *testing.B)   { benchExperiment(b, "fig4.6") }
+func BenchmarkTable4_1(b *testing.B) { benchExperiment(b, "tab4.1") }
+
+// Chapter 5 — opportunistic routing.
+
+func BenchmarkFig5_1(b *testing.B) { benchExperiment(b, "fig5.1") }
+func BenchmarkFig5_2(b *testing.B) { benchExperiment(b, "fig5.2") }
+func BenchmarkFig5_3(b *testing.B) { benchExperiment(b, "fig5.3") }
+func BenchmarkFig5_4(b *testing.B) { benchExperiment(b, "fig5.4") }
+func BenchmarkFig5_5(b *testing.B) { benchExperiment(b, "fig5.5") }
+
+// Chapter 6 — hidden triples.
+
+func BenchmarkFig6_1(b *testing.B) { benchExperiment(b, "fig6.1") }
+func BenchmarkFig6_2(b *testing.B) { benchExperiment(b, "fig6.2") }
+func BenchmarkSec6_3(b *testing.B) { benchExperiment(b, "sec6.3") }
+
+// Chapter 7 — mobility.
+
+func BenchmarkFig7_1(b *testing.B) { benchExperiment(b, "fig7.1") }
+func BenchmarkFig7_2(b *testing.B) { benchExperiment(b, "fig7.2") }
+func BenchmarkFig7_3(b *testing.B) { benchExperiment(b, "fig7.3") }
+func BenchmarkFig7_4(b *testing.B) { benchExperiment(b, "fig7.4") }
+func BenchmarkFig7_5(b *testing.B) { benchExperiment(b, "fig7.5") }
+
+// Ablations — design-choice validation (DESIGN.md §5).
+
+func BenchmarkAblationOffsets(b *testing.B)   { benchExperiment(b, "abl4.off") }
+func BenchmarkAblationBursts(b *testing.B)    { benchExperiment(b, "abl4.burst") }
+func BenchmarkAblationSymmetry(b *testing.B)  { benchExperiment(b, "abl5.sym") }
+func BenchmarkAblationThreshold(b *testing.B) { benchExperiment(b, "abl6.t") }
+
+// Extensions — ETT routing and MAC-level hidden-terminal cost.
+
+func BenchmarkExtTopK(b *testing.B) { benchExperiment(b, "ext4.topk") }
+func BenchmarkExtETT(b *testing.B)  { benchExperiment(b, "ext5.ett") }
+func BenchmarkExtMAC(b *testing.B)  { benchExperiment(b, "ext6.mac") }
+
+// End-to-end substrate costs.
+
+func BenchmarkGenerateQuickFleet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateFleet(QuickOptions(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunAllExperiments(b *testing.B) {
+	fleet := benchmarkFleet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewAnalysis(fleet).RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Command meshanalyze runs one (or all) of the thesis's experiments
+// against a dataset and prints the regenerated table, optionally with an
+// ASCII rendering of the figure's primary CDF.
+//
+// Usage:
+//
+//	meshanalyze -data fleet.jsonl -exp fig5.1
+//	meshanalyze -seed 42 -exp all          # generate a quick fleet in memory
+//	meshanalyze -data fleet.jsonl -exp fig5.2 -plot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"meshlab"
+	"meshlab/internal/dataset"
+	"meshlab/internal/phy"
+	"meshlab/internal/routing"
+	"meshlab/internal/textplot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "meshanalyze: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("meshanalyze", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		data = fs.String("data", "", "dataset file from meshgen (empty: generate a quick fleet from -seed)")
+		seed = fs.Uint64("seed", 42, "seed for in-memory generation when -data is empty")
+		exp  = fs.String("exp", "all", "experiment ID (see -list) or 'all'")
+		list = fs.Bool("list", false, "list experiment IDs and exit")
+		plot = fs.Bool("plot", false, "also render an ASCII plot where the figure is a CDF")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, id := range meshlab.ExperimentIDs() {
+			fmt.Fprintln(stdout, id)
+		}
+		return nil
+	}
+
+	fleet, err := loadOrGenerate(*data, *seed)
+	if err != nil {
+		return err
+	}
+	a := meshlab.NewAnalysis(fleet)
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = meshlab.ExperimentIDs()
+	}
+	for _, id := range ids {
+		res, err := a.Run(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, res.Format())
+		if *plot {
+			renderPlot(stdout, a, id)
+		}
+		fmt.Fprintln(stdout)
+	}
+	return nil
+}
+
+func loadOrGenerate(path string, seed uint64) (*meshlab.Fleet, error) {
+	if path != "" {
+		return meshlab.LoadFleet(path)
+	}
+	return meshlab.GenerateFleet(meshlab.QuickOptions(seed))
+}
+
+// renderPlot draws the figure's primary distribution for the experiments
+// where a terminal CDF is meaningful.
+func renderPlot(stdout io.Writer, a *meshlab.Analysis, id string) {
+	switch id {
+	case "fig5.1":
+		ri := phy.BandBG.RateIndex("1M")
+		var imps []float64
+		for _, nd := range a.Fleet.ByBand("bg") {
+			if nd.NumAPs() < 5 {
+				continue
+			}
+			prs, err := a.Improvements(nd, ri, routing.ETX1)
+			if err != nil {
+				return
+			}
+			for _, pr := range prs {
+				imps = append(imps, pr.Improvement)
+			}
+		}
+		fmt.Fprint(stdout, textplot.CDF(imps, 60, 14, "ETX1 improvement @1M"))
+	case "fig5.2":
+		var ratios []float64
+		ri := phy.BandBG.RateIndex("1M")
+		for _, nd := range a.Fleet.ByBand("bg") {
+			ms, err := a.Matrices(nd)
+			if err != nil {
+				return
+			}
+			ratios = append(ratios, routing.AsymmetryRatios(ms[ri])...)
+		}
+		fmt.Fprint(stdout, textplot.CDF(ratios, 60, 14, "fwd/rev delivery ratio @1M"))
+	case "fig3.1":
+		var stds []float64
+		a.Fleet.EachProbeSet("", func(_ *dataset.NetworkData, _ *dataset.Link, ps *dataset.ProbeSet) {
+			stds = append(stds, float64(ps.SNRStd))
+		})
+		fmt.Fprint(stdout, textplot.CDF(stds, 60, 14, "intra-probe-set SNR std (dB)"))
+	default:
+		fmt.Fprintln(stdout, "(no plot for this experiment)")
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"meshlab"
+)
+
+func TestList(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig3.1", "fig5.1", "fig7.5", "ext6.mac"} {
+		if !strings.Contains(buf.String(), id) {
+			t.Fatalf("-list output missing %s", id)
+		}
+	}
+}
+
+func TestSingleExperimentInMemory(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-seed", "11", "-exp", "fig6.1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig6.1") || !strings.Contains(buf.String(), "1M") {
+		t.Fatalf("experiment output wrong:\n%s", buf.String())
+	}
+}
+
+func TestFromDatasetWithPlot(t *testing.T) {
+	fleet, err := meshlab.GenerateFleet(meshlab.QuickOptions(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "f.bin")
+	if err := meshlab.SaveFleet(path, fleet); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run([]string{"-data", path, "-exp", "fig5.2", "-plot"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fwd/rev delivery ratio") {
+		t.Fatalf("plot missing:\n%s", buf.String())
+	}
+}
+
+func TestPlotFallback(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-seed", "13", "-exp", "tab4.1", "-plot"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no plot for this experiment") {
+		t.Fatal("missing plot fallback message")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-seed", "14", "-exp", "fig99.9"}, &strings.Builder{}); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestMissingDataFile(t *testing.T) {
+	if err := run([]string{"-data", "/nonexistent/fleet.jsonl"}, &strings.Builder{}); err == nil {
+		t.Fatal("missing dataset should error")
+	}
+}

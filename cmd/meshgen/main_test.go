@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"meshlab"
+)
+
+func TestRunQuickJSONL(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fleet.jsonl")
+	var buf strings.Builder
+	if err := run([]string{"-seed", "3", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "probe sets") {
+		t.Fatalf("summary missing: %q", buf.String())
+	}
+	fleet, err := meshlab.LoadFleet(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Meta.Seed != 3 || fleet.NumProbeSets() == 0 {
+		t.Fatal("written dataset wrong")
+	}
+}
+
+func TestRunBinaryOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fleet.bin")
+	if err := run([]string{"-seed", "4", "-out", out, "-no-clients"}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := meshlab.LoadFleet(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.Clients) != 0 {
+		t.Fatal("-no-clients ignored")
+	}
+	// Binary magic at the head.
+	b, _ := os.ReadFile(out)
+	if string(b[:4]) != "MLF1" {
+		t.Fatalf(".bin output is not binary: %q", b[:4])
+	}
+}
+
+func TestRunOverrides(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "f.jsonl")
+	if err := run([]string{"-seed", "5", "-out", out, "-probe-hours", "1", "-interval", "600"}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := meshlab.LoadFleet(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Meta.ProbeDuration != 3600 || fleet.Meta.ProbeInterval != 600 {
+		t.Fatalf("overrides not applied: %+v", fleet.Meta)
+	}
+}
+
+func TestRunRejectsBadScale(t *testing.T) {
+	if err := run([]string{"-scale", "galactic"}, &strings.Builder{}); err == nil {
+		t.Fatal("bad scale should error")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, &strings.Builder{}); err == nil {
+		t.Fatal("unknown flag should error")
+	}
+}

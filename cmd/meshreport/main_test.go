@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "EXP.md")
+	var buf strings.Builder
+	if err := run([]string{"-seed", "21", "-scale", "quick", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote") {
+		t.Fatalf("no confirmation: %q", buf.String())
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := string(b)
+	for _, want := range []string{
+		"# EXPERIMENTS — paper vs. measured",
+		"## fig3.1", "## fig4.2", "## fig5.1", "## fig6.1", "## fig7.4",
+		"Paper reports:",
+		"| --- |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	// Every registered experiment must appear.
+	if got := strings.Count(md, "\n## "); got < 25 {
+		t.Fatalf("only %d experiment sections", got)
+	}
+}
+
+func TestRunBadScale(t *testing.T) {
+	if err := run([]string{"-scale", "wat"}, &strings.Builder{}); err == nil {
+		t.Fatal("bad scale should error")
+	}
+}
+
+func TestRunMissingData(t *testing.T) {
+	if err := run([]string{"-data", "/nonexistent.bin"}, &strings.Builder{}); err == nil {
+		t.Fatal("missing dataset should error")
+	}
+}
+
+func TestPaperClaimsCoverCoreArtifacts(t *testing.T) {
+	for _, id := range []string{
+		"fig3.1", "fig4.1", "fig4.2", "fig4.3", "fig4.4", "fig4.5", "fig4.6", "tab4.1",
+		"fig5.1", "fig5.2", "fig5.3", "fig5.4", "fig5.5",
+		"fig6.1", "fig6.2", "sec6.3",
+		"fig7.1", "fig7.2", "fig7.3", "fig7.4", "fig7.5",
+	} {
+		if len(paperClaims[id]) == 0 {
+			t.Errorf("no paper claims recorded for %s", id)
+		}
+	}
+}

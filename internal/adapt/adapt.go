@@ -1,0 +1,328 @@
+// Package adapt implements the bit-rate adaptation protocols the thesis
+// analyzes and envisions, and a replay harness to compare them on a live
+// channel:
+//
+//   - Fixed: always transmit at one rate (baseline).
+//   - SampleRate: probe-based adaptation in the style of Bicket's
+//     SampleRate — keep an EWMA of per-rate throughput, transmit at the
+//     best known rate, and periodically spend a transmission probing a
+//     different rate.
+//   - SNRTable: the thesis's per-link look-up table (§4.1) — remember the
+//     best rate observed at each SNR and select by current SNR.
+//   - Hybrid: the §4.5 "envisioned" protocol — an SNR-keyed table that
+//     tracks the top-k rates per SNR and restricts SampleRate-style
+//     probing to those candidates, cutting probe overhead the way the
+//     thesis argues an 802.11n adapter must.
+//
+// Protocols only learn from transmissions they actually make (including
+// their own probes); they never see the oracle's per-rate ground truth.
+package adapt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"meshlab/internal/phy"
+	"meshlab/internal/radio"
+	"meshlab/internal/rng"
+)
+
+// Adapter is a bit-rate adaptation policy. Select returns the rate index
+// to transmit at given the current reported SNR (integer dB); Observe
+// feeds back the measured packet success rate of the transmission window
+// that used rate ri at SNR snr.
+type Adapter interface {
+	Name() string
+	Select(snr int) int
+	Observe(snr int, ri int, success float64)
+}
+
+// Fixed always transmits at one rate.
+type Fixed struct {
+	// Rate is the rate index used for every transmission.
+	Rate int
+	band phy.Band
+}
+
+// NewFixed returns a fixed-rate adapter.
+func NewFixed(band phy.Band, rate int) *Fixed { return &Fixed{Rate: rate, band: band} }
+
+// Name implements Adapter.
+func (f *Fixed) Name() string { return "fixed-" + f.band.Rates[f.Rate].Name }
+
+// Select implements Adapter.
+func (f *Fixed) Select(int) int { return f.Rate }
+
+// Observe implements Adapter.
+func (f *Fixed) Observe(int, int, float64) {}
+
+// SampleRate keeps an EWMA of per-rate throughput and transmits at the
+// best rate, probing another rate every ProbeEvery windows.
+type SampleRate struct {
+	band  phy.Band
+	ewma  []float64 // estimated throughput per rate
+	known []bool
+	since int // windows since last probe
+	// ProbeEvery is the probing period in windows (default 10).
+	ProbeEvery int
+	// Alpha is the EWMA weight of new observations (default 0.3).
+	Alpha float64
+	rng   *rng.Stream
+	// probing remembers that the last Select was a probe.
+	lastWasProbe bool
+}
+
+// NewSampleRate returns a SampleRate-style adapter.
+func NewSampleRate(band phy.Band, r *rng.Stream) *SampleRate {
+	return &SampleRate{
+		band:       band,
+		ewma:       make([]float64, len(band.Rates)),
+		known:      make([]bool, len(band.Rates)),
+		ProbeEvery: 10,
+		Alpha:      0.3,
+		rng:        r,
+	}
+}
+
+// Name implements Adapter.
+func (s *SampleRate) Name() string { return "samplerate" }
+
+// Select implements Adapter.
+func (s *SampleRate) Select(int) int {
+	s.since++
+	if s.since >= s.ProbeEvery {
+		s.since = 0
+		s.lastWasProbe = true
+		return s.probeCandidate()
+	}
+	s.lastWasProbe = false
+	return s.best()
+}
+
+func (s *SampleRate) best() int {
+	best, bestV := 0, math.Inf(-1)
+	for ri, v := range s.ewma {
+		if !s.known[ri] {
+			continue
+		}
+		if v > bestV {
+			best, bestV = ri, v
+		}
+	}
+	if math.IsInf(bestV, -1) {
+		return 0 // nothing known yet: start at the lowest rate
+	}
+	return best
+}
+
+// probeCandidate picks an unknown or random non-best rate to try.
+func (s *SampleRate) probeCandidate() int {
+	for ri, k := range s.known {
+		if !k {
+			return ri
+		}
+	}
+	return s.rng.Intn(len(s.band.Rates))
+}
+
+// Observe implements Adapter.
+func (s *SampleRate) Observe(_ int, ri int, success float64) {
+	tput := s.band.Rates[ri].Mbps * success
+	if !s.known[ri] {
+		s.ewma[ri] = tput
+		s.known[ri] = true
+		return
+	}
+	s.ewma[ri] = (1-s.Alpha)*s.ewma[ri] + s.Alpha*tput
+}
+
+// SNRTable is the thesis's per-link SNR→rate table, built online: for
+// each SNR it remembers the throughput observed per rate and selects the
+// best known rate for the current SNR, exploring when the SNR is unknown.
+type SNRTable struct {
+	band phy.Band
+	// perSNR[snr][ri] is the best observed throughput, NaN if untried.
+	perSNR map[int][]float64
+	rng    *rng.Stream
+}
+
+// NewSNRTable returns an online per-link SNR table adapter.
+func NewSNRTable(band phy.Band, r *rng.Stream) *SNRTable {
+	return &SNRTable{band: band, perSNR: make(map[int][]float64), rng: r}
+}
+
+// Name implements Adapter.
+func (t *SNRTable) Name() string { return "snr-table" }
+
+func (t *SNRTable) row(snr int) []float64 {
+	row, ok := t.perSNR[snr]
+	if !ok {
+		row = make([]float64, len(t.band.Rates))
+		for i := range row {
+			row[i] = math.NaN()
+		}
+		t.perSNR[snr] = row
+	}
+	return row
+}
+
+// Select implements Adapter: the best known rate at this SNR; if no rate
+// has been tried at this SNR yet, try an untried one (exploration).
+func (t *SNRTable) Select(snr int) int {
+	row := t.row(snr)
+	best, bestV := -1, math.Inf(-1)
+	var untried []int
+	for ri, v := range row {
+		if math.IsNaN(v) {
+			untried = append(untried, ri)
+			continue
+		}
+		if v > bestV {
+			best, bestV = ri, v
+		}
+	}
+	// Explore untried rates occasionally, and always when nothing is
+	// known for this SNR.
+	if len(untried) > 0 && (best < 0 || t.rng.Bool(0.15)) {
+		return untried[t.rng.Intn(len(untried))]
+	}
+	return best
+}
+
+// Observe implements Adapter.
+func (t *SNRTable) Observe(snr int, ri int, success float64) {
+	row := t.row(snr)
+	tput := t.band.Rates[ri].Mbps * success
+	if math.IsNaN(row[ri]) || tput > row[ri] {
+		row[ri] = tput
+		return
+	}
+	// Exponential forgetting so stale optima fade.
+	row[ri] = 0.8*row[ri] + 0.2*tput
+}
+
+// Hybrid is the §4.5 protocol: an SNR table that keeps the top-K rates
+// per SNR and runs SampleRate-style probing restricted to them.
+type Hybrid struct {
+	*SNRTable
+	// K is the candidate-set size per SNR (thesis suggests 2-3).
+	K     int
+	since int
+}
+
+// NewHybrid returns the thesis's envisioned table+probing protocol.
+func NewHybrid(band phy.Band, r *rng.Stream, k int) *Hybrid {
+	if k < 1 {
+		k = 2
+	}
+	return &Hybrid{SNRTable: NewSNRTable(band, r), K: k}
+}
+
+// Name implements Adapter.
+func (h *Hybrid) Name() string { return fmt.Sprintf("hybrid-k%d", h.K) }
+
+// Select implements Adapter: transmit at the best of the SNR's top-K
+// known rates, probing within the candidate set periodically.
+func (h *Hybrid) Select(snr int) int {
+	row := h.row(snr)
+	type cand struct {
+		ri int
+		v  float64
+	}
+	var known []cand
+	var untried []int
+	for ri, v := range row {
+		if math.IsNaN(v) {
+			untried = append(untried, ri)
+		} else {
+			known = append(known, cand{ri, v})
+		}
+	}
+	if len(known) == 0 {
+		return untried[h.rng.Intn(len(untried))]
+	}
+	sort.Slice(known, func(a, b int) bool { return known[a].v > known[b].v })
+	top := known
+	if len(top) > h.K {
+		top = top[:h.K]
+	}
+	h.since++
+	if h.since >= 8 {
+		h.since = 0
+		// Probe: mostly within the candidate set, occasionally an
+		// untried rate so new candidates can enter.
+		if len(untried) > 0 && h.rng.Bool(0.3) {
+			return untried[h.rng.Intn(len(untried))]
+		}
+		return top[h.rng.Intn(len(top))].ri
+	}
+	return top[0].ri
+}
+
+// Trace is the outcome of replaying one adapter over a channel.
+type Trace struct {
+	Name string
+	// MeanTput is the realized mean throughput in Mbit/s.
+	MeanTput float64
+	// OracleFrac is MeanTput divided by the oracle's mean throughput.
+	OracleFrac float64
+	// Selections counts windows per rate index.
+	Selections []int
+}
+
+// Replay runs the adapters over a channel for the given number of windows
+// (one Select/Observe per window, windowSecs apart), alongside an oracle
+// that always picks the instantaneous best rate. All adapters see the
+// identical channel evolution.
+func Replay(r *rng.Stream, ch *radio.Channel, band phy.Band, adapters []Adapter, windows int, windowSecs float64) []Trace {
+	sums := make([]float64, len(adapters))
+	sels := make([][]int, len(adapters))
+	for i := range sels {
+		sels[i] = make([]int, len(band.Rates))
+	}
+	var oracleSum float64
+
+	for w := 0; w < windows; w++ {
+		ch.Advance(windowSecs)
+		snr := int(math.Round(ch.ReportedSNR()))
+		// Ground truth per rate for this window.
+		tput := make([]float64, len(band.Rates))
+		best := 0.0
+		for ri, rate := range band.Rates {
+			p := ch.SuccessProb(rate)
+			tput[ri] = rate.Mbps * p
+			if tput[ri] > best {
+				best = tput[ri]
+			}
+		}
+		oracleSum += best
+		for i, a := range adapters {
+			ri := a.Select(snr)
+			sums[i] += tput[ri]
+			sels[i][ri]++
+			// Feedback: measured success of the window's ~20 frames.
+			success := tput[ri] / band.Rates[ri].Mbps
+			noisy := success + r.NormFloat64()*math.Sqrt(success*(1-success)/20)
+			if noisy < 0 {
+				noisy = 0
+			}
+			if noisy > 1 {
+				noisy = 1
+			}
+			a.Observe(snr, ri, noisy)
+		}
+	}
+
+	out := make([]Trace, len(adapters))
+	oracleMean := oracleSum / float64(windows)
+	for i, a := range adapters {
+		mean := sums[i] / float64(windows)
+		frac := 0.0
+		if oracleMean > 0 {
+			frac = mean / oracleMean
+		}
+		out[i] = Trace{Name: a.Name(), MeanTput: mean, OracleFrac: frac, Selections: sels[i]}
+	}
+	return out
+}

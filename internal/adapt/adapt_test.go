@@ -1,0 +1,205 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+
+	"meshlab/internal/phy"
+	"meshlab/internal/radio"
+	"meshlab/internal/rng"
+)
+
+func testChannel(seed uint64, dist float64) *radio.Channel {
+	p := radio.DefaultParams(radio.Indoor)
+	return radio.NewPair(rng.New(seed), dist, p).Fwd
+}
+
+func runReplay(t testing.TB, seed uint64, dist float64, windows int) []Trace {
+	if t != nil {
+		t.Helper()
+	}
+	r := rng.New(seed)
+	ch := testChannel(seed, dist)
+	adapters := []Adapter{
+		NewFixed(phy.BandBG, phy.BandBG.RateIndex("1M")),
+		NewFixed(phy.BandBG, phy.BandBG.RateIndex("48M")),
+		NewSampleRate(phy.BandBG, r.Split("sr")),
+		NewSNRTable(phy.BandBG, r.Split("tbl")),
+		NewHybrid(phy.BandBG, r.Split("hy"), 2),
+	}
+	return Replay(r.Split("replay"), ch, phy.BandBG, adapters, windows, 300)
+}
+
+func traceByName(traces []Trace, name string) *Trace {
+	for i := range traces {
+		if traces[i].Name == name {
+			return &traces[i]
+		}
+	}
+	return nil
+}
+
+func TestFixedNames(t *testing.T) {
+	f := NewFixed(phy.BandBG, 0)
+	if f.Name() != "fixed-1M" {
+		t.Fatalf("name %q", f.Name())
+	}
+	if f.Select(30) != 0 {
+		t.Fatal("fixed adapter moved")
+	}
+	f.Observe(30, 0, 0.5) // must be a no-op, not a panic
+}
+
+func TestReplayBasics(t *testing.T) {
+	traces := runReplay(t, 1, 30, 500)
+	if len(traces) != 5 {
+		t.Fatalf("got %d traces", len(traces))
+	}
+	for _, tr := range traces {
+		if tr.MeanTput < 0 {
+			t.Fatalf("%s: negative throughput", tr.Name)
+		}
+		if tr.OracleFrac < 0 || tr.OracleFrac > 1+1e-9 {
+			t.Fatalf("%s: oracle fraction %v out of range", tr.Name, tr.OracleFrac)
+		}
+		total := 0
+		for _, n := range tr.Selections {
+			total += n
+		}
+		if total != 500 {
+			t.Fatalf("%s: %d selections for 500 windows", tr.Name, total)
+		}
+	}
+}
+
+func TestAdaptiveBeatsWorstFixed(t *testing.T) {
+	// On a mid-range link, adaptive policies must beat at least one of
+	// the fixed extremes (1M leaves throughput on the table; 48M loses
+	// everything when the SNR dips).
+	traces := runReplay(t, 2, 40, 2000)
+	low := traceByName(traces, "fixed-1M")
+	tbl := traceByName(traces, "snr-table")
+	hy := traceByName(traces, "hybrid-k2")
+	if tbl.MeanTput <= low.MeanTput {
+		t.Fatalf("snr-table (%v) should beat fixed-1M (%v)", tbl.MeanTput, low.MeanTput)
+	}
+	if hy.MeanTput <= low.MeanTput {
+		t.Fatalf("hybrid (%v) should beat fixed-1M (%v)", hy.MeanTput, low.MeanTput)
+	}
+}
+
+func TestAdaptiveNearOracleOnStrongLink(t *testing.T) {
+	// On a very strong link the best rate is constant, so the table and
+	// hybrid should converge close to the oracle.
+	traces := runReplay(t, 3, 10, 2000)
+	for _, name := range []string{"snr-table", "hybrid-k2", "samplerate"} {
+		tr := traceByName(traces, name)
+		if tr.OracleFrac < 0.85 {
+			t.Fatalf("%s: only %.0f%% of oracle on an easy link", name, tr.OracleFrac*100)
+		}
+	}
+}
+
+func TestHybridProbesFewerRatesThanSampleRate(t *testing.T) {
+	// The point of §4.5: restricting probing to the SNR table's top-k
+	// cuts the number of distinct suboptimal rates tried after
+	// convergence. Compare how many windows each spent on rates other
+	// than its modal rate.
+	traces := runReplay(t, 4, 25, 3000)
+	offModal := func(tr *Trace) int {
+		mode, total := 0, 0
+		for _, n := range tr.Selections {
+			total += n
+			if n > mode {
+				mode = n
+			}
+		}
+		return total - mode
+	}
+	sr := offModal(traceByName(traces, "samplerate"))
+	hy := offModal(traceByName(traces, "hybrid-k2"))
+	if hy > sr*2 {
+		t.Fatalf("hybrid spent %d off-modal windows vs samplerate %d; candidate restriction is not working", hy, sr)
+	}
+}
+
+func TestSNRTableLearnsPerSNR(t *testing.T) {
+	r := rng.New(5)
+	tbl := NewSNRTable(phy.BandBG, r)
+	// Teach it: at SNR 30 the best rate is 24M (index 4).
+	for i := 0; i < 50; i++ {
+		tbl.Observe(30, 4, 0.95)
+		tbl.Observe(30, 6, 0.05)
+	}
+	hits := 0
+	for i := 0; i < 100; i++ {
+		if tbl.Select(30) == 4 {
+			hits++
+		}
+	}
+	// Exploration may occasionally pick untried rates, but the learned
+	// rate must dominate.
+	if hits < 60 {
+		t.Fatalf("learned rate selected only %d/100 times", hits)
+	}
+}
+
+func TestSNRTableExploresUnknownSNR(t *testing.T) {
+	tbl := NewSNRTable(phy.BandBG, rng.New(6))
+	ri := tbl.Select(25)
+	if ri < 0 || ri >= len(phy.BandBG.Rates) {
+		t.Fatalf("selection %d out of range", ri)
+	}
+}
+
+func TestSampleRateConvergence(t *testing.T) {
+	r := rng.New(7)
+	sr := NewSampleRate(phy.BandBG, r)
+	// Feed ground truth where 12M (index 3) wins.
+	success := []float64{0.99, 0.9, 0.8, 0.95, 0.05, 0.01, 0.0}
+	for i := 0; i < 200; i++ {
+		ri := sr.Select(20)
+		sr.Observe(20, ri, success[ri])
+	}
+	// After convergence, the non-probe selection must be 12M.
+	counts := make([]int, 7)
+	for i := 0; i < 100; i++ {
+		counts[sr.Select(20)]++
+	}
+	best := 0
+	for ri, n := range counts {
+		if n > counts[best] {
+			best = ri
+		}
+	}
+	if best != 3 {
+		t.Fatalf("samplerate converged to rate %d (%s), want 3 (12M); counts %v",
+			best, phy.BandBG.Rates[best].Name, counts)
+	}
+}
+
+func TestHybridKDefault(t *testing.T) {
+	h := NewHybrid(phy.BandBG, rng.New(8), 0)
+	if h.K != 2 {
+		t.Fatalf("default K = %d", h.K)
+	}
+	if h.Name() != "hybrid-k2" {
+		t.Fatalf("name %q", h.Name())
+	}
+}
+
+func TestReplayDeterminism(t *testing.T) {
+	a := runReplay(t, 9, 30, 300)
+	b := runReplay(t, 9, 30, 300)
+	for i := range a {
+		if math.Abs(a[i].MeanTput-b[i].MeanTput) > 1e-12 {
+			t.Fatalf("%s differs across identical seeds", a[i].Name)
+		}
+	}
+}
+
+func BenchmarkReplayAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runReplay(b, uint64(i), 30, 500)
+	}
+}

@@ -1,0 +1,303 @@
+// Package clients simulates the client population whose aggregate
+// association logs back the thesis's mobility analysis (§7). The Meraki
+// client data is unavailable, so a mixture model regenerates its reported
+// structure:
+//
+//   - Residents are stationary clients connected for the whole snapshot.
+//     Most stay on one home AP; a per-client "flappy" trait makes some
+//     oscillate between the home AP and its nearest neighbors in short
+//     bursts, the way real drivers chase marginal signal differences. This
+//     produces the very small persistence medians the thesis reports
+//     (seconds, not minutes) while prevalence at the home AP stays high.
+//   - Visitors arrive during the snapshot and stay for an
+//     exponentially-distributed fraction of it, mostly on one AP.
+//   - Walkers move through the network by random waypoints, associating
+//     with the nearest AP as they go; in large networks they visit dozens
+//     of APs over 11 hours (the thesis saw clients with >50, one >105).
+//
+// Indoor networks are denser, so indoor parameters flap more and dwell
+// shorter than outdoor ones — the mechanism behind Figures 7.3 and 7.4's
+// indoor/outdoor separation.
+package clients
+
+import (
+	"math"
+	"sort"
+
+	"meshlab/internal/dataset"
+	"meshlab/internal/rng"
+	"meshlab/internal/topology"
+)
+
+// Config controls a client simulation. Zero fields take defaults matching
+// the thesis's snapshot.
+type Config struct {
+	// Duration is the snapshot length in seconds (default 39600: 11 h).
+	Duration float64
+	// ClientsPerAP scales the population (default 1.0 ≈ one client per
+	// AP on average).
+	ClientsPerAP float64
+	// ResidentFrac, VisitorFrac, WalkerFrac set the mixture (defaults
+	// 0.52 / 0.40 / 0.08; they are renormalized if they do not sum
+	// to 1).
+	ResidentFrac, VisitorFrac, WalkerFrac float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Duration <= 0 {
+		c.Duration = 39600
+	}
+	if c.ClientsPerAP <= 0 {
+		c.ClientsPerAP = 1.0
+	}
+	if c.ResidentFrac == 0 && c.VisitorFrac == 0 && c.WalkerFrac == 0 {
+		c.ResidentFrac, c.VisitorFrac, c.WalkerFrac = 0.52, 0.40, 0.08
+	}
+	return c
+}
+
+// behavior holds the environment-dependent dwell/flap parameters.
+type behavior struct {
+	stableMean  float64 // mean stable dwell at the home AP, seconds
+	flapDwell   float64 // mean dwell during a flap episode, seconds
+	flappyFrac  float64 // fraction of clients with the flappy trait
+	visitorMean float64 // mean visitor stay, seconds
+}
+
+func behaviorFor(env topology.EnvClass) behavior {
+	if env == topology.EnvOutdoor {
+		return behavior{stableMean: 2700, flapDwell: 28, flappyFrac: 0.25, visitorMean: 6300}
+	}
+	// Indoor and mixed networks behave like dense indoor deployments.
+	return behavior{stableMean: 1200, flapDwell: 7, flappyFrac: 0.38, visitorMean: 5400}
+}
+
+// Simulate produces the aggregate client data for one network.
+func Simulate(r *rng.Stream, topo *topology.Network, cfg Config) *dataset.ClientData {
+	cfg = cfg.withDefaults()
+	beh := behaviorFor(topo.Env)
+	d := int32(cfg.Duration)
+
+	num := int(math.Round(float64(topo.Size()) * cfg.ClientsPerAP * (0.6 + r.Float64()*0.8)))
+	if num < 2 {
+		num = 2
+	}
+
+	cd := &dataset.ClientData{
+		Network:  topo.Name,
+		Env:      topo.Env.String(),
+		Duration: d,
+		NumAPs:   topo.Size(),
+	}
+	weights := []float64{cfg.ResidentFrac, cfg.VisitorFrac, cfg.WalkerFrac}
+	for id := 0; id < num; id++ {
+		cr := r.SplitN("client", id)
+		var assocs []dataset.Assoc
+		switch cr.Choice(weights) {
+		case 0:
+			assocs = resident(cr, topo, beh, 0, d)
+		case 1:
+			start := int32(cr.Float64() * cfg.Duration * 0.9)
+			stay := int32(cr.ExpFloat64() * beh.visitorMean)
+			if stay < 300 {
+				stay = 300
+			}
+			end := start + stay
+			if end > d {
+				end = d
+			}
+			assocs = resident(cr, topo, beh, start, end)
+		default:
+			assocs = walker(cr, topo, 0, d)
+		}
+		if len(assocs) == 0 {
+			continue
+		}
+		cd.Clients = append(cd.Clients, dataset.ClientLog{ID: id, Assocs: assocs})
+	}
+	return cd
+}
+
+// nearestAPs returns AP indices sorted by distance from (x, y).
+func nearestAPs(topo *topology.Network, x, y float64) []int {
+	idx := make([]int, topo.Size())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		da := math.Hypot(topo.APs[idx[a]].X-x, topo.APs[idx[a]].Y-y)
+		db := math.Hypot(topo.APs[idx[b]].X-x, topo.APs[idx[b]].Y-y)
+		if da != db {
+			return da < db
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// nearestAP returns the index of the AP closest to (x, y) by linear scan;
+// walkers call it every movement step, so it must not sort.
+func nearestAP(topo *topology.Network, x, y float64) int {
+	best, bestD := 0, math.Inf(1)
+	for i, ap := range topo.APs {
+		if d := math.Hypot(ap.X-x, ap.Y-y); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// resident emits a stationary client's associations over [start, end):
+// long dwells at a home AP, interleaved (for flappy clients) with bursts
+// of rapid switching among the home AP and its nearest neighbors.
+func resident(r *rng.Stream, topo *topology.Network, beh behavior, start, end int32) []dataset.Assoc {
+	if end-start < 1 {
+		return nil
+	}
+	home := r.Intn(topo.Size())
+	near := nearestAPs(topo, topo.APs[home].X, topo.APs[home].Y)
+	// near[0] is home itself; candidates are the closest two others.
+	var nbrs []int
+	for _, i := range near[1:] {
+		nbrs = append(nbrs, i)
+		if len(nbrs) == 2 {
+			break
+		}
+	}
+	flappy := r.Bool(beh.flappyFrac) && len(nbrs) > 0
+
+	var seq []segment
+	t := float64(start)
+	endF := float64(end)
+	for t < endF {
+		dwell := r.ExpFloat64() * beh.stableMean
+		if dwell < 30 {
+			dwell = 30
+		}
+		seq = append(seq, segment{ap: home, dur: dwell})
+		t += dwell
+		if !flappy || t >= endF {
+			continue
+		}
+		// Flap episode: a handful of rapid switches.
+		k := 2 + r.Intn(8)
+		for i := 0; i < k && t < endF; i++ {
+			ap := nbrs[r.Intn(len(nbrs))]
+			if i%2 == 1 {
+				ap = home
+			}
+			fd := r.ExpFloat64() * beh.flapDwell
+			if fd < 1 {
+				fd = 1
+			}
+			seq = append(seq, segment{ap: ap, dur: fd})
+			t += fd
+		}
+	}
+	return quantize(seq, start, end)
+}
+
+// walker emits a mobile client's associations: random-waypoint movement at
+// walking speed, associating with the nearest AP (with a small hysteresis
+// so ties do not cause degenerate flapping).
+func walker(r *rng.Stream, topo *topology.Network, start, end int32) []dataset.Assoc {
+	// Bounding box of the network.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, ap := range topo.APs {
+		minX, maxX = math.Min(minX, ap.X), math.Max(maxX, ap.X)
+		minY, maxY = math.Min(minY, ap.Y), math.Max(maxY, ap.Y)
+	}
+	x := minX + r.Float64()*(maxX-minX)
+	y := minY + r.Float64()*(maxY-minY)
+	wx := minX + r.Float64()*(maxX-minX)
+	wy := minY + r.Float64()*(maxY-minY)
+	speed := 0.5 + r.Float64() // m/s
+
+	const step = 10.0 // seconds per movement step
+	cur := nearestAP(topo, x, y)
+	var seq []segment
+	dwell := 0.0
+	for t := float64(start); t < float64(end); t += step {
+		// Move toward the waypoint; pick a new one when reached.
+		dx, dy := wx-x, wy-y
+		dist := math.Hypot(dx, dy)
+		stepLen := speed * step
+		if dist <= stepLen {
+			x, y = wx, wy
+			wx = minX + r.Float64()*(maxX-minX)
+			wy = minY + r.Float64()*(maxY-minY)
+			// Pause at the waypoint for a while, as people do.
+			pause := r.ExpFloat64() * 300
+			dwell += pause
+			t += pause
+		} else {
+			x += dx / dist * stepLen
+			y += dy / dist * stepLen
+		}
+		next := nearestAP(topo, x, y)
+		dwell += step
+		if next != cur {
+			// Hysteresis: switch only if meaningfully closer.
+			dc := math.Hypot(topo.APs[cur].X-x, topo.APs[cur].Y-y)
+			dn := math.Hypot(topo.APs[next].X-x, topo.APs[next].Y-y)
+			if dn < dc-5 {
+				seq = append(seq, segment{ap: cur, dur: dwell})
+				cur = next
+				dwell = 0
+			}
+		}
+	}
+	if dwell > 0 {
+		seq = append(seq, segment{ap: cur, dur: dwell})
+	}
+	return quantize(seq, start, end)
+}
+
+// segment is an (AP, float-duration) step before quantization.
+type segment struct {
+	ap  int
+	dur float64
+}
+
+// quantize converts a segment sequence into ordered, non-overlapping,
+// merged integer-second association intervals within [start, end).
+func quantize(seq []segment, start, end int32) []dataset.Assoc {
+	var out []dataset.Assoc
+	t := float64(start)
+	for _, s := range seq {
+		if t >= float64(end) {
+			break
+		}
+		a := int32(math.Round(t))
+		t += s.dur
+		b := int32(math.Round(t))
+		if b > end {
+			b = end
+		}
+		if b <= a {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].AP == int32(s.ap) && out[n-1].End == a {
+			out[n-1].End = b // merge adjacent same-AP intervals
+			continue
+		}
+		if n := len(out); n > 0 && a < out[n-1].End {
+			a = out[n-1].End
+			if b <= a {
+				continue
+			}
+		}
+		out = append(out, dataset.Assoc{AP: int32(s.ap), Start: a, End: b})
+	}
+	return out
+}
+
+// SimulateFleet runs Simulate over every network of a topology fleet.
+func SimulateFleet(r *rng.Stream, fleet *topology.Fleet, cfg Config) []*dataset.ClientData {
+	var out []*dataset.ClientData
+	for i, topo := range fleet.Networks {
+		out = append(out, Simulate(r.SplitN("net", i), topo, cfg))
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+package clients
+
+import (
+	"testing"
+
+	"meshlab/internal/dataset"
+	"meshlab/internal/rng"
+	"meshlab/internal/stats"
+	"meshlab/internal/topology"
+)
+
+func simNet(t testing.TB, seed uint64, size int, env topology.EnvClass, cfg Config) *dataset.ClientData {
+	if t != nil {
+		t.Helper()
+	}
+	topo, err := topology.Generate(rng.New(seed), topology.Config{
+		Name: "c", Size: size, Env: env,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Simulate(rng.New(seed).Split("clients"), topo, cfg)
+}
+
+func TestSimulateInvariants(t *testing.T) {
+	cd := simNet(t, 1, 12, topology.EnvIndoor, Config{})
+	if len(cd.Clients) < 2 {
+		t.Fatalf("only %d clients", len(cd.Clients))
+	}
+	f := &dataset.Fleet{Clients: []*dataset.ClientData{cd}}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cd.Duration != 39600 {
+		t.Fatalf("default duration %d", cd.Duration)
+	}
+}
+
+func TestSimulateDeterminism(t *testing.T) {
+	a := simNet(t, 2, 10, topology.EnvIndoor, Config{})
+	b := simNet(t, 2, 10, topology.EnvIndoor, Config{})
+	if len(a.Clients) != len(b.Clients) {
+		t.Fatalf("client counts differ")
+	}
+	for i := range a.Clients {
+		if len(a.Clients[i].Assocs) != len(b.Clients[i].Assocs) {
+			t.Fatalf("client %d assoc counts differ", i)
+		}
+		for j := range a.Clients[i].Assocs {
+			if a.Clients[i].Assocs[j] != b.Clients[i].Assocs[j] {
+				t.Fatalf("client %d assoc %d differs", i, j)
+			}
+		}
+	}
+}
+
+func apsVisited(cl dataset.ClientLog) int {
+	seen := map[int32]bool{}
+	for _, a := range cl.Assocs {
+		seen[a.AP] = true
+	}
+	return len(seen)
+}
+
+func TestMajorityVisitOneAP(t *testing.T) {
+	// Figure 7.1: the majority of clients associate with only one AP.
+	one, more := 0, 0
+	for seed := uint64(0); seed < 8; seed++ {
+		cd := simNet(t, seed, 10, topology.EnvIndoor, Config{})
+		for _, cl := range cd.Clients {
+			if apsVisited(cl) == 1 {
+				one++
+			} else {
+				more++
+			}
+		}
+	}
+	if one <= more {
+		t.Fatalf("one-AP clients %d should outnumber multi-AP clients %d", one, more)
+	}
+	if more == 0 {
+		t.Fatal("some clients must visit multiple APs")
+	}
+}
+
+func TestWalkersVisitManyAPsInLargeNetworks(t *testing.T) {
+	topo, _ := topology.Generate(rng.New(7), topology.Config{
+		Name: "big", Size: 150, Env: topology.EnvIndoor,
+	})
+	cfg := Config{ResidentFrac: 0, VisitorFrac: 0, WalkerFrac: 1}
+	cd := Simulate(rng.New(7).Split("clients"), topo, cfg)
+	max := 0
+	for _, cl := range cd.Clients {
+		if v := apsVisited(cl); v > max {
+			max = v
+		}
+	}
+	// The thesis saw clients visiting >50 APs in an 11-hour window.
+	if max < 30 {
+		t.Fatalf("busiest walker visited only %d APs in a 150-AP network", max)
+	}
+}
+
+func connectionLength(cl dataset.ClientLog) float64 {
+	if len(cl.Assocs) == 0 {
+		return 0
+	}
+	return float64(cl.Assocs[len(cl.Assocs)-1].End - cl.Assocs[0].Start)
+}
+
+func TestConnectionLengthMix(t *testing.T) {
+	// Figure 7.2: ~60% of clients stay connected the whole 11 hours and
+	// a sizable minority stays under ~2 hours.
+	var full, short, total int
+	for seed := uint64(0); seed < 10; seed++ {
+		cd := simNet(t, seed, 12, topology.EnvIndoor, Config{})
+		for _, cl := range cd.Clients {
+			total++
+			l := connectionLength(cl)
+			if l >= float64(cd.Duration)*0.95 {
+				full++
+			}
+			if l < 7200 {
+				short++
+			}
+		}
+	}
+	fullFrac := float64(full) / float64(total)
+	shortFrac := float64(short) / float64(total)
+	if fullFrac < 0.4 || fullFrac > 0.8 {
+		t.Fatalf("full-duration fraction %v, want ≈0.6", fullFrac)
+	}
+	if shortFrac < 0.1 || shortFrac > 0.45 {
+		t.Fatalf("short-connection fraction %v, want ≈0.23", shortFrac)
+	}
+}
+
+func switchDwells(cd *dataset.ClientData) []float64 {
+	var out []float64
+	for _, cl := range cd.Clients {
+		for _, a := range cl.Assocs {
+			out = append(out, a.Duration())
+		}
+	}
+	return out
+}
+
+func TestIndoorSwitchesFasterThanOutdoor(t *testing.T) {
+	// Figures 7.3/7.4: indoor clients flap more and dwell shorter.
+	var in, out []float64
+	for seed := uint64(0); seed < 6; seed++ {
+		in = append(in, switchDwells(simNet(t, seed, 12, topology.EnvIndoor, Config{}))...)
+		out = append(out, switchDwells(simNet(t, seed+100, 12, topology.EnvOutdoor, Config{}))...)
+	}
+	mi, mo := stats.Median(in), stats.Median(out)
+	if mi >= mo {
+		t.Fatalf("indoor median dwell %v s should be below outdoor %v s", mi, mo)
+	}
+}
+
+func TestVisitorsBoundedByDuration(t *testing.T) {
+	cfg := Config{ResidentFrac: 0, VisitorFrac: 1, WalkerFrac: 0}
+	cd := simNet(t, 11, 8, topology.EnvIndoor, cfg)
+	for _, cl := range cd.Clients {
+		if cl.Assocs[len(cl.Assocs)-1].End > cd.Duration {
+			t.Fatal("association extends past the snapshot")
+		}
+	}
+}
+
+func TestQuantizeMergesAdjacent(t *testing.T) {
+	seq := []segment{{ap: 1, dur: 10}, {ap: 1, dur: 5}, {ap: 2, dur: 3}}
+	out := quantize(seq, 0, 100)
+	if len(out) != 2 {
+		t.Fatalf("got %d intervals, want 2 (adjacent same-AP merged): %+v", len(out), out)
+	}
+	if out[0].AP != 1 || out[0].Start != 0 || out[0].End != 15 {
+		t.Fatalf("merged interval wrong: %+v", out[0])
+	}
+}
+
+func TestQuantizeClampsToEnd(t *testing.T) {
+	out := quantize([]segment{{ap: 0, dur: 1000}}, 0, 50)
+	if len(out) != 1 || out[0].End != 50 {
+		t.Fatalf("clamping wrong: %+v", out)
+	}
+}
+
+func TestQuantizeDropsZeroLength(t *testing.T) {
+	out := quantize([]segment{{ap: 0, dur: 0.2}, {ap: 1, dur: 60}}, 0, 100)
+	for _, a := range out {
+		if a.End <= a.Start {
+			t.Fatalf("zero-length interval survived: %+v", a)
+		}
+	}
+}
+
+func TestSimulateFleet(t *testing.T) {
+	fleet, _ := topology.GenerateFleet(rng.New(3), topology.FleetConfig{
+		NumNetworks: 4, NumIndoor: 2, NumOutdoor: 1, NumMixed: 1,
+		NumN: 1, NumBoth: 0, MinSize: 3, MaxSize: 10,
+		SizeLogMean: 1.5, SizeLogStd: 0.4,
+	})
+	cds := SimulateFleet(rng.New(3).Split("clients"), fleet, Config{})
+	if len(cds) != 4 {
+		t.Fatalf("got %d client datasets", len(cds))
+	}
+	for i, cd := range cds {
+		if cd.Network != fleet.Networks[i].Name {
+			t.Fatal("network names misaligned")
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Duration != 39600 || c.ClientsPerAP != 1.0 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	if c.ResidentFrac+c.VisitorFrac+c.WalkerFrac != 1.0 {
+		t.Fatalf("mixture does not sum to 1: %+v", c)
+	}
+}
+
+func BenchmarkSimulate50(b *testing.B) {
+	topo, _ := topology.Generate(rng.New(1), topology.Config{
+		Name: "b", Size: 50, Env: topology.EnvIndoor,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Simulate(rng.New(uint64(i)), topo, Config{})
+	}
+}

@@ -1,0 +1,331 @@
+// Package dataset defines the schema of the synthetic Meraki-style
+// measurement data (§3 of the thesis) and its persistence format.
+//
+// Two kinds of data exist, mirroring the thesis:
+//
+//   - Probe data: for each directed AP→AP link, a time series of probe
+//     sets. A probe set aggregates ~20 broadcast probes per bit rate over an
+//     800-second sliding window and carries, per rate, the mean loss rate,
+//     plus the median reported SNR of the window (§3.1).
+//   - Aggregate client data: per-client association history over an 11-hour
+//     window, at effectively 5-minute reporting granularity (§3.2).
+//
+// The on-disk format is JSON lines: a meta record, then one record per
+// network, per directed link, and per network's client log. JSON keeps the
+// format inspectable; the records use short field names and compact value
+// types because fleets contain millions of probe sets.
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"meshlab/internal/phy"
+)
+
+// Obs is one (bit rate, loss rate) observation within a probe set. The rate
+// is an index into the band's rate list to keep the record small.
+type Obs struct {
+	// RateIdx indexes phy.Band.Rates of the network's band.
+	RateIdx uint8 `json:"r"`
+	// Loss is the mean fraction of probes lost at this rate in the
+	// window, quantized by the probe count (1/20 steps by default).
+	Loss float32 `json:"l"`
+}
+
+// ProbeSet is the aggregate of one reporting window on one directed link.
+type ProbeSet struct {
+	// T is seconds since collection start.
+	T int32 `json:"t"`
+	// SNR is the median reported SNR of the window in integer dB, as an
+	// Atheros/MadWiFi radio would log it.
+	SNR int16 `json:"s"`
+	// SNRStd is the standard deviation of the reported SNR values within
+	// the window (Figure 3.1's quantity).
+	SNRStd float32 `json:"d"`
+	// Obs holds one entry per probed bit rate.
+	Obs []Obs `json:"o"`
+}
+
+// Link is the probe-set time series of one directed AP→AP link.
+type Link struct {
+	// From and To are AP indices within the network.
+	From int `json:"f"`
+	To   int `json:"to"`
+	// Sets is ordered by increasing T.
+	Sets []ProbeSet `json:"sets"`
+}
+
+// APInfo describes one access point.
+type APInfo struct {
+	Name    string  `json:"name"`
+	X       float64 `json:"x"`
+	Y       float64 `json:"y"`
+	Outdoor bool    `json:"outdoor,omitempty"`
+}
+
+// NetworkInfo is a network's identity and layout.
+type NetworkInfo struct {
+	// Name identifies the network within the fleet.
+	Name string `json:"name"`
+	// Band is "bg" or "n". A dual-radio network appears once per band.
+	Band string `json:"band"`
+	// Env is "indoor", "outdoor", or "mixed".
+	Env string `json:"env"`
+	// Spacing is the layout's nearest-neighbor scale in meters.
+	Spacing float64 `json:"spacing"`
+	// APs lists the access points; indices are the AP IDs used in Link.
+	APs []APInfo `json:"aps"`
+}
+
+// NetworkData is all probe data collected from one network on one band.
+type NetworkData struct {
+	Info  NetworkInfo
+	Links []*Link
+}
+
+// NumAPs returns the AP count.
+func (nd *NetworkData) NumAPs() int { return len(nd.Info.APs) }
+
+// Band resolves the network's phy.Band.
+func (nd *NetworkData) Band() (phy.Band, error) { return phy.BandByName(nd.Info.Band) }
+
+// Assoc is one client↔AP association interval, in seconds since the client
+// snapshot start. End is exclusive.
+type Assoc struct {
+	AP    int32 `json:"ap"`
+	Start int32 `json:"s"`
+	End   int32 `json:"e"`
+}
+
+// Duration returns the association's length in seconds.
+func (a Assoc) Duration() float64 { return float64(a.End - a.Start) }
+
+// ClientLog is one client's association history in one network.
+type ClientLog struct {
+	// ID is unique within the network's client data.
+	ID int `json:"id"`
+	// Assocs is ordered by Start and non-overlapping.
+	Assocs []Assoc `json:"a"`
+}
+
+// ClientData is the aggregate client snapshot of one network.
+type ClientData struct {
+	// Network names the network the clients were observed in.
+	Network string `json:"network"`
+	// Env is the network's environment class.
+	Env string `json:"env"`
+	// Duration is the snapshot length in seconds (thesis: 11 h).
+	Duration int32 `json:"duration"`
+	// NumAPs is the network size, for cross-checks.
+	NumAPs int `json:"numAPs"`
+	// Clients holds each observed client's history.
+	Clients []ClientLog `json:"clients"`
+}
+
+// Meta describes how a fleet dataset was generated.
+type Meta struct {
+	// Seed is the root RNG seed the fleet derives from.
+	Seed uint64 `json:"seed"`
+	// ProbeDuration and ProbeInterval are the probe collection length
+	// and reporting interval in seconds.
+	ProbeDuration int32 `json:"probeDuration"`
+	ProbeInterval int32 `json:"probeInterval"`
+	// ClientDuration is the client snapshot length in seconds.
+	ClientDuration int32 `json:"clientDuration"`
+}
+
+// Fleet is a full synthetic dataset: probe data and client data for every
+// network.
+type Fleet struct {
+	Meta     Meta
+	Networks []*NetworkData
+	Clients  []*ClientData
+}
+
+// ByBand returns the networks collected on the named band.
+func (f *Fleet) ByBand(band string) []*NetworkData {
+	var out []*NetworkData
+	for _, n := range f.Networks {
+		if n.Info.Band == band {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// NumProbeSets returns the total probe sets across all links and networks.
+func (f *Fleet) NumProbeSets() int {
+	total := 0
+	for _, n := range f.Networks {
+		for _, l := range n.Links {
+			total += len(l.Sets)
+		}
+	}
+	return total
+}
+
+// EachProbeSet calls fn for every probe set of every network on the given
+// band ("" means all bands).
+func (f *Fleet) EachProbeSet(band string, fn func(n *NetworkData, l *Link, ps *ProbeSet)) {
+	for _, n := range f.Networks {
+		if band != "" && n.Info.Band != band {
+			continue
+		}
+		for _, l := range n.Links {
+			for i := range l.Sets {
+				fn(n, l, &l.Sets[i])
+			}
+		}
+	}
+}
+
+// record is the JSON-lines envelope.
+type record struct {
+	Kind string `json:"kind"`
+
+	Meta    *Meta        `json:"meta,omitempty"`
+	Info    *NetworkInfo `json:"info,omitempty"`
+	Net     string       `json:"net,omitempty"`
+	Band    string       `json:"band,omitempty"`
+	Link    *Link        `json:"link,omitempty"`
+	Clients *ClientData  `json:"clients,omitempty"`
+}
+
+// Write serializes the fleet as JSON lines.
+func Write(w io.Writer, f *Fleet) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(record{Kind: "meta", Meta: &f.Meta}); err != nil {
+		return fmt.Errorf("dataset: write meta: %w", err)
+	}
+	for _, n := range f.Networks {
+		info := n.Info
+		if err := enc.Encode(record{Kind: "network", Info: &info}); err != nil {
+			return fmt.Errorf("dataset: write network %s: %w", n.Info.Name, err)
+		}
+		for _, l := range n.Links {
+			if err := enc.Encode(record{Kind: "link", Net: n.Info.Name, Band: n.Info.Band, Link: l}); err != nil {
+				return fmt.Errorf("dataset: write link %s %d->%d: %w", n.Info.Name, l.From, l.To, err)
+			}
+		}
+	}
+	for _, c := range f.Clients {
+		if err := enc.Encode(record{Kind: "clients", Clients: c}); err != nil {
+			return fmt.Errorf("dataset: write clients %s: %w", c.Network, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a fleet from the JSON-lines format produced by Write.
+func Read(r io.Reader) (*Fleet, error) {
+	f := &Fleet{}
+	nets := make(map[string]*NetworkData) // keyed by name+band
+	key := func(name, band string) string { return name + "/" + band }
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
+	sawMeta := false
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		switch rec.Kind {
+		case "meta":
+			if rec.Meta == nil {
+				return nil, fmt.Errorf("dataset: line %d: meta record without meta", line)
+			}
+			f.Meta = *rec.Meta
+			sawMeta = true
+		case "network":
+			if rec.Info == nil {
+				return nil, fmt.Errorf("dataset: line %d: network record without info", line)
+			}
+			nd := &NetworkData{Info: *rec.Info}
+			nets[key(nd.Info.Name, nd.Info.Band)] = nd
+			f.Networks = append(f.Networks, nd)
+		case "link":
+			nd, ok := nets[key(rec.Net, rec.Band)]
+			if !ok {
+				return nil, fmt.Errorf("dataset: line %d: link for unknown network %s/%s", line, rec.Net, rec.Band)
+			}
+			if rec.Link == nil {
+				return nil, fmt.Errorf("dataset: line %d: link record without link", line)
+			}
+			nd.Links = append(nd.Links, rec.Link)
+		case "clients":
+			if rec.Clients == nil {
+				return nil, fmt.Errorf("dataset: line %d: clients record without clients", line)
+			}
+			f.Clients = append(f.Clients, rec.Clients)
+		default:
+			return nil, fmt.Errorf("dataset: line %d: unknown record kind %q", line, rec.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: scan: %w", err)
+	}
+	if !sawMeta {
+		return nil, errors.New("dataset: missing meta record")
+	}
+	return f, nil
+}
+
+// Validate checks structural invariants: known bands, in-range AP and rate
+// indices, ordered probe sets, loss rates in [0,1], and ordered,
+// non-overlapping association intervals.
+func (f *Fleet) Validate() error {
+	for _, n := range f.Networks {
+		band, err := n.Band()
+		if err != nil {
+			return fmt.Errorf("network %s: %w", n.Info.Name, err)
+		}
+		for _, l := range n.Links {
+			if l.From < 0 || l.From >= n.NumAPs() || l.To < 0 || l.To >= n.NumAPs() || l.From == l.To {
+				return fmt.Errorf("network %s: bad link %d->%d", n.Info.Name, l.From, l.To)
+			}
+			prevT := int32(-1)
+			for _, ps := range l.Sets {
+				if ps.T <= prevT {
+					return fmt.Errorf("network %s link %d->%d: probe sets not strictly ordered", n.Info.Name, l.From, l.To)
+				}
+				prevT = ps.T
+				for _, o := range ps.Obs {
+					if int(o.RateIdx) >= len(band.Rates) {
+						return fmt.Errorf("network %s: rate index %d out of range", n.Info.Name, o.RateIdx)
+					}
+					if o.Loss < 0 || o.Loss > 1 {
+						return fmt.Errorf("network %s: loss %v out of range", n.Info.Name, o.Loss)
+					}
+				}
+			}
+		}
+	}
+	for _, c := range f.Clients {
+		for _, cl := range c.Clients {
+			prevEnd := int32(0)
+			for _, a := range cl.Assocs {
+				if a.Start < prevEnd || a.End <= a.Start {
+					return fmt.Errorf("clients %s #%d: bad association [%d,%d)", c.Network, cl.ID, a.Start, a.End)
+				}
+				if a.End > c.Duration {
+					return fmt.Errorf("clients %s #%d: association past snapshot end", c.Network, cl.ID)
+				}
+				if int(a.AP) < 0 || int(a.AP) >= c.NumAPs {
+					return fmt.Errorf("clients %s #%d: AP %d out of range", c.Network, cl.ID, a.AP)
+				}
+				prevEnd = a.End
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+// Package etxsim is a packet-level Monte-Carlo simulator of the two
+// routing disciplines §5 compares analytically: shortest-path forwarding
+// under the ETX metric, and idealized opportunistic (ExOR-style)
+// forwarding. It exists to validate the closed-form expected-transmission
+// recursions in internal/routing by independent simulation — the property
+// tests assert that simulated means converge to the analytic costs.
+package etxsim
+
+import (
+	"errors"
+	"math"
+
+	"meshlab/internal/rng"
+	"meshlab/internal/routing"
+)
+
+// ErrUnreachable is returned when no route exists between the endpoints.
+var ErrUnreachable = errors.New("etxsim: destination unreachable")
+
+// maxTxPerPacket bounds a single packet's transmission count so that
+// pathological matrices cannot hang the simulator.
+const maxTxPerPacket = 100000
+
+// ETXPacket simulates one packet from s to d along the precomputed
+// shortest path, returning the number of data transmissions used. Under
+// ETX1 each hop retries until the forward delivery succeeds; under ETX2 a
+// hop's attempt succeeds only if both the data frame and the (lowest-rate)
+// ACK get through, matching the metric's two-way assumption.
+func ETXPacket(r *rng.Stream, m routing.Matrix, paths *routing.Paths, s, d int) (int, error) {
+	if s == d {
+		return 0, nil
+	}
+	if math.IsInf(paths.Dist[s][d], 1) {
+		return 0, ErrUnreachable
+	}
+	tx := 0
+	cur := s
+	for cur != d {
+		next := paths.Next[cur][d]
+		if next < 0 {
+			return 0, ErrUnreachable
+		}
+		p := m[cur][next]
+		if paths.Variant == routing.ETX2 {
+			p *= m[next][cur]
+		}
+		for {
+			tx++
+			if tx > maxTxPerPacket {
+				return tx, nil
+			}
+			if r.Bool(p) {
+				break
+			}
+		}
+		cur = next
+	}
+	return tx, nil
+}
+
+// ExORPacket simulates one packet from s to d under idealized
+// opportunistic forwarding: the holder broadcasts; among the candidate
+// forwarders closer to d (by the ETX metric) that received it, the one
+// closest to d becomes the new holder. A holder with no closer candidates
+// falls back to its ETX next hop, as the analytic recursion does.
+func ExORPacket(r *rng.Stream, m routing.Matrix, paths *routing.Paths, s, d int) (int, error) {
+	if s == d {
+		return 0, nil
+	}
+	if math.IsInf(paths.Dist[s][d], 1) {
+		return 0, ErrUnreachable
+	}
+	n := m.Size()
+	tx := 0
+	cur := s
+	for cur != d {
+		// Candidates: strictly closer to d, reachable from cur.
+		type cand struct {
+			node int
+			dist float64
+		}
+		var cands []cand
+		for c := 0; c < n; c++ {
+			if c == cur || m[cur][c] <= 0 {
+				continue
+			}
+			if paths.Dist[c][d] < paths.Dist[cur][d] {
+				cands = append(cands, cand{node: c, dist: paths.Dist[c][d]})
+			}
+		}
+		if len(cands) == 0 {
+			// Degenerate: behave like ETX from here (§5.1).
+			rest, err := ETXPacket(r, m, paths, cur, d)
+			return tx + rest, err
+		}
+		tx++
+		if tx > maxTxPerPacket {
+			return tx, nil
+		}
+		best, bestDist := -1, math.Inf(1)
+		for _, c := range cands {
+			if r.Bool(m[cur][c.node]) && c.dist < bestDist {
+				best, bestDist = c.node, c.dist
+			}
+		}
+		if best >= 0 {
+			cur = best
+		}
+		// Nobody closer received: the holder broadcasts again.
+	}
+	return tx, nil
+}
+
+// MonteCarlo runs trials packets under both disciplines and returns the
+// mean transmission counts.
+func MonteCarlo(r *rng.Stream, m routing.Matrix, v routing.Variant, s, d, trials int) (meanETX, meanExOR float64, err error) {
+	paths := routing.AllPairs(m, v)
+	var sumETX, sumExOR float64
+	for i := 0; i < trials; i++ {
+		e, err := ETXPacket(r, m, paths, s, d)
+		if err != nil {
+			return 0, 0, err
+		}
+		x, err := ExORPacket(r, m, paths, s, d)
+		if err != nil {
+			return 0, 0, err
+		}
+		sumETX += float64(e)
+		sumExOR += float64(x)
+	}
+	return sumETX / float64(trials), sumExOR / float64(trials), nil
+}

@@ -1,0 +1,168 @@
+package etxsim
+
+import (
+	"math"
+	"testing"
+
+	"meshlab/internal/rng"
+	"meshlab/internal/routing"
+)
+
+// lineMatrix is the thesis's §5.2.2 worked example.
+func lineMatrix() routing.Matrix {
+	m := routing.NewMatrix(3)
+	m[0][1], m[1][0] = 0.9, 0.9
+	m[1][2], m[2][1] = 0.9, 0.9
+	m[0][2], m[2][0] = 0.3, 0.3
+	return m
+}
+
+func TestETXPacketMatchesAnalyticOnExample(t *testing.T) {
+	m := lineMatrix()
+	r := rng.New(1)
+	meanETX, meanExOR, err := MonteCarlo(r, m, routing.ETX1, 0, 2, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic: ETX1 = 2/0.9 ≈ 2.222; ExOR ≈ 1.828.
+	if math.Abs(meanETX-2.222) > 0.05 {
+		t.Fatalf("simulated ETX mean %v, analytic 2.222", meanETX)
+	}
+	paths := routing.AllPairs(m, routing.ETX1)
+	exor := routing.ExORToDest(m, paths, 2)
+	if math.Abs(meanExOR-exor[0]) > 0.05 {
+		t.Fatalf("simulated ExOR mean %v, analytic %v", meanExOR, exor[0])
+	}
+	if meanExOR >= meanETX {
+		t.Fatal("opportunistic routing should beat ETX on the worked example")
+	}
+}
+
+func TestSelfDelivery(t *testing.T) {
+	m := lineMatrix()
+	paths := routing.AllPairs(m, routing.ETX1)
+	r := rng.New(2)
+	if tx, err := ETXPacket(r, m, paths, 1, 1); err != nil || tx != 0 {
+		t.Fatalf("self delivery: %d, %v", tx, err)
+	}
+	if tx, err := ExORPacket(r, m, paths, 1, 1); err != nil || tx != 0 {
+		t.Fatalf("self delivery: %d, %v", tx, err)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	m := routing.NewMatrix(3)
+	m[0][1] = 0.9
+	paths := routing.AllPairs(m, routing.ETX1)
+	r := rng.New(3)
+	if _, err := ETXPacket(r, m, paths, 0, 2); err != ErrUnreachable {
+		t.Fatalf("want ErrUnreachable, got %v", err)
+	}
+	if _, err := ExORPacket(r, m, paths, 0, 2); err != ErrUnreachable {
+		t.Fatalf("want ErrUnreachable, got %v", err)
+	}
+	if _, _, err := MonteCarlo(r, m, routing.ETX1, 0, 2, 10); err == nil {
+		t.Fatal("MonteCarlo should propagate unreachability")
+	}
+}
+
+func TestETX2SimulationMatchesAnalytic(t *testing.T) {
+	// Two nodes with asymmetric delivery: ETX2 = 1/(pf·pr).
+	m := routing.NewMatrix(2)
+	m[0][1], m[1][0] = 0.8, 0.5
+	r := rng.New(4)
+	meanETX, _, err := MonteCarlo(r, m, routing.ETX2, 0, 1, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (0.8 * 0.5)
+	if math.Abs(meanETX-want) > 0.06 {
+		t.Fatalf("simulated ETX2 mean %v, analytic %v", meanETX, want)
+	}
+}
+
+func randomMatrix(seed uint64, n int) routing.Matrix {
+	r := rng.New(seed)
+	m := routing.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Bool(0.35) {
+				continue
+			}
+			base := 0.2 + 0.75*r.Float64()
+			m[i][j] = base
+			m[j][i] = math.Min(0.95, math.Max(0.05, base+0.1*r.NormFloat64()))
+		}
+	}
+	return m
+}
+
+func TestSimulationMatchesAnalyticOnRandomTopologies(t *testing.T) {
+	// The central validation: Monte-Carlo means converge to the
+	// analytic recursions across random connected topologies. The
+	// analytic ExOR value is capped at the ETX cost, so the simulated
+	// mean may exceed it very slightly in degenerate orderings; allow a
+	// one-sided slack.
+	for seed := uint64(1); seed <= 4; seed++ {
+		m := randomMatrix(seed, 8)
+		paths := routing.AllPairs(m, routing.ETX1)
+		r := rng.New(seed * 100)
+		checked := 0
+		for d := 0; d < 8 && checked < 4; d++ {
+			exor := routing.ExORToDest(m, paths, d)
+			for s := 0; s < 8 && checked < 4; s++ {
+				if s == d || math.IsInf(paths.Dist[s][d], 1) || paths.Hops[s][d] < 2 {
+					continue
+				}
+				meanETX, meanExOR, err := MonteCarlo(r, m, routing.ETX1, s, d, 12000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rel := math.Abs(meanETX-paths.Dist[s][d]) / paths.Dist[s][d]; rel > 0.05 {
+					t.Fatalf("seed %d %d→%d: ETX sim %v vs analytic %v (rel err %v)",
+						seed, s, d, meanETX, paths.Dist[s][d], rel)
+				}
+				slack := 0.05*exor[s] + 0.05
+				if meanExOR > exor[s]+2*slack || meanExOR < exor[s]-slack-0.35 {
+					t.Fatalf("seed %d %d→%d: ExOR sim %v vs analytic %v",
+						seed, s, d, meanExOR, exor[s])
+				}
+				checked++
+			}
+		}
+		if checked == 0 {
+			t.Logf("seed %d: no multi-hop reachable pairs; skipping", seed)
+		}
+	}
+}
+
+func TestExORSimNeverSlowerThanETXSimOnAverage(t *testing.T) {
+	m := randomMatrix(9, 10)
+	paths := routing.AllPairs(m, routing.ETX1)
+	r := rng.New(99)
+	for d := 0; d < 3; d++ {
+		for s := 5; s < 8; s++ {
+			if s == d || math.IsInf(paths.Dist[s][d], 1) {
+				continue
+			}
+			meanETX, meanExOR, err := MonteCarlo(r, m, routing.ETX1, s, d, 6000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Allow sampling noise plus the analytic cap slack.
+			if meanExOR > meanETX*1.1+0.3 {
+				t.Fatalf("%d→%d: opportunistic sim mean %v clearly exceeds ETX %v",
+					s, d, meanExOR, meanETX)
+			}
+		}
+	}
+}
+
+func BenchmarkMonteCarloPair(b *testing.B) {
+	m := randomMatrix(1, 10)
+	r := rng.New(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = MonteCarlo(r, m, routing.ETX1, 0, 9, 100)
+	}
+}

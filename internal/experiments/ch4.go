@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+
+	"meshlab/internal/phy"
+	"meshlab/internal/snr"
+	"meshlab/internal/stats"
+)
+
+func init() {
+	register("fig4.1", "Optimal bit rates for different SNRs (802.11b/g)", fig41)
+	register("fig4.2", "SNR look-up table performance by scope, 802.11b/g", fig42)
+	register("fig4.3", "SNR look-up table performance by scope, 802.11n", fig43)
+	register("fig4.4", "Throughput penalty of look-up tables vs optimal", fig44)
+	register("fig4.5", "Correlation between SNR and throughput (802.11b/g)", fig45)
+	register("fig4.6", "Accuracy of online look-up table strategies", fig46)
+	register("tab4.1", "Costs of each look-up table strategy", tab41)
+}
+
+// fig41 reproduces Figure 4.1: which rates were ever optimal per SNR. The
+// table reports the distribution of per-SNR optimal-rate-set sizes; the
+// figure's message is that most SNRs see several different optimal rates.
+func fig41(c *Context) (*Result, error) {
+	samples, err := c.SamplesBG()
+	if err != nil {
+		return nil, err
+	}
+	sets := snr.OptimalRateSets(samples)
+	sizeHist := map[int]int{}
+	single := 0
+	for _, rates := range sets {
+		sizeHist[len(rates)]++
+		if len(rates) == 1 {
+			single++
+		}
+	}
+	res := &Result{Header: []string{"#rates ever optimal at an SNR", "#SNR values"}}
+	for _, k := range sortedKeys(sizeHist) {
+		res.Rows = append(res.Rows, []string{itoa(k), itoa(sizeHist[k])})
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"%d of %d SNR values have a single always-optimal rate; a global look-up table cannot cover the rest",
+		single, len(sets)))
+	// High SNRs: the top OFDM rate should dominate, as in the paper's
+	// ">80 dB is always 48 Mbit/s" remark.
+	hi := 0
+	hiSingle := 0
+	for s, rates := range sets {
+		if s >= 45 {
+			hi++
+			if len(rates) == 1 {
+				hiSingle++
+			}
+		}
+	}
+	if hi > 0 {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"at SNR ≥ 45 dB, %d/%d SNR values have a unique optimal rate (high-SNR regime is easy)", hiSingle, hi))
+	}
+	return res, nil
+}
+
+// coverageResult renders Figures 4.2/4.3 for one band's samples.
+func coverageResult(samples []snr.Sample, band phy.Band, minObs int) *Result {
+	res := &Result{Header: []string{
+		"scope", "SNR cells", "mean rates@50%", "mean rates@80%", "mean rates@95%",
+		"frac SNRs 1 rate@95%", "frac SNRs ≤2 rates@95%",
+	}}
+	for _, sc := range snr.Scopes {
+		rows := snr.Train(samples, len(band.Rates), sc).Coverage(minObs)
+		if len(rows) == 0 {
+			res.Rows = append(res.Rows, []string{sc.String(), "0", "-", "-", "-", "-", "-"})
+			continue
+		}
+		var s50, s80, s95 float64
+		one, two := 0, 0
+		for _, r := range rows {
+			s50 += r.NeedP50
+			s80 += r.NeedP80
+			s95 += r.NeedP95
+			if r.NeedP95 <= 1 {
+				one++
+			}
+			if r.NeedP95 <= 2 {
+				two++
+			}
+		}
+		n := float64(len(rows))
+		res.Rows = append(res.Rows, []string{
+			sc.String(), itoa(len(rows)),
+			f2(s50 / n), f2(s80 / n), f2(s95 / n),
+			f2(float64(one) / n), f2(float64(two) / n),
+		})
+	}
+	return res
+}
+
+func fig42(c *Context) (*Result, error) {
+	samples, err := c.SamplesBG()
+	if err != nil {
+		return nil, err
+	}
+	res := coverageResult(samples, phy.BandBG, 8)
+	res.Notes = append(res.Notes,
+		"specificity should decrease rates-needed monotonically: global ≥ network ≥ ap ≥ link (paper Fig 4.2)")
+	return res, nil
+}
+
+func fig43(c *Context) (*Result, error) {
+	samples, err := c.SamplesN()
+	if err != nil {
+		return nil, err
+	}
+	res := coverageResult(samples, phy.BandN, 8)
+	res.Notes = append(res.Notes,
+		"802.11n needs more rates per percentile than b/g at every scope (paper Fig 4.3): compare with fig4.2")
+	return res, nil
+}
+
+// fig44 reproduces Figure 4.4: the CDF of throughput lost by following the
+// look-up table instead of the per-probe-set optimum, per scope and band.
+func fig44(c *Context) (*Result, error) {
+	res := &Result{Header: []string{
+		"band", "scope", "exact-hit frac", "median loss", "p75", "p90", "p95", "max (Mbit/s)",
+	}}
+	for _, b := range []struct {
+		name    string
+		band    phy.Band
+		samples func() ([]snr.Sample, error)
+	}{
+		{"bg", phy.BandBG, c.SamplesBG},
+		{"n", phy.BandN, c.SamplesN},
+	} {
+		samples, err := b.samples()
+		if err != nil {
+			return nil, err
+		}
+		if len(samples) == 0 {
+			continue
+		}
+		for _, pr := range snr.Penalty(samples, len(b.band.Rates), snr.Scopes) {
+			cdf := stats.NewCDF(pr.Diffs)
+			res.Rows = append(res.Rows, []string{
+				b.name, pr.Scope.String(), f2(pr.ExactFrac),
+				f2(cdf.Quantile(0.5)), f2(cdf.Quantile(0.75)),
+				f2(cdf.Quantile(0.90)), f2(cdf.Quantile(0.95)),
+				f2(cdf.Quantile(1.0)),
+			})
+		}
+	}
+	res.Notes = append(res.Notes,
+		"link- and AP-specific training should beat network and global on both exact hits and losses (paper: link ≈90% exact for b/g, ≈75% for n)")
+	return res, nil
+}
+
+// fig45 reproduces Figure 4.5: median throughput (with quartiles) versus
+// SNR per b/g rate, at 5 dB steps.
+func fig45(c *Context) (*Result, error) {
+	samples, err := c.SamplesBG()
+	if err != nil {
+		return nil, err
+	}
+	pts := snr.ThroughputVsSNR(samples, len(phy.BandBG.Rates), 25)
+	res := &Result{Header: []string{"rate", "SNR (dB)", "median tput", "q1", "q3", "n"}}
+	for _, p := range pts {
+		if p.SNR%5 != 0 {
+			continue
+		}
+		res.Rows = append(res.Rows, []string{
+			phy.BandBG.Rates[p.RateIdx].Name, itoa(p.SNR),
+			f2(p.Median), f2(p.Q1), f2(p.Q3), itoa(p.N),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"median throughput should rise with SNR and level off near the nominal rate; variance is largest on the steep part of each curve")
+	return res, nil
+}
+
+// fig46 reproduces Figure 4.6: prediction accuracy versus probe sets seen,
+// for the four online strategies.
+func fig46(c *Context) (*Result, error) {
+	samples, err := c.SamplesBG()
+	if err != nil {
+		return nil, err
+	}
+	const maxX = 35
+	results := snr.ReplayStrategies(samples, len(phy.BandBG.Rates), maxX)
+	res := &Result{Header: []string{"probe sets seen", "first", "most-recent", "subsampled", "all"}}
+	for _, x := range []int{1, 2, 3, 5, 10, 15, 20, 25, 30, 35} {
+		row := []string{itoa(x)}
+		for _, r := range results {
+			if a := r.Accuracy(x); a >= 0 {
+				row = append(row, f2(a))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	overall := []string{"overall"}
+	for _, r := range results {
+		overall = append(overall, f2(r.OverallAccuracy()))
+	}
+	res.Rows = append(res.Rows, overall)
+	res.Notes = append(res.Notes,
+		"all strategies should perform comparably at 80-90% accuracy (paper Fig 4.6); even keeping only the first probe per SNR is viable")
+	return res, nil
+}
+
+// tab41 reproduces Table 4.1: update frequency and memory per strategy,
+// with measured counts from replaying the fleet.
+func tab41(c *Context) (*Result, error) {
+	samples, err := c.SamplesBG()
+	if err != nil {
+		return nil, err
+	}
+	results := snr.ReplayStrategies(samples, len(phy.BandBG.Rates), 35)
+	labels := map[snr.Strategy][2]string{
+		snr.First:      {"Low", "Small"},
+		snr.MostRecent: {"High", "Small"},
+		snr.Subsampled: {"Moderate", "Moderate"},
+		snr.All:        {"High", "Large"},
+	}
+	res := &Result{Header: []string{
+		"strategy", "update frequency", "memory", "measured updates", "measured stored points",
+	}}
+	for _, r := range results {
+		l := labels[r.Strategy]
+		res.Rows = append(res.Rows, []string{
+			r.Strategy.String(), l[0], l[1], itoa(r.Updates), itoa(r.MemEntries),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"orderings must hold: updates(first) < updates(subsampled) < updates(all); memory(first|most-recent) < memory(subsampled) < memory(all)")
+	return res, nil
+}

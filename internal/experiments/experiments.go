@@ -1,0 +1,264 @@
+// Package experiments maps every table and figure of the thesis's
+// evaluation to a runner that regenerates it from a synthetic fleet
+// dataset. Each runner returns a Result: a titled table of rows plus
+// headline notes, which cmd/meshreport renders into EXPERIMENTS.md and the
+// root bench harness exercises.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"meshlab/internal/dataset"
+	"meshlab/internal/mobility"
+	"meshlab/internal/routing"
+	"meshlab/internal/snr"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	// ID is the experiment identifier ("fig4.2", "tab4.1", "sec6.3").
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Header and Rows form the regenerated table.
+	Header []string
+	Rows   [][]string
+	// Notes carries headline scalars and shape checks in prose.
+	Notes []string
+}
+
+// Format renders the result as aligned plain text.
+func (r *Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// runner executes one experiment against a context.
+type runner struct {
+	id    string
+	title string
+	run   func(*Context) (*Result, error)
+}
+
+var registry []runner
+
+func register(id, title string, run func(*Context) (*Result, error)) {
+	registry = append(registry, runner{id: id, title: title, run: run})
+}
+
+// paperOrder ranks experiment IDs in the order the thesis presents them,
+// with ablations last. Registration order depends on file names, so the
+// public ordering is made explicit here.
+var paperOrder = []string{
+	"fig3.1",
+	"fig4.1", "fig4.2", "fig4.3", "fig4.4", "fig4.5", "fig4.6", "tab4.1",
+	"fig5.1", "fig5.2", "fig5.3", "fig5.4", "fig5.5",
+	"fig6.1", "fig6.2", "sec6.3",
+	"fig7.1", "fig7.2", "fig7.3", "fig7.4", "fig7.5",
+	"abl4.off", "abl4.burst", "abl5.sym", "abl6.t",
+	"ext4.topk", "ext5.ett", "ext6.mac",
+}
+
+func rank(id string) int {
+	for i, v := range paperOrder {
+		if v == id {
+			return i
+		}
+	}
+	return len(paperOrder) // unknown IDs sort after the known set
+}
+
+// IDs returns all experiment identifiers in paper order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.id
+	}
+	sort.SliceStable(out, func(a, b int) bool { return rank(out[a]) < rank(out[b]) })
+	return out
+}
+
+// Context holds a fleet and memoized derived data shared across
+// experiments, so running the full suite does not recompute the expensive
+// routing solutions per figure.
+type Context struct {
+	Fleet *dataset.Fleet
+
+	mu        sync.Mutex
+	samplesBG []snr.Sample
+	samplesN  []snr.Sample
+	matrices  map[*dataset.NetworkData]map[int]routing.Matrix
+	improved  map[impKey][]routing.PairResult
+	mob       *mobility.Analysis
+	abl       map[string]*dataset.Fleet
+}
+
+type impKey struct {
+	nd      *dataset.NetworkData
+	rate    int
+	variant routing.Variant
+}
+
+// NewContext wraps a fleet for experiment runs.
+func NewContext(f *dataset.Fleet) *Context {
+	return &Context{
+		Fleet:    f,
+		matrices: make(map[*dataset.NetworkData]map[int]routing.Matrix),
+		improved: make(map[impKey][]routing.PairResult),
+	}
+}
+
+// Run executes the experiment with the given ID.
+func (c *Context) Run(id string) (*Result, error) {
+	for _, r := range registry {
+		if r.id == id {
+			res, err := r.run(c)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", id, err)
+			}
+			res.ID = r.id
+			res.Title = r.title
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+}
+
+// RunAll executes every experiment in paper order.
+func (c *Context) RunAll() ([]*Result, error) {
+	var out []*Result
+	for _, id := range IDs() {
+		res, err := c.Run(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// SamplesBG returns the flattened 802.11b/g probe samples, memoized.
+func (c *Context) SamplesBG() ([]snr.Sample, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.samplesBG == nil {
+		s, err := snr.Flatten(c.Fleet.ByBand("bg"))
+		if err != nil {
+			return nil, err
+		}
+		c.samplesBG = s
+	}
+	return c.samplesBG, nil
+}
+
+// SamplesN returns the flattened 802.11n probe samples, memoized.
+func (c *Context) SamplesN() ([]snr.Sample, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.samplesN == nil {
+		s, err := snr.Flatten(c.Fleet.ByBand("n"))
+		if err != nil {
+			return nil, err
+		}
+		c.samplesN = s
+	}
+	return c.samplesN, nil
+}
+
+// Matrices returns a network's per-rate mean success matrices, memoized.
+func (c *Context) Matrices(nd *dataset.NetworkData) (map[int]routing.Matrix, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m, ok := c.matrices[nd]; ok {
+		return m, nil
+	}
+	m, err := routing.SuccessMatrices(nd)
+	if err != nil {
+		return nil, err
+	}
+	c.matrices[nd] = m
+	return m, nil
+}
+
+// Improvements returns a network's opportunistic-routing comparison at one
+// rate and variant, memoized.
+func (c *Context) Improvements(nd *dataset.NetworkData, rate int, v routing.Variant) ([]routing.PairResult, error) {
+	key := impKey{nd: nd, rate: rate, variant: v}
+	c.mu.Lock()
+	if r, ok := c.improved[key]; ok {
+		c.mu.Unlock()
+		return r, nil
+	}
+	c.mu.Unlock()
+	ms, err := c.Matrices(nd)
+	if err != nil {
+		return nil, err
+	}
+	res := routing.Improvements(ms[rate], v)
+	c.mu.Lock()
+	c.improved[key] = res
+	c.mu.Unlock()
+	return res, nil
+}
+
+// routableBG returns the b/g networks with at least five APs, the
+// population §5 analyzes.
+func (c *Context) routableBG() []*dataset.NetworkData {
+	var out []*dataset.NetworkData
+	for _, nd := range c.Fleet.ByBand("bg") {
+		if nd.NumAPs() >= 5 {
+			out = append(out, nd)
+		}
+	}
+	return out
+}
+
+// f formats a float compactly for table cells.
+func f(v float64) string { return fmt.Sprintf("%.3g", v) }
+
+// f2 formats with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// itoa formats an int.
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+// sortedKeys returns sorted integer map keys.
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -1,0 +1,171 @@
+// Package hidden implements the thesis's §6 hidden-triple analysis. A
+// triple of APs (A, B, C) is *relevant* at bit rate b when A and C can both
+// hear B at rate b; it is *hidden* when additionally A and C cannot hear
+// each other — the topology that produces hidden terminals. Hearing is
+// thresholded: two APs hear each other at rate b when more than t of the
+// probes sent between them at rate b get through (the thesis uses t = 10%
+// and reports that results are insensitive to t).
+//
+// The package also implements §6.2's notion of range: the number of node
+// pairs that can hear each other at a rate, normalized against the
+// network's range at 1 Mbit/s.
+package hidden
+
+import (
+	"meshlab/internal/dataset"
+	"meshlab/internal/routing"
+)
+
+// Graph is a symmetric hearing relation over a network's APs at one rate
+// and threshold.
+type Graph struct {
+	n    int
+	hear [][]bool
+}
+
+// HearingGraph thresholds a success matrix into a hearing graph: i and j
+// hear each other when the mean of the two directed delivery probabilities
+// exceeds threshold.
+func HearingGraph(m routing.Matrix, threshold float64) *Graph {
+	n := m.Size()
+	g := &Graph{n: n, hear: make([][]bool, n)}
+	for i := range g.hear {
+		g.hear[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p := (m[i][j] + m[j][i]) / 2
+			if p > threshold {
+				g.hear[i][j] = true
+				g.hear[j][i] = true
+			}
+		}
+	}
+	return g
+}
+
+// Hears reports whether i and j hear each other.
+func (g *Graph) Hears(i, j int) bool {
+	if i == j || i < 0 || j < 0 || i >= g.n || j >= g.n {
+		return false
+	}
+	return g.hear[i][j]
+}
+
+// Size returns the node count.
+func (g *Graph) Size() int { return g.n }
+
+// Range returns the number of unordered node pairs that hear each other
+// (§6.2's definition of a network's range at a rate).
+func (g *Graph) Range() int {
+	count := 0
+	for i := 0; i < g.n; i++ {
+		for j := i + 1; j < g.n; j++ {
+			if g.hear[i][j] {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// CountTriples returns the number of relevant triples (A and C both hear
+// the center B) and how many of those are hidden (A and C do not hear each
+// other). Triples are counted once per unordered {A, C} pair per center.
+func (g *Graph) CountTriples() (relevant, hidden int) {
+	for b := 0; b < g.n; b++ {
+		// Neighbors of the center.
+		var nbrs []int
+		for a := 0; a < g.n; a++ {
+			if g.hear[b][a] {
+				nbrs = append(nbrs, a)
+			}
+		}
+		for x := 0; x < len(nbrs); x++ {
+			for y := x + 1; y < len(nbrs); y++ {
+				relevant++
+				if !g.hear[nbrs[x]][nbrs[y]] {
+					hidden++
+				}
+			}
+		}
+	}
+	return relevant, hidden
+}
+
+// RateResult is the triple census of one network at one rate.
+type RateResult struct {
+	// RateIdx indexes the network band's rates.
+	RateIdx int
+	// Relevant and Hidden are the triple counts; Fraction is
+	// Hidden/Relevant (0 when no relevant triples exist).
+	Relevant, Hidden int
+	Fraction         float64
+	// Range is the number of hearing pairs at this rate.
+	Range int
+}
+
+// NetworkResult is the full §6 census of one network.
+type NetworkResult struct {
+	Net   string
+	Env   string
+	Size  int
+	Rates []RateResult
+}
+
+// RangeRatio returns the network's range at rate ri divided by its range
+// at the reference rate (§6.2's change-in-range), and false when the
+// reference range is zero.
+func (nr *NetworkResult) RangeRatio(ri, refRate int) (float64, bool) {
+	var cur, ref *RateResult
+	for i := range nr.Rates {
+		if nr.Rates[i].RateIdx == ri {
+			cur = &nr.Rates[i]
+		}
+		if nr.Rates[i].RateIdx == refRate {
+			ref = &nr.Rates[i]
+		}
+	}
+	if cur == nil || ref == nil || ref.Range == 0 {
+		return 0, false
+	}
+	return float64(cur.Range) / float64(ref.Range), true
+}
+
+// Analyze computes relevant/hidden triples and range for every rate of a
+// network's band at the given hearing threshold.
+func Analyze(nd *dataset.NetworkData, threshold float64) (*NetworkResult, error) {
+	ms, err := routing.SuccessMatrices(nd)
+	if err != nil {
+		return nil, err
+	}
+	band, err := nd.Band()
+	if err != nil {
+		return nil, err
+	}
+	out := &NetworkResult{Net: nd.Info.Name, Env: nd.Info.Env, Size: nd.NumAPs()}
+	for ri := range band.Rates {
+		g := HearingGraph(ms[ri], threshold)
+		rel, hid := g.CountTriples()
+		rr := RateResult{RateIdx: ri, Relevant: rel, Hidden: hid, Range: g.Range()}
+		if rel > 0 {
+			rr.Fraction = float64(hid) / float64(rel)
+		}
+		out.Rates = append(out.Rates, rr)
+	}
+	return out, nil
+}
+
+// AnalyzeAll runs Analyze over several networks, skipping none; callers
+// filter by environment or size as the figures require.
+func AnalyzeAll(nets []*dataset.NetworkData, threshold float64) ([]*NetworkResult, error) {
+	var out []*NetworkResult
+	for _, nd := range nets {
+		nr, err := Analyze(nd, threshold)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, nr)
+	}
+	return out, nil
+}

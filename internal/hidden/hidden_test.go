@@ -1,0 +1,196 @@
+package hidden
+
+import (
+	"testing"
+
+	"meshlab/internal/dataset"
+	"meshlab/internal/routing"
+)
+
+// chainMatrix builds A—B—C where A,B and B,C hear each other strongly but
+// A,C do not: the canonical hidden triple.
+func chainMatrix() routing.Matrix {
+	m := routing.NewMatrix(3)
+	m[0][1], m[1][0] = 0.9, 0.9
+	m[1][2], m[2][1] = 0.9, 0.9
+	m[0][2], m[2][0] = 0.02, 0.02
+	return m
+}
+
+func TestHearingGraph(t *testing.T) {
+	g := HearingGraph(chainMatrix(), 0.1)
+	if !g.Hears(0, 1) || !g.Hears(1, 0) {
+		t.Fatal("A and B should hear each other")
+	}
+	if g.Hears(0, 2) {
+		t.Fatal("A and C should not hear each other at 10%")
+	}
+	if g.Hears(0, 0) {
+		t.Fatal("self-hearing should be false")
+	}
+	if g.Hears(-1, 0) || g.Hears(0, 9) {
+		t.Fatal("out-of-range should be false")
+	}
+	if g.Size() != 3 {
+		t.Fatalf("size %d", g.Size())
+	}
+}
+
+func TestHearingAveragesDirections(t *testing.T) {
+	m := routing.NewMatrix(2)
+	m[0][1], m[1][0] = 0.3, 0.0 // mean 0.15
+	if !HearingGraph(m, 0.1).Hears(0, 1) {
+		t.Fatal("mean 0.15 should exceed a 10% threshold")
+	}
+	if HearingGraph(m, 0.2).Hears(0, 1) {
+		t.Fatal("mean 0.15 should fail a 20% threshold")
+	}
+}
+
+func TestCountTriplesCanonical(t *testing.T) {
+	g := HearingGraph(chainMatrix(), 0.1)
+	rel, hid := g.CountTriples()
+	// Centers: B has neighbors {A, C} → 1 relevant, hidden. A and C
+	// have 1 neighbor each → no triples.
+	if rel != 1 || hid != 1 {
+		t.Fatalf("relevant=%d hidden=%d, want 1, 1", rel, hid)
+	}
+}
+
+func TestCountTriplesFullMesh(t *testing.T) {
+	m := routing.NewMatrix(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				m[i][j] = 0.9
+			}
+		}
+	}
+	g := HearingGraph(m, 0.1)
+	rel, hid := g.CountTriples()
+	// Each of 4 centers has 3 neighbors → C(3,2)=3 triples each.
+	if rel != 12 {
+		t.Fatalf("relevant = %d, want 12", rel)
+	}
+	if hid != 0 {
+		t.Fatalf("full mesh has %d hidden triples, want 0", hid)
+	}
+}
+
+func TestRange(t *testing.T) {
+	g := HearingGraph(chainMatrix(), 0.1)
+	if got := g.Range(); got != 2 {
+		t.Fatalf("range = %d, want 2 (A-B and B-C)", got)
+	}
+}
+
+func testNetworkData() *dataset.NetworkData {
+	// Three APs probed at two rates: at rate 0 all pairs hear; at rate 6
+	// only the chain hears.
+	mkObs := func(l01, l02 float32) []dataset.Obs {
+		return []dataset.Obs{{RateIdx: 0, Loss: l01}, {RateIdx: 6, Loss: l02}}
+	}
+	link := func(f, to int, l0, l6 float32) *dataset.Link {
+		return &dataset.Link{From: f, To: to, Sets: []dataset.ProbeSet{
+			{T: 300, SNR: 20, Obs: mkObs(l0, l6)},
+		}}
+	}
+	return &dataset.NetworkData{
+		Info: dataset.NetworkInfo{Name: "h", Band: "bg", Env: "indoor", APs: make([]dataset.APInfo, 3)},
+		Links: []*dataset.Link{
+			link(0, 1, 0.1, 0.2), link(1, 0, 0.1, 0.2),
+			link(1, 2, 0.1, 0.2), link(2, 1, 0.1, 0.2),
+			link(0, 2, 0.5, 0.99), link(2, 0, 0.5, 0.99),
+		},
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	nr, err := Analyze(testNetworkData(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.Net != "h" || nr.Env != "indoor" || nr.Size != 3 {
+		t.Fatalf("metadata wrong: %+v", nr)
+	}
+	if len(nr.Rates) != 7 {
+		t.Fatalf("expected a result per band rate, got %d", len(nr.Rates))
+	}
+	// Rate 0: all pairs hear (success .5 avg on the far pair > 0.1) →
+	// 3 relevant triples (one per center), none hidden.
+	r0 := nr.Rates[0]
+	if r0.Relevant != 3 || r0.Hidden != 0 {
+		t.Fatalf("rate 0: relevant=%d hidden=%d, want 3, 0", r0.Relevant, r0.Hidden)
+	}
+	if r0.Range != 3 {
+		t.Fatalf("rate 0 range = %d, want 3", r0.Range)
+	}
+	// Rate 6 (48M): far pair success .01 < t → chain → 1 hidden of 1.
+	r6 := nr.Rates[6]
+	if r6.Relevant != 1 || r6.Hidden != 1 || r6.Fraction != 1 {
+		t.Fatalf("rate 6: %+v", r6)
+	}
+	if r6.Range != 2 {
+		t.Fatalf("rate 6 range = %d, want 2", r6.Range)
+	}
+}
+
+func TestRangeRatio(t *testing.T) {
+	nr, _ := Analyze(testNetworkData(), 0.1)
+	ratio, ok := nr.RangeRatio(6, 0)
+	if !ok {
+		t.Fatal("ratio should exist")
+	}
+	if ratio != 2.0/3.0 {
+		t.Fatalf("range ratio = %v, want 2/3", ratio)
+	}
+	if r, ok := nr.RangeRatio(0, 0); !ok || r != 1 {
+		t.Fatalf("self ratio = %v, %v", r, ok)
+	}
+	if _, ok := nr.RangeRatio(99, 0); ok {
+		t.Fatal("unknown rate should not resolve")
+	}
+}
+
+func TestAnalyzeAll(t *testing.T) {
+	nets := []*dataset.NetworkData{testNetworkData(), testNetworkData()}
+	rs, err := AnalyzeAll(nets, 0.1)
+	if err != nil || len(rs) != 2 {
+		t.Fatalf("AnalyzeAll = %d results, %v", len(rs), err)
+	}
+	bad := testNetworkData()
+	bad.Info.Band = "nope"
+	if _, err := AnalyzeAll([]*dataset.NetworkData{bad}, 0.1); err == nil {
+		t.Fatal("bad band should propagate an error")
+	}
+}
+
+func TestThresholdSweepMonotone(t *testing.T) {
+	// Raising the threshold can only shrink the hearing graph, so range
+	// must be non-increasing in t.
+	m := chainMatrix()
+	prev := HearingGraph(m, 0.01).Range()
+	for _, th := range []float64{0.05, 0.1, 0.25, 0.5, 0.95} {
+		cur := HearingGraph(m, th).Range()
+		if cur > prev {
+			t.Fatalf("range increased from %d to %d at threshold %v", prev, cur, th)
+		}
+		prev = cur
+	}
+}
+
+func BenchmarkCountTriples50(b *testing.B) {
+	m := routing.NewMatrix(50)
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 50; j++ {
+			if i != j && (i+j)%3 != 0 {
+				m[i][j] = 0.8
+			}
+		}
+	}
+	g := HearingGraph(m, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = g.CountTriples()
+	}
+}

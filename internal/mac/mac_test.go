@@ -1,0 +1,104 @@
+package mac
+
+import (
+	"testing"
+
+	"meshlab/internal/rng"
+)
+
+func TestPerfectSenseRarelyCollides(t *testing.T) {
+	res := SimulateTriple(rng.New(1), TripleParams{SenseAB: 1}, 200000)
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered under perfect carrier sense")
+	}
+	// Perfect sense still collides on same-slot starts: with CW=16 the
+	// per-round collision probability is ~1/16, and each collision event
+	// destroys two transmissions while a success is one, so the
+	// transmission-level fraction sits near 2·(1/16)/(1+1/16) ≈ 0.12.
+	if res.CollisionFrac > 0.2 {
+		t.Fatalf("collision fraction %v under perfect sense; same-slot starts alone should stay under ~0.2", res.CollisionFrac)
+	}
+	if res.Utilization < 0.5 {
+		t.Fatalf("utilization %v too low for two saturated serialized senders", res.Utilization)
+	}
+}
+
+func TestHiddenPairCollidesHeavily(t *testing.T) {
+	res := SimulateTriple(rng.New(2), TripleParams{SenseAB: 0}, 200000)
+	if res.CollisionFrac < 0.3 {
+		t.Fatalf("collision fraction %v for fully hidden senders; expected heavy collisions", res.CollisionFrac)
+	}
+	perfect := SimulateTriple(rng.New(3), TripleParams{SenseAB: 1}, 200000)
+	if res.Utilization >= perfect.Utilization {
+		t.Fatalf("hidden utilization %v should be below perfect %v", res.Utilization, perfect.Utilization)
+	}
+}
+
+func TestCollisionMonotoneInSense(t *testing.T) {
+	prev := 2.0
+	for _, sense := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		res := SimulateTriple(rng.New(4), TripleParams{SenseAB: sense}, 150000)
+		if res.CollisionFrac > prev+0.03 {
+			t.Fatalf("collision fraction not (approximately) decreasing in sense: %v at sense %v after %v",
+				res.CollisionFrac, sense, prev)
+		}
+		prev = res.CollisionFrac
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	res := SimulateTriple(rng.New(5), TripleParams{SenseAB: 0.5}, 50000)
+	if res.Slots != 50000 {
+		t.Fatalf("slots %d", res.Slots)
+	}
+	if res.Utilization < 0 || res.Utilization > 1 {
+		t.Fatalf("utilization %v out of range", res.Utilization)
+	}
+	if res.CollisionFrac < 0 || res.CollisionFrac > 1 {
+		t.Fatalf("collision fraction %v out of range", res.CollisionFrac)
+	}
+	if res.Delivered+res.Collided == 0 {
+		t.Fatal("no transmissions completed")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	p := TripleParams{SenseAB: -3}.withDefaults()
+	if p.PacketSlots != 10 || p.MaxBackoff != 16 || p.SenseAB != 0 {
+		t.Fatalf("defaults wrong: %+v", p)
+	}
+	p = TripleParams{SenseAB: 7}.withDefaults()
+	if p.SenseAB != 1 {
+		t.Fatalf("sense not clamped: %v", p.SenseAB)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := SimulateTriple(rng.New(6), TripleParams{SenseAB: 0.3}, 20000)
+	b := SimulateTriple(rng.New(6), TripleParams{SenseAB: 0.3}, 20000)
+	if a != b {
+		t.Fatal("simulation not deterministic under equal seeds")
+	}
+}
+
+func TestHiddenPenalty(t *testing.T) {
+	full := HiddenPenalty(rng.New(7), 0, 150000)
+	none := HiddenPenalty(rng.New(7), 1, 150000)
+	if full < 0.2 {
+		t.Fatalf("fully hidden penalty %v too small", full)
+	}
+	if none > 0.05 {
+		t.Fatalf("perfect-sense penalty %v should be ~0", none)
+	}
+	mid := HiddenPenalty(rng.New(7), 0.5, 150000)
+	if mid <= none || mid >= full {
+		t.Fatalf("penalty at sense 0.5 (%v) should sit between %v and %v", mid, none, full)
+	}
+}
+
+func BenchmarkSimulateTriple(b *testing.B) {
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		_ = SimulateTriple(r, TripleParams{SenseAB: 0.3}, 10000)
+	}
+}

@@ -1,0 +1,145 @@
+// Package mesh assembles a live mesh network from a topology layout and the
+// radio channel model: one radio.Pair per AP pair that is close enough to
+// possibly communicate, addressable as directed channels. It is the
+// substrate the probe scheduler (internal/probe) and the analyses'
+// ground-truth matrices run against.
+package mesh
+
+import (
+	"meshlab/internal/phy"
+	"meshlab/internal/radio"
+	"meshlab/internal/rng"
+	"meshlab/internal/topology"
+)
+
+// BuildOptions configures network assembly.
+type BuildOptions struct {
+	// ParamsFor supplies the radio parameters used for a link given
+	// whether the link is outdoor (both endpoints outdoor). Nil means
+	// radio.DefaultParams for the corresponding environment.
+	ParamsFor func(outdoor bool) radio.Params
+	// PruneBelowSNR drops AP pairs whose best-direction mean reported
+	// SNR is below this many dB; such pairs would never deliver a probe
+	// and would only waste memory and time. Zero means the default of
+	// −10 dB. Use a very negative value (e.g. −1000) to keep all pairs.
+	PruneBelowSNR float64
+}
+
+// LinkPair is one retained AP pair with its two directed channels.
+type LinkPair struct {
+	// I, J are AP indices with I < J.
+	I, J int
+	// Pair holds the forward (I→J) and reverse (J→I) channels.
+	Pair *radio.Pair
+}
+
+// Net is a mesh network with live channel state.
+type Net struct {
+	// Topo is the generated layout.
+	Topo *topology.Network
+	// Band is the probed rate set.
+	Band phy.Band
+	// Pairs lists the retained AP pairs in deterministic (I, J) order.
+	Pairs []LinkPair
+
+	pairIdx map[[2]int]int
+}
+
+// Build creates the channel state for a network. All randomness derives
+// from r, so equal seeds give identical networks.
+func Build(r *rng.Stream, topo *topology.Network, band phy.Band, opts BuildOptions) *Net {
+	paramsFor := opts.ParamsFor
+	if paramsFor == nil {
+		paramsFor = func(outdoor bool) radio.Params {
+			if outdoor {
+				return radio.DefaultParams(radio.Outdoor)
+			}
+			return radio.DefaultParams(radio.Indoor)
+		}
+	}
+	prune := opts.PruneBelowSNR
+	if prune == 0 {
+		prune = -10
+	}
+
+	n := &Net{Topo: topo, Band: band, pairIdx: make(map[[2]int]int)}
+	aps := topo.APs
+	k := 0
+	for i := 0; i < len(aps); i++ {
+		for j := i + 1; j < len(aps); j++ {
+			d := topology.Dist(aps[i], aps[j])
+			outdoor := aps[i].Outdoor && aps[j].Outdoor
+			p := paramsFor(outdoor)
+			// Cheap pre-check before drawing shadowing: even with a
+			// +4σ shadowing draw the pair would be hopeless.
+			if p.MeanSNR(d)+4*p.ShadowStd < prune {
+				k++
+				continue
+			}
+			pair := radio.NewPair(r.SplitN("pair", k), d, p)
+			k++
+			if pair.Fwd.MeanSNR() < prune && pair.Rev.MeanSNR() < prune {
+				continue
+			}
+			n.pairIdx[[2]int{i, j}] = len(n.Pairs)
+			n.Pairs = append(n.Pairs, LinkPair{I: i, J: j, Pair: pair})
+		}
+	}
+	return n
+}
+
+// Size returns the number of APs in the network.
+func (n *Net) Size() int { return len(n.Topo.APs) }
+
+// Channel returns the directed channel from→to, or nil if the pair was
+// pruned, from == to, or an index is out of range.
+func (n *Net) Channel(from, to int) *radio.Channel {
+	if from == to || from < 0 || to < 0 || from >= n.Size() || to >= n.Size() {
+		return nil
+	}
+	i, j := from, to
+	if i > j {
+		i, j = j, i
+	}
+	idx, ok := n.pairIdx[[2]int{i, j}]
+	if !ok {
+		return nil
+	}
+	if from < to {
+		return n.Pairs[idx].Pair.Fwd
+	}
+	return n.Pairs[idx].Pair.Rev
+}
+
+// Advance moves every channel's state forward by dt seconds.
+func (n *Net) Advance(dt float64) {
+	for _, lp := range n.Pairs {
+		lp.Pair.Fwd.Advance(dt)
+		lp.Pair.Rev.Advance(dt)
+	}
+}
+
+// SuccessMatrix returns the instantaneous analytic packet success
+// probability from each AP to each other AP at the given rate. Pruned
+// pairs and the diagonal are 0.
+func (n *Net) SuccessMatrix(rate phy.Rate) [][]float64 {
+	m := make([][]float64, n.Size())
+	for i := range m {
+		m[i] = make([]float64, n.Size())
+	}
+	for _, lp := range n.Pairs {
+		m[lp.I][lp.J] = lp.Pair.Fwd.SuccessProb(rate)
+		m[lp.J][lp.I] = lp.Pair.Rev.SuccessProb(rate)
+	}
+	return m
+}
+
+// MeanSNR returns the long-term mean reported SNR from→to, or −inf-like
+// −1000 if the pair was pruned.
+func (n *Net) MeanSNR(from, to int) float64 {
+	c := n.Channel(from, to)
+	if c == nil {
+		return -1000
+	}
+	return c.MeanSNR()
+}

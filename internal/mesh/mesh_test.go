@@ -1,0 +1,215 @@
+package mesh
+
+import (
+	"testing"
+
+	"meshlab/internal/phy"
+	"meshlab/internal/radio"
+	"meshlab/internal/rng"
+	"meshlab/internal/topology"
+)
+
+func testNet(t testing.TB, seed uint64, size int) *Net {
+	if t != nil {
+		t.Helper()
+	}
+	topo, err := topology.Generate(rng.New(seed), topology.Config{
+		Name: "t", Size: size, Env: topology.EnvIndoor,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(rng.New(seed).Split("mesh"), topo, phy.BandBG, BuildOptions{})
+}
+
+func TestBuildBasic(t *testing.T) {
+	n := testNet(t, 1, 12)
+	if n.Size() != 12 {
+		t.Fatalf("size %d", n.Size())
+	}
+	if len(n.Pairs) == 0 {
+		t.Fatal("no pairs retained")
+	}
+	for _, lp := range n.Pairs {
+		if lp.I >= lp.J {
+			t.Fatalf("pair not normalized: (%d,%d)", lp.I, lp.J)
+		}
+	}
+}
+
+func TestChannelDirections(t *testing.T) {
+	n := testNet(t, 2, 8)
+	lp := n.Pairs[0]
+	fwd := n.Channel(lp.I, lp.J)
+	rev := n.Channel(lp.J, lp.I)
+	if fwd == nil || rev == nil {
+		t.Fatal("retained pair must have both channels")
+	}
+	if fwd == rev {
+		t.Fatal("forward and reverse must be distinct channels")
+	}
+	if fwd != lp.Pair.Fwd || rev != lp.Pair.Rev {
+		t.Fatal("channel orientation mismatch")
+	}
+}
+
+func TestChannelInvalid(t *testing.T) {
+	n := testNet(t, 3, 6)
+	if n.Channel(0, 0) != nil {
+		t.Fatal("self channel should be nil")
+	}
+	if n.Channel(-1, 2) != nil || n.Channel(0, 99) != nil {
+		t.Fatal("out-of-range channel should be nil")
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	a := testNet(t, 5, 15)
+	b := testNet(t, 5, 15)
+	if len(a.Pairs) != len(b.Pairs) {
+		t.Fatalf("pair counts differ: %d vs %d", len(a.Pairs), len(b.Pairs))
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i].Pair.Fwd.MeanSNR() != b.Pairs[i].Pair.Fwd.MeanSNR() {
+			t.Fatalf("pair %d differs", i)
+		}
+	}
+}
+
+func TestPruning(t *testing.T) {
+	// A sparse topology with a huge spread should prune distant pairs.
+	topo, _ := topology.Generate(rng.New(9), topology.Config{
+		Name: "far", Size: 30, Env: topology.EnvIndoor, Spacing: 200,
+	})
+	n := Build(rng.New(9), topo, phy.BandBG, BuildOptions{})
+	max := 30 * 29 / 2
+	if len(n.Pairs) >= max {
+		t.Fatalf("no pairs pruned in a 200 m-spacing network (%d of %d)", len(n.Pairs), max)
+	}
+	// Keeping all pairs must retain every one.
+	all := Build(rng.New(9), topo, phy.BandBG, BuildOptions{PruneBelowSNR: -1000})
+	if len(all.Pairs) != max {
+		t.Fatalf("PruneBelowSNR=-1000 kept %d of %d pairs", len(all.Pairs), max)
+	}
+}
+
+func TestSuccessMatrixShape(t *testing.T) {
+	n := testNet(t, 11, 10)
+	rate, _ := phy.BandBG.RateByName("1M")
+	m := n.SuccessMatrix(rate)
+	if len(m) != 10 {
+		t.Fatalf("matrix dim %d", len(m))
+	}
+	for i := range m {
+		if m[i][i] != 0 {
+			t.Fatal("diagonal must be zero")
+		}
+		for j := range m[i] {
+			if m[i][j] < 0 || m[i][j] > 1 {
+				t.Fatalf("success %v out of range", m[i][j])
+			}
+		}
+	}
+}
+
+func TestSuccessMatrixRateOrdering(t *testing.T) {
+	// At any link, 48M success should not exceed 1M success (midpoints
+	// rise with rate) — checked on the mean over links.
+	n := testNet(t, 13, 12)
+	r1, _ := phy.BandBG.RateByName("1M")
+	r48, _ := phy.BandBG.RateByName("48M")
+	m1 := n.SuccessMatrix(r1)
+	m48 := n.SuccessMatrix(r48)
+	var s1, s48 float64
+	for i := range m1 {
+		for j := range m1[i] {
+			s1 += m1[i][j]
+			s48 += m48[i][j]
+		}
+	}
+	if s48 >= s1 {
+		t.Fatalf("aggregate 48M success %v >= 1M success %v", s48, s1)
+	}
+}
+
+func TestAdvanceChangesState(t *testing.T) {
+	n := testNet(t, 17, 8)
+	c := n.Pairs[0].Pair.Fwd
+	before := c.EffectiveSNR()
+	n.Advance(300)
+	if c.EffectiveSNR() == before {
+		t.Fatal("Advance did not alter channel state")
+	}
+}
+
+func TestMeanSNRAccessor(t *testing.T) {
+	n := testNet(t, 19, 8)
+	lp := n.Pairs[0]
+	if n.MeanSNR(lp.I, lp.J) != lp.Pair.Fwd.MeanSNR() {
+		t.Fatal("MeanSNR mismatch")
+	}
+	if n.MeanSNR(0, 0) != -1000 {
+		t.Fatal("self MeanSNR should be -1000")
+	}
+}
+
+func TestCustomParams(t *testing.T) {
+	topo, _ := topology.Generate(rng.New(23), topology.Config{
+		Name: "c", Size: 6, Env: topology.EnvIndoor,
+	})
+	calls := 0
+	n := Build(rng.New(23), topo, phy.BandBG, BuildOptions{
+		ParamsFor: func(outdoor bool) radio.Params {
+			calls++
+			p := radio.DefaultParams(radio.Indoor)
+			p.DisableOffsets = true
+			return p
+		},
+	})
+	if calls == 0 {
+		t.Fatal("ParamsFor never called")
+	}
+	for _, lp := range n.Pairs {
+		if lp.Pair.Fwd.MeanEffectiveSNR() != lp.Pair.Fwd.MeanSNR() {
+			t.Fatal("custom params not applied")
+		}
+	}
+}
+
+func TestOutdoorLinksUseOutdoorParams(t *testing.T) {
+	topo, _ := topology.Generate(rng.New(29), topology.Config{
+		Name: "m", Size: 20, Env: topology.EnvMixed,
+	})
+	sawOutdoor, sawIndoor := false, false
+	Build(rng.New(29), topo, phy.BandBG, BuildOptions{
+		ParamsFor: func(outdoor bool) radio.Params {
+			if outdoor {
+				sawOutdoor = true
+				return radio.DefaultParams(radio.Outdoor)
+			}
+			sawIndoor = true
+			return radio.DefaultParams(radio.Indoor)
+		},
+	})
+	if !sawOutdoor || !sawIndoor {
+		t.Fatalf("mixed network link classes: outdoor=%v indoor=%v", sawOutdoor, sawIndoor)
+	}
+}
+
+func BenchmarkBuild50(b *testing.B) {
+	topo, _ := topology.Generate(rng.New(1), topology.Config{
+		Name: "b", Size: 50, Env: topology.EnvIndoor,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Build(rng.New(uint64(i)), topo, phy.BandBG, BuildOptions{})
+	}
+}
+
+func BenchmarkAdvanceNet50(b *testing.B) {
+	n := testNet(b, 1, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Advance(300)
+	}
+}

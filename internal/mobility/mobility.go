@@ -1,0 +1,191 @@
+// Package mobility implements the thesis's §7 client-mobility analysis
+// over aggregate association logs: how many APs clients visit, how long
+// they stay connected, and the prevalence and persistence metrics of
+// Balazinska & Castro as adapted by the thesis.
+//
+//   - Prevalence of an AP for a client: the fraction of the client's
+//     connected time spent at that AP. One value per (client, AP) pair
+//     with non-zero time.
+//   - Persistence: the length of each maximal run of consecutive time a
+//     client spends at one AP before switching to a different AP. One
+//     value per run.
+//
+// Following §7's methodology, a client that disconnects for more than five
+// minutes is treated as a new client from then on.
+package mobility
+
+import (
+	"sort"
+
+	"meshlab/internal/dataset"
+)
+
+// DefaultGap is the disconnect gap (seconds) that splits a client into two
+// observation sessions, matching the thesis's five-minute rule and the
+// 5-minute granularity of the underlying logs.
+const DefaultGap int32 = 300
+
+// Sessions splits a client's association history into sessions at gaps
+// longer than gap seconds. Each returned slice is non-empty, ordered, and
+// has no internal gap exceeding gap.
+func Sessions(assocs []dataset.Assoc, gap int32) [][]dataset.Assoc {
+	if len(assocs) == 0 {
+		return nil
+	}
+	var out [][]dataset.Assoc
+	start := 0
+	for i := 1; i < len(assocs); i++ {
+		if assocs[i].Start-assocs[i-1].End > gap {
+			out = append(out, assocs[start:i])
+			start = i
+		}
+	}
+	return append(out, assocs[start:])
+}
+
+// APsVisited returns the number of distinct APs in a session.
+func APsVisited(assocs []dataset.Assoc) int {
+	seen := make(map[int32]bool, 4)
+	for _, a := range assocs {
+		seen[a.AP] = true
+	}
+	return len(seen)
+}
+
+// ConnectionLength returns the session's span in seconds, from first
+// association to last disassociation (short internal gaps count as
+// connected, which is all the 5-minute logs can resolve).
+func ConnectionLength(assocs []dataset.Assoc) float64 {
+	if len(assocs) == 0 {
+		return 0
+	}
+	return float64(assocs[len(assocs)-1].End - assocs[0].Start)
+}
+
+// Prevalences returns the fraction of the session's connected time spent
+// at each AP. Values sum to 1 over the session's APs.
+func Prevalences(assocs []dataset.Assoc) map[int32]float64 {
+	total := 0.0
+	byAP := make(map[int32]float64, 4)
+	for _, a := range assocs {
+		d := a.Duration()
+		byAP[a.AP] += d
+		total += d
+	}
+	if total <= 0 {
+		return nil
+	}
+	for ap := range byAP {
+		byAP[ap] /= total
+	}
+	return byAP
+}
+
+// Persistences returns the durations (seconds) of each maximal same-AP
+// run in the session. Consecutive associations with the same AP separated
+// by gaps the session tolerates are one run; a run ends when the client
+// appears at a different AP. The final run's duration is included (it is
+// right-censored by the snapshot, as in the thesis's data).
+func Persistences(assocs []dataset.Assoc) []float64 {
+	if len(assocs) == 0 {
+		return nil
+	}
+	var out []float64
+	runAP := assocs[0].AP
+	runDur := assocs[0].Duration()
+	for _, a := range assocs[1:] {
+		if a.AP == runAP {
+			runDur += a.Duration()
+			continue
+		}
+		out = append(out, runDur)
+		runAP, runDur = a.AP, a.Duration()
+	}
+	return append(out, runDur)
+}
+
+// ClientPoint is one point of Figure 7.5: a client-session's median
+// persistence against its maximum prevalence.
+type ClientPoint struct {
+	Env               string
+	MedianPersistence float64 // seconds
+	MaxPrevalence     float64
+}
+
+// Analysis aggregates §7's metrics over a set of client datasets.
+type Analysis struct {
+	// APVisits counts sessions by number of distinct APs visited
+	// (Figure 7.1).
+	APVisits map[int]int
+	// ConnLengths holds each session's connection length in seconds
+	// (Figure 7.2).
+	ConnLengths []float64
+	// PrevalenceByEnv and PersistenceByEnv hold the non-zero prevalence
+	// values and the persistence values (seconds), keyed by environment
+	// ("indoor"/"outdoor"; mixed networks are excluded, as in the
+	// thesis).
+	PrevalenceByEnv  map[string][]float64
+	PersistenceByEnv map[string][]float64
+	// Points holds Figure 7.5's per-session scatter.
+	Points []ClientPoint
+	// Sessions is the total session count.
+	Sessions int
+}
+
+// Analyze computes the full §7 aggregate over client data, splitting
+// clients into sessions at gaps longer than gap seconds (use DefaultGap
+// for the thesis's rule).
+func Analyze(cds []*dataset.ClientData, gap int32) *Analysis {
+	a := &Analysis{
+		APVisits:         make(map[int]int),
+		PrevalenceByEnv:  make(map[string][]float64),
+		PersistenceByEnv: make(map[string][]float64),
+	}
+	for _, cd := range cds {
+		env := cd.Env
+		byEnv := env == "indoor" || env == "outdoor"
+		for _, cl := range cd.Clients {
+			for _, sess := range Sessions(cl.Assocs, gap) {
+				a.Sessions++
+				a.APVisits[APsVisited(sess)]++
+				a.ConnLengths = append(a.ConnLengths, ConnectionLength(sess))
+
+				prevs := Prevalences(sess)
+				pers := Persistences(sess)
+				if byEnv {
+					for _, p := range prevs {
+						a.PrevalenceByEnv[env] = append(a.PrevalenceByEnv[env], p)
+					}
+					a.PersistenceByEnv[env] = append(a.PersistenceByEnv[env], pers...)
+				}
+
+				maxPrev := 0.0
+				for _, p := range prevs {
+					if p > maxPrev {
+						maxPrev = p
+					}
+				}
+				a.Points = append(a.Points, ClientPoint{
+					Env:               env,
+					MedianPersistence: median(pers),
+					MaxPrevalence:     maxPrev,
+				})
+			}
+		}
+	}
+	return a
+}
+
+// median returns the median of xs without modifying it (0 for empty).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

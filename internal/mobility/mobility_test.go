@@ -1,0 +1,246 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"meshlab/internal/clients"
+	"meshlab/internal/dataset"
+	"meshlab/internal/rng"
+	"meshlab/internal/stats"
+	"meshlab/internal/topology"
+)
+
+func asc(ap int32, s, e int32) dataset.Assoc { return dataset.Assoc{AP: ap, Start: s, End: e} }
+
+func TestSessionsSplit(t *testing.T) {
+	assocs := []dataset.Assoc{
+		asc(0, 0, 100),
+		asc(1, 150, 300),  // 50 s gap: same session
+		asc(0, 700, 1000), // 400 s gap: new session
+	}
+	sess := Sessions(assocs, 300)
+	if len(sess) != 2 {
+		t.Fatalf("got %d sessions, want 2", len(sess))
+	}
+	if len(sess[0]) != 2 || len(sess[1]) != 1 {
+		t.Fatalf("session sizes %d, %d", len(sess[0]), len(sess[1]))
+	}
+	if Sessions(nil, 300) != nil {
+		t.Fatal("empty history should produce no sessions")
+	}
+}
+
+func TestSessionsNoGap(t *testing.T) {
+	assocs := []dataset.Assoc{asc(0, 0, 100), asc(1, 100, 200)}
+	if got := Sessions(assocs, 300); len(got) != 1 {
+		t.Fatalf("contiguous history split into %d sessions", len(got))
+	}
+}
+
+func TestAPsVisited(t *testing.T) {
+	assocs := []dataset.Assoc{asc(0, 0, 10), asc(1, 10, 20), asc(0, 20, 30)}
+	if got := APsVisited(assocs); got != 2 {
+		t.Fatalf("APsVisited = %d, want 2", got)
+	}
+}
+
+func TestConnectionLength(t *testing.T) {
+	assocs := []dataset.Assoc{asc(0, 100, 200), asc(1, 250, 400)}
+	if got := ConnectionLength(assocs); got != 300 {
+		t.Fatalf("ConnectionLength = %v, want 300 (span, gaps included)", got)
+	}
+	if ConnectionLength(nil) != 0 {
+		t.Fatal("empty should be 0")
+	}
+}
+
+func TestPrevalences(t *testing.T) {
+	assocs := []dataset.Assoc{asc(0, 0, 300), asc(1, 300, 400)}
+	p := Prevalences(assocs)
+	if math.Abs(p[0]-0.75) > 1e-12 || math.Abs(p[1]-0.25) > 1e-12 {
+		t.Fatalf("prevalences = %v", p)
+	}
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("prevalences sum to %v", sum)
+	}
+	if Prevalences(nil) != nil {
+		t.Fatal("empty should be nil")
+	}
+}
+
+func TestPersistences(t *testing.T) {
+	// 0 for 100 s, 1 for 50 s, back to 0 for 30 s: three runs.
+	assocs := []dataset.Assoc{asc(0, 0, 100), asc(1, 100, 150), asc(0, 150, 180)}
+	got := Persistences(assocs)
+	want := []float64{100, 50, 30}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPersistencesMergesSameAPRuns(t *testing.T) {
+	// Same AP across a tolerated gap is one run.
+	assocs := []dataset.Assoc{asc(0, 0, 100), asc(0, 200, 250), asc(1, 250, 260)}
+	got := Persistences(assocs)
+	if len(got) != 2 || got[0] != 150 {
+		t.Fatalf("got %v, want [150 10]", got)
+	}
+}
+
+func TestPersistencesSingleRun(t *testing.T) {
+	got := Persistences([]dataset.Assoc{asc(3, 0, 500)})
+	if len(got) != 1 || got[0] != 500 {
+		t.Fatalf("got %v", got)
+	}
+	if Persistences(nil) != nil {
+		t.Fatal("empty should be nil")
+	}
+}
+
+func TestMedianHelper(t *testing.T) {
+	if median(nil) != 0 {
+		t.Fatal("median of empty should be 0")
+	}
+	if median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median wrong")
+	}
+	if median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Fatal("even median wrong")
+	}
+}
+
+func handData() []*dataset.ClientData {
+	return []*dataset.ClientData{
+		{
+			Network: "in0", Env: "indoor", Duration: 1000, NumAPs: 3,
+			Clients: []dataset.ClientLog{
+				{ID: 0, Assocs: []dataset.Assoc{asc(0, 0, 1000)}},
+				{ID: 1, Assocs: []dataset.Assoc{asc(0, 0, 100), asc(1, 100, 200), asc(0, 200, 600)}},
+			},
+		},
+		{
+			Network: "out0", Env: "outdoor", Duration: 1000, NumAPs: 2,
+			Clients: []dataset.ClientLog{
+				{ID: 0, Assocs: []dataset.Assoc{asc(1, 0, 900)}},
+			},
+		},
+		{
+			Network: "mix0", Env: "mixed", Duration: 1000, NumAPs: 2,
+			Clients: []dataset.ClientLog{
+				{ID: 0, Assocs: []dataset.Assoc{asc(0, 0, 500)}},
+			},
+		},
+	}
+}
+
+func TestAnalyzeAggregates(t *testing.T) {
+	a := Analyze(handData(), DefaultGap)
+	if a.Sessions != 4 {
+		t.Fatalf("sessions = %d, want 4", a.Sessions)
+	}
+	if a.APVisits[1] != 3 || a.APVisits[2] != 1 {
+		t.Fatalf("APVisits = %v", a.APVisits)
+	}
+	if len(a.ConnLengths) != 4 {
+		t.Fatalf("conn lengths = %v", a.ConnLengths)
+	}
+	// Mixed networks excluded from env splits.
+	if len(a.PrevalenceByEnv["indoor"]) != 3 { // client0: 1 value; client1: 2 values
+		t.Fatalf("indoor prevalences = %v", a.PrevalenceByEnv["indoor"])
+	}
+	if len(a.PrevalenceByEnv["outdoor"]) != 1 {
+		t.Fatalf("outdoor prevalences = %v", a.PrevalenceByEnv["outdoor"])
+	}
+	if _, ok := a.PrevalenceByEnv["mixed"]; ok {
+		t.Fatal("mixed networks must be excluded from env splits")
+	}
+	// Persistence: client1 has runs 100, 100, 400 → 3 values; client0 1.
+	if len(a.PersistenceByEnv["indoor"]) != 4 {
+		t.Fatalf("indoor persistences = %v", a.PersistenceByEnv["indoor"])
+	}
+	// Figure 7.5 points: every session contributes one.
+	if len(a.Points) != 4 {
+		t.Fatalf("points = %d", len(a.Points))
+	}
+	for _, p := range a.Points {
+		if p.MaxPrevalence <= 0 || p.MaxPrevalence > 1 {
+			t.Fatalf("bad max prevalence %v", p.MaxPrevalence)
+		}
+	}
+}
+
+func TestAnalyzeOnSimulatedFleet(t *testing.T) {
+	// End-to-end: simulate clients over a small fleet and check the §7
+	// headline shapes.
+	root := rng.New(777)
+	fleet, err := topology.GenerateFleet(root, topology.FleetConfig{
+		NumNetworks: 10, NumIndoor: 6, NumOutdoor: 4, NumMixed: 0,
+		NumN: 0, NumBoth: 0, MinSize: 5, MaxSize: 30,
+		SizeLogMean: 2.2, SizeLogStd: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cds := clients.SimulateFleet(root.Split("clients"), fleet, clients.Config{})
+	a := Analyze(cds, DefaultGap)
+
+	// Figure 7.1: sessions visiting exactly one AP dominate.
+	one := a.APVisits[1]
+	total := 0
+	for _, c := range a.APVisits {
+		total += c
+	}
+	if one*2 < total {
+		t.Fatalf("one-AP sessions %d of %d: should be the majority", one, total)
+	}
+
+	// Figure 7.2: a large fraction of sessions last the full snapshot.
+	full := 0
+	for _, l := range a.ConnLengths {
+		if l >= 39600*0.95 {
+			full++
+		}
+	}
+	if f := float64(full) / float64(len(a.ConnLengths)); f < 0.3 {
+		t.Fatalf("full-duration session fraction %v too low", f)
+	}
+
+	// Figures 7.3/7.4: outdoor prevalence and persistence exceed indoor
+	// in the median.
+	inPrev := stats.Median(a.PrevalenceByEnv["indoor"])
+	outPrev := stats.Median(a.PrevalenceByEnv["outdoor"])
+	if inPrev >= outPrev {
+		t.Fatalf("indoor median prevalence %v should be below outdoor %v", inPrev, outPrev)
+	}
+	inPers := stats.Median(a.PersistenceByEnv["indoor"])
+	outPers := stats.Median(a.PersistenceByEnv["outdoor"])
+	if inPers >= outPers {
+		t.Fatalf("indoor median persistence %v s should be below outdoor %v s", inPers, outPers)
+	}
+	// Thesis: indoor persistence is seconds-scale (median 6.25 s), far
+	// below the 5-minute log granularity.
+	if inPers > 120 {
+		t.Fatalf("indoor median persistence %v s; expected seconds-scale flapping", inPers)
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	root := rng.New(1)
+	topo, _ := topology.Generate(root, topology.Config{Name: "b", Size: 30, Env: topology.EnvIndoor})
+	cd := clients.Simulate(root.Split("c"), topo, clients.Config{})
+	cds := []*dataset.ClientData{cd}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Analyze(cds, DefaultGap)
+	}
+}

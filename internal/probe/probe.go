@@ -1,0 +1,180 @@
+// Package probe implements the Meraki-style inter-AP probing machinery
+// (§3.1 of the thesis): every AP broadcasts probes at each bit rate every
+// 40 seconds; nodes report, every 300 seconds, the per-rate mean loss over
+// the past 800-second sliding window together with the SNR of the window's
+// received probes. A collection run replays this protocol over a mesh.Net
+// for a configured duration and produces the dataset.NetworkData the
+// analyses consume.
+//
+// For efficiency the ~20 probes per rate per window are not individually
+// Bernoulli-sampled; the received count is drawn from the normal
+// approximation to the binomial around the channel's analytic success
+// probability, which preserves both the mean and the 1/20-quantized
+// sampling noise of real loss reports.
+package probe
+
+import (
+	"math"
+
+	"meshlab/internal/dataset"
+	"meshlab/internal/mesh"
+	"meshlab/internal/radio"
+	"meshlab/internal/rng"
+)
+
+// Config controls a probe collection run. Zero fields take the thesis's
+// defaults.
+type Config struct {
+	// Duration is the collection length in seconds (default 86400: the
+	// thesis's 24-hour probe snapshot).
+	Duration float64
+	// ReportInterval is the seconds between probe-set reports (default
+	// 300, the Meraki reporting rate).
+	ReportInterval float64
+	// ProbesPerRate is the number of probes aggregated per rate per
+	// window (default 20 ≈ 800 s window / 40 s probe period).
+	ProbesPerRate int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Duration <= 0 {
+		c.Duration = 86400
+	}
+	if c.ReportInterval <= 0 {
+		c.ReportInterval = 300
+	}
+	if c.ProbesPerRate <= 0 {
+		c.ProbesPerRate = 20
+	}
+	return c
+}
+
+// NetworkInfo derives the dataset description of a live mesh network.
+func NetworkInfo(net *mesh.Net) dataset.NetworkInfo {
+	info := dataset.NetworkInfo{
+		Name:    net.Topo.Name,
+		Band:    net.Band.Name,
+		Env:     net.Topo.Env.String(),
+		Spacing: net.Topo.Spacing,
+	}
+	for _, ap := range net.Topo.APs {
+		info.APs = append(info.APs, dataset.APInfo{
+			Name: ap.Name, X: ap.X, Y: ap.Y, Outdoor: ap.Outdoor,
+		})
+	}
+	return info
+}
+
+// Collect runs the probe protocol over net and returns the collected
+// network data. All sampling noise derives from r, so runs are
+// reproducible given the same net state. Directed links that never deliver
+// a probe are omitted, matching the real dataset where unheard neighbors
+// simply produce no entries.
+func Collect(r *rng.Stream, net *mesh.Net, cfg Config) *dataset.NetworkData {
+	cfg = cfg.withDefaults()
+	cr := r.Split("collect")
+
+	nd := &dataset.NetworkData{Info: NetworkInfo(net)}
+	// links[d] accumulates the probe sets of directed link d; directed
+	// link index = 2*pairIdx + {0: fwd, 1: rev}.
+	links := make([]*dataset.Link, 2*len(net.Pairs))
+
+	steps := int(cfg.Duration / cfg.ReportInterval)
+	for step := 1; step <= steps; step++ {
+		t := int32(float64(step) * cfg.ReportInterval)
+		net.Advance(cfg.ReportInterval)
+		for pi, lp := range net.Pairs {
+			for dir := 0; dir < 2; dir++ {
+				ch := lp.Pair.Fwd
+				from, to := lp.I, lp.J
+				if dir == 1 {
+					ch = lp.Pair.Rev
+					from, to = lp.J, lp.I
+				}
+				ps, ok := sampleProbeSet(cr, ch, net, t, cfg)
+				if !ok {
+					continue
+				}
+				di := 2*pi + dir
+				if links[di] == nil {
+					links[di] = &dataset.Link{From: from, To: to}
+				}
+				links[di].Sets = append(links[di].Sets, ps)
+			}
+		}
+	}
+	for _, l := range links {
+		if l != nil {
+			nd.Links = append(nd.Links, l)
+		}
+	}
+	return nd
+}
+
+// sampleProbeSet produces one window's report for a directed channel, or
+// ok=false when no probe at any rate was received (the neighbor was not
+// heard this window).
+func sampleProbeSet(r *rng.Stream, ch *radio.Channel, net *mesh.Net, t int32, cfg Config) (dataset.ProbeSet, bool) {
+	n := cfg.ProbesPerRate
+	eff := ch.EffectiveSNR()
+	params := ch.Params()
+
+	ps := dataset.ProbeSet{T: t}
+	received := 0
+	for ri, rate := range net.Band.Rates {
+		p := radio.FadedSuccess(rate, eff, params.FadeStd)
+		k := binomialApprox(r, n, p)
+		received += k
+		ps.Obs = append(ps.Obs, dataset.Obs{
+			RateIdx: uint8(ri),
+			Loss:    float32(1 - float64(k)/float64(n)),
+		})
+	}
+	if received == 0 {
+		return dataset.ProbeSet{}, false
+	}
+
+	// Median reported SNR over the window's received probes: the sample
+	// median of ~n noisy readings around the slow link SNR. Its sampling
+	// error shrinks like 1/sqrt(n).
+	snr := ch.MeanSNR() + ch.SlowDeviation() +
+		r.NormFloat64()*params.MeasNoise/math.Sqrt(float64(received)+1)
+	ps.SNR = int16(math.Round(snr))
+
+	// Within-window SNR standard deviation (Figure 3.1's quantity):
+	// per-reading measurement noise plus the AR innovation accumulated
+	// across the window's probes, scaled by a sampled chi-like jitter.
+	// A small fraction of windows straddle an abrupt channel shift and
+	// show a heavier deviation, giving the CDF its >5 dB tail.
+	innov := params.ARSigma * math.Sqrt(1-math.Exp(-2*40/params.ARTau))
+	base := math.Sqrt(params.MeasNoise*params.MeasNoise + innov*innov*3)
+	jitter := math.Abs(1 + 0.3*r.NormFloat64())
+	std := base * jitter
+	if r.Bool(0.04) {
+		std += 2 * r.ExpFloat64()
+	}
+	ps.SNRStd = float32(std)
+	return ps, true
+}
+
+// binomialApprox draws from Binomial(n, p) via the normal approximation,
+// clamped to [0, n]. For the ~20-trial windows probes use, the
+// approximation error is far below the channel model's own uncertainty.
+func binomialApprox(r *rng.Stream, n int, p float64) int {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	mean := float64(n) * p
+	sd := math.Sqrt(float64(n) * p * (1 - p))
+	k := int(math.Round(mean + sd*r.NormFloat64()))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}

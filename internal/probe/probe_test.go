@@ -1,0 +1,223 @@
+package probe
+
+import (
+	"math"
+	"testing"
+
+	"meshlab/internal/dataset"
+	"meshlab/internal/mesh"
+	"meshlab/internal/phy"
+	"meshlab/internal/rng"
+	"meshlab/internal/stats"
+	"meshlab/internal/topology"
+)
+
+func buildNet(t testing.TB, seed uint64, size int, env topology.EnvClass) *mesh.Net {
+	if t != nil {
+		t.Helper()
+	}
+	topo, err := topology.Generate(rng.New(seed), topology.Config{
+		Name: "p", Size: size, Env: env,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mesh.Build(rng.New(seed).Split("mesh"), topo, phy.BandBG, mesh.BuildOptions{})
+}
+
+func collect(t testing.TB, seed uint64, size int, cfg Config) *dataset.NetworkData {
+	net := buildNet(t, seed, size, topology.EnvIndoor)
+	return Collect(rng.New(seed).Split("probes"), net, cfg)
+}
+
+func TestCollectBasic(t *testing.T) {
+	nd := collect(t, 1, 10, Config{Duration: 3600, ReportInterval: 300})
+	if len(nd.Links) == 0 {
+		t.Fatal("no links collected")
+	}
+	if nd.Info.Band != "bg" || len(nd.Info.APs) != 10 {
+		t.Fatalf("bad info: %+v", nd.Info)
+	}
+	for _, l := range nd.Links {
+		if len(l.Sets) == 0 {
+			t.Fatal("link with no probe sets should be omitted")
+		}
+		if len(l.Sets) > 12 {
+			t.Fatalf("link has %d sets, more than 3600/300", len(l.Sets))
+		}
+		prev := int32(0)
+		for _, ps := range l.Sets {
+			if ps.T <= prev {
+				t.Fatal("probe sets not strictly ordered in time")
+			}
+			prev = ps.T
+			if len(ps.Obs) != len(phy.BandBG.Rates) {
+				t.Fatalf("probe set has %d observations, want %d", len(ps.Obs), len(phy.BandBG.Rates))
+			}
+			for _, o := range ps.Obs {
+				if o.Loss < 0 || o.Loss > 1 {
+					t.Fatalf("loss %v out of range", o.Loss)
+				}
+			}
+		}
+	}
+}
+
+func TestCollectValidates(t *testing.T) {
+	nd := collect(t, 2, 8, Config{Duration: 1800, ReportInterval: 300})
+	f := &dataset.Fleet{Networks: []*dataset.NetworkData{nd}}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectDeterminism(t *testing.T) {
+	a := collect(t, 3, 8, Config{Duration: 1800, ReportInterval: 300})
+	b := collect(t, 3, 8, Config{Duration: 1800, ReportInterval: 300})
+	if len(a.Links) != len(b.Links) {
+		t.Fatalf("link counts differ: %d vs %d", len(a.Links), len(b.Links))
+	}
+	for i := range a.Links {
+		if len(a.Links[i].Sets) != len(b.Links[i].Sets) {
+			t.Fatalf("link %d set counts differ", i)
+		}
+		for j := range a.Links[i].Sets {
+			x, y := a.Links[i].Sets[j], b.Links[i].Sets[j]
+			if x.SNR != y.SNR || x.T != y.T {
+				t.Fatalf("link %d set %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestLossQuantization(t *testing.T) {
+	nd := collect(t, 4, 8, Config{Duration: 1800, ReportInterval: 300, ProbesPerRate: 20})
+	for _, l := range nd.Links {
+		for _, ps := range l.Sets {
+			for _, o := range ps.Obs {
+				scaled := float64(o.Loss) * 20
+				if math.Abs(scaled-math.Round(scaled)) > 1e-5 {
+					t.Fatalf("loss %v is not a multiple of 1/20", o.Loss)
+				}
+			}
+		}
+	}
+}
+
+func TestLossTracksSNR(t *testing.T) {
+	// High-SNR links should lose far less at 1M than low-SNR links at
+	// 48M. Aggregate over the collection.
+	nd := collect(t, 5, 12, Config{Duration: 7200, ReportInterval: 300})
+	i1 := phy.BandBG.RateIndex("1M")
+	i48 := phy.BandBG.RateIndex("48M")
+	var l1, l48 []float64
+	for _, l := range nd.Links {
+		for _, ps := range l.Sets {
+			for _, o := range ps.Obs {
+				switch int(o.RateIdx) {
+				case i1:
+					l1 = append(l1, float64(o.Loss))
+				case i48:
+					l48 = append(l48, float64(o.Loss))
+				}
+			}
+		}
+	}
+	if stats.Mean(l48) <= stats.Mean(l1) {
+		t.Fatalf("mean 48M loss %v should exceed mean 1M loss %v", stats.Mean(l48), stats.Mean(l1))
+	}
+}
+
+func TestSNRPlausible(t *testing.T) {
+	nd := collect(t, 6, 10, Config{Duration: 3600, ReportInterval: 300})
+	for _, l := range nd.Links {
+		for _, ps := range l.Sets {
+			if ps.SNR < -20 || ps.SNR > 90 {
+				t.Fatalf("implausible SNR %d", ps.SNR)
+			}
+			if ps.SNRStd < 0 {
+				t.Fatalf("negative SNR std %v", ps.SNRStd)
+			}
+		}
+	}
+}
+
+func TestSNRStdMostlyUnder5(t *testing.T) {
+	// Figure 3.1's headline: intra-probe-set SNR std < 5 dB ≈ 97.5% of
+	// the time.
+	nd := collect(t, 7, 15, Config{Duration: 14400, ReportInterval: 300})
+	var stds []float64
+	for _, l := range nd.Links {
+		for _, ps := range l.Sets {
+			stds = append(stds, float64(ps.SNRStd))
+		}
+	}
+	if len(stds) < 100 {
+		t.Fatalf("too few probe sets (%d) to assess", len(stds))
+	}
+	frac := stats.FractionAtMost(stds, 5)
+	if frac < 0.93 || frac == 1 {
+		t.Fatalf("fraction of probe sets with SNR std <= 5 dB = %v, want ≈0.975 with a tail", frac)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Duration != 86400 || cfg.ReportInterval != 300 || cfg.ProbesPerRate != 20 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestBinomialApprox(t *testing.T) {
+	r := rng.New(8)
+	if binomialApprox(r, 20, 0) != 0 {
+		t.Fatal("p=0 must give 0")
+	}
+	if binomialApprox(r, 20, 1) != 20 {
+		t.Fatal("p=1 must give 20")
+	}
+	var sum float64
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		k := binomialApprox(r, 20, 0.3)
+		if k < 0 || k > 20 {
+			t.Fatalf("k=%d out of range", k)
+		}
+		sum += float64(k)
+	}
+	if mean := sum / trials; math.Abs(mean-6) > 0.15 {
+		t.Fatalf("binomial mean %v, want ≈6", mean)
+	}
+}
+
+func TestNetworkInfoAPs(t *testing.T) {
+	net := buildNet(t, 9, 5, topology.EnvMixed)
+	info := NetworkInfo(net)
+	if info.Env != "mixed" || len(info.APs) != 5 {
+		t.Fatalf("info = %+v", info)
+	}
+	for i, ap := range info.APs {
+		if ap.Name != net.Topo.APs[i].Name {
+			t.Fatal("AP names not preserved")
+		}
+	}
+}
+
+func TestFarLinksOmitted(t *testing.T) {
+	// Huge spacing: most pairs should never produce probe sets.
+	topo, _ := topology.Generate(rng.New(10), topology.Config{
+		Name: "far", Size: 12, Env: topology.EnvIndoor, Spacing: 250,
+	})
+	net := mesh.Build(rng.New(10).Split("mesh"), topo, phy.BandBG, mesh.BuildOptions{})
+	nd := Collect(rng.New(10).Split("probes"), net, Config{Duration: 1800, ReportInterval: 300})
+	if len(nd.Links) >= 12*11 {
+		t.Fatal("expected far links to be omitted")
+	}
+}
+
+func BenchmarkCollect20APsOneHour(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net := buildNet(b, uint64(i), 20, topology.EnvIndoor)
+		_ = Collect(rng.New(uint64(i)), net, Config{Duration: 3600, ReportInterval: 300})
+	}
+}

@@ -1,0 +1,343 @@
+// Package routing implements the thesis's §5 analysis: traditional
+// shortest-path routing under the ETX metric versus an idealized
+// opportunistic routing protocol (ExOR/MORE without coordination
+// overhead), compared by the expected number of transmissions needed to
+// move one packet between each AP pair.
+//
+// Two ETX variants are analyzed, as in §5.1:
+//
+//   - ETX1 assumes a perfect ACK channel: link cost 1/P(s→d).
+//   - ETX2 charges the reverse direction too: 1/(P(s→d)·P(d→s)), the
+//     metric of the original ETX paper.
+//
+// The idealized opportunistic cost ("ExOR cost") follows §5.1's recursion:
+// the source broadcasts; among the neighbors closer to the destination
+// (under the ETX metric), the one closest to the destination that received
+// the packet forwards it. With r(n) the probability that n received the
+// packet and no node closer than n did, and r(s) the probability that no
+// closer node received it at all:
+//
+//	ExOR(s→d) = (1 + Σ_{n∈C} r(n)·ExOR(n→d)) / (1 − r(s))
+package routing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"meshlab/internal/dataset"
+)
+
+// Matrix is a dense directed packet-success-probability matrix: m[i][j] is
+// the probability a packet from i is received by j.
+type Matrix [][]float64
+
+// NewMatrix allocates an n×n zero matrix.
+func NewMatrix(n int) Matrix {
+	m := make(Matrix, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	return m
+}
+
+// Size returns the node count.
+func (m Matrix) Size() int { return len(m) }
+
+// SuccessMatrices derives one success matrix per rate index from a
+// network's probe data: success = 1 − mean loss over the link's probe
+// sets. Directed links with no probe sets stay at 0.
+func SuccessMatrices(nd *dataset.NetworkData) (map[int]Matrix, error) {
+	band, err := nd.Band()
+	if err != nil {
+		return nil, err
+	}
+	n := nd.NumAPs()
+	out := make(map[int]Matrix, len(band.Rates))
+	for ri := range band.Rates {
+		out[ri] = NewMatrix(n)
+	}
+	for _, l := range nd.Links {
+		if l.From < 0 || l.From >= n || l.To < 0 || l.To >= n {
+			return nil, fmt.Errorf("routing: link %d->%d out of range", l.From, l.To)
+		}
+		sum := make([]float64, len(band.Rates))
+		cnt := make([]int, len(band.Rates))
+		for _, ps := range l.Sets {
+			for _, o := range ps.Obs {
+				sum[o.RateIdx] += 1 - float64(o.Loss)
+				cnt[o.RateIdx]++
+			}
+		}
+		for ri := range band.Rates {
+			if cnt[ri] > 0 {
+				out[ri][l.From][l.To] = sum[ri] / float64(cnt[ri])
+			}
+		}
+	}
+	return out, nil
+}
+
+// Variant selects the ETX flavor.
+type Variant int
+
+const (
+	// ETX1 assumes a perfect ACK channel (forward probability only).
+	ETX1 Variant = iota
+	// ETX2 includes the reverse delivery probability, as in the
+	// original ETX paper.
+	ETX2
+)
+
+// String returns "etx1" or "etx2".
+func (v Variant) String() string {
+	if v == ETX2 {
+		return "etx2"
+	}
+	return "etx1"
+}
+
+// LinkCost returns the expected transmissions for the directed link i→j
+// under the variant, or +Inf for an unusable link.
+func (v Variant) LinkCost(m Matrix, i, j int) float64 {
+	pf := m[i][j]
+	if pf <= 0 {
+		return math.Inf(1)
+	}
+	if v == ETX1 {
+		return 1 / pf
+	}
+	pr := m[j][i]
+	if pr <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / (pf * pr)
+}
+
+// Paths holds the all-pairs shortest-path solution under an ETX variant.
+type Paths struct {
+	Variant Variant
+	// Dist[s][d] is the ETX path cost (expected transmissions), +Inf if
+	// unreachable.
+	Dist [][]float64
+	// Hops[s][d] is the hop count of the chosen shortest path, 0 for
+	// s == d and -1 if unreachable.
+	Hops [][]int
+	// Next[s][d] is the first hop on the chosen path, -1 if none.
+	Next [][]int
+}
+
+// AllPairs runs Dijkstra from every source over the variant's link costs.
+// Ties in path cost resolve toward fewer hops, then lower node index, so
+// results are deterministic.
+func AllPairs(m Matrix, v Variant) *Paths {
+	n := m.Size()
+	p := &Paths{
+		Variant: v,
+		Dist:    make([][]float64, n),
+		Hops:    make([][]int, n),
+		Next:    make([][]int, n),
+	}
+	// Precompute link costs once.
+	cost := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		cost[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				cost[i][j] = math.Inf(1)
+				continue
+			}
+			cost[i][j] = v.LinkCost(m, i, j)
+		}
+	}
+	for s := 0; s < n; s++ {
+		dist := make([]float64, n)
+		hops := make([]int, n)
+		next := make([]int, n)
+		done := make([]bool, n)
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			hops[i] = -1
+			next[i] = -1
+		}
+		dist[s], hops[s] = 0, 0
+		for {
+			// Dense Dijkstra: pick the cheapest unfinished node.
+			u, best := -1, math.Inf(1)
+			for i := 0; i < n; i++ {
+				if !done[i] && dist[i] < best {
+					u, best = i, dist[i]
+				}
+			}
+			if u < 0 {
+				break
+			}
+			done[u] = true
+			for w := 0; w < n; w++ {
+				c := cost[u][w]
+				if done[w] || math.IsInf(c, 1) {
+					continue
+				}
+				nd := dist[u] + c
+				nh := hops[u] + 1
+				if nd < dist[w] || (nd == dist[w] && nh < hops[w]) {
+					dist[w] = nd
+					hops[w] = nh
+					if u == s {
+						next[w] = w
+					} else {
+						next[w] = next[u]
+					}
+				}
+			}
+		}
+		p.Dist[s] = dist
+		p.Hops[s] = hops
+		p.Next[s] = next
+	}
+	return p
+}
+
+// ExORToDest computes the idealized opportunistic cost from every node to
+// destination d, using forward delivery probabilities for receptions and
+// the supplied ETX solution to define "closer to d". Unreachable nodes get
+// +Inf. The recursion is well-founded because nodes are processed in
+// increasing ETX distance to d, and every candidate forwarder of s is
+// strictly closer than s.
+func ExORToDest(m Matrix, etx *Paths, d int) []float64 {
+	n := m.Size()
+	exor := make([]float64, n)
+	for i := range exor {
+		exor[i] = math.Inf(1)
+	}
+	exor[d] = 0
+
+	// Nodes ordered by increasing ETX distance to d.
+	order := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if i != d && !math.IsInf(etx.Dist[i][d], 1) {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if etx.Dist[order[a]][d] != etx.Dist[order[b]][d] {
+			return etx.Dist[order[a]][d] < etx.Dist[order[b]][d]
+		}
+		return order[a] < order[b]
+	})
+
+	for _, s := range order {
+		ds := etx.Dist[s][d]
+		// Candidate forwarders: strictly closer to d, reachable by s's
+		// broadcast, ordered closest-first (the closest recipient
+		// forwards).
+		type cand struct {
+			node int
+			p    float64
+			dist float64
+		}
+		var cands []cand
+		for _, c := range append([]int{d}, order...) {
+			if c == s {
+				continue
+			}
+			if etx.Dist[c][d] >= ds {
+				continue
+			}
+			if m[s][c] <= 0 {
+				continue
+			}
+			cands = append(cands, cand{node: c, p: m[s][c], dist: etx.Dist[c][d]})
+		}
+		if len(cands) == 0 {
+			// No node closer to d: ExOR degenerates to ETX (§5.1).
+			exor[s] = ds
+			continue
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].dist != cands[b].dist {
+				return cands[a].dist < cands[b].dist
+			}
+			return cands[a].node < cands[b].node
+		})
+		num := 1.0
+		noneCloser := 1.0
+		for _, c := range cands {
+			r := c.p * noneCloser // c received, nobody closer did
+			num += r * exor[c.node]
+			noneCloser *= 1 - c.p
+		}
+		if noneCloser >= 1 {
+			exor[s] = ds
+			continue
+		}
+		e := num / (1 - noneCloser)
+		// The idealized opportunistic cost can exceed the pure ETX path
+		// cost only through the degenerate candidate orderings of very
+		// lossy topologies; opportunistic routing can always fall back
+		// to the shortest path, so cap at the ETX cost.
+		if e > ds {
+			e = ds
+		}
+		exor[s] = e
+	}
+	return exor
+}
+
+// PairResult is one (source, destination) comparison.
+type PairResult struct {
+	S, D int
+	// ETX is the shortest-path expected transmissions, ExOR the
+	// idealized opportunistic expected transmissions.
+	ETX, ExOR float64
+	// Hops is the shortest path's hop count.
+	Hops int
+	// Improvement is ETX/ExOR − 1: an improvement of x means traditional
+	// routing needs x·100% more transmissions (§5.1's definition).
+	Improvement float64
+}
+
+// Improvements compares opportunistic routing against the ETX variant for
+// every ordered reachable pair of the matrix.
+func Improvements(m Matrix, v Variant) []PairResult {
+	n := m.Size()
+	etx := AllPairs(m, v)
+	var out []PairResult
+	for d := 0; d < n; d++ {
+		exor := ExORToDest(m, etx, d)
+		for s := 0; s < n; s++ {
+			if s == d || math.IsInf(etx.Dist[s][d], 1) || math.IsInf(exor[s], 1) {
+				continue
+			}
+			imp := 0.0
+			if exor[s] > 0 {
+				imp = etx.Dist[s][d]/exor[s] - 1
+			}
+			if imp < 0 {
+				imp = 0
+			}
+			out = append(out, PairResult{
+				S: s, D: d,
+				ETX: etx.Dist[s][d], ExOR: exor[s],
+				Hops:        etx.Hops[s][d],
+				Improvement: imp,
+			})
+		}
+	}
+	return out
+}
+
+// AsymmetryRatios returns, for every unordered pair with delivery in both
+// directions, the ratio P(a→b)/P(b→a) with a < b (Figure 5.2).
+func AsymmetryRatios(m Matrix) []float64 {
+	var out []float64
+	n := m.Size()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if m[a][b] > 0 && m[b][a] > 0 {
+				out = append(out, m[a][b]/m[b][a])
+			}
+		}
+	}
+	return out
+}

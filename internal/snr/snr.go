@@ -1,0 +1,433 @@
+// Package snr implements the thesis's §4 bit-rate analysis: how well the
+// SNR of a link predicts its optimal bit rate, as a function of how
+// specifically the SNR→rate look-up table is trained (globally, per
+// network, per AP, or per link), what the throughput penalty of a
+// suboptimal choice is, and how cheap online table-building strategies
+// compare.
+package snr
+
+import (
+	"fmt"
+	"sort"
+
+	"meshlab/internal/dataset"
+	"meshlab/internal/phy"
+)
+
+// Sample is one probe set flattened for rate analysis: the per-rate
+// throughputs and the optimal rate Popt (the rate maximizing
+// bitrate × success, §4.1).
+type Sample struct {
+	// Net is the network name; From/To identify the directed link.
+	Net      string
+	From, To int
+	// T is the probe set's time and SNR its integer median SNR.
+	T   int32
+	SNR int
+	// Tput is the throughput per band rate index; rates missing from the
+	// probe set hold NaN-free zero (they delivered nothing).
+	Tput []float64
+	// Popt is the rate index with the highest throughput, and BestTput
+	// that throughput.
+	Popt     int
+	BestTput float64
+}
+
+// Flatten converts probe data from networks (all on the same band) into
+// samples, skipping probe sets where no rate delivered anything. The band
+// of the first network is used for rate resolution.
+func Flatten(nets []*dataset.NetworkData) ([]Sample, error) {
+	if len(nets) == 0 {
+		return nil, nil
+	}
+	band, err := nets[0].Band()
+	if err != nil {
+		return nil, err
+	}
+	var out []Sample
+	for _, nd := range nets {
+		if nd.Info.Band != band.Name {
+			return nil, fmt.Errorf("snr: mixed bands %q and %q", band.Name, nd.Info.Band)
+		}
+		for _, l := range nd.Links {
+			for _, ps := range l.Sets {
+				s := Sample{
+					Net: nd.Info.Name, From: l.From, To: l.To,
+					T: ps.T, SNR: int(ps.SNR),
+					Tput: make([]float64, len(band.Rates)),
+					Popt: -1,
+				}
+				for _, o := range ps.Obs {
+					tp := band.Rates[o.RateIdx].Throughput(float64(o.Loss))
+					s.Tput[o.RateIdx] = tp
+					if tp > s.BestTput {
+						s.BestTput = tp
+						s.Popt = int(o.RateIdx)
+					}
+				}
+				if s.Popt < 0 || s.BestTput <= 0 {
+					continue
+				}
+				out = append(out, s)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Scope is the specificity of a look-up table's training environment
+// (§4.1's three options plus the global base case).
+type Scope int
+
+const (
+	// Global trains one table over every link in every network.
+	Global Scope = iota
+	// Network trains one table per network.
+	Network
+	// AP trains one table per sending AP.
+	AP
+	// Link trains one table per directed link.
+	Link
+)
+
+// String names the scope as the thesis figures do.
+func (s Scope) String() string {
+	switch s {
+	case Global:
+		return "global"
+	case Network:
+		return "network"
+	case AP:
+		return "ap"
+	case Link:
+		return "link"
+	default:
+		return fmt.Sprintf("Scope(%d)", int(s))
+	}
+}
+
+// Scopes lists all four scopes in increasing specificity.
+var Scopes = []Scope{Global, Network, AP, Link}
+
+// Key returns the table-instance key a sample belongs to under the scope.
+func (s Scope) Key(sm *Sample) string {
+	switch s {
+	case Global:
+		return ""
+	case Network:
+		return sm.Net
+	case AP:
+		return fmt.Sprintf("%s/%d", sm.Net, sm.From)
+	default:
+		return fmt.Sprintf("%s/%d>%d", sm.Net, sm.From, sm.To)
+	}
+}
+
+// Table is an SNR→bit-rate look-up table family: one distribution of
+// observed optimal rates per (instance key, SNR).
+type Table struct {
+	// Scope is the training specificity.
+	Scope Scope
+	// NumRates is the band's rate count.
+	NumRates int
+
+	counts map[string]map[int][]int
+}
+
+// Train builds the look-up tables for the given scope from samples.
+func Train(samples []Sample, numRates int, scope Scope) *Table {
+	t := &Table{Scope: scope, NumRates: numRates, counts: make(map[string]map[int][]int)}
+	for i := range samples {
+		t.Add(&samples[i])
+	}
+	return t
+}
+
+// Add incorporates one sample into the table.
+func (t *Table) Add(sm *Sample) {
+	key := t.Scope.Key(sm)
+	bySNR, ok := t.counts[key]
+	if !ok {
+		bySNR = make(map[int][]int)
+		t.counts[key] = bySNR
+	}
+	c, ok := bySNR[sm.SNR]
+	if !ok {
+		c = make([]int, t.NumRates)
+		bySNR[sm.SNR] = c
+	}
+	c[sm.Popt]++
+}
+
+// Lookup predicts the optimal rate index for a sample's key and SNR: the
+// most frequently optimal rate seen in training, ties broken toward the
+// lower rate index for determinism. ok is false when the table has no data
+// for that (key, SNR).
+func (t *Table) Lookup(sm *Sample) (rateIdx int, ok bool) {
+	bySNR, ok := t.counts[t.Scope.Key(sm)]
+	if !ok {
+		return 0, false
+	}
+	c, ok := bySNR[sm.SNR]
+	if !ok {
+		return 0, false
+	}
+	best, bestN := -1, 0
+	for ri, n := range c {
+		if n > bestN {
+			best, bestN = ri, n
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// Instances returns the number of table instances (1 for Global, #networks
+// for Network, …).
+func (t *Table) Instances() int { return len(t.counts) }
+
+// Entries returns the total number of (instance, SNR) cells.
+func (t *Table) Entries() int {
+	total := 0
+	for _, bySNR := range t.counts {
+		total += len(bySNR)
+	}
+	return total
+}
+
+// ratesForCoverage returns the minimum number of distinct rates whose
+// combined optimal-frequency reaches p of the observations in the cell.
+func ratesForCoverage(c []int, p float64) int {
+	total := 0
+	for _, n := range c {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), c...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	need := p * float64(total)
+	covered, rates := 0.0, 0
+	for _, n := range sorted {
+		if covered >= need {
+			break
+		}
+		if n == 0 {
+			break
+		}
+		covered += float64(n)
+		rates++
+	}
+	return rates
+}
+
+// CoverageRow is one point of Figures 4.2/4.3: at a given SNR, the average
+// (over table instances with data at that SNR) number of unique rates
+// needed to pick the optimal rate p of the time.
+type CoverageRow struct {
+	SNR int
+	// NeedP50, NeedP80, NeedP95 are the mean rates needed for 50%, 80%,
+	// and 95% coverage.
+	NeedP50, NeedP80, NeedP95 float64
+	// MaxP95 is the worst instance's 95% requirement.
+	MaxP95 int
+	// Cells is the number of instances contributing at this SNR.
+	Cells int
+}
+
+// Coverage computes the unique-rates-needed curves for a trained table.
+// Cells with fewer than minObs observations are ignored (they cannot
+// estimate a 95th percentile).
+func (t *Table) Coverage(minObs int) []CoverageRow {
+	type acc struct {
+		n50, n80, n95 float64
+		max95, cells  int
+	}
+	bySNR := make(map[int]*acc)
+	for _, inst := range t.counts {
+		for snrVal, c := range inst {
+			total := 0
+			for _, n := range c {
+				total += n
+			}
+			if total < minObs {
+				continue
+			}
+			a, ok := bySNR[snrVal]
+			if !ok {
+				a = &acc{}
+				bySNR[snrVal] = a
+			}
+			n95 := ratesForCoverage(c, 0.95)
+			a.n50 += float64(ratesForCoverage(c, 0.50))
+			a.n80 += float64(ratesForCoverage(c, 0.80))
+			a.n95 += float64(n95)
+			if n95 > a.max95 {
+				a.max95 = n95
+			}
+			a.cells++
+		}
+	}
+	snrs := make([]int, 0, len(bySNR))
+	for s := range bySNR {
+		snrs = append(snrs, s)
+	}
+	sort.Ints(snrs)
+	rows := make([]CoverageRow, 0, len(snrs))
+	for _, s := range snrs {
+		a := bySNR[s]
+		rows = append(rows, CoverageRow{
+			SNR:     s,
+			NeedP50: a.n50 / float64(a.cells),
+			NeedP80: a.n80 / float64(a.cells),
+			NeedP95: a.n95 / float64(a.cells),
+			MaxP95:  a.max95,
+			Cells:   a.cells,
+		})
+	}
+	return rows
+}
+
+// OptimalRateSets returns, per SNR, the set of rate indices that were ever
+// optimal anywhere in the data (Figure 4.1).
+func OptimalRateSets(samples []Sample) map[int][]int {
+	seen := make(map[int]map[int]bool)
+	for i := range samples {
+		s := &samples[i]
+		m, ok := seen[s.SNR]
+		if !ok {
+			m = make(map[int]bool)
+			seen[s.SNR] = m
+		}
+		m[s.Popt] = true
+	}
+	out := make(map[int][]int, len(seen))
+	for snrVal, m := range seen {
+		var rates []int
+		for ri := range m {
+			rates = append(rates, ri)
+		}
+		sort.Ints(rates)
+		out[snrVal] = rates
+	}
+	return out
+}
+
+// PenaltyResult is the per-scope outcome of the §4.3 analysis.
+type PenaltyResult struct {
+	Scope Scope
+	// Diffs holds, per evaluated probe set, the throughput lost by using
+	// the table's prediction instead of the optimal rate (Mbit/s ≥ 0).
+	Diffs []float64
+	// ExactFrac is the fraction of probe sets where the prediction was
+	// exactly optimal.
+	ExactFrac float64
+}
+
+// Penalty trains a table at each scope on the full sample set and replays
+// every sample through it, recording the throughput difference between the
+// optimal rate and the predicted rate (Figure 4.4). Training and
+// evaluation use the same data, matching the thesis's in-sample
+// methodology.
+func Penalty(samples []Sample, numRates int, scopes []Scope) []PenaltyResult {
+	out := make([]PenaltyResult, 0, len(scopes))
+	for _, sc := range scopes {
+		tbl := Train(samples, numRates, sc)
+		res := PenaltyResult{Scope: sc}
+		exact := 0
+		for i := range samples {
+			s := &samples[i]
+			pred, ok := tbl.Lookup(s)
+			if !ok {
+				continue
+			}
+			diff := s.BestTput - s.Tput[pred]
+			if diff < 0 {
+				diff = 0
+			}
+			res.Diffs = append(res.Diffs, diff)
+			if pred == s.Popt {
+				exact++
+			}
+		}
+		if len(res.Diffs) > 0 {
+			res.ExactFrac = float64(exact) / float64(len(res.Diffs))
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// TputPoint is one (rate, SNR) cell of Figure 4.5.
+type TputPoint struct {
+	RateIdx int
+	SNR     int
+	Median  float64
+	Q1, Q3  float64
+	N       int
+}
+
+// ThroughputVsSNR aggregates per-rate throughput by SNR (Figure 4.5).
+// Only cells with at least minObs observations are returned.
+func ThroughputVsSNR(samples []Sample, numRates, minObs int) []TputPoint {
+	type cell struct{ vals []float64 }
+	cells := make(map[[2]int]*cell)
+	for i := range samples {
+		s := &samples[i]
+		for ri := 0; ri < numRates; ri++ {
+			k := [2]int{ri, s.SNR}
+			c, ok := cells[k]
+			if !ok {
+				c = &cell{}
+				cells[k] = c
+			}
+			c.vals = append(c.vals, s.Tput[ri])
+		}
+	}
+	keys := make([][2]int, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	var out []TputPoint
+	for _, k := range keys {
+		c := cells[k]
+		if len(c.vals) < minObs {
+			continue
+		}
+		sort.Float64s(c.vals)
+		q := func(p float64) float64 {
+			pos := p * float64(len(c.vals)-1)
+			lo := int(pos)
+			hi := lo
+			if lo+1 < len(c.vals) {
+				hi = lo + 1
+			}
+			frac := pos - float64(lo)
+			return c.vals[lo]*(1-frac) + c.vals[hi]*frac
+		}
+		out = append(out, TputPoint{
+			RateIdx: k[0], SNR: k[1],
+			Median: q(0.5), Q1: q(0.25), Q3: q(0.75), N: len(c.vals),
+		})
+	}
+	return out
+}
+
+// Band re-exports the band a caller flattened against, for convenience in
+// printing rate names.
+func BandRates(band phy.Band) []string {
+	names := make([]string, len(band.Rates))
+	for i, r := range band.Rates {
+		names[i] = r.Name
+	}
+	return names
+}

@@ -1,0 +1,346 @@
+package snr
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"meshlab/internal/dataset"
+	"meshlab/internal/mesh"
+	"meshlab/internal/phy"
+	"meshlab/internal/probe"
+	"meshlab/internal/rng"
+	"meshlab/internal/stats"
+	"meshlab/internal/topology"
+)
+
+// simData generates a small multi-network b/g probe dataset once per test
+// binary; several tests share it.
+var simOnce sync.Once
+var simSamples []Sample
+
+func simulated(t testing.TB) []Sample {
+	simOnce.Do(func() {
+		root := rng.New(1234)
+		var nets []*dataset.NetworkData
+		for i := 0; i < 6; i++ {
+			topo, err := topology.Generate(root.SplitN("topo", i), topology.Config{
+				Name: "net" + string(rune('A'+i)), Size: 10, Env: topology.EnvIndoor,
+			})
+			if err != nil {
+				panic(err)
+			}
+			net := mesh.Build(root.SplitN("mesh", i), topo, phy.BandBG, mesh.BuildOptions{})
+			nets = append(nets, probe.Collect(root.SplitN("probe", i), net, probe.Config{
+				Duration: 4 * 3600, ReportInterval: 300,
+			}))
+		}
+		ss, err := Flatten(nets)
+		if err != nil {
+			panic(err)
+		}
+		simSamples = ss
+	})
+	if len(simSamples) == 0 {
+		t.Fatal("no simulated samples")
+	}
+	return simSamples
+}
+
+func TestFlattenBasic(t *testing.T) {
+	nd := &dataset.NetworkData{
+		Info: dataset.NetworkInfo{Name: "x", Band: "bg", APs: make([]dataset.APInfo, 2)},
+		Links: []*dataset.Link{{From: 0, To: 1, Sets: []dataset.ProbeSet{
+			{T: 300, SNR: 20, Obs: []dataset.Obs{
+				{RateIdx: 0, Loss: 0},    // 1M: tput 1
+				{RateIdx: 4, Loss: 0.5},  // 24M: tput 12
+				{RateIdx: 6, Loss: 0.95}, // 48M: tput 2.4
+			}},
+			{T: 600, SNR: 5, Obs: []dataset.Obs{{RateIdx: 0, Loss: 1}}}, // nothing delivered
+		}}},
+	}
+	samples, err := Flatten([]*dataset.NetworkData{nd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 {
+		t.Fatalf("got %d samples, want 1 (all-loss probe set skipped)", len(samples))
+	}
+	s := samples[0]
+	if s.Popt != 4 || s.BestTput != 12 {
+		t.Fatalf("Popt=%d BestTput=%v, want 4 and 12", s.Popt, s.BestTput)
+	}
+	if s.SNR != 20 || s.Net != "x" {
+		t.Fatalf("sample metadata wrong: %+v", s)
+	}
+}
+
+func TestFlattenMixedBandsRejected(t *testing.T) {
+	a := &dataset.NetworkData{Info: dataset.NetworkInfo{Name: "a", Band: "bg"}}
+	b := &dataset.NetworkData{Info: dataset.NetworkInfo{Name: "b", Band: "n"}}
+	if _, err := Flatten([]*dataset.NetworkData{a, b}); err == nil {
+		t.Fatal("mixed bands should error")
+	}
+}
+
+func TestFlattenEmpty(t *testing.T) {
+	got, err := Flatten(nil)
+	if err != nil || got != nil {
+		t.Fatalf("Flatten(nil) = %v, %v", got, err)
+	}
+}
+
+func TestScopeKeys(t *testing.T) {
+	s := &Sample{Net: "n1", From: 2, To: 5}
+	if Global.Key(s) != "" {
+		t.Fatal("global key should be empty")
+	}
+	if Network.Key(s) != "n1" {
+		t.Fatal("network key wrong")
+	}
+	if AP.Key(s) != "n1/2" {
+		t.Fatal("AP key wrong")
+	}
+	if Link.Key(s) != "n1/2>5" {
+		t.Fatal("link key wrong")
+	}
+}
+
+func TestTrainLookupMostFrequent(t *testing.T) {
+	mk := func(popt int) Sample {
+		return Sample{Net: "n", From: 0, To: 1, SNR: 25, Popt: popt, Tput: make([]float64, 7)}
+	}
+	samples := []Sample{mk(3), mk(3), mk(5)}
+	tbl := Train(samples, 7, Link)
+	pred, ok := tbl.Lookup(&samples[0])
+	if !ok || pred != 3 {
+		t.Fatalf("Lookup = %d, %v; want 3, true", pred, ok)
+	}
+	// Unknown SNR → not ok.
+	unk := mk(0)
+	unk.SNR = 60
+	if _, ok := tbl.Lookup(&unk); ok {
+		t.Fatal("lookup at unseen SNR should fail")
+	}
+	// Unknown link → not ok.
+	other := mk(0)
+	other.To = 9
+	if _, ok := tbl.Lookup(&other); ok {
+		t.Fatal("lookup for unseen link should fail")
+	}
+}
+
+func TestLookupTieBreaksLow(t *testing.T) {
+	mk := func(popt int) Sample {
+		return Sample{Net: "n", From: 0, To: 1, SNR: 25, Popt: popt, Tput: make([]float64, 7)}
+	}
+	samples := []Sample{mk(5), mk(2)}
+	tbl := Train(samples, 7, Link)
+	pred, ok := tbl.Lookup(&samples[0])
+	if !ok || pred != 2 {
+		t.Fatalf("tie should break toward lower rate index, got %d", pred)
+	}
+}
+
+func TestRatesForCoverage(t *testing.T) {
+	c := []int{0, 67, 30, 3, 0, 0, 0}
+	if got := ratesForCoverage(c, 0.50); got != 1 {
+		t.Fatalf("50%% needs %d rates, want 1", got)
+	}
+	if got := ratesForCoverage(c, 0.95); got != 2 {
+		t.Fatalf("95%% needs %d rates, want 2", got)
+	}
+	if got := ratesForCoverage(c, 0.99); got != 3 {
+		t.Fatalf("99%% needs %d rates, want 3", got)
+	}
+	if got := ratesForCoverage([]int{0, 0}, 0.95); got != 0 {
+		t.Fatalf("empty cell needs %d, want 0", got)
+	}
+}
+
+func TestInstancesAndEntries(t *testing.T) {
+	samples := simulated(t)
+	g := Train(samples, 7, Global)
+	n := Train(samples, 7, Network)
+	l := Train(samples, 7, Link)
+	if g.Instances() != 1 {
+		t.Fatalf("global instances = %d", g.Instances())
+	}
+	if n.Instances() != 6 {
+		t.Fatalf("network instances = %d, want 6", n.Instances())
+	}
+	if l.Instances() <= n.Instances() {
+		t.Fatal("link tables should outnumber network tables")
+	}
+	if g.Entries() >= l.Entries() {
+		t.Fatal("link tables should hold more cells than the single global table")
+	}
+}
+
+func TestCoverageSpecificityOrdering(t *testing.T) {
+	// The paper's central §4 finding: more specific training needs fewer
+	// unique rates at 95%. Compare mean NeedP95 across matched SNRs.
+	samples := simulated(t)
+	// Per-(link, SNR) cells are small over a 4 h window, so use a low
+	// observation floor for both scopes.
+	g := Train(samples, 7, Global).Coverage(8)
+	l := Train(samples, 7, Link).Coverage(8)
+	gBySNR := map[int]float64{}
+	for _, r := range g {
+		gBySNR[r.SNR] = r.NeedP95
+	}
+	var gSum, lSum float64
+	matched := 0
+	for _, r := range l {
+		gv, ok := gBySNR[r.SNR]
+		if !ok {
+			continue
+		}
+		gSum += gv
+		lSum += r.NeedP95
+		matched++
+	}
+	if matched < 5 {
+		t.Fatalf("only %d matched SNRs", matched)
+	}
+	if lSum >= gSum {
+		t.Fatalf("link-specific mean rates-needed (%v) should be below global (%v)", lSum/float64(matched), gSum/float64(matched))
+	}
+}
+
+func TestCoverageRowsSorted(t *testing.T) {
+	rows := Train(simulated(t), 7, Global).Coverage(10)
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SNR <= rows[i-1].SNR {
+			t.Fatal("coverage rows not sorted by SNR")
+		}
+	}
+	for _, r := range rows {
+		if r.NeedP50 > r.NeedP80 || r.NeedP80 > r.NeedP95 {
+			t.Fatalf("coverage percentiles not monotone at SNR %d: %+v", r.SNR, r)
+		}
+	}
+}
+
+func TestOptimalRateSetsMultipleRates(t *testing.T) {
+	// Figure 4.1: many SNRs see more than one optimal rate over time.
+	sets := OptimalRateSets(simulated(t))
+	multi := 0
+	for _, rates := range sets {
+		if len(rates) > 1 {
+			multi++
+		}
+	}
+	if multi < len(sets)/4 {
+		t.Fatalf("only %d/%d SNRs saw multiple optimal rates; the global table should look unusable", multi, len(sets))
+	}
+}
+
+func TestPenaltyOrdering(t *testing.T) {
+	// Figure 4.4: link/AP training beats network/global on both exact
+	// hits and mean throughput loss.
+	samples := simulated(t)
+	res := Penalty(samples, 7, Scopes)
+	byScope := map[Scope]PenaltyResult{}
+	for _, r := range res {
+		byScope[r.Scope] = r
+	}
+	if byScope[Link].ExactFrac <= byScope[Global].ExactFrac {
+		t.Fatalf("link exact fraction %v should exceed global %v",
+			byScope[Link].ExactFrac, byScope[Global].ExactFrac)
+	}
+	if stats.Mean(byScope[Link].Diffs) >= stats.Mean(byScope[Global].Diffs) {
+		t.Fatalf("link mean penalty %v should be below global %v",
+			stats.Mean(byScope[Link].Diffs), stats.Mean(byScope[Global].Diffs))
+	}
+	// The thesis reports ~90% exact for per-link b/g training.
+	if byScope[Link].ExactFrac < 0.6 {
+		t.Fatalf("link-specific exact fraction %v suspiciously low", byScope[Link].ExactFrac)
+	}
+	for _, r := range res {
+		for _, d := range r.Diffs {
+			if d < 0 {
+				t.Fatal("negative penalty")
+			}
+		}
+	}
+}
+
+func TestThroughputVsSNRShape(t *testing.T) {
+	// Figure 4.5: per-rate median throughput rises with SNR and levels
+	// off near the nominal rate.
+	pts := ThroughputVsSNR(simulated(t), 7, 30)
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	// For 24M (index 4): low-SNR cells should have much lower median
+	// than high-SNR cells.
+	var lo, hi []float64
+	for _, p := range pts {
+		if p.RateIdx != 4 {
+			continue
+		}
+		if p.SNR <= 12 {
+			lo = append(lo, p.Median)
+		}
+		if p.SNR >= 28 {
+			hi = append(hi, p.Median)
+		}
+		if p.Q1 > p.Median || p.Median > p.Q3 {
+			t.Fatalf("quartiles out of order at %+v", p)
+		}
+	}
+	if len(lo) == 0 || len(hi) == 0 {
+		t.Skip("simulated data lacks low/high SNR cells for 24M")
+	}
+	if stats.Mean(hi) <= stats.Mean(lo) {
+		t.Fatalf("24M median tput should rise with SNR: lo %v hi %v", stats.Mean(lo), stats.Mean(hi))
+	}
+	if m := stats.Mean(hi); m > 24 {
+		t.Fatalf("median tput %v exceeds nominal 24", m)
+	}
+}
+
+func TestScopeString(t *testing.T) {
+	names := map[Scope]string{Global: "global", Network: "network", AP: "ap", Link: "link"}
+	for sc, want := range names {
+		if sc.String() != want {
+			t.Fatalf("%d.String() = %s", sc, sc.String())
+		}
+	}
+	if Scope(9).String() != "Scope(9)" {
+		t.Fatal("unknown scope formatting")
+	}
+}
+
+func TestBandRates(t *testing.T) {
+	names := BandRates(phy.BandBG)
+	if len(names) != 7 || names[0] != "1M" || names[6] != "48M" {
+		t.Fatalf("BandRates = %v", names)
+	}
+}
+
+func TestPenaltyNaNFree(t *testing.T) {
+	res := Penalty(simulated(t), 7, []Scope{Network})
+	for _, d := range res[0].Diffs {
+		if math.IsNaN(d) {
+			t.Fatal("NaN penalty")
+		}
+	}
+}
+
+func BenchmarkTrainLink(b *testing.B) {
+	samples := simulated(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Train(samples, 7, Link)
+	}
+}
+
+func BenchmarkPenaltyAllScopes(b *testing.B) {
+	samples := simulated(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Penalty(samples, 7, Scopes)
+	}
+}

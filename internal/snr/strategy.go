@@ -1,0 +1,212 @@
+package snr
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Strategy is an online table-building policy (§4.5, Figure 4.6,
+// Table 4.1): how a node keeps its per-link SNR→rate table up to date.
+type Strategy int
+
+const (
+	// First keeps only the first optimal rate observed at each SNR.
+	First Strategy = iota
+	// MostRecent keeps only the most recent optimal rate per SNR.
+	MostRecent
+	// Subsampled keeps counts updated from every third probe set.
+	Subsampled
+	// All keeps counts over every probe set.
+	All
+)
+
+// String names the strategy as Table 4.1 does.
+func (s Strategy) String() string {
+	switch s {
+	case First:
+		return "first"
+	case MostRecent:
+		return "most-recent"
+	case Subsampled:
+		return "subsampled"
+	case All:
+		return "all"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Strategies lists all online strategies.
+var Strategies = []Strategy{First, MostRecent, Subsampled, All}
+
+// StrategyResult aggregates a strategy's replay outcome.
+type StrategyResult struct {
+	Strategy Strategy
+	// Hits[x] and Total[x] count correct and total predictions made when
+	// a link had already seen x probe sets (x ∈ [1, len-1]; index 0 is
+	// unused because no prediction is attempted with no history).
+	Hits, Total []int
+	// Updates is the number of table writes performed.
+	Updates int
+	// MemEntries is the number of data points retained at the end.
+	MemEntries int
+	// Skipped counts predictions skipped for lack of data at the SNR.
+	Skipped int
+}
+
+// Accuracy returns the hit fraction at history length x, or -1 when no
+// prediction was made there.
+func (r *StrategyResult) Accuracy(x int) float64 {
+	if x < 0 || x >= len(r.Total) || r.Total[x] == 0 {
+		return -1
+	}
+	return float64(r.Hits[x]) / float64(r.Total[x])
+}
+
+// OverallAccuracy returns the hit fraction over all predictions.
+func (r *StrategyResult) OverallAccuracy() float64 {
+	h, t := 0, 0
+	for i := range r.Total {
+		h += r.Hits[i]
+		t += r.Total[i]
+	}
+	if t == 0 {
+		return -1
+	}
+	return float64(h) / float64(t)
+}
+
+// linkState is one link's online table under one strategy.
+type linkState struct {
+	firstVal  map[int]int   // SNR → first Popt
+	recentVal map[int]int   // SNR → last Popt
+	counts    map[int][]int // SNR → Popt counts
+	seen      int           // probe sets seen on this link
+	updates   int
+	stored    int
+}
+
+// ReplayStrategies replays every link's probe sets in time order through
+// each strategy, predicting before updating (Figure 4.6). maxX caps the
+// history-length axis; longer histories accumulate into the last bucket.
+func ReplayStrategies(samples []Sample, numRates, maxX int) []StrategyResult {
+	if maxX < 2 {
+		maxX = 2
+	}
+	// Group per link, in time order. Flatten preserves per-link time
+	// order, but sort defensively.
+	byLink := make(map[string][]*Sample)
+	var keys []string
+	for i := range samples {
+		k := Link.Key(&samples[i])
+		if _, ok := byLink[k]; !ok {
+			keys = append(keys, k)
+		}
+		byLink[k] = append(byLink[k], &samples[i])
+	}
+	sort.Strings(keys)
+
+	results := make([]StrategyResult, len(Strategies))
+	for si, st := range Strategies {
+		results[si] = StrategyResult{
+			Strategy: st,
+			Hits:     make([]int, maxX+1),
+			Total:    make([]int, maxX+1),
+		}
+		res := &results[si]
+		for _, k := range keys {
+			seq := byLink[k]
+			sort.SliceStable(seq, func(a, b int) bool { return seq[a].T < seq[b].T })
+			ls := &linkState{
+				firstVal:  make(map[int]int),
+				recentVal: make(map[int]int),
+				counts:    make(map[int][]int),
+			}
+			for _, sm := range seq {
+				// Predict from current state.
+				pred, ok := ls.predict(st, sm.SNR)
+				if ok {
+					x := ls.seen
+					if x > maxX {
+						x = maxX
+					}
+					res.Total[x]++
+					if pred == sm.Popt {
+						res.Hits[x]++
+					}
+				} else {
+					res.Skipped++
+				}
+				ls.update(st, sm.SNR, sm.Popt, numRates)
+				ls.seen++
+			}
+			res.Updates += ls.updates
+			res.MemEntries += ls.stored
+		}
+	}
+	return results
+}
+
+func (ls *linkState) predict(st Strategy, snr int) (int, bool) {
+	switch st {
+	case First:
+		v, ok := ls.firstVal[snr]
+		return v, ok
+	case MostRecent:
+		v, ok := ls.recentVal[snr]
+		return v, ok
+	default:
+		c, ok := ls.counts[snr]
+		if !ok {
+			return 0, false
+		}
+		best, bestN := -1, 0
+		for ri, n := range c {
+			if n > bestN {
+				best, bestN = ri, n
+			}
+		}
+		if best < 0 {
+			return 0, false
+		}
+		return best, true
+	}
+}
+
+func (ls *linkState) update(st Strategy, snr, popt, numRates int) {
+	switch st {
+	case First:
+		if _, ok := ls.firstVal[snr]; !ok {
+			ls.firstVal[snr] = popt
+			ls.updates++
+			ls.stored++
+		}
+	case MostRecent:
+		if _, ok := ls.recentVal[snr]; !ok {
+			ls.stored++
+		}
+		ls.recentVal[snr] = popt
+		ls.updates++
+	case Subsampled:
+		// Every third probe set, plus always the first sighting of an
+		// SNR so predictions become possible at all.
+		_, seenSNR := ls.counts[snr]
+		if ls.seen%3 != 0 && seenSNR {
+			return
+		}
+		ls.bump(snr, popt, numRates)
+	case All:
+		ls.bump(snr, popt, numRates)
+	}
+}
+
+func (ls *linkState) bump(snr, popt, numRates int) {
+	c, ok := ls.counts[snr]
+	if !ok {
+		c = make([]int, numRates)
+		ls.counts[snr] = c
+	}
+	c[popt]++
+	ls.updates++
+	ls.stored++
+}

@@ -1,0 +1,166 @@
+package snr
+
+import (
+	"testing"
+)
+
+func TestStrategyString(t *testing.T) {
+	names := map[Strategy]string{
+		First: "first", MostRecent: "most-recent", Subsampled: "subsampled", All: "all",
+	}
+	for st, want := range names {
+		if st.String() != want {
+			t.Fatalf("%d.String() = %q", st, st.String())
+		}
+	}
+	if Strategy(9).String() != "Strategy(9)" {
+		t.Fatal("unknown strategy formatting")
+	}
+}
+
+func TestReplayStrategiesOnSimulatedData(t *testing.T) {
+	samples := simulated(t)
+	results := ReplayStrategies(samples, 7, 35)
+	if len(results) != len(Strategies) {
+		t.Fatalf("got %d results", len(results))
+	}
+	byStrat := map[Strategy]*StrategyResult{}
+	for i := range results {
+		byStrat[results[i].Strategy] = &results[i]
+	}
+
+	// All strategies should perform comparably (Figure 4.6's finding) —
+	// within 12 percentage points of each other overall, and all well
+	// above chance (1/7).
+	var accs []float64
+	for _, st := range Strategies {
+		a := byStrat[st].OverallAccuracy()
+		if a < 0.4 {
+			t.Fatalf("%s overall accuracy %v too low", st, a)
+		}
+		accs = append(accs, a)
+	}
+	min, max := accs[0], accs[0]
+	for _, a := range accs {
+		if a < min {
+			min = a
+		}
+		if a > max {
+			max = a
+		}
+	}
+	if max-min > 0.12 {
+		t.Fatalf("strategies should perform comparably; spread %v (accs %v)", max-min, accs)
+	}
+
+	// Cost model orderings from Table 4.1: first updates least; all
+	// updates most; first and most-recent store one point per SNR while
+	// all stores every probe.
+	if byStrat[First].Updates >= byStrat[All].Updates {
+		t.Fatal("first strategy should update far less than all")
+	}
+	if byStrat[Subsampled].Updates >= byStrat[All].Updates {
+		t.Fatal("subsampled should update less than all")
+	}
+	if byStrat[First].MemEntries != byStrat[First].Updates {
+		t.Fatal("first stores exactly one point per update")
+	}
+	if byStrat[MostRecent].MemEntries >= byStrat[All].MemEntries {
+		t.Fatal("most-recent should store less than all")
+	}
+	if byStrat[All].MemEntries != byStrat[All].Updates {
+		t.Fatal("all stores every update")
+	}
+}
+
+func TestReplayPredictBeforeUpdate(t *testing.T) {
+	// Two probe sets on one link at the same SNR: the first must be
+	// skipped (no data yet), the second predicted from the first.
+	mk := func(tm int32, popt int) Sample {
+		return Sample{Net: "n", From: 0, To: 1, T: tm, SNR: 20, Popt: popt, Tput: make([]float64, 7)}
+	}
+	samples := []Sample{mk(300, 3), mk(600, 3), mk(900, 5)}
+	results := ReplayStrategies(samples, 7, 10)
+	for _, r := range results {
+		if r.Skipped != 1 {
+			t.Fatalf("%s: skipped %d, want 1 (first sample has no history)", r.Strategy, r.Skipped)
+		}
+		// Prediction at history 1 (sample 2, popt 3 after seeing 3) hits;
+		// at history 2 (sample 3, popt 5 after seeing 3,3) misses.
+		if r.Hits[1] != 1 || r.Total[1] != 1 {
+			t.Fatalf("%s: history-1 hits=%d total=%d", r.Strategy, r.Hits[1], r.Total[1])
+		}
+		if r.Hits[2] != 0 || r.Total[2] != 1 {
+			t.Fatalf("%s: history-2 hits=%d total=%d", r.Strategy, r.Hits[2], r.Total[2])
+		}
+	}
+}
+
+func TestReplayFirstVsRecentSemantics(t *testing.T) {
+	// popt sequence 3, 5, ? at one SNR: after two sets, First predicts
+	// 3, MostRecent predicts 5.
+	mk := func(tm int32, popt int) Sample {
+		return Sample{Net: "n", From: 0, To: 1, T: tm, SNR: 20, Popt: popt, Tput: make([]float64, 7)}
+	}
+	samples := []Sample{mk(300, 3), mk(600, 5), mk(900, 5)}
+	results := ReplayStrategies(samples, 7, 10)
+	byStrat := map[Strategy]*StrategyResult{}
+	for i := range results {
+		byStrat[results[i].Strategy] = &results[i]
+	}
+	// Third sample (history 2, actual 5): First predicts 3 (miss),
+	// MostRecent predicts 5 (hit).
+	if byStrat[First].Hits[2] != 0 {
+		t.Fatal("first strategy should still predict the first value")
+	}
+	if byStrat[MostRecent].Hits[2] != 1 {
+		t.Fatal("most-recent strategy should predict the latest value")
+	}
+}
+
+func TestReplayHistoryCap(t *testing.T) {
+	mk := func(tm int32, popt int) Sample {
+		return Sample{Net: "n", From: 0, To: 1, T: tm, SNR: 20, Popt: popt, Tput: make([]float64, 7)}
+	}
+	var samples []Sample
+	for i := 0; i < 30; i++ {
+		samples = append(samples, mk(int32(300*(i+1)), 3))
+	}
+	results := ReplayStrategies(samples, 7, 5)
+	r := results[0]
+	total := 0
+	for _, n := range r.Total {
+		total += n
+	}
+	if total != 29 {
+		t.Fatalf("total predictions %d, want 29", total)
+	}
+	if r.Total[5] != 25 {
+		t.Fatalf("capped bucket holds %d, want 25", r.Total[5])
+	}
+}
+
+func TestAccuracyAccessors(t *testing.T) {
+	r := StrategyResult{Hits: []int{0, 3}, Total: []int{0, 4}}
+	if r.Accuracy(1) != 0.75 {
+		t.Fatalf("Accuracy(1) = %v", r.Accuracy(1))
+	}
+	if r.Accuracy(0) != -1 || r.Accuracy(7) != -1 {
+		t.Fatal("empty buckets should report -1")
+	}
+	if r.OverallAccuracy() != 0.75 {
+		t.Fatalf("overall = %v", r.OverallAccuracy())
+	}
+	empty := StrategyResult{Hits: []int{0}, Total: []int{0}}
+	if empty.OverallAccuracy() != -1 {
+		t.Fatal("no predictions should report -1")
+	}
+}
+
+func BenchmarkReplayStrategies(b *testing.B) {
+	samples := simulated(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ReplayStrategies(samples, 7, 35)
+	}
+}

@@ -1,0 +1,82 @@
+package snr
+
+import "testing"
+
+func TestTopKOrderingAndTies(t *testing.T) {
+	mk := func(popt int) Sample {
+		return Sample{Net: "n", From: 0, To: 1, SNR: 25, Popt: popt, Tput: make([]float64, 7)}
+	}
+	samples := []Sample{mk(3), mk(3), mk(3), mk(5), mk(5), mk(1)}
+	tbl := Train(samples, 7, Link)
+	rates, ok := tbl.TopK(&samples[0], 2)
+	if !ok {
+		t.Fatal("cell should exist")
+	}
+	if len(rates) != 2 || rates[0] != 3 || rates[1] != 5 {
+		t.Fatalf("top-2 = %v, want [3 5]", rates)
+	}
+	// k larger than distinct rates: returns what exists.
+	rates, _ = tbl.TopK(&samples[0], 10)
+	if len(rates) != 3 {
+		t.Fatalf("top-10 returned %v, want 3 distinct rates", rates)
+	}
+	// k < 1 clamps to 1.
+	rates, _ = tbl.TopK(&samples[0], 0)
+	if len(rates) != 1 || rates[0] != 3 {
+		t.Fatalf("top-0 = %v, want [3]", rates)
+	}
+}
+
+func TestTopKMissingCell(t *testing.T) {
+	tbl := Train(nil, 7, Link)
+	s := Sample{Net: "n", From: 0, To: 1, SNR: 25}
+	if _, ok := tbl.TopK(&s, 2); ok {
+		t.Fatal("missing cell should report !ok")
+	}
+}
+
+func TestTopKTieBreaksLowIndex(t *testing.T) {
+	mk := func(popt int) Sample {
+		return Sample{Net: "n", From: 0, To: 1, SNR: 25, Popt: popt, Tput: make([]float64, 7)}
+	}
+	samples := []Sample{mk(6), mk(2)}
+	tbl := Train(samples, 7, Link)
+	rates, _ := tbl.TopK(&samples[0], 1)
+	if rates[0] != 2 {
+		t.Fatalf("tie should prefer the lower rate index, got %v", rates)
+	}
+}
+
+func TestTopKCoverageMonotoneInK(t *testing.T) {
+	samples := simulated(t)
+	results := TopKCoverage(samples, 7, Link, []int{1, 2, 3, 7})
+	prev := -1.0
+	for _, r := range results {
+		if r.HitFrac < prev {
+			t.Fatalf("hit fraction must be non-decreasing in k: %v after %v", r.HitFrac, prev)
+		}
+		prev = r.HitFrac
+		if r.Evaluated == 0 {
+			t.Fatal("nothing evaluated")
+		}
+	}
+	// k = numRates covers everything by construction.
+	if last := results[len(results)-1]; last.HitFrac < 0.999 {
+		t.Fatalf("k=numRates hit fraction %v, want 1", last.HitFrac)
+	}
+	// Small candidate sets should already capture most optima on
+	// per-link tables (§4.5's argument).
+	if results[1].HitFrac < 0.75 {
+		t.Fatalf("top-2 hit fraction %v too low for per-link tables", results[1].HitFrac)
+	}
+}
+
+func TestTopKProbeReduction(t *testing.T) {
+	results := TopKCoverage(simulated(t), 7, Link, []int{2, 9})
+	if results[0].ProbeReduction != 1-2.0/7 {
+		t.Fatalf("probe reduction %v, want %v", results[0].ProbeReduction, 1-2.0/7)
+	}
+	if results[1].ProbeReduction != 0 {
+		t.Fatalf("k beyond the rate count should save nothing, got %v", results[1].ProbeReduction)
+	}
+}

@@ -1,0 +1,116 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+
+	"meshlab/internal/stats"
+)
+
+func TestNewClampsDegenerateInputs(t *testing.T) {
+	p := New(1, 1, 5, 5, 3, 3)
+	out := p.Render()
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	// Width clamped to 8, height to 4.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("render too small: %d lines", len(lines))
+	}
+}
+
+func TestMarkInsideAndOutside(t *testing.T) {
+	p := New(20, 10, 0, 10, 0, 1)
+	p.Mark(5, 0.5, '*')
+	if !strings.ContainsRune(p.Render(), '*') {
+		t.Fatal("in-range mark not drawn")
+	}
+	q := New(20, 10, 0, 10, 0, 1)
+	q.Mark(50, 0.5, '*')
+	q.Mark(5, 5, '*')
+	if strings.ContainsRune(q.Render(), '*') {
+		t.Fatal("out-of-range marks should be dropped")
+	}
+}
+
+func TestCornersMap(t *testing.T) {
+	p := New(20, 10, 0, 10, 0, 1)
+	col, row, ok := p.cellFor(0, 0)
+	if !ok || col != 0 || row != 9 {
+		t.Fatalf("lower-left maps to (%d,%d)", col, row)
+	}
+	col, row, ok = p.cellFor(10, 1)
+	if !ok || col != 19 || row != 0 {
+		t.Fatalf("upper-right maps to (%d,%d)", col, row)
+	}
+}
+
+func TestRenderAxes(t *testing.T) {
+	out := New(20, 8, 0, 100, 0, 1).Labels("x-things", "y-things").Render()
+	for _, want := range []string{"y-things", "x-things", "100", "|", "+"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCDFPlot(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	out := CDF(xs, 30, 10, "value")
+	if !strings.Contains(out, "*") {
+		t.Fatal("CDF has no points")
+	}
+	if !strings.Contains(out, "CDF") {
+		t.Fatal("missing y label")
+	}
+	if CDF(nil, 30, 10, "x") != "(no data)\n" {
+		t.Fatal("empty CDF should say so")
+	}
+}
+
+func TestHistogramPlot(t *testing.T) {
+	pts := []stats.Point{{X: 1, Y: 10}, {X: 2, Y: 5}, {X: 3, Y: 0}}
+	out := Histogram(pts, 20, "visits")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // label + 3 rows
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 20)) {
+		t.Fatal("max bucket should fill the width")
+	}
+	if strings.Contains(lines[3], "#") {
+		t.Fatal("zero bucket should have no bar")
+	}
+	if Histogram(nil, 20, "x") != "(no data)\n" {
+		t.Fatal("empty histogram should say so")
+	}
+}
+
+func TestLinesLegendAndGlyphs(t *testing.T) {
+	series := map[string][]stats.Point{
+		"alpha": {{X: 0, Y: 0}, {X: 1, Y: 1}},
+		"beta":  {{X: 0, Y: 1}, {X: 1, Y: 0}},
+	}
+	out := Lines(series, 30, 10, "x", "y")
+	if !strings.Contains(out, "legend:") {
+		t.Fatal("missing legend")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Fatal("legend missing series names")
+	}
+	// Glyph assignment is sorted by name: alpha gets '*', beta '+'.
+	if !strings.Contains(out, "* alpha") || !strings.Contains(out, "+ beta") {
+		t.Fatalf("glyph assignment wrong:\n%s", out)
+	}
+	if Lines(nil, 30, 10, "x", "y") != "(no data)\n" {
+		t.Fatal("empty series should say so")
+	}
+}
+
+func TestSeriesChaining(t *testing.T) {
+	p := New(10, 5, 0, 1, 0, 1)
+	if p.Series(nil, '*') != p {
+		t.Fatal("Series should return the receiver for chaining")
+	}
+}

@@ -1,0 +1,351 @@
+// Package topology synthesizes mesh network layouts: AP placements for a
+// single network and whole fleets of networks whose size, band, and
+// environment marginals match the thesis dataset (§3): 110 networks with
+// 3–203 APs (median 7, mean 13, ~1407 APs total), 77 using 802.11b/g and 31
+// using 802.11n with two using both, and 72 indoor / 17 outdoor / 21 mixed
+// deployments.
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"meshlab/internal/rng"
+)
+
+// EnvClass classifies a network's deployment environment. The thesis
+// ignores mixed networks when splitting results by environment, and so do
+// our per-environment analyses.
+type EnvClass int
+
+const (
+	// EnvIndoor is an all-indoor network.
+	EnvIndoor EnvClass = iota
+	// EnvOutdoor is an all-outdoor network.
+	EnvOutdoor
+	// EnvMixed uses both indoor and outdoor nodes.
+	EnvMixed
+)
+
+// String returns "indoor", "outdoor", or "mixed".
+func (e EnvClass) String() string {
+	switch e {
+	case EnvIndoor:
+		return "indoor"
+	case EnvOutdoor:
+		return "outdoor"
+	case EnvMixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("EnvClass(%d)", int(e))
+	}
+}
+
+// AP is one access point: a stationary mesh node.
+type AP struct {
+	// ID is the AP's index within its network.
+	ID int
+	// Name is a stable identifier, unique within the network.
+	Name string
+	// X, Y are planar coordinates in meters.
+	X, Y float64
+	// Outdoor marks outdoor nodes inside mixed networks. In pure
+	// indoor/outdoor networks it matches the network's class.
+	Outdoor bool
+}
+
+// Dist returns the Euclidean distance in meters between two APs.
+func Dist(a, b AP) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Hypot(dx, dy)
+}
+
+// Network is a mesh network layout.
+type Network struct {
+	// Name is the network's identifier, unique within a fleet.
+	Name string
+	// Env classifies the deployment environment.
+	Env EnvClass
+	// Bands lists the radio bands deployed ("bg", "n", or both).
+	Bands []string
+	// APs are the network's access points.
+	APs []AP
+	// Spacing is the typical nearest-neighbor distance in meters used
+	// during placement.
+	Spacing float64
+}
+
+// Size returns the number of APs.
+func (n *Network) Size() int { return len(n.APs) }
+
+// HasBand reports whether the network deploys the named band.
+func (n *Network) HasBand(band string) bool {
+	for _, b := range n.Bands {
+		if b == band {
+			return true
+		}
+	}
+	return false
+}
+
+// Config controls generation of a single network.
+type Config struct {
+	Name  string
+	Size  int
+	Env   EnvClass
+	Bands []string
+	// Spacing overrides the environment's default nearest-neighbor
+	// spacing in meters (0 means use the default: 30 m indoor, 90 m
+	// outdoor, 55 m mixed).
+	Spacing float64
+}
+
+// effDim maps AP count to the layout's side length in units of spacing.
+// Small networks grow like sqrt(n) (constant density); beyond 40 APs the
+// area grows sub-linearly, reflecting how large real deployments (apartment
+// complexes, dense urban meshes) concentrate APs rather than spreading them
+// over proportionally more ground. Without this, a 203-AP network would
+// span many low-rate hops, whereas the thesis observes that even with a
+// 203-AP network in the fleet, 30-40% of 1 Mbit/s paths are one hop.
+func effDim(n int) float64 {
+	root := math.Sqrt(float64(n))
+	const knee = 40
+	kneeRoot := math.Sqrt(knee)
+	if n <= knee {
+		return root
+	}
+	return kneeRoot * math.Pow(float64(n)/knee, 0.15)
+}
+
+func defaultSpacing(env EnvClass) float64 {
+	switch env {
+	case EnvOutdoor:
+		return 90
+	case EnvMixed:
+		return 55
+	default:
+		return 30
+	}
+}
+
+// Generate places a network's APs. Placement draws points uniformly in a
+// square whose side scales with sqrt(Size) so density stays roughly
+// constant, rejecting points closer than 0.45× the target spacing to a
+// previously placed AP (Poisson-disk style, with a bounded number of
+// retries so generation always terminates).
+func Generate(r *rng.Stream, cfg Config) (*Network, error) {
+	if cfg.Size < 1 {
+		return nil, fmt.Errorf("topology: network size %d < 1", cfg.Size)
+	}
+	if len(cfg.Bands) == 0 {
+		cfg.Bands = []string{"bg"}
+	}
+	spacing := cfg.Spacing
+	if spacing <= 0 {
+		spacing = defaultSpacing(cfg.Env)
+	}
+	side := spacing * effDim(cfg.Size) * 1.05
+	minSep := spacing * 0.45
+
+	n := &Network{Name: cfg.Name, Env: cfg.Env, Bands: cfg.Bands, Spacing: spacing}
+	pr := r.Split("placement")
+	for i := 0; i < cfg.Size; i++ {
+		var x, y float64
+		placed := false
+		for attempt := 0; attempt < 60; attempt++ {
+			x, y = pr.Float64()*side, pr.Float64()*side
+			ok := true
+			for _, ap := range n.APs {
+				if math.Hypot(ap.X-x, ap.Y-y) < minSep {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				placed = true
+				break
+			}
+		}
+		_ = placed // after 60 attempts we accept the last candidate
+		ap := AP{ID: i, Name: fmt.Sprintf("%s-ap%03d", cfg.Name, i), X: x, Y: y}
+		switch cfg.Env {
+		case EnvOutdoor:
+			ap.Outdoor = true
+		case EnvMixed:
+			ap.Outdoor = pr.Bool(0.5)
+		}
+		n.APs = append(n.APs, ap)
+	}
+	return n, nil
+}
+
+// FleetConfig controls fleet synthesis. The zero value is not useful;
+// start from DefaultFleetConfig.
+type FleetConfig struct {
+	// NumNetworks is the number of networks (thesis: 110).
+	NumNetworks int
+	// NumIndoor, NumOutdoor, NumMixed partition NumNetworks by
+	// environment (thesis: 72 / 17 / 21).
+	NumIndoor, NumOutdoor, NumMixed int
+	// NumN is how many networks run 802.11n (thesis: 31); NumBoth of
+	// them also run 802.11b/g (thesis: 2). All remaining networks run
+	// 802.11b/g only.
+	NumN, NumBoth int
+	// MinSize and MaxSize bound network sizes (thesis: 3 and 203).
+	MinSize, MaxSize int
+	// SizeLogMean and SizeLogStd parameterize the lognormal size
+	// distribution: size = MinSize + round(exp(N(SizeLogMean,
+	// SizeLogStd))) − 1, clamped.
+	SizeLogMean, SizeLogStd float64
+	// ForceMaxSize, when true, pins the largest network to MaxSize so
+	// the fleet always contains the thesis's 203-AP network.
+	ForceMaxSize bool
+}
+
+// DefaultFleetConfig returns the thesis-shaped fleet configuration.
+func DefaultFleetConfig() FleetConfig {
+	return FleetConfig{
+		NumNetworks:  110,
+		NumIndoor:    72,
+		NumOutdoor:   17,
+		NumMixed:     21,
+		NumN:         31,
+		NumBoth:      2,
+		MinSize:      3,
+		MaxSize:      203,
+		SizeLogMean:  1.62, // exp(1.62) ≈ 5.1 → median size ≈ 7
+		SizeLogStd:   0.95,
+		ForceMaxSize: true,
+	}
+}
+
+// Fleet is a collection of generated networks.
+type Fleet struct {
+	Networks []*Network
+}
+
+// TotalAPs returns the number of APs across all networks.
+func (f *Fleet) TotalAPs() int {
+	total := 0
+	for _, n := range f.Networks {
+		total += n.Size()
+	}
+	return total
+}
+
+// ByBand returns the networks deploying the named band.
+func (f *Fleet) ByBand(band string) []*Network {
+	var out []*Network
+	for _, n := range f.Networks {
+		if n.HasBand(band) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ByEnv returns the networks in the given environment class.
+func (f *Fleet) ByEnv(env EnvClass) []*Network {
+	var out []*Network
+	for _, n := range f.Networks {
+		if n.Env == env {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// GenerateFleet synthesizes a fleet per cfg. Environment classes, bands,
+// and sizes are assigned by independent shuffles so the joint distribution
+// is unbiased; all draws come from r, so equal seeds give equal fleets.
+func GenerateFleet(r *rng.Stream, cfg FleetConfig) (*Fleet, error) {
+	if cfg.NumNetworks <= 0 {
+		return nil, fmt.Errorf("topology: NumNetworks %d <= 0", cfg.NumNetworks)
+	}
+	if cfg.NumIndoor+cfg.NumOutdoor+cfg.NumMixed != cfg.NumNetworks {
+		return nil, fmt.Errorf("topology: environment counts %d+%d+%d != %d",
+			cfg.NumIndoor, cfg.NumOutdoor, cfg.NumMixed, cfg.NumNetworks)
+	}
+	if cfg.NumN > cfg.NumNetworks || cfg.NumBoth > cfg.NumN {
+		return nil, fmt.Errorf("topology: band counts inconsistent")
+	}
+	if cfg.MinSize < 1 || cfg.MaxSize < cfg.MinSize {
+		return nil, fmt.Errorf("topology: bad size bounds [%d, %d]", cfg.MinSize, cfg.MaxSize)
+	}
+
+	// Assign environments.
+	envs := make([]EnvClass, 0, cfg.NumNetworks)
+	for i := 0; i < cfg.NumIndoor; i++ {
+		envs = append(envs, EnvIndoor)
+	}
+	for i := 0; i < cfg.NumOutdoor; i++ {
+		envs = append(envs, EnvOutdoor)
+	}
+	for i := 0; i < cfg.NumMixed; i++ {
+		envs = append(envs, EnvMixed)
+	}
+	er := r.Split("envs")
+	perm := er.Perm(len(envs))
+	shuffledEnvs := make([]EnvClass, len(envs))
+	for i, p := range perm {
+		shuffledEnvs[i] = envs[p]
+	}
+
+	// Assign bands: NumN networks run "n"; NumBoth of those also run
+	// "bg"; the rest run "bg" only.
+	bands := make([][]string, cfg.NumNetworks)
+	br := r.Split("bands")
+	nIdx := br.Perm(cfg.NumNetworks)[:cfg.NumN]
+	isN := make(map[int]bool, cfg.NumN)
+	for _, i := range nIdx {
+		isN[i] = true
+	}
+	bothLeft := cfg.NumBoth
+	for i := 0; i < cfg.NumNetworks; i++ {
+		switch {
+		case isN[i] && bothLeft > 0:
+			bands[i] = []string{"bg", "n"}
+			bothLeft--
+		case isN[i]:
+			bands[i] = []string{"n"}
+		default:
+			bands[i] = []string{"bg"}
+		}
+	}
+
+	// Draw sizes.
+	sr := r.Split("sizes")
+	sizes := make([]int, cfg.NumNetworks)
+	largest, largestAt := 0, 0
+	for i := range sizes {
+		s := cfg.MinSize + int(math.Round(math.Exp(cfg.SizeLogMean+cfg.SizeLogStd*sr.NormFloat64()))) - 1
+		if s < cfg.MinSize {
+			s = cfg.MinSize
+		}
+		if s > cfg.MaxSize {
+			s = cfg.MaxSize
+		}
+		sizes[i] = s
+		if s > largest {
+			largest, largestAt = s, i
+		}
+	}
+	if cfg.ForceMaxSize {
+		sizes[largestAt] = cfg.MaxSize
+	}
+
+	fleet := &Fleet{}
+	for i := 0; i < cfg.NumNetworks; i++ {
+		net, err := Generate(r.SplitN("network", i), Config{
+			Name:  fmt.Sprintf("net%03d", i),
+			Size:  sizes[i],
+			Env:   shuffledEnvs[i],
+			Bands: bands[i],
+		})
+		if err != nil {
+			return nil, err
+		}
+		fleet.Networks = append(fleet.Networks, net)
+	}
+	return fleet, nil
+}

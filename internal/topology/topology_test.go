@@ -1,0 +1,254 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"meshlab/internal/rng"
+	"meshlab/internal/stats"
+)
+
+func TestGenerateBasic(t *testing.T) {
+	n, err := Generate(rng.New(1), Config{Name: "x", Size: 10, Env: EnvIndoor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Size() != 10 {
+		t.Fatalf("size %d", n.Size())
+	}
+	if !n.HasBand("bg") {
+		t.Fatal("default band should be bg")
+	}
+	names := map[string]bool{}
+	for i, ap := range n.APs {
+		if ap.ID != i {
+			t.Fatalf("AP %d has ID %d", i, ap.ID)
+		}
+		if names[ap.Name] {
+			t.Fatalf("duplicate AP name %s", ap.Name)
+		}
+		names[ap.Name] = true
+		if ap.Outdoor {
+			t.Fatal("indoor network has outdoor AP")
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(rng.New(1), Config{Size: 0}); err == nil {
+		t.Fatal("size 0 should error")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a, _ := Generate(rng.New(7), Config{Name: "x", Size: 25, Env: EnvOutdoor})
+	b, _ := Generate(rng.New(7), Config{Name: "x", Size: 25, Env: EnvOutdoor})
+	for i := range a.APs {
+		if a.APs[i] != b.APs[i] {
+			t.Fatalf("AP %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestPlacementDensity(t *testing.T) {
+	// Nearest-neighbor distances should cluster near the configured
+	// spacing: not wildly smaller (min separation) nor larger (area
+	// scales with sqrt size).
+	n, _ := Generate(rng.New(3), Config{Name: "d", Size: 50, Env: EnvIndoor})
+	var nn []float64
+	for i, a := range n.APs {
+		best := math.Inf(1)
+		for j, b := range n.APs {
+			if i == j {
+				continue
+			}
+			if d := Dist(a, b); d < best {
+				best = d
+			}
+		}
+		nn = append(nn, best)
+	}
+	med := stats.Median(nn)
+	if med < n.Spacing*0.3 || med > n.Spacing*1.5 {
+		t.Fatalf("median nearest neighbor %v m, spacing %v m", med, n.Spacing)
+	}
+}
+
+func TestOutdoorSparserThanIndoor(t *testing.T) {
+	in, _ := Generate(rng.New(4), Config{Name: "i", Size: 20, Env: EnvIndoor})
+	out, _ := Generate(rng.New(4), Config{Name: "o", Size: 20, Env: EnvOutdoor})
+	if out.Spacing <= in.Spacing {
+		t.Fatal("outdoor spacing should exceed indoor")
+	}
+	for _, ap := range out.APs {
+		if !ap.Outdoor {
+			t.Fatal("outdoor network has indoor AP")
+		}
+	}
+}
+
+func TestMixedHasBothKinds(t *testing.T) {
+	n, _ := Generate(rng.New(5), Config{Name: "m", Size: 40, Env: EnvMixed})
+	indoor, outdoor := 0, 0
+	for _, ap := range n.APs {
+		if ap.Outdoor {
+			outdoor++
+		} else {
+			indoor++
+		}
+	}
+	if indoor == 0 || outdoor == 0 {
+		t.Fatalf("mixed network should have both kinds: %d indoor, %d outdoor", indoor, outdoor)
+	}
+}
+
+func TestDist(t *testing.T) {
+	a := AP{X: 0, Y: 0}
+	b := AP{X: 3, Y: 4}
+	if Dist(a, b) != 5 {
+		t.Fatalf("Dist = %v", Dist(a, b))
+	}
+}
+
+func TestFleetMarginals(t *testing.T) {
+	fleet, err := GenerateFleet(rng.New(42), DefaultFleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.Networks) != 110 {
+		t.Fatalf("fleet has %d networks", len(fleet.Networks))
+	}
+	// Environment partition: 72 indoor, 17 outdoor, 21 mixed.
+	if got := len(fleet.ByEnv(EnvIndoor)); got != 72 {
+		t.Fatalf("%d indoor networks, want 72", got)
+	}
+	if got := len(fleet.ByEnv(EnvOutdoor)); got != 17 {
+		t.Fatalf("%d outdoor networks, want 17", got)
+	}
+	if got := len(fleet.ByEnv(EnvMixed)); got != 21 {
+		t.Fatalf("%d mixed networks, want 21", got)
+	}
+	// Bands: 77 bg, 31 n, 2 both.
+	bg, n := len(fleet.ByBand("bg")), len(fleet.ByBand("n"))
+	if n != 31 {
+		t.Fatalf("%d n networks, want 31", n)
+	}
+	if bg != 81 { // 79 bg-only + 2 both
+		t.Fatalf("%d bg networks, want 81", bg)
+	}
+	both := 0
+	for _, net := range fleet.Networks {
+		if net.HasBand("bg") && net.HasBand("n") {
+			both++
+		}
+	}
+	if both != 2 {
+		t.Fatalf("%d dual-band networks, want 2", both)
+	}
+	// Sizes: min 3, max 203, median ≈ 7, mean ≈ 13, total APs ≈ 1407.
+	var sizes []float64
+	for _, net := range fleet.Networks {
+		sizes = append(sizes, float64(net.Size()))
+	}
+	s, _ := stats.Summarize(sizes)
+	if s.Min < 3 {
+		t.Fatalf("min size %v < 3", s.Min)
+	}
+	if s.Max != 203 {
+		t.Fatalf("max size %v, want 203 (ForceMaxSize)", s.Max)
+	}
+	if s.Median < 5 || s.Median > 9 {
+		t.Fatalf("median size %v, want ≈7", s.Median)
+	}
+	if s.Mean < 9 || s.Mean > 17 {
+		t.Fatalf("mean size %v, want ≈13", s.Mean)
+	}
+	if total := fleet.TotalAPs(); total < 1000 || total > 1900 {
+		t.Fatalf("total APs %d, want ≈1407", total)
+	}
+}
+
+func TestFleetDeterminism(t *testing.T) {
+	a, _ := GenerateFleet(rng.New(9), DefaultFleetConfig())
+	b, _ := GenerateFleet(rng.New(9), DefaultFleetConfig())
+	for i := range a.Networks {
+		if a.Networks[i].Size() != b.Networks[i].Size() ||
+			a.Networks[i].Env != b.Networks[i].Env {
+			t.Fatalf("network %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestFleetSeedsDiffer(t *testing.T) {
+	a, _ := GenerateFleet(rng.New(1), DefaultFleetConfig())
+	b, _ := GenerateFleet(rng.New(2), DefaultFleetConfig())
+	same := 0
+	for i := range a.Networks {
+		if a.Networks[i].Size() == b.Networks[i].Size() {
+			same++
+		}
+	}
+	if same == len(a.Networks) {
+		t.Fatal("different seeds produced identical size sequences")
+	}
+}
+
+func TestFleetConfigValidation(t *testing.T) {
+	bad := DefaultFleetConfig()
+	bad.NumIndoor = 100 // breaks the partition
+	if _, err := GenerateFleet(rng.New(1), bad); err == nil {
+		t.Fatal("inconsistent env partition should error")
+	}
+	bad = DefaultFleetConfig()
+	bad.NumBoth = bad.NumN + 1
+	if _, err := GenerateFleet(rng.New(1), bad); err == nil {
+		t.Fatal("NumBoth > NumN should error")
+	}
+	bad = DefaultFleetConfig()
+	bad.NumNetworks = 0
+	bad.NumIndoor, bad.NumOutdoor, bad.NumMixed = 0, 0, 0
+	if _, err := GenerateFleet(rng.New(1), bad); err == nil {
+		t.Fatal("zero networks should error")
+	}
+	bad = DefaultFleetConfig()
+	bad.MinSize, bad.MaxSize = 10, 5
+	if _, err := GenerateFleet(rng.New(1), bad); err == nil {
+		t.Fatal("inverted size bounds should error")
+	}
+}
+
+func TestSmallFleet(t *testing.T) {
+	cfg := FleetConfig{
+		NumNetworks: 6, NumIndoor: 4, NumOutdoor: 1, NumMixed: 1,
+		NumN: 2, NumBoth: 1, MinSize: 3, MaxSize: 20,
+		SizeLogMean: 1.6, SizeLogStd: 0.5,
+	}
+	fleet, err := GenerateFleet(rng.New(11), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.Networks) != 6 {
+		t.Fatalf("got %d networks", len(fleet.Networks))
+	}
+	for _, n := range fleet.Networks {
+		if n.Size() < 3 || n.Size() > 20 {
+			t.Fatalf("network size %d outside bounds", n.Size())
+		}
+	}
+}
+
+func TestEnvClassString(t *testing.T) {
+	if EnvIndoor.String() != "indoor" || EnvOutdoor.String() != "outdoor" || EnvMixed.String() != "mixed" {
+		t.Fatal("EnvClass strings wrong")
+	}
+	if EnvClass(9).String() != "EnvClass(9)" {
+		t.Fatal("unknown EnvClass formatting wrong")
+	}
+}
+
+func BenchmarkGenerateFleet(b *testing.B) {
+	cfg := DefaultFleetConfig()
+	for i := 0; i < b.N; i++ {
+		_, _ = GenerateFleet(rng.New(uint64(i)), cfg)
+	}
+}

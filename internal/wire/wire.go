@@ -1,0 +1,298 @@
+// Package wire implements a compact binary encoding of fleet datasets.
+// The JSON-lines format (internal/dataset) is the inspectable interchange
+// format; a reference-scale fleet in it runs to hundreds of megabytes,
+// while this encoding stores a probe set in tens of bytes. The format is
+// versioned by a leading magic ("MLF1") so readers can auto-detect which
+// decoder to use.
+//
+// Layout (little-endian throughout):
+//
+//	magic "MLF1"
+//	meta: seed u64, probeDuration i32, probeInterval i32, clientDuration i32
+//	u32 network count, then per network:
+//	  name str, band u8, env u8, spacing f64
+//	  u32 AP count, per AP: name str, x f64, y f64, outdoor u8
+//	  u32 link count, per link: from u16, to u16, u32 set count,
+//	    per set: t i32, snr i16, std f32, obs count u8,
+//	      per obs: rate u8, loss f32
+//	u32 client-dataset count, then per dataset:
+//	  network str, env u8, duration i32, numAPs u16, u32 client count,
+//	    per client: id u32, u32 assoc count, per assoc: ap u16, start i32, end i32
+//
+// Strings are u16 length + bytes. Enumerations: band 0=bg 1=n;
+// env 0=indoor 1=outdoor 2=mixed.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"meshlab/internal/dataset"
+)
+
+// Magic identifies the format and version.
+var Magic = [4]byte{'M', 'L', 'F', '1'}
+
+var bandCodes = map[string]uint8{"bg": 0, "n": 1}
+var bandNames = map[uint8]string{0: "bg", 1: "n"}
+var envCodes = map[string]uint8{"indoor": 0, "outdoor": 1, "mixed": 2}
+var envNames = map[uint8]string{0: "indoor", 1: "outdoor", 2: "mixed"}
+
+// writer wraps buffered little-endian primitives with sticky errors.
+type writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (w *writer) u8(v uint8)    { w.bytes([]byte{v}) }
+func (w *writer) u16(v uint16)  { w.fixed(v) }
+func (w *writer) u32(v uint32)  { w.fixed(v) }
+func (w *writer) u64(v uint64)  { w.fixed(v) }
+func (w *writer) i16(v int16)   { w.fixed(v) }
+func (w *writer) i32(v int32)   { w.fixed(v) }
+func (w *writer) f32(v float32) { w.fixed(math.Float32bits(v)) }
+func (w *writer) f64(v float64) { w.fixed(math.Float64bits(v)) }
+
+func (w *writer) fixed(v any) {
+	if w.err != nil {
+		return
+	}
+	w.err = binary.Write(w.w, binary.LittleEndian, v)
+}
+
+func (w *writer) bytes(b []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(b)
+}
+
+func (w *writer) str(s string) {
+	if len(s) > math.MaxUint16 {
+		if w.err == nil {
+			w.err = fmt.Errorf("wire: string too long (%d bytes)", len(s))
+		}
+		return
+	}
+	w.u16(uint16(len(s)))
+	w.bytes([]byte(s))
+}
+
+// Write encodes the fleet in the binary format.
+func Write(out io.Writer, f *dataset.Fleet) error {
+	w := &writer{w: bufio.NewWriterSize(out, 1<<20)}
+	w.bytes(Magic[:])
+	w.u64(f.Meta.Seed)
+	w.i32(f.Meta.ProbeDuration)
+	w.i32(f.Meta.ProbeInterval)
+	w.i32(f.Meta.ClientDuration)
+
+	w.u32(uint32(len(f.Networks)))
+	for _, nd := range f.Networks {
+		band, ok := bandCodes[nd.Info.Band]
+		if !ok {
+			return fmt.Errorf("wire: unknown band %q", nd.Info.Band)
+		}
+		env, ok := envCodes[nd.Info.Env]
+		if !ok {
+			return fmt.Errorf("wire: unknown environment %q", nd.Info.Env)
+		}
+		if len(nd.Info.APs) > math.MaxUint16 {
+			return fmt.Errorf("wire: network %s too large", nd.Info.Name)
+		}
+		w.str(nd.Info.Name)
+		w.u8(band)
+		w.u8(env)
+		w.f64(nd.Info.Spacing)
+		w.u32(uint32(len(nd.Info.APs)))
+		for _, ap := range nd.Info.APs {
+			w.str(ap.Name)
+			w.f64(ap.X)
+			w.f64(ap.Y)
+			if ap.Outdoor {
+				w.u8(1)
+			} else {
+				w.u8(0)
+			}
+		}
+		w.u32(uint32(len(nd.Links)))
+		for _, l := range nd.Links {
+			w.u16(uint16(l.From))
+			w.u16(uint16(l.To))
+			w.u32(uint32(len(l.Sets)))
+			for _, ps := range l.Sets {
+				w.i32(ps.T)
+				w.i16(ps.SNR)
+				w.f32(ps.SNRStd)
+				if len(ps.Obs) > math.MaxUint8 {
+					return fmt.Errorf("wire: too many observations in a probe set")
+				}
+				w.u8(uint8(len(ps.Obs)))
+				for _, o := range ps.Obs {
+					w.u8(o.RateIdx)
+					w.f32(o.Loss)
+				}
+			}
+		}
+	}
+
+	w.u32(uint32(len(f.Clients)))
+	for _, cd := range f.Clients {
+		env, ok := envCodes[cd.Env]
+		if !ok {
+			return fmt.Errorf("wire: unknown environment %q", cd.Env)
+		}
+		w.str(cd.Network)
+		w.u8(env)
+		w.i32(cd.Duration)
+		w.u16(uint16(cd.NumAPs))
+		w.u32(uint32(len(cd.Clients)))
+		for _, cl := range cd.Clients {
+			w.u32(uint32(cl.ID))
+			w.u32(uint32(len(cl.Assocs)))
+			for _, a := range cl.Assocs {
+				w.u16(uint16(a.AP))
+				w.i32(a.Start)
+				w.i32(a.End)
+			}
+		}
+	}
+	if w.err != nil {
+		return fmt.Errorf("wire: %w", w.err)
+	}
+	return w.w.Flush()
+}
+
+// reader wraps buffered little-endian primitives with sticky errors.
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *reader) fixed(v any) {
+	if r.err != nil {
+		return
+	}
+	r.err = binary.Read(r.r, binary.LittleEndian, v)
+}
+
+func (r *reader) u8() uint8    { var v uint8; r.fixed(&v); return v }
+func (r *reader) u16() uint16  { var v uint16; r.fixed(&v); return v }
+func (r *reader) u32() uint32  { var v uint32; r.fixed(&v); return v }
+func (r *reader) u64() uint64  { var v uint64; r.fixed(&v); return v }
+func (r *reader) i16() int16   { var v int16; r.fixed(&v); return v }
+func (r *reader) i32() int32   { var v int32; r.fixed(&v); return v }
+func (r *reader) f32() float32 { var v uint32; r.fixed(&v); return math.Float32frombits(v) }
+func (r *reader) f64() float64 { var v uint64; r.fixed(&v); return math.Float64frombits(v) }
+
+func (r *reader) str() string {
+	n := int(r.u16())
+	if r.err != nil {
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		r.err = err
+		return ""
+	}
+	return string(b)
+}
+
+// count reads a u32 element count and sanity-bounds it so corrupt files
+// cannot trigger absurd allocations.
+func (r *reader) count(what string, limit uint32) int {
+	n := r.u32()
+	if r.err == nil && n > limit {
+		r.err = fmt.Errorf("implausible %s count %d", what, n)
+	}
+	return int(n)
+}
+
+// Read decodes a fleet from the binary format.
+func Read(in io.Reader) (*dataset.Fleet, error) {
+	r := &reader{r: bufio.NewReaderSize(in, 1<<20)}
+	var magic [4]byte
+	if _, err := io.ReadFull(r.r, magic[:]); err != nil {
+		return nil, fmt.Errorf("wire: magic: %w", err)
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("wire: bad magic %q (not a binary fleet file)", magic)
+	}
+	f := &dataset.Fleet{}
+	f.Meta.Seed = r.u64()
+	f.Meta.ProbeDuration = r.i32()
+	f.Meta.ProbeInterval = r.i32()
+	f.Meta.ClientDuration = r.i32()
+
+	nNets := r.count("network", 1<<20)
+	for i := 0; i < nNets && r.err == nil; i++ {
+		nd := &dataset.NetworkData{}
+		nd.Info.Name = r.str()
+		band := r.u8()
+		env := r.u8()
+		var ok bool
+		if nd.Info.Band, ok = bandNames[band]; !ok && r.err == nil {
+			return nil, fmt.Errorf("wire: unknown band code %d", band)
+		}
+		if nd.Info.Env, ok = envNames[env]; !ok && r.err == nil {
+			return nil, fmt.Errorf("wire: unknown env code %d", env)
+		}
+		nd.Info.Spacing = r.f64()
+		nAPs := r.count("AP", 1<<16)
+		for a := 0; a < nAPs && r.err == nil; a++ {
+			nd.Info.APs = append(nd.Info.APs, dataset.APInfo{
+				Name: r.str(), X: r.f64(), Y: r.f64(), Outdoor: r.u8() == 1,
+			})
+		}
+		nLinks := r.count("link", 1<<26)
+		for l := 0; l < nLinks && r.err == nil; l++ {
+			link := &dataset.Link{From: int(r.u16()), To: int(r.u16())}
+			nSets := r.count("probe set", 1<<26)
+			if r.err == nil && nSets > 0 {
+				link.Sets = make([]dataset.ProbeSet, 0, nSets)
+			}
+			for s := 0; s < nSets && r.err == nil; s++ {
+				ps := dataset.ProbeSet{T: r.i32(), SNR: r.i16(), SNRStd: r.f32()}
+				nObs := int(r.u8())
+				for o := 0; o < nObs && r.err == nil; o++ {
+					ps.Obs = append(ps.Obs, dataset.Obs{RateIdx: r.u8(), Loss: r.f32()})
+				}
+				link.Sets = append(link.Sets, ps)
+			}
+			nd.Links = append(nd.Links, link)
+		}
+		f.Networks = append(f.Networks, nd)
+	}
+
+	nClients := r.count("client dataset", 1<<20)
+	for i := 0; i < nClients && r.err == nil; i++ {
+		cd := &dataset.ClientData{}
+		cd.Network = r.str()
+		env := r.u8()
+		var ok bool
+		if cd.Env, ok = envNames[env]; !ok && r.err == nil {
+			return nil, fmt.Errorf("wire: unknown env code %d", env)
+		}
+		cd.Duration = r.i32()
+		cd.NumAPs = int(r.u16())
+		n := r.count("client", 1<<24)
+		for c := 0; c < n && r.err == nil; c++ {
+			cl := dataset.ClientLog{ID: int(r.u32())}
+			na := r.count("association", 1<<24)
+			for a := 0; a < na && r.err == nil; a++ {
+				cl.Assocs = append(cl.Assocs, dataset.Assoc{
+					AP: int32(r.u16()), Start: r.i32(), End: r.i32(),
+				})
+			}
+			cd.Clients = append(cd.Clients, cl)
+		}
+		f.Clients = append(f.Clients, cd)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("wire: %w", r.err)
+	}
+	return f, nil
+}

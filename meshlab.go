@@ -1,0 +1,128 @@
+// Package meshlab reproduces the measurement study "Measurement and
+// Analysis of Real-World 802.11 Mesh Networks" (LaCurts, MIT, 2010; the
+// thesis version of the IMC 2010 paper by LaCurts & Balakrishnan).
+//
+// The original study analyzed 24 hours of inter-AP probe data from 1407
+// APs in 110 production Meraki mesh networks plus an 11-hour client
+// association snapshot. That data is proprietary, so meshlab regenerates
+// its statistical structure from a calibrated physical model (see
+// DESIGN.md) and re-implements the full analysis pipeline:
+//
+//   - §4 SNR-based bit rate adaptation: look-up tables at four training
+//     scopes, throughput penalties, online table strategies.
+//   - §5 opportunistic routing: ETX1/ETX2 shortest paths versus an
+//     idealized ExOR cost recursion.
+//   - §6 hidden triples and rate-dependent range.
+//   - §7 client mobility: prevalence and persistence.
+//
+// The typical flow is: generate (or load) a Fleet, wrap it in an Analysis,
+// and run experiments by their paper artifact ID:
+//
+//	fleet, err := meshlab.GenerateFleet(meshlab.QuickOptions(42))
+//	...
+//	a := meshlab.NewAnalysis(fleet)
+//	res, err := a.Run("fig5.1")
+//	fmt.Print(res.Format())
+//
+// Every table and figure of the thesis's evaluation has a runner; see
+// ExperimentIDs and EXPERIMENTS.md.
+package meshlab
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"meshlab/internal/dataset"
+	"meshlab/internal/experiments"
+	"meshlab/internal/synth"
+	"meshlab/internal/wire"
+)
+
+// Fleet is a synthetic dataset: per-network probe data (§3.1) and
+// aggregate client data (§3.2).
+type Fleet = dataset.Fleet
+
+// Options configures fleet generation; see QuickOptions and
+// ReferenceOptions for calibrated presets.
+type Options = synth.Options
+
+// Analysis wraps a fleet with memoized derived state and runs experiments
+// against it.
+type Analysis = experiments.Context
+
+// Result is one regenerated table or figure.
+type Result = experiments.Result
+
+// QuickOptions returns a small, fast configuration (12 networks, 4-hour
+// probe snapshot): seconds to generate, suitable for tests and examples.
+func QuickOptions(seed uint64) Options { return synth.Quick(seed) }
+
+// ReferenceOptions returns the thesis-scale configuration: the
+// 110-network fleet with a 24-hour probe snapshot and 11-hour client
+// snapshot. Generation takes on the order of a minute and the dataset
+// occupies a few hundred MB in memory.
+func ReferenceOptions(seed uint64) Options { return synth.Reference(seed) }
+
+// GenerateFleet synthesizes a dataset. Equal options (including seed)
+// produce byte-identical fleets.
+func GenerateFleet(opts Options) (*Fleet, error) { return synth.Generate(opts) }
+
+// NewAnalysis prepares a fleet for experiment runs.
+func NewAnalysis(f *Fleet) *Analysis { return experiments.NewContext(f) }
+
+// ExperimentIDs lists every reproducible table/figure ID in paper order.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// WriteFleet serializes a fleet in the JSON-lines dataset format.
+func WriteFleet(w io.Writer, f *Fleet) error { return dataset.Write(w, f) }
+
+// WriteFleetBinary serializes a fleet in the compact binary format, which
+// is several times smaller than JSON lines; prefer it for reference-scale
+// datasets.
+func WriteFleetBinary(w io.Writer, f *Fleet) error { return wire.Write(w, f) }
+
+// ReadFleet parses a fleet in either supported format, sniffing the
+// binary format's magic.
+func ReadFleet(r io.Reader) (*Fleet, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	head, err := br.Peek(len(wire.Magic))
+	if err != nil {
+		return nil, fmt.Errorf("meshlab: %w", err)
+	}
+	if bytes.Equal(head, wire.Magic[:]) {
+		return wire.Read(br)
+	}
+	return dataset.Read(br)
+}
+
+// SaveFleet writes a fleet to a file: the binary format when the path
+// ends in ".bin", JSON lines otherwise.
+func SaveFleet(path string, f *Fleet) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("meshlab: %w", err)
+	}
+	defer file.Close()
+	write := dataset.Write
+	if strings.HasSuffix(path, ".bin") {
+		write = wire.Write
+	}
+	if err := write(file, f); err != nil {
+		return err
+	}
+	return file.Close()
+}
+
+// LoadFleet reads a fleet from a file in either format.
+func LoadFleet(path string) (*Fleet, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("meshlab: %w", err)
+	}
+	defer file.Close()
+	return ReadFleet(file)
+}

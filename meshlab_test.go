@@ -1,0 +1,141 @@
+package meshlab
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEndToEndQuick(t *testing.T) {
+	fleet, err := GenerateFleet(QuickOptions(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalysis(fleet)
+	res, err := a.Run("fig5.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "fig5.1" || len(res.Rows) == 0 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}
+
+func TestExperimentIDsNonEmpty(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 20 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+}
+
+func TestFleetIORoundTrip(t *testing.T) {
+	fleet, err := GenerateFleet(QuickOptions(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFleet(&buf, fleet); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFleet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumProbeSets() != fleet.NumProbeSets() {
+		t.Fatalf("probe sets changed across round trip: %d vs %d",
+			got.NumProbeSets(), fleet.NumProbeSets())
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveLoadFleet(t *testing.T) {
+	fleet, err := GenerateFleet(QuickOptions(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fleet.jsonl")
+	if err := SaveFleet(path, fleet); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFleet(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Networks) != len(fleet.Networks) {
+		t.Fatal("network count changed across save/load")
+	}
+	if _, err := LoadFleet(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Fatal("loading a missing file should error")
+	}
+}
+
+func TestOptionsPresets(t *testing.T) {
+	q := QuickOptions(1)
+	r := ReferenceOptions(1)
+	if q.Fleet.NumNetworks >= r.Fleet.NumNetworks {
+		t.Fatal("quick preset should be smaller than reference")
+	}
+	if r.Fleet.NumNetworks != 110 {
+		t.Fatalf("reference fleet size %d, want the thesis's 110", r.Fleet.NumNetworks)
+	}
+}
+
+func TestBinaryRoundTripViaFacade(t *testing.T) {
+	fleet, err := GenerateFleet(QuickOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fleet.bin")
+	if err := SaveFleet(path, fleet); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFleet(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumProbeSets() != fleet.NumProbeSets() {
+		t.Fatal("binary round trip changed the dataset")
+	}
+	// The same LoadFleet must also read JSONL transparently.
+	jpath := filepath.Join(t.TempDir(), "fleet.jsonl")
+	if err := SaveFleet(jpath, fleet); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := LoadFleet(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.NumProbeSets() != fleet.NumProbeSets() {
+		t.Fatal("jsonl round trip changed the dataset")
+	}
+	// Binary should be much smaller.
+	bi, _ := os.Stat(path)
+	ji, _ := os.Stat(jpath)
+	if bi.Size()*2 > ji.Size() {
+		t.Fatalf("binary %d bytes should be well under JSONL %d", bi.Size(), ji.Size())
+	}
+}
+
+func TestWriteFleetBinaryStream(t *testing.T) {
+	fleet, err := GenerateFleet(QuickOptions(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFleetBinary(&buf, fleet); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFleet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Networks) != len(fleet.Networks) {
+		t.Fatal("stream binary round trip failed")
+	}
+}
