@@ -1,12 +1,12 @@
 package meshlab
 
 // The bench harness regenerates every table and figure of the thesis's
-// evaluation, one benchmark per artifact (see DESIGN.md §4 for the
-// experiment index). Each iteration runs the experiment end to end against
-// a shared quick-scale fleet, so the reported ns/op is the cost of
-// regenerating that artifact from raw probe/client data (with the
-// context's memoized routing solutions reset each iteration via a fresh
-// Analysis).
+// evaluation, one benchmark per artifact (ExperimentIDs lists the index;
+// PERF.md records the optimization trajectory). Each iteration runs the
+// experiment end to end against a shared quick-scale fleet, so the
+// reported ns/op is the cost of regenerating that artifact from raw
+// probe/client data (with the context's memoized routing solutions reset
+// each iteration via a fresh Analysis).
 //
 // Run with:
 //
@@ -14,6 +14,9 @@ package meshlab
 import (
 	"sync"
 	"testing"
+
+	"meshlab/internal/rng"
+	"meshlab/internal/routing"
 )
 
 var benchOnce sync.Once
@@ -81,7 +84,8 @@ func BenchmarkFig7_3(b *testing.B) { benchExperiment(b, "fig7.3") }
 func BenchmarkFig7_4(b *testing.B) { benchExperiment(b, "fig7.4") }
 func BenchmarkFig7_5(b *testing.B) { benchExperiment(b, "fig7.5") }
 
-// Ablations — design-choice validation (DESIGN.md §5).
+// Ablations — design-choice validation (see the internal/experiments
+// ablation runners).
 
 func BenchmarkAblationOffsets(b *testing.B)   { benchExperiment(b, "abl4.off") }
 func BenchmarkAblationBursts(b *testing.B)    { benchExperiment(b, "abl4.burst") }
@@ -111,5 +115,60 @@ func BenchmarkRunAllExperiments(b *testing.B) {
 		if _, err := NewAnalysis(fleet).RunAll(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRunAllExperimentsParallel is the parallel counterpart of
+// BenchmarkRunAllExperiments: same work, fanned across GOMAXPROCS
+// workers. On a single core it should match the serial run; on multicore
+// it should scale with the worker pool.
+func BenchmarkRunAllExperimentsParallel(b *testing.B) {
+	fleet := benchmarkFleet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewAnalysis(fleet).RunAllParallel(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Routing hot-path microbenchmarks (the §5 core the experiment suite
+// leans on; see PERF.md for the before/after trajectory).
+
+// benchMatrix builds a deterministic sparse 50-node success matrix with
+// mild asymmetry, the shape SuccessMatrices produces for a large network.
+func benchMatrix() routing.Matrix {
+	const n = 50
+	r := rng.New(7)
+	m := routing.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Bool(0.3) {
+				continue // out of radio range
+			}
+			base := 0.1 + 0.85*r.Float64()
+			m.Set(i, j, base)
+			m.Set(j, i, base*0.9)
+		}
+	}
+	return m
+}
+
+func BenchmarkAllPairs(b *testing.B) {
+	m := benchMatrix()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = routing.AllPairs(m, routing.ETX1)
+	}
+}
+
+func BenchmarkExORToDest(b *testing.B) {
+	m := benchMatrix()
+	etx := routing.AllPairs(m, routing.ETX1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = routing.ExORToDest(m, etx, 0)
 	}
 }

@@ -6,6 +6,10 @@
 //
 //	meshreport -seed 42 -scale quick -out EXPERIMENTS.md
 //	meshreport -data fleet.jsonl -out EXPERIMENTS.md
+//	meshreport -scale quick -workers 1 -out EXPERIMENTS.md   # serial run
+//
+// Experiments fan out across a worker pool (-workers, default all cores);
+// the output is byte-identical at any pool size.
 package main
 
 import (
@@ -134,10 +138,11 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("meshreport", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		data  = fs.String("data", "", "dataset file (empty: generate from -seed/-scale)")
-		seed  = fs.Uint64("seed", 42, "generation seed when -data is empty")
-		scale = fs.String("scale", "quick", "generation scale when -data is empty: quick|reference")
-		out   = fs.String("out", "EXPERIMENTS.md", "output markdown path")
+		data    = fs.String("data", "", "dataset file (empty: generate from -seed/-scale)")
+		seed    = fs.Uint64("seed", 42, "generation seed when -data is empty")
+		scale   = fs.String("scale", "quick", "generation scale when -data is empty: quick|reference")
+		out     = fs.String("out", "EXPERIMENTS.md", "output markdown path")
+		workers = fs.Int("workers", 0, "experiment worker pool size (0: all cores, 1: serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -150,7 +155,9 @@ func run(args []string, stdout io.Writer) error {
 
 	a := meshlab.NewAnalysis(fleet)
 	start := time.Now()
-	results, err := a.RunAll()
+	// The parallel runner produces byte-identical results in the same
+	// paper order, so the report does not depend on -workers.
+	results, err := a.RunAllParallel(*workers)
 	if err != nil {
 		return err
 	}
@@ -159,8 +166,8 @@ func run(args []string, stdout io.Writer) error {
 	b.WriteString("# EXPERIMENTS — paper vs. measured\n\n")
 	b.WriteString("Reproduction of every evaluation table and figure in *Measurement and\n")
 	b.WriteString("Analysis of Real-World 802.11 Mesh Networks* (LaCurts, 2010), regenerated\n")
-	b.WriteString("from the synthetic fleet substrate (see DESIGN.md for the substitution\n")
-	b.WriteString("rationale). Absolute values differ from the thesis — the substrate is a\n")
+	b.WriteString("from the synthetic fleet substrate (see the meshlab package docs for the\n")
+	b.WriteString("substitution rationale). Absolute values differ from the thesis — the substrate is a\n")
 	b.WriteString("calibrated simulator, not 1407 production radios — but each artifact's\n")
 	b.WriteString("*shape* (orderings, crossovers, rough factors) is the reproduction target\n")
 	b.WriteString("and is noted per experiment.\n\n")

@@ -65,7 +65,7 @@ func main() {
 				if c == b || !g.Hears(c, b) {
 					continue
 				}
-				sense := (m[a][c] + m[c][a]) / 2
+				sense := (m.At(a, c) + m.At(c, a)) / 2
 				pen := mac.HiddenPenalty(root.SplitN("triple", idx), sense, 20000)
 				idx++
 				if g.Hears(a, c) {

@@ -1,0 +1,3 @@
+module meshlab
+
+go 1.24

@@ -40,9 +40,9 @@ func ETXPacket(r *rng.Stream, m routing.Matrix, paths *routing.Paths, s, d int) 
 		if next < 0 {
 			return 0, ErrUnreachable
 		}
-		p := m[cur][next]
+		p := m.At(cur, next)
 		if paths.Variant == routing.ETX2 {
-			p *= m[next][cur]
+			p *= m.At(next, cur)
 		}
 		for {
 			tx++
@@ -80,8 +80,9 @@ func ExORPacket(r *rng.Stream, m routing.Matrix, paths *routing.Paths, s, d int)
 			dist float64
 		}
 		var cands []cand
+		row := m.Row(cur)
 		for c := 0; c < n; c++ {
-			if c == cur || m[cur][c] <= 0 {
+			if c == cur || row[c] <= 0 {
 				continue
 			}
 			if paths.Dist[c][d] < paths.Dist[cur][d] {
@@ -99,7 +100,7 @@ func ExORPacket(r *rng.Stream, m routing.Matrix, paths *routing.Paths, s, d int)
 		}
 		best, bestDist := -1, math.Inf(1)
 		for _, c := range cands {
-			if r.Bool(m[cur][c.node]) && c.dist < bestDist {
+			if r.Bool(m.At(cur, c.node)) && c.dist < bestDist {
 				best, bestDist = c.node, c.dist
 			}
 		}

@@ -11,9 +11,12 @@ import (
 // lineMatrix is the thesis's §5.2.2 worked example.
 func lineMatrix() routing.Matrix {
 	m := routing.NewMatrix(3)
-	m[0][1], m[1][0] = 0.9, 0.9
-	m[1][2], m[2][1] = 0.9, 0.9
-	m[0][2], m[2][0] = 0.3, 0.3
+	m.Set(0, 1, 0.9)
+	m.Set(1, 0, 0.9)
+	m.Set(1, 2, 0.9)
+	m.Set(2, 1, 0.9)
+	m.Set(0, 2, 0.3)
+	m.Set(2, 0, 0.3)
 	return m
 }
 
@@ -52,7 +55,7 @@ func TestSelfDelivery(t *testing.T) {
 
 func TestUnreachable(t *testing.T) {
 	m := routing.NewMatrix(3)
-	m[0][1] = 0.9
+	m.Set(0, 1, 0.9)
 	paths := routing.AllPairs(m, routing.ETX1)
 	r := rng.New(3)
 	if _, err := ETXPacket(r, m, paths, 0, 2); err != ErrUnreachable {
@@ -69,7 +72,8 @@ func TestUnreachable(t *testing.T) {
 func TestETX2SimulationMatchesAnalytic(t *testing.T) {
 	// Two nodes with asymmetric delivery: ETX2 = 1/(pf·pr).
 	m := routing.NewMatrix(2)
-	m[0][1], m[1][0] = 0.8, 0.5
+	m.Set(0, 1, 0.8)
+	m.Set(1, 0, 0.5)
 	r := rng.New(4)
 	meanETX, _, err := MonteCarlo(r, m, routing.ETX2, 0, 1, 40000)
 	if err != nil {
@@ -90,8 +94,8 @@ func randomMatrix(seed uint64, n int) routing.Matrix {
 				continue
 			}
 			base := 0.2 + 0.75*r.Float64()
-			m[i][j] = base
-			m[j][i] = math.Min(0.95, math.Max(0.05, base+0.1*r.NormFloat64()))
+			m.Set(i, j, base)
+			m.Set(j, i, math.Min(0.95, math.Max(0.05, base+0.1*r.NormFloat64())))
 		}
 	}
 	return m

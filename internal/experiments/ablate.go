@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"meshlab/internal/dataset"
 	"meshlab/internal/phy"
@@ -21,21 +22,23 @@ func init() {
 	register("abl5.sym", "Ablation: link asymmetry drives the ETX1/ETX2 improvement gap", abl5sym)
 }
 
-// ablationFleet generates (and caches) a small probe-only b/g fleet with
-// the given radio-parameter mutation. Ablations deliberately use their own
-// fixed-seed fleets rather than the context's, so that the default and
-// ablated runs differ only in the mutated physics.
-func (c *Context) ablationFleet(name string, mutate func(*radio.Params)) (*dataset.Fleet, error) {
-	c.mu.Lock()
-	if c.abl == nil {
-		c.abl = make(map[string]*dataset.Fleet)
-	}
-	if f, ok := c.abl[name]; ok {
-		c.mu.Unlock()
-		return f, nil
-	}
-	c.mu.Unlock()
+// ablFleets caches ablation fleets process-wide: they are pure functions
+// of the variant name (fixed seed, fixed options), independent of the
+// context's fleet, so regenerating them per Context would only repeat
+// identical synthesis work.
+var ablFleets sync.Map // string → *memo[*dataset.Fleet]
 
+// ablationFleet generates (and caches, process-wide) a small probe-only
+// b/g fleet with the given radio-parameter mutation. Ablations
+// deliberately use their own fixed-seed fleets rather than the context's,
+// so that the default and ablated runs differ only in the mutated physics.
+func ablationFleet(name string, mutate func(*radio.Params)) (*dataset.Fleet, error) {
+	return memoCell[*dataset.Fleet](&ablFleets, name).get(func() (*dataset.Fleet, error) {
+		return generateAblationFleet(mutate)
+	})
+}
+
+func generateAblationFleet(mutate func(*radio.Params)) (*dataset.Fleet, error) {
 	opts := synth.Options{
 		Seed: 9090,
 		Fleet: topology.FleetConfig{
@@ -57,14 +60,7 @@ func (c *Context) ablationFleet(name string, mutate func(*radio.Params)) (*datas
 			return p
 		}
 	}
-	f, err := synth.Generate(opts)
-	if err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	c.abl[name] = f
-	c.mu.Unlock()
-	return f, nil
+	return synth.Generate(opts)
 }
 
 // abl4off removes the hidden per-link environment offsets and measures how
@@ -81,7 +77,7 @@ func abl4off(c *Context) (*Result, error) {
 		{"default", nil},
 		{"no-offsets", func(p *radio.Params) { p.DisableOffsets = true }},
 	} {
-		fleet, err := c.ablationFleet(v.name, v.mutate)
+		fleet, err := ablationFleet(v.name, v.mutate)
 		if err != nil {
 			return nil, err
 		}
@@ -114,7 +110,7 @@ func abl4burst(c *Context) (*Result, error) {
 		{"default", nil},
 		{"no-bursts", func(p *radio.Params) { p.DisableBursts = true }},
 	} {
-		fleet, err := c.ablationFleet(v.name, v.mutate)
+		fleet, err := ablationFleet(v.name, v.mutate)
 		if err != nil {
 			return nil, err
 		}
@@ -176,7 +172,7 @@ func abl5sym(c *Context) (*Result, error) {
 			p.DisableBursts = true
 		}},
 	} {
-		fleet, err := c.ablationFleet(v.name, v.mutate)
+		fleet, err := ablationFleet(v.name, v.mutate)
 		if err != nil {
 			return nil, err
 		}

@@ -63,12 +63,13 @@ func TestAblationSymmetry(t *testing.T) {
 }
 
 func TestAblationFleetCached(t *testing.T) {
-	ctx := NewContext(quickFleet(t))
-	a, err := ctx.ablationFleet("default", nil)
+	// The cache is process-wide: repeated requests — even across
+	// contexts — must return the same fleet instance.
+	a, err := ablationFleet("default", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := ctx.ablationFleet("default", nil)
+	b, err := ablationFleet("default", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

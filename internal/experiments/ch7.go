@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"meshlab/internal/mobility"
 	"meshlab/internal/stats"
 )
 
@@ -13,16 +12,6 @@ func init() {
 	register("fig7.3", "Prevalence CDF, indoor vs outdoor", fig73)
 	register("fig7.4", "Persistence CDF, indoor vs outdoor", fig74)
 	register("fig7.5", "Prevalence versus persistence per client", fig75)
-}
-
-// analysis runs the §7 aggregation once per context.
-func (c *Context) analysis() *mobility.Analysis {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.mob == nil {
-		c.mob = mobility.Analyze(c.Fleet.Clients, mobility.DefaultGap)
-	}
-	return c.mob
 }
 
 // fig71 reproduces Figure 7.1: the histogram of distinct APs visited per

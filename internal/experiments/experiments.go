@@ -7,9 +7,11 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"meshlab/internal/dataset"
 	"meshlab/internal/mobility"
@@ -30,7 +32,8 @@ type Result struct {
 	Notes []string
 }
 
-// Format renders the result as aligned plain text.
+// Format renders the result as aligned plain text. Rows may carry more
+// cells than the header; the extra cells render unpadded.
 func (r *Result) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
@@ -50,7 +53,11 @@ func (r *Result) Format() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
 		}
 		b.WriteString("\n")
 	}
@@ -71,9 +78,15 @@ type runner struct {
 	run   func(*Context) (*Result, error)
 }
 
-var registry []runner
+var (
+	registry []runner
+	// byID indexes the registry for O(1) lookup in Run. It is built
+	// incrementally by register, which only runs from package init.
+	byID = make(map[string]int)
+)
 
 func register(id, title string, run func(*Context) (*Result, error)) {
+	byID[id] = len(registry)
 	registry = append(registry, runner{id: id, title: title, run: run})
 }
 
@@ -90,11 +103,19 @@ var paperOrder = []string{
 	"ext4.topk", "ext5.ett", "ext6.mac",
 }
 
+// rankOf maps each known ID to its paper-order position, replacing the
+// seed's linear scan per comparison.
+var rankOf = func() map[string]int {
+	m := make(map[string]int, len(paperOrder))
+	for i, id := range paperOrder {
+		m[id] = i
+	}
+	return m
+}()
+
 func rank(id string) int {
-	for i, v := range paperOrder {
-		if v == id {
-			return i
-		}
+	if r, ok := rankOf[id]; ok {
+		return r
 	}
 	return len(paperOrder) // unknown IDs sort after the known set
 }
@@ -109,50 +130,71 @@ func IDs() []string {
 	return out
 }
 
+// memo is a per-key memoization cell: the first caller computes, every
+// later (or concurrent) caller blocks on the sync.Once and shares the
+// result. Unlike a single context-wide mutex, independent keys never
+// serialize on each other.
+type memo[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func (m *memo[T]) get(f func() (T, error)) (T, error) {
+	m.once.Do(func() { m.val, m.err = f() })
+	return m.val, m.err
+}
+
+// memoCell returns the memo stored in m under key, creating it on first use.
+func memoCell[T any](m *sync.Map, key any) *memo[T] {
+	if v, ok := m.Load(key); ok {
+		return v.(*memo[T])
+	}
+	v, _ := m.LoadOrStore(key, new(memo[T]))
+	return v.(*memo[T])
+}
+
 // Context holds a fleet and memoized derived data shared across
 // experiments, so running the full suite does not recompute the expensive
-// routing solutions per figure.
+// routing solutions per figure. Memoization is sharded per key through
+// sync.Once cells, so concurrent experiments block each other only when
+// they need the same derived value.
 type Context struct {
 	Fleet *dataset.Fleet
 
-	mu        sync.Mutex
-	samplesBG []snr.Sample
-	samplesN  []snr.Sample
-	matrices  map[*dataset.NetworkData]map[int]routing.Matrix
-	improved  map[impKey][]routing.PairResult
-	mob       *mobility.Analysis
-	abl       map[string]*dataset.Fleet
+	samplesBG memo[[]snr.Sample]
+	samplesN  memo[[]snr.Sample]
+	mob       memo[*mobility.Analysis]
+	matrices  sync.Map // *dataset.NetworkData → *memo[map[int]routing.Matrix]
+	improved  sync.Map // *dataset.NetworkData → *memo[map[impKey][]routing.PairResult]
 }
 
+// impKey identifies one (rate, ETX variant) routing comparison of a
+// network.
 type impKey struct {
-	nd      *dataset.NetworkData
 	rate    int
 	variant routing.Variant
 }
 
 // NewContext wraps a fleet for experiment runs.
 func NewContext(f *dataset.Fleet) *Context {
-	return &Context{
-		Fleet:    f,
-		matrices: make(map[*dataset.NetworkData]map[int]routing.Matrix),
-		improved: make(map[impKey][]routing.PairResult),
-	}
+	return &Context{Fleet: f}
 }
 
 // Run executes the experiment with the given ID.
 func (c *Context) Run(id string) (*Result, error) {
-	for _, r := range registry {
-		if r.id == id {
-			res, err := r.run(c)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s: %w", id, err)
-			}
-			res.ID = r.id
-			res.Title = r.title
-			return res, nil
-		}
+	i, ok := byID[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
 	}
-	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	r := registry[i]
+	res, err := r.run(c)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	res.ID = r.id
+	res.Title = r.title
+	return res, nil
 }
 
 // RunAll executes every experiment in paper order.
@@ -168,68 +210,106 @@ func (c *Context) RunAll() ([]*Result, error) {
 	return out, nil
 }
 
-// SamplesBG returns the flattened 802.11b/g probe samples, memoized.
-func (c *Context) SamplesBG() ([]snr.Sample, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.samplesBG == nil {
-		s, err := snr.Flatten(c.Fleet.ByBand("bg"))
+// RunAllParallel executes every experiment across a bounded worker pool
+// (workers ≤ 0 means GOMAXPROCS) and returns the results in the same
+// paper order as RunAll. Every runner is deterministic and the context's
+// memoization is keyed by what is computed — not by who computes it first —
+// so the output tables are byte-identical to a serial run.
+func (c *Context) RunAllParallel(workers int) ([]*Result, error) {
+	ids := IDs()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	if workers <= 1 {
+		return c.RunAll()
+	}
+	results := make([]*Result, len(ids))
+	errs := make([]error, len(ids))
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) || failed.Load() {
+					return
+				}
+				results[i], errs[i] = c.Run(ids[i])
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Surface the error of the earliest experiment in paper order, so the
+	// reported failure does not depend on worker scheduling.
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		c.samplesBG = s
 	}
-	return c.samplesBG, nil
+	return results, nil
+}
+
+// SamplesBG returns the flattened 802.11b/g probe samples, memoized.
+func (c *Context) SamplesBG() ([]snr.Sample, error) {
+	return c.samplesBG.get(func() ([]snr.Sample, error) {
+		return snr.Flatten(c.Fleet.ByBand("bg"))
+	})
 }
 
 // SamplesN returns the flattened 802.11n probe samples, memoized.
 func (c *Context) SamplesN() ([]snr.Sample, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.samplesN == nil {
-		s, err := snr.Flatten(c.Fleet.ByBand("n"))
-		if err != nil {
-			return nil, err
-		}
-		c.samplesN = s
-	}
-	return c.samplesN, nil
+	return c.samplesN.get(func() ([]snr.Sample, error) {
+		return snr.Flatten(c.Fleet.ByBand("n"))
+	})
 }
 
 // Matrices returns a network's per-rate mean success matrices, memoized.
 func (c *Context) Matrices(nd *dataset.NetworkData) (map[int]routing.Matrix, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if m, ok := c.matrices[nd]; ok {
-		return m, nil
-	}
-	m, err := routing.SuccessMatrices(nd)
-	if err != nil {
-		return nil, err
-	}
-	c.matrices[nd] = m
-	return m, nil
+	return memoCell[map[int]routing.Matrix](&c.matrices, nd).get(func() (map[int]routing.Matrix, error) {
+		return routing.SuccessMatrices(nd)
+	})
 }
 
 // Improvements returns a network's opportunistic-routing comparison at one
-// rate and variant, memoized.
+// rate and variant. The first request for a network computes every
+// (rate, variant) pair of that network in one pass — the §5 figures sweep
+// all of them anyway — so each matrix's all-pairs solution is built
+// exactly once per context, no matter how many experiments ask.
 func (c *Context) Improvements(nd *dataset.NetworkData, rate int, v routing.Variant) ([]routing.PairResult, error) {
-	key := impKey{nd: nd, rate: rate, variant: v}
-	c.mu.Lock()
-	if r, ok := c.improved[key]; ok {
-		c.mu.Unlock()
-		return r, nil
-	}
-	c.mu.Unlock()
-	ms, err := c.Matrices(nd)
+	all, err := memoCell[map[impKey][]routing.PairResult](&c.improved, nd).get(func() (map[impKey][]routing.PairResult, error) {
+		ms, err := c.Matrices(nd)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[impKey][]routing.PairResult, 2*len(ms))
+		for _, variant := range []routing.Variant{routing.ETX1, routing.ETX2} {
+			for ri, m := range ms {
+				out[impKey{rate: ri, variant: variant}] = routing.Improvements(m, variant)
+			}
+		}
+		return out, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	res := routing.Improvements(ms[rate], v)
-	c.mu.Lock()
-	c.improved[key] = res
-	c.mu.Unlock()
-	return res, nil
+	return all[impKey{rate: rate, variant: v}], nil
+}
+
+// analysis runs the §7 mobility aggregation once per context.
+func (c *Context) analysis() *mobility.Analysis {
+	a, _ := c.mob.get(func() (*mobility.Analysis, error) {
+		return mobility.Analyze(c.Fleet.Clients, mobility.DefaultGap), nil
+	})
+	return a
 }
 
 // routableBG returns the b/g networks with at least five APs, the

@@ -518,3 +518,69 @@ func TestFig72ConnectionMix(t *testing.T) {
 		t.Fatalf("full-duration fraction %v, paper reports ≈0.6", v)
 	}
 }
+
+func TestFormatRowWiderThanHeader(t *testing.T) {
+	// Regression: a row with more cells than the header used to panic with
+	// index-out-of-range inside Format's render pass.
+	r := &Result{
+		ID: "x", Title: "wide rows",
+		Header: []string{"a", "b"},
+		Rows: [][]string{
+			{"1", "2", "extra", "cells"},
+			{"3"},
+		},
+		Notes: []string{"n"},
+	}
+	out := r.Format()
+	for _, want := range []string{"extra", "cells", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunAllParallelMatchesSerial is the §5-determinism contract: the
+// parallel runner must produce byte-identical tables to a serial run on
+// the same fleet, regardless of worker count. Run with -race to also
+// exercise the sharded memoization under concurrency.
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	fleet := quickFleet(t)
+	serial, err := NewContext(fleet).RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 3} {
+		parallel, err := NewContext(fleet).RunAllParallel(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parallel) != len(serial) {
+			t.Fatalf("workers=%d: %d results vs %d serial", workers, len(parallel), len(serial))
+		}
+		for i := range serial {
+			if got, want := parallel[i].Format(), serial[i].Format(); got != want {
+				t.Fatalf("workers=%d: %s diverged from serial run:\n--- parallel ---\n%s\n--- serial ---\n%s",
+					workers, serial[i].ID, got, want)
+			}
+		}
+	}
+}
+
+func TestRunAllParallelPropagatesErrors(t *testing.T) {
+	// An empty fleet makes several experiments fail; the parallel runner
+	// must surface an error rather than return partial results.
+	ctx := NewContext(&dataset.Fleet{})
+	if _, err := ctx.RunAllParallel(4); err == nil {
+		t.Fatal("empty fleet should error")
+	}
+}
+
+func BenchmarkRunAllQuickParallel(b *testing.B) {
+	f := quickFleet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewContext(f).RunAllParallel(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

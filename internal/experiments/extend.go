@@ -128,7 +128,7 @@ func ext6mac(c *Context) (*Result, error) {
 						continue
 					}
 					// (a, b, d) is a relevant triple with center b.
-					sense := (m[a][d] + m[d][a]) / 2
+					sense := (m.At(a, d) + m.At(d, a)) / 2
 					pen := mac.HiddenPenalty(r.SplitN(nd.Info.Name, sampled), sense, slots)
 					if g.Hears(a, d) {
 						openPens = append(openPens, pen)

@@ -17,10 +17,10 @@ import (
 )
 
 // Graph is a symmetric hearing relation over a network's APs at one rate
-// and threshold.
+// and threshold, stored as a flat row-major boolean matrix.
 type Graph struct {
 	n    int
-	hear [][]bool
+	hear []bool
 }
 
 // HearingGraph thresholds a success matrix into a hearing graph: i and j
@@ -28,16 +28,13 @@ type Graph struct {
 // exceeds threshold.
 func HearingGraph(m routing.Matrix, threshold float64) *Graph {
 	n := m.Size()
-	g := &Graph{n: n, hear: make([][]bool, n)}
-	for i := range g.hear {
-		g.hear[i] = make([]bool, n)
-	}
+	g := &Graph{n: n, hear: make([]bool, n*n)}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			p := (m[i][j] + m[j][i]) / 2
+			p := (m.At(i, j) + m.At(j, i)) / 2
 			if p > threshold {
-				g.hear[i][j] = true
-				g.hear[j][i] = true
+				g.hear[i*n+j] = true
+				g.hear[j*n+i] = true
 			}
 		}
 	}
@@ -49,7 +46,7 @@ func (g *Graph) Hears(i, j int) bool {
 	if i == j || i < 0 || j < 0 || i >= g.n || j >= g.n {
 		return false
 	}
-	return g.hear[i][j]
+	return g.hear[i*g.n+j]
 }
 
 // Size returns the node count.
@@ -60,8 +57,9 @@ func (g *Graph) Size() int { return g.n }
 func (g *Graph) Range() int {
 	count := 0
 	for i := 0; i < g.n; i++ {
+		row := g.hear[i*g.n : (i+1)*g.n]
 		for j := i + 1; j < g.n; j++ {
-			if g.hear[i][j] {
+			if row[j] {
 				count++
 			}
 		}
@@ -73,18 +71,21 @@ func (g *Graph) Range() int {
 // the center B) and how many of those are hidden (A and C do not hear each
 // other). Triples are counted once per unordered {A, C} pair per center.
 func (g *Graph) CountTriples() (relevant, hidden int) {
+	nbrs := make([]int, 0, g.n)
 	for b := 0; b < g.n; b++ {
 		// Neighbors of the center.
-		var nbrs []int
-		for a := 0; a < g.n; a++ {
-			if g.hear[b][a] {
+		nbrs = nbrs[:0]
+		row := g.hear[b*g.n : (b+1)*g.n]
+		for a, h := range row {
+			if h {
 				nbrs = append(nbrs, a)
 			}
 		}
 		for x := 0; x < len(nbrs); x++ {
+			hrow := g.hear[nbrs[x]*g.n : (nbrs[x]+1)*g.n]
 			for y := x + 1; y < len(nbrs); y++ {
 				relevant++
-				if !g.hear[nbrs[x]][nbrs[y]] {
+				if !hrow[nbrs[y]] {
 					hidden++
 				}
 			}

@@ -11,9 +11,12 @@ import (
 // A,C do not: the canonical hidden triple.
 func chainMatrix() routing.Matrix {
 	m := routing.NewMatrix(3)
-	m[0][1], m[1][0] = 0.9, 0.9
-	m[1][2], m[2][1] = 0.9, 0.9
-	m[0][2], m[2][0] = 0.02, 0.02
+	m.Set(0, 1, 0.9)
+	m.Set(1, 0, 0.9)
+	m.Set(1, 2, 0.9)
+	m.Set(2, 1, 0.9)
+	m.Set(0, 2, 0.02)
+	m.Set(2, 0, 0.02)
 	return m
 }
 
@@ -38,7 +41,7 @@ func TestHearingGraph(t *testing.T) {
 
 func TestHearingAveragesDirections(t *testing.T) {
 	m := routing.NewMatrix(2)
-	m[0][1], m[1][0] = 0.3, 0.0 // mean 0.15
+	m.Set(0, 1, 0.3) // reverse stays 0: mean 0.15
 	if !HearingGraph(m, 0.1).Hears(0, 1) {
 		t.Fatal("mean 0.15 should exceed a 10% threshold")
 	}
@@ -62,7 +65,7 @@ func TestCountTriplesFullMesh(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		for j := 0; j < 4; j++ {
 			if i != j {
-				m[i][j] = 0.9
+				m.Set(i, j, 0.9)
 			}
 		}
 	}
@@ -184,7 +187,7 @@ func BenchmarkCountTriples50(b *testing.B) {
 	for i := 0; i < 50; i++ {
 		for j := 0; j < 50; j++ {
 			if i != j && (i+j)%3 != 0 {
-				m[i][j] = 0.8
+				m.Set(i, j, 0.8)
 			}
 		}
 	}

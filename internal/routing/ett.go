@@ -56,7 +56,7 @@ func ETTLinkCosts(ms map[int]Matrix, band phy.Band, pktBits, overhead float64) [
 				continue
 			}
 			for ri, rate := range band.Rates {
-				p := ms[ri][i][j]
+				p := ms[ri].At(i, j)
 				if p <= 0 {
 					continue
 				}
@@ -70,59 +70,33 @@ func ETTLinkCosts(ms map[int]Matrix, band phy.Band, pktBits, overhead float64) [
 	return out
 }
 
-// AllPairsCost runs the same deterministic dense Dijkstra as AllPairs over
+// AllPairsCost runs the same deterministic heap Dijkstra as AllPairs over
 // an arbitrary non-negative cost matrix (cost[i][j] = +Inf for unusable
 // links). The returned Paths has Variant ETX1 as a placeholder; only Dist,
 // Hops, and Next are meaningful.
 func AllPairsCost(cost [][]float64) *Paths {
 	n := len(cost)
-	p := &Paths{
-		Dist: make([][]float64, n),
-		Hops: make([][]int, n),
-		Next: make([][]int, n),
+	p := newPaths(ETX1, n)
+	count := func(i int) int {
+		c := 0
+		for j, v := range cost[i] {
+			if j != i && !math.IsInf(v, 1) {
+				c++
+			}
+		}
+		return c
 	}
+	fill := func(i int, arcs []arc) []arc {
+		for j, v := range cost[i] {
+			if j != i && !math.IsInf(v, 1) {
+				arcs = append(arcs, arc{to: int32(j), cost: v})
+			}
+		}
+		return arcs
+	}
+	sv := newSolver(n, count, fill)
 	for s := 0; s < n; s++ {
-		dist := make([]float64, n)
-		hops := make([]int, n)
-		next := make([]int, n)
-		done := make([]bool, n)
-		for i := range dist {
-			dist[i] = math.Inf(1)
-			hops[i] = -1
-			next[i] = -1
-		}
-		dist[s], hops[s] = 0, 0
-		for {
-			u, best := -1, math.Inf(1)
-			for i := 0; i < n; i++ {
-				if !done[i] && dist[i] < best {
-					u, best = i, dist[i]
-				}
-			}
-			if u < 0 {
-				break
-			}
-			done[u] = true
-			for w := 0; w < n; w++ {
-				if done[w] || u == w || math.IsInf(cost[u][w], 1) {
-					continue
-				}
-				nd := dist[u] + cost[u][w]
-				nh := hops[u] + 1
-				if nd < dist[w] || (nd == dist[w] && nh < hops[w]) {
-					dist[w] = nd
-					hops[w] = nh
-					if u == s {
-						next[w] = w
-					} else {
-						next[w] = next[u]
-					}
-				}
-			}
-		}
-		p.Dist[s] = dist
-		p.Hops[s] = hops
-		p.Next[s] = next
+		sv.run(s, p.Dist[s], p.Hops[s], p.Next[s])
 	}
 	return p
 }

@@ -18,10 +18,12 @@ func twoRateMatrices() map[int]Matrix {
 	hi := phy.BandBG.RateIndex("48M")
 	// A↔B: perfect at both rates.
 	for _, ri := range []int{lo, hi} {
-		ms[ri][0][1], ms[ri][1][0] = 0.95, 0.95
+		ms[ri].Set(0, 1, 0.95)
+		ms[ri].Set(1, 0, 0.95)
 	}
 	// B↔C: only at 1M.
-	ms[lo][1][2], ms[lo][2][1] = 0.9, 0.9
+	ms[lo].Set(1, 2, 0.9)
+	ms[lo].Set(2, 1, 0.9)
 	return ms
 }
 
@@ -100,12 +102,13 @@ func TestCompareETTGainNonNegative(t *testing.T) {
 			if factor < 0.05 {
 				factor = 0.05
 			}
-			for i := range m {
-				for j := range m[i] {
-					m[i][j] = base[i][j] * factor
-					if m[i][j] < 0.03 {
-						m[i][j] = 0
+			for i := 0; i < 10; i++ {
+				for j := 0; j < 10; j++ {
+					v := base.At(i, j) * factor
+					if v < 0.03 {
+						v = 0
 					}
+					m.Set(i, j, v)
 				}
 			}
 			ms[ri] = m

@@ -28,21 +28,31 @@ import (
 	"meshlab/internal/dataset"
 )
 
-// Matrix is a dense directed packet-success-probability matrix: m[i][j] is
-// the probability a packet from i is received by j.
-type Matrix [][]float64
+// Matrix is a dense directed packet-success-probability matrix backed by a
+// flat row-major array: At(i, j) is the probability a packet from i is
+// received by j. The zero Matrix is empty; copies share the backing store.
+type Matrix struct {
+	n    int
+	data []float64
+}
 
 // NewMatrix allocates an n×n zero matrix.
 func NewMatrix(n int) Matrix {
-	m := make(Matrix, n)
-	for i := range m {
-		m[i] = make([]float64, n)
-	}
-	return m
+	return Matrix{n: n, data: make([]float64, n*n)}
 }
 
 // Size returns the node count.
-func (m Matrix) Size() int { return len(m) }
+func (m Matrix) Size() int { return m.n }
+
+// At returns the delivery probability for the directed link i→j.
+func (m Matrix) At(i, j int) float64 { return m.data[i*m.n+j] }
+
+// Set stores the delivery probability for the directed link i→j.
+func (m Matrix) Set(i, j int, v float64) { m.data[i*m.n+j] = v }
+
+// Row returns row i (the delivery probabilities from sender i) as a slice
+// aliasing the matrix's backing store.
+func (m Matrix) Row(i int) []float64 { return m.data[i*m.n : (i+1)*m.n : (i+1)*m.n] }
 
 // SuccessMatrices derives one success matrix per rate index from a
 // network's probe data: success = 1 − mean loss over the link's probe
@@ -53,16 +63,20 @@ func SuccessMatrices(nd *dataset.NetworkData) (map[int]Matrix, error) {
 		return nil, err
 	}
 	n := nd.NumAPs()
-	out := make(map[int]Matrix, len(band.Rates))
+	nr := len(band.Rates)
+	out := make(map[int]Matrix, nr)
 	for ri := range band.Rates {
 		out[ri] = NewMatrix(n)
 	}
+	sum := make([]float64, nr)
+	cnt := make([]int, nr)
 	for _, l := range nd.Links {
 		if l.From < 0 || l.From >= n || l.To < 0 || l.To >= n {
 			return nil, fmt.Errorf("routing: link %d->%d out of range", l.From, l.To)
 		}
-		sum := make([]float64, len(band.Rates))
-		cnt := make([]int, len(band.Rates))
+		for ri := 0; ri < nr; ri++ {
+			sum[ri], cnt[ri] = 0, 0
+		}
 		for _, ps := range l.Sets {
 			for _, o := range ps.Obs {
 				sum[o.RateIdx] += 1 - float64(o.Loss)
@@ -71,7 +85,7 @@ func SuccessMatrices(nd *dataset.NetworkData) (map[int]Matrix, error) {
 		}
 		for ri := range band.Rates {
 			if cnt[ri] > 0 {
-				out[ri][l.From][l.To] = sum[ri] / float64(cnt[ri])
+				out[ri].Set(l.From, l.To, sum[ri]/float64(cnt[ri]))
 			}
 		}
 	}
@@ -100,14 +114,14 @@ func (v Variant) String() string {
 // LinkCost returns the expected transmissions for the directed link i→j
 // under the variant, or +Inf for an unusable link.
 func (v Variant) LinkCost(m Matrix, i, j int) float64 {
-	pf := m[i][j]
+	pf := m.At(i, j)
 	if pf <= 0 {
 		return math.Inf(1)
 	}
 	if v == ETX1 {
 		return 1 / pf
 	}
-	pr := m[j][i]
+	pr := m.At(j, i)
 	if pr <= 0 {
 		return math.Inf(1)
 	}
@@ -127,73 +141,200 @@ type Paths struct {
 	Next [][]int
 }
 
-// AllPairs runs Dijkstra from every source over the variant's link costs.
-// Ties in path cost resolve toward fewer hops, then lower node index, so
-// results are deterministic.
-func AllPairs(m Matrix, v Variant) *Paths {
-	n := m.Size()
+// newPaths allocates a Paths whose rows alias two flat backing arrays, so
+// the whole solution costs O(1) allocations instead of O(n) per field.
+func newPaths(v Variant, n int) *Paths {
 	p := &Paths{
 		Variant: v,
 		Dist:    make([][]float64, n),
 		Hops:    make([][]int, n),
 		Next:    make([][]int, n),
 	}
-	// Precompute link costs once.
-	cost := make([][]float64, n)
+	dist := make([]float64, n*n)
+	ints := make([]int, 2*n*n)
 	for i := 0; i < n; i++ {
-		cost[i] = make([]float64, n)
+		p.Dist[i] = dist[i*n : (i+1)*n : (i+1)*n]
+		p.Hops[i] = ints[i*n : (i+1)*n : (i+1)*n]
+		p.Next[i] = ints[n*n+i*n : n*n+(i+1)*n : n*n+(i+1)*n]
+	}
+	return p
+}
+
+// arc is one usable directed link in a solver's adjacency list.
+type arc struct {
+	to   int32
+	cost float64
+}
+
+// heapNode is one binary-heap entry: ordering is lexicographic on
+// (dist, hops, node) so extraction order — and with it every tie — is
+// deterministic.
+type heapNode struct {
+	dist float64
+	hops int32
+	node int32
+}
+
+func heapLess(a, b heapNode) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	if a.hops != b.hops {
+		return a.hops < b.hops
+	}
+	return a.node < b.node
+}
+
+// solver runs heap-based Dijkstra over a precomputed adjacency list,
+// reusing its scratch buffers across sources so an all-pairs sweep does
+// not allocate per source. Probe matrices are sparse (most AP pairs are
+// out of range), so skipping zero-probability links at adjacency-build
+// time is the main win over the dense O(n³) scan.
+type solver struct {
+	n    int
+	adj  [][]arc
+	heap []heapNode
+	done []bool
+}
+
+// newSolver builds a solver from per-node arc counts and a fill callback;
+// the arcs for all nodes live in one flat slice.
+func newSolver(n int, arcCount func(i int) int, fill func(i int, arcs []arc) []arc) *solver {
+	sv := &solver{n: n, adj: make([][]arc, n), done: make([]bool, n)}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += arcCount(i)
+	}
+	flat := make([]arc, 0, total)
+	for i := 0; i < n; i++ {
+		start := len(flat)
+		flat = fill(i, flat)
+		sv.adj[i] = flat[start:len(flat):len(flat)]
+	}
+	return sv
+}
+
+// newMatrixSolver precomputes the variant's link costs (via LinkCost, the
+// single source of the ETX semantics) as an adjacency list, keeping only
+// usable links.
+func newMatrixSolver(m Matrix, v Variant) *solver {
+	n := m.Size()
+	count := func(i int) int {
+		c := 0
 		for j := 0; j < n; j++ {
-			if i == j {
-				cost[i][j] = math.Inf(1)
+			if j != i && !math.IsInf(v.LinkCost(m, i, j), 1) {
+				c++
+			}
+		}
+		return c
+	}
+	fill := func(i int, arcs []arc) []arc {
+		for j := 0; j < n; j++ {
+			if j == i {
 				continue
 			}
-			cost[i][j] = v.LinkCost(m, i, j)
+			cost := v.LinkCost(m, i, j)
+			if math.IsInf(cost, 1) {
+				continue
+			}
+			arcs = append(arcs, arc{to: int32(j), cost: cost})
+		}
+		return arcs
+	}
+	return newSolver(n, count, fill)
+}
+
+// run solves single-source shortest paths from src, writing the solution
+// into the caller's dist/hops/next rows. Ties in path cost resolve toward
+// fewer hops; remaining ties keep the first relaxation found under the
+// deterministic (dist, hops, node) extraction order.
+func (sv *solver) run(src int, dist []float64, hops, next []int) {
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		hops[i] = -1
+		next[i] = -1
+		sv.done[i] = false
+	}
+	dist[src], hops[src] = 0, 0
+	h := sv.heap[:0]
+	h = heapPush(h, heapNode{dist: 0, hops: 0, node: int32(src)})
+	for len(h) > 0 {
+		top := h[0]
+		h = heapPop(h)
+		u := int(top.node)
+		if sv.done[u] {
+			continue // stale duplicate from lazy deletion
+		}
+		sv.done[u] = true
+		du, hu := dist[u], hops[u]
+		for _, a := range sv.adj[u] {
+			w := int(a.to)
+			if sv.done[w] {
+				continue
+			}
+			nd := du + a.cost
+			nh := hu + 1
+			if nd < dist[w] || (nd == dist[w] && nh < hops[w]) {
+				dist[w] = nd
+				hops[w] = nh
+				if u == src {
+					next[w] = w
+				} else {
+					next[w] = next[u]
+				}
+				h = heapPush(h, heapNode{dist: nd, hops: int32(nh), node: int32(w)})
+			}
 		}
 	}
+	sv.heap = h[:0] // retain capacity for the next source
+}
+
+func heapPush(h []heapNode, x heapNode) []heapNode {
+	h = append(h, x)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !heapLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+func heapPop(h []heapNode) []heapNode {
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && heapLess(h[l], h[smallest]) {
+			smallest = l
+		}
+		if r < len(h) && heapLess(h[r], h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return h
+}
+
+// AllPairs runs Dijkstra from every source over the variant's link costs.
+// Ties in path cost resolve toward fewer hops, so results are
+// deterministic.
+func AllPairs(m Matrix, v Variant) *Paths {
+	n := m.Size()
+	p := newPaths(v, n)
+	sv := newMatrixSolver(m, v)
 	for s := 0; s < n; s++ {
-		dist := make([]float64, n)
-		hops := make([]int, n)
-		next := make([]int, n)
-		done := make([]bool, n)
-		for i := range dist {
-			dist[i] = math.Inf(1)
-			hops[i] = -1
-			next[i] = -1
-		}
-		dist[s], hops[s] = 0, 0
-		for {
-			// Dense Dijkstra: pick the cheapest unfinished node.
-			u, best := -1, math.Inf(1)
-			for i := 0; i < n; i++ {
-				if !done[i] && dist[i] < best {
-					u, best = i, dist[i]
-				}
-			}
-			if u < 0 {
-				break
-			}
-			done[u] = true
-			for w := 0; w < n; w++ {
-				c := cost[u][w]
-				if done[w] || math.IsInf(c, 1) {
-					continue
-				}
-				nd := dist[u] + c
-				nh := hops[u] + 1
-				if nd < dist[w] || (nd == dist[w] && nh < hops[w]) {
-					dist[w] = nd
-					hops[w] = nh
-					if u == s {
-						next[w] = w
-					} else {
-						next[w] = next[u]
-					}
-				}
-			}
-		}
-		p.Dist[s] = dist
-		p.Hops[s] = hops
-		p.Next[s] = next
+		sv.run(s, p.Dist[s], p.Hops[s], p.Next[s])
 	}
 	return p
 }
@@ -205,69 +346,60 @@ func AllPairs(m Matrix, v Variant) *Paths {
 // increasing ETX distance to d, and every candidate forwarder of s is
 // strictly closer than s.
 func ExORToDest(m Matrix, etx *Paths, d int) []float64 {
+	exor := make([]float64, m.Size())
+	exorToDest(m, etx, d, exor, make([]int, 0, m.Size()))
+	return exor
+}
+
+// exorToDest fills exor using order (capacity ≥ n) as scratch. The single
+// sort by (distance-to-d, index) already yields every source's candidate
+// set as a strictly-closer prefix, so no per-source candidate slice or
+// re-sort is needed: s's candidates are exactly the nodes before the first
+// entry at distance ≥ dist(s), in forwarding priority order.
+func exorToDest(m Matrix, etx *Paths, d int, exor []float64, order []int) {
 	n := m.Size()
-	exor := make([]float64, n)
 	for i := range exor {
 		exor[i] = math.Inf(1)
 	}
 	exor[d] = 0
 
-	// Nodes ordered by increasing ETX distance to d.
-	order := make([]int, 0, n)
+	// All reachable nodes — d first (distance 0) — ordered by increasing
+	// ETX distance to d, then index.
+	order = order[:0]
+	order = append(order, d)
 	for i := 0; i < n; i++ {
 		if i != d && !math.IsInf(etx.Dist[i][d], 1) {
 			order = append(order, i)
 		}
 	}
 	sort.Slice(order, func(a, b int) bool {
-		if etx.Dist[order[a]][d] != etx.Dist[order[b]][d] {
-			return etx.Dist[order[a]][d] < etx.Dist[order[b]][d]
+		da, db := etx.Dist[order[a]][d], etx.Dist[order[b]][d]
+		if da != db {
+			return da < db
 		}
 		return order[a] < order[b]
 	})
 
-	for _, s := range order {
+	for oi := 1; oi < len(order); oi++ {
+		s := order[oi]
 		ds := etx.Dist[s][d]
-		// Candidate forwarders: strictly closer to d, reachable by s's
-		// broadcast, ordered closest-first (the closest recipient
-		// forwards).
-		type cand struct {
-			node int
-			p    float64
-			dist float64
-		}
-		var cands []cand
-		for _, c := range append([]int{d}, order...) {
-			if c == s {
-				continue
-			}
-			if etx.Dist[c][d] >= ds {
-				continue
-			}
-			if m[s][c] <= 0 {
-				continue
-			}
-			cands = append(cands, cand{node: c, p: m[s][c], dist: etx.Dist[c][d]})
-		}
-		if len(cands) == 0 {
-			// No node closer to d: ExOR degenerates to ETX (§5.1).
-			exor[s] = ds
-			continue
-		}
-		sort.Slice(cands, func(a, b int) bool {
-			if cands[a].dist != cands[b].dist {
-				return cands[a].dist < cands[b].dist
-			}
-			return cands[a].node < cands[b].node
-		})
+		row := m.Row(s)
 		num := 1.0
 		noneCloser := 1.0
-		for _, c := range cands {
-			r := c.p * noneCloser // c received, nobody closer did
-			num += r * exor[c.node]
-			noneCloser *= 1 - c.p
+		for _, c := range order[:oi] {
+			if etx.Dist[c][d] >= ds {
+				break // sorted: no later entry is strictly closer
+			}
+			p := row[c]
+			if p <= 0 {
+				continue
+			}
+			r := p * noneCloser // c received, nobody closer did
+			num += r * exor[c]
+			noneCloser *= 1 - p
 		}
 		if noneCloser >= 1 {
+			// No node closer to d: ExOR degenerates to ETX (§5.1).
 			exor[s] = ds
 			continue
 		}
@@ -281,7 +413,6 @@ func ExORToDest(m Matrix, etx *Paths, d int) []float64 {
 		}
 		exor[s] = e
 	}
-	return exor
 }
 
 // PairResult is one (source, destination) comparison.
@@ -298,13 +429,16 @@ type PairResult struct {
 }
 
 // Improvements compares opportunistic routing against the ETX variant for
-// every ordered reachable pair of the matrix.
+// every ordered reachable pair of the matrix. The ETX solution is computed
+// once and the per-destination ExOR recursions share one scratch buffer.
 func Improvements(m Matrix, v Variant) []PairResult {
 	n := m.Size()
 	etx := AllPairs(m, v)
+	exor := make([]float64, n)
+	order := make([]int, 0, n)
 	var out []PairResult
 	for d := 0; d < n; d++ {
-		exor := ExORToDest(m, etx, d)
+		exorToDest(m, etx, d, exor, order)
 		for s := 0; s < n; s++ {
 			if s == d || math.IsInf(etx.Dist[s][d], 1) || math.IsInf(exor[s], 1) {
 				continue
@@ -333,9 +467,10 @@ func AsymmetryRatios(m Matrix) []float64 {
 	var out []float64
 	n := m.Size()
 	for a := 0; a < n; a++ {
+		row := m.Row(a)
 		for b := a + 1; b < n; b++ {
-			if m[a][b] > 0 && m[b][a] > 0 {
-				out = append(out, m[a][b]/m[b][a])
+			if row[b] > 0 && m.At(b, a) > 0 {
+				out = append(out, row[b]/m.At(b, a))
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package routing
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"meshlab/internal/dataset"
@@ -14,9 +15,12 @@ func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 // links and a 0.3 direct A→C path, symmetric.
 func lineMatrix() Matrix {
 	m := NewMatrix(3)
-	m[0][1], m[1][0] = 0.9, 0.9
-	m[1][2], m[2][1] = 0.9, 0.9
-	m[0][2], m[2][0] = 0.3, 0.3
+	m.Set(0, 1, 0.9)
+	m.Set(1, 0, 0.9)
+	m.Set(1, 2, 0.9)
+	m.Set(2, 1, 0.9)
+	m.Set(0, 2, 0.3)
+	m.Set(2, 0, 0.3)
 	return m
 }
 
@@ -28,11 +32,12 @@ func TestLinkCost(t *testing.T) {
 	if got := ETX2.LinkCost(m, 0, 1); !almostEq(got, 1/(0.9*0.9), 1e-12) {
 		t.Fatalf("ETX2 cost = %v", got)
 	}
-	m[0][1] = 0
+	m.Set(0, 1, 0)
 	if !math.IsInf(ETX1.LinkCost(m, 0, 1), 1) {
 		t.Fatal("zero forward probability should cost +Inf")
 	}
-	m[0][1], m[1][0] = 0.9, 0
+	m.Set(0, 1, 0.9)
+	m.Set(1, 0, 0)
 	if !math.IsInf(ETX2.LinkCost(m, 0, 1), 1) {
 		t.Fatal("ETX2 with dead reverse should cost +Inf")
 	}
@@ -60,7 +65,7 @@ func TestAllPairsLine(t *testing.T) {
 
 func TestAllPairsUnreachable(t *testing.T) {
 	m := NewMatrix(3)
-	m[0][1] = 0.9 // node 2 isolated
+	m.Set(0, 1, 0.9) // node 2 isolated
 	p := AllPairs(m, ETX1)
 	if !math.IsInf(p.Dist[0][2], 1) || p.Hops[0][2] != -1 {
 		t.Fatal("isolated node should be unreachable")
@@ -99,7 +104,8 @@ func TestExORWorkedExample(t *testing.T) {
 func TestExORNoCloserNodeDegeneratesToETX(t *testing.T) {
 	// Two nodes: the source has no forwarder closer than itself.
 	m := NewMatrix(2)
-	m[0][1], m[1][0] = 0.5, 0.5
+	m.Set(0, 1, 0.5)
+	m.Set(1, 0, 0.5)
 	etx := AllPairs(m, ETX1)
 	exor := ExORToDest(m, etx, 1)
 	if !almostEq(exor[0], 2, 1e-12) {
@@ -116,8 +122,8 @@ func randomMatrix(seed uint64, n int, asym float64) Matrix {
 				continue // some pairs out of range
 			}
 			base := r.Float64()
-			m[i][j] = clamp01(base + asym*r.NormFloat64())
-			m[j][i] = clamp01(base + asym*r.NormFloat64())
+			m.Set(i, j, clamp01(base+asym*r.NormFloat64()))
+			m.Set(j, i, clamp01(base+asym*r.NormFloat64()))
 		}
 	}
 	return m
@@ -243,8 +249,9 @@ func TestOneHopPairsOftenNoImprovement(t *testing.T) {
 
 func TestAsymmetryRatios(t *testing.T) {
 	m := NewMatrix(3)
-	m[0][1], m[1][0] = 0.8, 0.4
-	m[0][2] = 0.5 // one-way: excluded
+	m.Set(0, 1, 0.8)
+	m.Set(1, 0, 0.4)
+	m.Set(0, 2, 0.5) // one-way: excluded
 	got := AsymmetryRatios(m)
 	if len(got) != 1 || !almostEq(got[0], 2, 1e-12) {
 		t.Fatalf("AsymmetryRatios = %v, want [2]", got)
@@ -265,10 +272,10 @@ func TestSuccessMatrices(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := ms[0][0][1]; !almostEq(got, 0.7, 1e-6) {
+	if got := ms[0].At(0, 1); !almostEq(got, 0.7, 1e-6) {
 		t.Fatalf("mean success = %v, want 0.7", got)
 	}
-	if ms[0][1][0] != 0 {
+	if ms[0].At(1, 0) != 0 {
 		t.Fatal("unmeasured direction should be 0")
 	}
 	if len(ms) != 7 {
@@ -303,6 +310,7 @@ func TestImprovementDefinition(t *testing.T) {
 
 func BenchmarkAllPairs50(b *testing.B) {
 	m := randomMatrix(1, 50, 0.1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = AllPairs(m, ETX1)
@@ -311,8 +319,122 @@ func BenchmarkAllPairs50(b *testing.B) {
 
 func BenchmarkImprovements30(b *testing.B) {
 	m := randomMatrix(1, 30, 0.1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = Improvements(m, ETX1)
+	}
+}
+
+func TestMatrixFlatAPI(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(1, 2, 0.5)
+	if m.At(1, 2) != 0.5 || m.At(2, 1) != 0 {
+		t.Fatal("At/Set mismatch")
+	}
+	row := m.Row(1)
+	if len(row) != 3 || row[2] != 0.5 {
+		t.Fatalf("Row = %v", row)
+	}
+	row[0] = 0.25 // rows alias the backing store
+	if m.At(1, 0) != 0.25 {
+		t.Fatal("Row should alias the matrix")
+	}
+	if m.Size() != 3 {
+		t.Fatalf("Size = %d", m.Size())
+	}
+}
+
+func TestExORMatchesBruteForceCandidates(t *testing.T) {
+	// Cross-check the prefix-based candidate walk against an explicit
+	// per-source candidate enumeration on random topologies.
+	for seed := uint64(0); seed < 8; seed++ {
+		m := randomMatrix(seed, 10, 0.1)
+		etx := AllPairs(m, ETX1)
+		for d := 0; d < 10; d++ {
+			got := ExORToDest(m, etx, d)
+			want := bruteExOR(m, etx, d)
+			for s := range got {
+				if math.IsInf(got[s], 1) != math.IsInf(want[s], 1) {
+					t.Fatalf("seed %d d=%d s=%d: reachability mismatch", seed, d, s)
+				}
+				if !math.IsInf(got[s], 1) && !almostEq(got[s], want[s], 1e-12) {
+					t.Fatalf("seed %d d=%d s=%d: %v vs brute %v", seed, d, s, got[s], want[s])
+				}
+			}
+		}
+	}
+}
+
+// bruteExOR is the seed implementation's literal recursion: per-source
+// candidate collection and sort, kept as an oracle.
+func bruteExOR(m Matrix, etx *Paths, d int) []float64 {
+	n := m.Size()
+	exor := make([]float64, n)
+	for i := range exor {
+		exor[i] = math.Inf(1)
+	}
+	exor[d] = 0
+	order := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if i != d && !math.IsInf(etx.Dist[i][d], 1) {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if etx.Dist[order[a]][d] != etx.Dist[order[b]][d] {
+			return etx.Dist[order[a]][d] < etx.Dist[order[b]][d]
+		}
+		return order[a] < order[b]
+	})
+	for _, s := range order {
+		ds := etx.Dist[s][d]
+		type cand struct {
+			node int
+			p    float64
+			dist float64
+		}
+		var cands []cand
+		for _, c := range append([]int{d}, order...) {
+			if c == s || etx.Dist[c][d] >= ds || m.At(s, c) <= 0 {
+				continue
+			}
+			cands = append(cands, cand{node: c, p: m.At(s, c), dist: etx.Dist[c][d]})
+		}
+		if len(cands) == 0 {
+			exor[s] = ds
+			continue
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].dist != cands[b].dist {
+				return cands[a].dist < cands[b].dist
+			}
+			return cands[a].node < cands[b].node
+		})
+		num, noneCloser := 1.0, 1.0
+		for _, c := range cands {
+			num += c.p * noneCloser * exor[c.node]
+			noneCloser *= 1 - c.p
+		}
+		if noneCloser >= 1 {
+			exor[s] = ds
+			continue
+		}
+		e := num / (1 - noneCloser)
+		if e > ds {
+			e = ds
+		}
+		exor[s] = e
+	}
+	return exor
+}
+
+func BenchmarkExORToDest50(b *testing.B) {
+	m := randomMatrix(1, 50, 0.1)
+	etx := AllPairs(m, ETX1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ExORToDest(m, etx, 0)
 	}
 }

@@ -9,6 +9,7 @@ package snr
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"meshlab/internal/dataset"
 	"meshlab/internal/phy"
@@ -44,7 +45,18 @@ func Flatten(nets []*dataset.NetworkData) ([]Sample, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []Sample
+	// Size the sample list and one flat throughput backing array up front:
+	// per-sample Tput allocations dominated this function's cost.
+	total := 0
+	for _, nd := range nets {
+		for _, l := range nd.Links {
+			total += len(l.Sets)
+		}
+	}
+	nr := len(band.Rates)
+	out := make([]Sample, 0, total)
+	flat := make([]float64, total*nr)
+	off := 0
 	for _, nd := range nets {
 		if nd.Info.Band != band.Name {
 			return nil, fmt.Errorf("snr: mixed bands %q and %q", band.Name, nd.Info.Band)
@@ -54,7 +66,7 @@ func Flatten(nets []*dataset.NetworkData) ([]Sample, error) {
 				s := Sample{
 					Net: nd.Info.Name, From: l.From, To: l.To,
 					T: ps.T, SNR: int(ps.SNR),
-					Tput: make([]float64, len(band.Rates)),
+					Tput: flat[off : off+nr : off+nr],
 					Popt: -1,
 				}
 				for _, o := range ps.Obs {
@@ -66,8 +78,14 @@ func Flatten(nets []*dataset.NetworkData) ([]Sample, error) {
 					}
 				}
 				if s.Popt < 0 || s.BestTput <= 0 {
+					// Discard: re-zero the written cells so the chunk can
+					// back the next probe set.
+					for _, o := range ps.Obs {
+						s.Tput[o.RateIdx] = 0
+					}
 					continue
 				}
+				off += nr
 				out = append(out, s)
 			}
 		}
@@ -110,6 +128,8 @@ func (s Scope) String() string {
 var Scopes = []Scope{Global, Network, AP, Link}
 
 // Key returns the table-instance key a sample belongs to under the scope.
+// It is called once per sample per table operation, so it avoids
+// fmt.Sprintf in favor of direct string building.
 func (s Scope) Key(sm *Sample) string {
 	switch s {
 	case Global:
@@ -117,9 +137,31 @@ func (s Scope) Key(sm *Sample) string {
 	case Network:
 		return sm.Net
 	case AP:
-		return fmt.Sprintf("%s/%d", sm.Net, sm.From)
+		return sm.Net + "/" + strconv.Itoa(sm.From)
 	default:
-		return fmt.Sprintf("%s/%d>%d", sm.Net, sm.From, sm.To)
+		return sm.Net + "/" + strconv.Itoa(sm.From) + ">" + strconv.Itoa(sm.To)
+	}
+}
+
+// instKey identifies one table instance without building a string: maps
+// hash the struct directly, which keeps the per-sample Train/Lookup path
+// allocation-free. Fields unused by the table's scope stay zero.
+type instKey struct {
+	net      string
+	from, to int32
+}
+
+// instKey returns the comparable table-instance key for the scope.
+func (s Scope) instKey(sm *Sample) instKey {
+	switch s {
+	case Global:
+		return instKey{}
+	case Network:
+		return instKey{net: sm.Net}
+	case AP:
+		return instKey{net: sm.Net, from: int32(sm.From)}
+	default:
+		return instKey{net: sm.Net, from: int32(sm.From), to: int32(sm.To)}
 	}
 }
 
@@ -131,12 +173,12 @@ type Table struct {
 	// NumRates is the band's rate count.
 	NumRates int
 
-	counts map[string]map[int][]int
+	counts map[instKey]map[int][]int
 }
 
 // Train builds the look-up tables for the given scope from samples.
 func Train(samples []Sample, numRates int, scope Scope) *Table {
-	t := &Table{Scope: scope, NumRates: numRates, counts: make(map[string]map[int][]int)}
+	t := &Table{Scope: scope, NumRates: numRates, counts: make(map[instKey]map[int][]int)}
 	for i := range samples {
 		t.Add(&samples[i])
 	}
@@ -145,7 +187,7 @@ func Train(samples []Sample, numRates int, scope Scope) *Table {
 
 // Add incorporates one sample into the table.
 func (t *Table) Add(sm *Sample) {
-	key := t.Scope.Key(sm)
+	key := t.Scope.instKey(sm)
 	bySNR, ok := t.counts[key]
 	if !ok {
 		bySNR = make(map[int][]int)
@@ -164,7 +206,7 @@ func (t *Table) Add(sm *Sample) {
 // lower rate index for determinism. ok is false when the table has no data
 // for that (key, SNR).
 func (t *Table) Lookup(sm *Sample) (rateIdx int, ok bool) {
-	bySNR, ok := t.counts[t.Scope.Key(sm)]
+	bySNR, ok := t.counts[t.Scope.instKey(sm)]
 	if !ok {
 		return 0, false
 	}

@@ -17,7 +17,7 @@ func (t *Table) TopK(sm *Sample, k int) (rates []int, ok bool) {
 	if k < 1 {
 		k = 1
 	}
-	bySNR, ok := t.counts[t.Scope.Key(sm)]
+	bySNR, ok := t.counts[t.Scope.instKey(sm)]
 	if !ok {
 		return nil, false
 	}

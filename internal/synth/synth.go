@@ -1,8 +1,8 @@
 // Package synth orchestrates end-to-end generation of a synthetic Meraki
 // fleet dataset: topology synthesis, channel construction, probe
 // collection, and client simulation, all from one root seed. It is the
-// substitution for the thesis's unavailable production data (§3); see
-// DESIGN.md for the substitution rationale.
+// substitution for the thesis's unavailable production data (§3); see the
+// meshlab package docs for the substitution rationale.
 package synth
 
 import (

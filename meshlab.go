@@ -5,8 +5,9 @@
 // The original study analyzed 24 hours of inter-AP probe data from 1407
 // APs in 110 production Meraki mesh networks plus an 11-hour client
 // association snapshot. That data is proprietary, so meshlab regenerates
-// its statistical structure from a calibrated physical model (see
-// DESIGN.md) and re-implements the full analysis pipeline:
+// its statistical structure from a calibrated physical model (the
+// internal/radio and internal/synth packages) and re-implements the full
+// analysis pipeline:
 //
 //   - §4 SNR-based bit rate adaptation: look-up tables at four training
 //     scopes, throughput penalties, online table strategies.
@@ -23,6 +24,12 @@
 //	a := meshlab.NewAnalysis(fleet)
 //	res, err := a.Run("fig5.1")
 //	fmt.Print(res.Format())
+//
+// The full suite can run serially (a.RunAll) or fanned across a worker
+// pool (a.RunAllParallel(0) uses GOMAXPROCS workers); both produce the
+// same results in the same paper order — the analysis context memoizes
+// derived data per key, so execution order never changes a table. See
+// also PERF.md for the optimization inventory and benchmarks.
 //
 // Every table and figure of the thesis's evaluation has a runner; see
 // ExperimentIDs and EXPERIMENTS.md.
@@ -51,7 +58,9 @@ type Fleet = dataset.Fleet
 type Options = synth.Options
 
 // Analysis wraps a fleet with memoized derived state and runs experiments
-// against it.
+// against it. Run, RunAll, and RunAllParallel are safe for concurrent use:
+// memoization is sharded per derived value, so parallel experiments only
+// block each other when they need the same computation.
 type Analysis = experiments.Context
 
 // Result is one regenerated table or figure.
