@@ -12,11 +12,14 @@ package meshlab
 //
 //	go test -bench=. -benchmem
 import (
+	"fmt"
 	"sync"
 	"testing"
 
+	"meshlab/internal/phy"
 	"meshlab/internal/rng"
 	"meshlab/internal/routing"
+	"meshlab/internal/snr"
 )
 
 var benchOnce sync.Once
@@ -100,11 +103,73 @@ func BenchmarkExtMAC(b *testing.B)  { benchExperiment(b, "ext6.mac") }
 
 // End-to-end substrate costs.
 
-func BenchmarkGenerateQuickFleet(b *testing.B) {
+// BenchmarkGenerateQuick measures fleet synthesis at several worker-pool
+// sizes; the output is byte-identical at all of them (pinned by
+// synth.TestGenerateParallelMatchesSerial), so the sub-benchmarks differ
+// only in wall clock.
+func BenchmarkGenerateQuick(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := QuickOptions(20100521)
+			opts.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := GenerateFleet(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// §4 hot-path microbenchmarks over the shared quick fleet's b/g samples.
+
+func benchSamplesBG(b *testing.B) []snr.Sample {
+	samples, err := snr.Flatten(benchmarkFleet(b).ByBand("bg"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(samples) == 0 {
+		b.Fatal("no b/g samples")
+	}
+	return samples
+}
+
+func BenchmarkFlatten(b *testing.B) {
+	nets := benchmarkFleet(b).ByBand("bg")
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := GenerateFleet(QuickOptions(uint64(i))); err != nil {
+		if _, err := snr.Flatten(nets); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func BenchmarkPenalty(b *testing.B) {
+	samples := benchSamplesBG(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = snr.Penalty(samples, len(phy.BandBG.Rates), snr.Scopes)
+	}
+}
+
+func BenchmarkThroughputVsSNR(b *testing.B) {
+	samples := benchSamplesBG(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = snr.ThroughputVsSNR(samples, len(phy.BandBG.Rates), 25)
+	}
+}
+
+func BenchmarkCoverage(b *testing.B) {
+	samples := benchSamplesBG(b)
+	tbl := snr.Train(samples, len(phy.BandBG.Rates), snr.Link)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tbl.Coverage(8)
 	}
 }
 

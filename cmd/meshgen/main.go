@@ -5,9 +5,14 @@
 //
 //	meshgen -seed 42 -scale quick -out fleet.jsonl
 //	meshgen -seed 42 -scale reference -interval 1200 -out fleet.bin
+//	meshgen -seed 42 -scale reference -dataset cache.bin -out fleet.jsonl
 //
 // A ".bin" output suffix selects the compact binary format; anything else
-// writes JSON lines.
+// writes JSON lines. Synthesis fans out across -workers cores (0 = all);
+// the dataset is byte-identical at any worker count. With -dataset, the
+// synthesized fleet is cached at the given path in the binary format and
+// later runs with a matching seed/config load it instead of
+// re-synthesizing.
 package main
 
 import (
@@ -37,6 +42,8 @@ func run(args []string, stdout io.Writer) error {
 		probeHours = fs.Float64("probe-hours", 0, "override probe snapshot length in hours")
 		interval   = fs.Float64("interval", 0, "override probe report interval in seconds")
 		noClients  = fs.Bool("no-clients", false, "skip client simulation")
+		workers    = fs.Int("workers", 0, "synthesis worker pool size (0: all cores, 1: serial)")
+		cache      = fs.String("dataset", "", "dataset cache path: loaded when it matches the seed/config, (re)written otherwise")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,9 +65,20 @@ func run(args []string, stdout io.Writer) error {
 		opts.Probe.ReportInterval = *interval
 	}
 	opts.SkipClients = *noClients
+	opts.Workers = *workers
 
 	start := time.Now()
-	fleet, err := meshlab.GenerateFleet(opts)
+	var fleet *meshlab.Fleet
+	var err error
+	cached := false
+	if *cache != "" {
+		if !opts.CacheValidatable() {
+			fmt.Fprintf(stdout, "note: -dataset bypassed: these options cannot be validated against a cache file\n")
+		}
+		fleet, cached, err = meshlab.LoadOrGenerateFleet(*cache, opts)
+	} else {
+		fleet, err = meshlab.GenerateFleet(opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -88,6 +106,10 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "  directed links   %d\n", links)
 	fmt.Fprintf(stdout, "  probe sets       %d\n", fleet.NumProbeSets())
 	fmt.Fprintf(stdout, "  clients          %d\n", clients)
-	fmt.Fprintf(stdout, "  generated in     %v\n", genDur.Round(time.Millisecond))
+	if cached {
+		fmt.Fprintf(stdout, "  loaded from cache %s in %v\n", *cache, genDur.Round(time.Millisecond))
+	} else {
+		fmt.Fprintf(stdout, "  generated in     %v\n", genDur.Round(time.Millisecond))
+	}
 	return nil
 }

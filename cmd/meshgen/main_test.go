@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -69,5 +70,78 @@ func TestRunRejectsBadScale(t *testing.T) {
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}, &strings.Builder{}); err == nil {
 		t.Fatal("unknown flag should error")
+	}
+}
+
+// TestRunDatasetCache checks meshgen's -dataset flag: the second run
+// loads the cache instead of re-synthesizing and still writes -out.
+func TestRunDatasetCache(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "cache.bin")
+	out := filepath.Join(dir, "fleet.jsonl")
+	if err := run([]string{"-seed", "3", "-dataset", cache, "-out", out}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(cache); err != nil {
+		t.Fatalf("cache not written: %v", err)
+	}
+	var warm strings.Builder
+	out2 := filepath.Join(dir, "fleet2.jsonl")
+	if err := run([]string{"-seed", "3", "-dataset", cache, "-out", out2}, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm.String(), "loaded from cache") {
+		t.Fatalf("warm run did not report a cache load: %q", warm.String())
+	}
+	a, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "\"seed\":3") || !bytes.Equal(a, b) {
+		t.Fatal("cached run wrote a different dataset")
+	}
+	// A different seed against the same cache must regenerate.
+	var cold strings.Builder
+	if err := run([]string{"-seed", "4", "-dataset", cache, "-out", out2}, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(cold.String(), "loaded from cache") {
+		t.Fatal("seed mismatch should not load the cache")
+	}
+	f, err := meshlab.LoadFleet(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Meta.Seed != 4 {
+		t.Fatalf("cache holds seed %d after regeneration, want 4", f.Meta.Seed)
+	}
+}
+
+// TestRunWorkersIdentical pins the CLI's -workers flag to byte-identical
+// output.
+func TestRunWorkersIdentical(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.bin")
+	b := filepath.Join(dir, "b.bin")
+	if err := run([]string{"-seed", "3", "-workers", "1", "-out", a}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-seed", "3", "-workers", "4", "-out", b}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	ab, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("-workers changed the generated dataset bytes")
 	}
 }

@@ -6,10 +6,16 @@
 //
 //	meshreport -seed 42 -scale quick -out EXPERIMENTS.md
 //	meshreport -data fleet.jsonl -out EXPERIMENTS.md
-//	meshreport -scale quick -workers 1 -out EXPERIMENTS.md   # serial run
+//	meshreport -scale quick -workers 1 -out EXPERIMENTS.md   # serial scheduling
+//	meshreport -scale reference -dataset fleet.bin           # cache synthesis
 //
-// Experiments fan out across a worker pool (-workers, default all cores);
-// the output is byte-identical at any pool size.
+// Experiments and dataset synthesis fan out across a worker pool
+// (-workers, default all cores; 1 schedules networks and experiments
+// serially, though some analysis kernels keep their internal
+// concurrency); the output is byte-identical at any pool size. With
+// -dataset, the first run writes the synthesized fleet to the given path
+// and later runs with the same seed/scale load it instead of
+// re-synthesizing (a mismatched or unreadable file is regenerated).
 package main
 
 import (
@@ -139,16 +145,20 @@ func run(args []string, stdout io.Writer) error {
 	fs.SetOutput(stdout)
 	var (
 		data    = fs.String("data", "", "dataset file (empty: generate from -seed/-scale)")
+		cache   = fs.String("dataset", "", "dataset cache path: loaded when it matches -seed/-scale, (re)written otherwise")
 		seed    = fs.Uint64("seed", 42, "generation seed when -data is empty")
 		scale   = fs.String("scale", "quick", "generation scale when -data is empty: quick|reference")
 		out     = fs.String("out", "EXPERIMENTS.md", "output markdown path")
-		workers = fs.Int("workers", 0, "experiment worker pool size (0: all cores, 1: serial)")
+		workers = fs.Int("workers", 0, "worker pool size for synthesis and experiment scheduling (0: all cores, 1: serial scheduling)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *data != "" && *cache != "" {
+		return fmt.Errorf("-data and -dataset are mutually exclusive: -data reads a fixed file, -dataset manages a synthesis cache")
+	}
 
-	fleet, label, err := obtainFleet(*data, *seed, *scale)
+	fleet, label, err := obtainFleet(*data, *cache, *seed, *scale, *workers)
 	if err != nil {
 		return err
 	}
@@ -207,7 +217,7 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-func obtainFleet(data string, seed uint64, scale string) (*meshlab.Fleet, string, error) {
+func obtainFleet(data, cache string, seed uint64, scale string, workers int) (*meshlab.Fleet, string, error) {
 	if data != "" {
 		f, err := meshlab.LoadFleet(data)
 		return f, data, err
@@ -220,6 +230,21 @@ func obtainFleet(data string, seed uint64, scale string) (*meshlab.Fleet, string
 		opts = meshlab.ReferenceOptions(seed)
 	default:
 		return nil, "", fmt.Errorf("unknown scale %q", scale)
+	}
+	opts.Workers = workers
+	if cache != "" {
+		f, hit, err := meshlab.LoadOrGenerateFleet(cache, opts)
+		if err != nil {
+			return nil, "", err
+		}
+		switch {
+		case hit:
+			return f, fmt.Sprintf("%s (cache hit, synthesis skipped)", cache), nil
+		case !opts.CacheValidatable():
+			return f, fmt.Sprintf("generated in-memory (%s, seed %d; -dataset bypassed: options not cache-validatable)", scale, seed), nil
+		default:
+			return f, fmt.Sprintf("%s (cache written: %s, seed %d)", cache, scale, seed), nil
+		}
 	}
 	f, err := meshlab.GenerateFleet(opts)
 	return f, fmt.Sprintf("generated in-memory (%s, seed %d)", scale, seed), err

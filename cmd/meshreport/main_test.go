@@ -61,3 +61,76 @@ func TestPaperClaimsCoverCoreArtifacts(t *testing.T) {
 		}
 	}
 }
+
+// TestDatasetCacheSkipsSynthesis runs the report twice against the same
+// -dataset path: the first run writes the cache, the second loads it and
+// must produce a byte-identical experiments section.
+func TestDatasetCacheSkipsSynthesis(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "fleet.bin")
+	out1 := filepath.Join(dir, "a.md")
+	out2 := filepath.Join(dir, "b.md")
+
+	var cold strings.Builder
+	if err := run([]string{"-seed", "21", "-scale", "quick", "-dataset", cache, "-out", out1}, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(cache); err != nil {
+		t.Fatalf("cache not written: %v", err)
+	}
+	var warm strings.Builder
+	if err := run([]string{"-seed", "21", "-scale", "quick", "-dataset", cache, "-out", out2}, &warm); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the dataset label and wall-time lines may differ between the
+	// cold and warm runs; every experiment section must match exactly.
+	cut := func(md string) string {
+		i := strings.Index(md, "\n## ")
+		if i < 0 {
+			t.Fatal("report has no experiment sections")
+		}
+		return md[i:]
+	}
+	if cut(string(a)) != cut(string(b)) {
+		t.Fatal("cached run produced different experiment results")
+	}
+	if !strings.Contains(string(b), "cache hit, synthesis skipped") {
+		t.Fatalf("warm run label missing cache hit: %q", string(b)[:200])
+	}
+}
+
+// TestDatasetCacheInvalidatedBySeed re-runs with a different seed against
+// the same cache file and expects regeneration, not a stale hit.
+func TestDatasetCacheInvalidatedBySeed(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "fleet.bin")
+	out := filepath.Join(dir, "a.md")
+	if err := run([]string{"-seed", "21", "-scale", "quick", "-dataset", cache, "-out", out}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-seed", "22", "-scale", "quick", "-dataset", cache, "-out", out}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	md, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "seed: 22") {
+		t.Fatal("report still reflects the stale cached seed")
+	}
+}
+
+func TestDataAndDatasetMutuallyExclusive(t *testing.T) {
+	err := run([]string{"-data", "a.jsonl", "-dataset", "b.bin"}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("want mutually-exclusive error, got %v", err)
+	}
+}

@@ -43,6 +43,10 @@ type Config struct {
 	ResidentFrac, VisitorFrac, WalkerFrac float64
 }
 
+// Normalized returns the config with the package defaults applied, so
+// two configs can be compared for effective equality.
+func (c Config) Normalized() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.Duration <= 0 {
 		c.Duration = 39600

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 
 	"meshlab/internal/dataset"
 	"meshlab/internal/phy"
@@ -239,31 +240,39 @@ func (t *Table) Entries() int {
 	return total
 }
 
-// ratesForCoverage returns the minimum number of distinct rates whose
-// combined optimal-frequency reaches p of the observations in the cell.
-func ratesForCoverage(c []int, p float64) int {
-	total := 0
-	for _, n := range c {
-		total += n
-	}
+// coverageNeeds returns the minimum number of distinct rates whose
+// combined optimal-frequency reaches 50%, 80%, and 95% of the cell's
+// observations. One ascending sort into the caller's scratch buffer
+// serves all three levels; the walk runs from the largest count down.
+func coverageNeeds(c []int, total int, scratch []int) (n50, n80, n95 int) {
 	if total == 0 {
-		return 0
+		return 0, 0, 0
 	}
-	sorted := append([]int(nil), c...)
-	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
-	need := p * float64(total)
+	s := scratch[:len(c)]
+	copy(s, c)
+	sort.Ints(s)
+	need50 := 0.50 * float64(total)
+	need80 := 0.80 * float64(total)
+	need95 := 0.95 * float64(total)
 	covered, rates := 0.0, 0
-	for _, n := range sorted {
-		if covered >= need {
-			break
-		}
-		if n == 0 {
-			break
-		}
-		covered += float64(n)
+	n50, n80, n95 = -1, -1, -1
+	// total is the sum of c (the caller computes it from the same cell),
+	// so the descending walk always resolves every level before running
+	// out of counts: covered reaches exactly float64(total) ≥ need95.
+	for i := len(s) - 1; n95 < 0; i-- {
+		covered += float64(s[i])
 		rates++
+		if n50 < 0 && covered >= need50 {
+			n50 = rates
+		}
+		if n80 < 0 && covered >= need80 {
+			n80 = rates
+		}
+		if n95 < 0 && covered >= need95 {
+			n95 = rates
+		}
 	}
-	return rates
+	return n50, n80, n95
 }
 
 // CoverageRow is one point of Figures 4.2/4.3: at a given SNR, the average
@@ -289,6 +298,7 @@ func (t *Table) Coverage(minObs int) []CoverageRow {
 		max95, cells  int
 	}
 	bySNR := make(map[int]*acc)
+	scratch := make([]int, t.NumRates)
 	for _, inst := range t.counts {
 		for snrVal, c := range inst {
 			total := 0
@@ -303,9 +313,9 @@ func (t *Table) Coverage(minObs int) []CoverageRow {
 				a = &acc{}
 				bySNR[snrVal] = a
 			}
-			n95 := ratesForCoverage(c, 0.95)
-			a.n50 += float64(ratesForCoverage(c, 0.50))
-			a.n80 += float64(ratesForCoverage(c, 0.80))
+			n50, n80, n95 := coverageNeeds(c, total, scratch)
+			a.n50 += float64(n50)
+			a.n80 += float64(n80)
 			a.n95 += float64(n95)
 			if n95 > a.max95 {
 				a.max95 = n95
@@ -362,45 +372,104 @@ func OptimalRateSets(samples []Sample) map[int][]int {
 type PenaltyResult struct {
 	Scope Scope
 	// Diffs holds, per evaluated probe set, the throughput lost by using
-	// the table's prediction instead of the optimal rate (Mbit/s ≥ 0).
+	// the table's prediction instead of the optimal rate (Mbit/s ≥ 0),
+	// sorted ascending — the distribution is what Figure 4.4 plots, and a
+	// pre-sorted sample lets stats.NewCDF skip its own sort.
 	Diffs []float64
 	// ExactFrac is the fraction of probe sets where the prediction was
 	// exactly optimal.
 	ExactFrac float64
 }
 
+// penaltyCell identifies one (table instance, SNR) training cell under a
+// scope. It composes instKey so the scope-keying rules live in exactly
+// one place (Scope.instKey).
+type penaltyCell struct {
+	instKey
+	snr int32
+}
+
+func (s Scope) penaltyCell(sm *Sample) penaltyCell {
+	return penaltyCell{instKey: s.instKey(sm), snr: int32(sm.SNR)}
+}
+
 // Penalty trains a table at each scope on the full sample set and replays
 // every sample through it, recording the throughput difference between the
 // optimal rate and the predicted rate (Figure 4.4). Training and
 // evaluation use the same data, matching the thesis's in-sample
-// methodology.
+// methodology. The per-scope replays run concurrently; results come back
+// in scope argument order, so the output is deterministic.
 func Penalty(samples []Sample, numRates int, scopes []Scope) []PenaltyResult {
-	out := make([]PenaltyResult, 0, len(scopes))
-	for _, sc := range scopes {
-		tbl := Train(samples, numRates, sc)
-		res := PenaltyResult{Scope: sc}
-		exact := 0
-		for i := range samples {
-			s := &samples[i]
-			pred, ok := tbl.Lookup(s)
-			if !ok {
-				continue
-			}
-			diff := s.BestTput - s.Tput[pred]
-			if diff < 0 {
-				diff = 0
-			}
-			res.Diffs = append(res.Diffs, diff)
-			if pred == s.Popt {
-				exact++
-			}
-		}
-		if len(res.Diffs) > 0 {
-			res.ExactFrac = float64(exact) / float64(len(res.Diffs))
-		}
-		out = append(out, res)
+	out := make([]PenaltyResult, len(scopes))
+	var wg sync.WaitGroup
+	for si, sc := range scopes {
+		wg.Add(1)
+		go func(si int, sc Scope) {
+			defer wg.Done()
+			out[si] = penaltyScope(samples, numRates, sc)
+		}(si, sc)
 	}
+	wg.Wait()
 	return out
+}
+
+// penaltyScope runs one scope's train-and-replay over flat buffers: each
+// sample is mapped to a dense (instance, SNR) cell id once, training
+// counts live in one cell-major array, and the per-cell argmax is
+// computed once instead of per replayed sample. In-sample evaluation
+// means every sample's cell is populated, so Diffs is exactly
+// len(samples) long and is allocated up front.
+func penaltyScope(samples []Sample, numRates int, sc Scope) PenaltyResult {
+	res := PenaltyResult{Scope: sc}
+	if len(samples) == 0 || numRates == 0 {
+		return res
+	}
+	cellOf := make([]int32, len(samples))
+	ids := make(map[penaltyCell]int32, 1024)
+	for i := range samples {
+		k := sc.penaltyCell(&samples[i])
+		id, ok := ids[k]
+		if !ok {
+			id = int32(len(ids))
+			ids[k] = id
+		}
+		cellOf[i] = id
+	}
+	counts := make([]int32, len(ids)*numRates)
+	for i := range samples {
+		counts[int(cellOf[i])*numRates+samples[i].Popt]++
+	}
+	// Most-frequent rate per cell, ties toward the lower index (Lookup's
+	// tie-break rule).
+	pred := make([]int32, len(ids))
+	for c := range pred {
+		row := counts[c*numRates : (c+1)*numRates]
+		best, bestN := int32(0), int32(0)
+		for ri, n := range row {
+			if n > bestN {
+				best, bestN = int32(ri), n
+			}
+		}
+		pred[c] = best
+	}
+	diffs := make([]float64, len(samples))
+	exact := 0
+	for i := range samples {
+		s := &samples[i]
+		p := pred[cellOf[i]]
+		diff := s.BestTput - s.Tput[p]
+		if diff < 0 {
+			diff = 0
+		}
+		diffs[i] = diff
+		if int(p) == s.Popt {
+			exact++
+		}
+	}
+	sort.Float64s(diffs)
+	res.Diffs = diffs
+	res.ExactFrac = float64(exact) / float64(len(diffs))
+	return res
 }
 
 // TputPoint is one (rate, SNR) cell of Figure 4.5.
@@ -414,52 +483,80 @@ type TputPoint struct {
 
 // ThroughputVsSNR aggregates per-rate throughput by SNR (Figure 4.5).
 // Only cells with at least minObs observations are returned.
+//
+// Every sample contributes one observation to each rate's cell at its
+// SNR, so cell sizes are a pure function of the per-SNR sample histogram.
+// The cells live in one flat counted-layout buffer (rate-major, then SNR)
+// instead of a map of append-grown slices: count, prefix-sum, fill, then
+// one sort per cell.
 func ThroughputVsSNR(samples []Sample, numRates, minObs int) []TputPoint {
-	type cell struct{ vals []float64 }
-	cells := make(map[[2]int]*cell)
+	if len(samples) == 0 || numRates == 0 {
+		return nil
+	}
+	minSNR, maxSNR := samples[0].SNR, samples[0].SNR
+	for i := range samples {
+		if s := samples[i].SNR; s < minSNR {
+			minSNR = s
+		} else if s > maxSNR {
+			maxSNR = s
+		}
+	}
+	width := maxSNR - minSNR + 1
+	hist := make([]int, width)
+	for i := range samples {
+		hist[samples[i].SNR-minSNR]++
+	}
+	nCells := numRates * width
+	offs := make([]int, nCells+1)
+	pos := 0
+	for ri := 0; ri < numRates; ri++ {
+		for s := 0; s < width; s++ {
+			offs[ri*width+s] = pos
+			pos += hist[s]
+		}
+	}
+	offs[nCells] = pos
+	vals := make([]float64, pos)
+	fill := make([]int, nCells)
+	copy(fill, offs[:nCells])
 	for i := range samples {
 		s := &samples[i]
+		base := s.SNR - minSNR
 		for ri := 0; ri < numRates; ri++ {
-			k := [2]int{ri, s.SNR}
-			c, ok := cells[k]
-			if !ok {
-				c = &cell{}
-				cells[k] = c
-			}
-			c.vals = append(c.vals, s.Tput[ri])
+			c := ri*width + base
+			vals[fill[c]] = s.Tput[ri]
+			fill[c]++
 		}
 	}
-	keys := make([][2]int, 0, len(cells))
-	for k := range cells {
-		keys = append(keys, k)
+	occupied := 0
+	for _, h := range hist {
+		if h >= minObs && h > 0 {
+			occupied++
+		}
 	}
-	sort.Slice(keys, func(a, b int) bool {
-		if keys[a][0] != keys[b][0] {
-			return keys[a][0] < keys[b][0]
-		}
-		return keys[a][1] < keys[b][1]
-	})
-	var out []TputPoint
-	for _, k := range keys {
-		c := cells[k]
-		if len(c.vals) < minObs {
-			continue
-		}
-		sort.Float64s(c.vals)
-		q := func(p float64) float64 {
-			pos := p * float64(len(c.vals)-1)
-			lo := int(pos)
-			hi := lo
-			if lo+1 < len(c.vals) {
-				hi = lo + 1
+	out := make([]TputPoint, 0, occupied*numRates)
+	for ri := 0; ri < numRates; ri++ {
+		for s := 0; s < width; s++ {
+			cell := vals[offs[ri*width+s]:offs[ri*width+s+1]]
+			if len(cell) == 0 || len(cell) < minObs {
+				continue
 			}
-			frac := pos - float64(lo)
-			return c.vals[lo]*(1-frac) + c.vals[hi]*frac
+			sort.Float64s(cell)
+			q := func(p float64) float64 {
+				pos := p * float64(len(cell)-1)
+				lo := int(pos)
+				hi := lo
+				if lo+1 < len(cell) {
+					hi = lo + 1
+				}
+				frac := pos - float64(lo)
+				return cell[lo]*(1-frac) + cell[hi]*frac
+			}
+			out = append(out, TputPoint{
+				RateIdx: ri, SNR: minSNR + s,
+				Median: q(0.5), Q1: q(0.25), Q3: q(0.75), N: len(cell),
+			})
 		}
-		out = append(out, TputPoint{
-			RateIdx: k[0], SNR: k[1],
-			Median: q(0.5), Q1: q(0.25), Q3: q(0.75), N: len(c.vals),
-		})
 	}
 	return out
 }

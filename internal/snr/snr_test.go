@@ -2,6 +2,7 @@ package snr
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"testing"
 
@@ -142,19 +143,29 @@ func TestLookupTieBreaksLow(t *testing.T) {
 	}
 }
 
-func TestRatesForCoverage(t *testing.T) {
+func TestCoverageNeeds(t *testing.T) {
 	c := []int{0, 67, 30, 3, 0, 0, 0}
-	if got := ratesForCoverage(c, 0.50); got != 1 {
-		t.Fatalf("50%% needs %d rates, want 1", got)
+	scratch := make([]int, len(c))
+	n50, n80, n95 := coverageNeeds(c, 100, scratch)
+	if n50 != 1 {
+		t.Fatalf("50%% needs %d rates, want 1", n50)
 	}
-	if got := ratesForCoverage(c, 0.95); got != 2 {
-		t.Fatalf("95%% needs %d rates, want 2", got)
+	if n80 != 2 {
+		t.Fatalf("80%% needs %d rates, want 2", n80)
 	}
-	if got := ratesForCoverage(c, 0.99); got != 3 {
-		t.Fatalf("99%% needs %d rates, want 3", got)
+	if n95 != 2 {
+		t.Fatalf("95%% needs %d rates, want 2", n95)
 	}
-	if got := ratesForCoverage([]int{0, 0}, 0.95); got != 0 {
-		t.Fatalf("empty cell needs %d, want 0", got)
+	if a, b, c := coverageNeeds([]int{0, 0}, 0, scratch); a != 0 || b != 0 || c != 0 {
+		t.Fatalf("empty cell needs (%d,%d,%d), want zeros", a, b, c)
+	}
+	// A single dominant rate satisfies all three levels at once.
+	if a, b, c := coverageNeeds([]int{0, 100, 0}, 100, scratch); a != 1 || b != 1 || c != 1 {
+		t.Fatalf("dominant rate needs (%d,%d,%d), want all 1", a, b, c)
+	}
+	// An even split makes the levels spread: 4×25 → 2, 4, 4.
+	if a, b, c := coverageNeeds([]int{25, 25, 25, 25}, 100, scratch); a != 2 || b != 4 || c != 4 {
+		t.Fatalf("even split needs (%d,%d,%d), want (2,4,4)", a, b, c)
 	}
 }
 
@@ -317,6 +328,55 @@ func TestBandRates(t *testing.T) {
 	names := BandRates(phy.BandBG)
 	if len(names) != 7 || names[0] != "1M" || names[6] != "48M" {
 		t.Fatalf("BandRates = %v", names)
+	}
+}
+
+// TestPenaltyMatchesTableReplay pins the flat-buffer Penalty rewrite to
+// the reference algorithm: train a Table per scope and replay every
+// sample through Lookup. Diffs must match as sorted multisets (Penalty
+// returns them sorted) and ExactFrac exactly.
+func TestPenaltyMatchesTableReplay(t *testing.T) {
+	samples := simulated(t)
+	const numRates = 7
+	got := Penalty(samples, numRates, Scopes)
+	for si, sc := range Scopes {
+		tbl := Train(samples, numRates, sc)
+		var want []float64
+		exact := 0
+		for i := range samples {
+			s := &samples[i]
+			pred, ok := tbl.Lookup(s)
+			if !ok {
+				continue
+			}
+			diff := s.BestTput - s.Tput[pred]
+			if diff < 0 {
+				diff = 0
+			}
+			want = append(want, diff)
+			if pred == s.Popt {
+				exact++
+			}
+		}
+		sort.Float64s(want)
+		g := got[si]
+		if g.Scope != sc {
+			t.Fatalf("result %d has scope %v, want %v", si, g.Scope, sc)
+		}
+		if len(g.Diffs) != len(want) {
+			t.Fatalf("%v: %d diffs, reference replay has %d", sc, len(g.Diffs), len(want))
+		}
+		if !sort.Float64sAreSorted(g.Diffs) {
+			t.Fatalf("%v: Diffs not sorted", sc)
+		}
+		for i := range want {
+			if g.Diffs[i] != want[i] {
+				t.Fatalf("%v: diff[%d] = %v, reference %v", sc, i, g.Diffs[i], want[i])
+			}
+		}
+		if wantFrac := float64(exact) / float64(len(want)); g.ExactFrac != wantFrac {
+			t.Fatalf("%v: ExactFrac %v, reference %v", sc, g.ExactFrac, wantFrac)
+		}
 	}
 }
 

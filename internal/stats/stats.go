@@ -81,13 +81,18 @@ func Std(xs []float64) float64 {
 // Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
 // interpolation between order statistics (type-7, the common default).
 // It does not modify xs. It returns NaN for an empty sample and panics if q
-// is outside [0, 1].
+// is outside [0, 1]. Already-sorted input (common for CDF-shaped data,
+// e.g. snr.PenaltyResult.Diffs or a pre-sorted bin) is read in place —
+// no copy, no re-sort.
 func Quantile(xs []float64, q float64) float64 {
 	if q < 0 || q > 1 {
 		panic("stats: quantile out of [0,1]")
 	}
 	if len(xs) == 0 {
 		return math.NaN()
+	}
+	if sort.Float64sAreSorted(xs) {
+		return quantileSorted(xs, q)
 	}
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
@@ -113,13 +118,17 @@ func quantileSorted(sorted []float64, q float64) float64 {
 func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
 
 // Quartiles returns the lower quartile, median, and upper quartile of xs.
+// Sorted input is read in place without a copy.
 func Quartiles(xs []float64) (q1, med, q3 float64) {
 	if len(xs) == 0 {
 		return math.NaN(), math.NaN(), math.NaN()
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
+	sorted := xs
+	if !sort.Float64sAreSorted(xs) {
+		sorted = make([]float64, len(xs))
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+	}
 	return quantileSorted(sorted, 0.25), quantileSorted(sorted, 0.5), quantileSorted(sorted, 0.75)
 }
 
@@ -128,11 +137,15 @@ type CDF struct {
 	sorted []float64
 }
 
-// NewCDF builds an empirical CDF from xs. The input is copied.
+// NewCDF builds an empirical CDF from xs. The input is copied; input that
+// is already sorted (snr.PenaltyResult.Diffs, routing improvement tables
+// after their single sort) skips the O(n log n) re-sort.
 func NewCDF(xs []float64) *CDF {
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
-	sort.Float64s(sorted)
+	if !sort.Float64sAreSorted(sorted) {
+		sort.Float64s(sorted)
+	}
 	return &CDF{sorted: sorted}
 }
 
@@ -261,6 +274,10 @@ func (b *Binned) Rows() []BinRow {
 	rows := make([]BinRow, 0, len(keys))
 	for _, k := range keys {
 		ys := b.bins[k]
+		// One in-place sort per bin; Summarize's median and Quartiles
+		// then both take the sorted-input fast path instead of each
+		// copy-and-sorting the bin again.
+		sort.Float64s(ys)
 		s, err := Summarize(ys)
 		if err != nil {
 			continue
@@ -310,13 +327,17 @@ func Spearman(xs, ys []float64) float64 {
 	return Pearson(ranks(xs), ranks(ys))
 }
 
-// ranks assigns average ranks (1-based) to xs, averaging ties.
+// ranks assigns average ranks (1-based) to xs, averaging ties. Sorted
+// input keeps the identity permutation — only the sort is skipped, the
+// tie-averaging walk is shared.
 func ranks(xs []float64) []float64 {
 	idx := make([]int, len(xs))
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	if !sort.Float64sAreSorted(xs) {
+		sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	}
 	r := make([]float64, len(xs))
 	for i := 0; i < len(idx); {
 		j := i

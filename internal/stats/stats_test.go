@@ -294,3 +294,46 @@ func BenchmarkNewCDF(b *testing.B) {
 		_ = NewCDF(xs)
 	}
 }
+
+// TestSortedFastPathsAgree pins the sorted-input fast paths of Quantile,
+// Quartiles, ranks, and NewCDF to the copy-and-sort path: shuffled and
+// pre-sorted views of the same sample must agree exactly.
+func TestSortedFastPathsAgree(t *testing.T) {
+	r := rng.New(99)
+	xs := make([]float64, 501)
+	for i := range xs {
+		xs[i] = math.Round(r.Float64()*50) / 5 // plenty of ties
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		if a, b := Quantile(xs, q), Quantile(sorted, q); a != b {
+			t.Fatalf("Quantile(%v): shuffled %v vs sorted %v", q, a, b)
+		}
+	}
+	a1, a2, a3 := Quartiles(xs)
+	b1, b2, b3 := Quartiles(sorted)
+	if a1 != b1 || a2 != b2 || a3 != b3 {
+		t.Fatalf("Quartiles disagree: (%v,%v,%v) vs (%v,%v,%v)", a1, a2, a3, b1, b2, b3)
+	}
+	if got, want := NewCDF(sorted).At(2.0), NewCDF(xs).At(2.0); got != want {
+		t.Fatalf("NewCDF fast path: %v vs %v", got, want)
+	}
+	// ranks: the sorted fast path must produce the same rank multiset, so
+	// Spearman over a monotone transform stays exactly 1.
+	ys := append([]float64(nil), sorted...)
+	for i := range ys {
+		ys[i] = ys[i] * 3
+	}
+	if got := Spearman(sorted, ys); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Spearman on sorted input = %v, want 1", got)
+	}
+}
+
+func TestQuartilesDoNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	Quartiles(xs)
+	if xs[0] != 5 || xs[4] != 3 {
+		t.Fatalf("Quartiles mutated its input: %v", xs)
+	}
+}

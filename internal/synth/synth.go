@@ -7,6 +7,10 @@ package synth
 
 import (
 	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"meshlab/internal/clients"
 	"meshlab/internal/dataset"
@@ -35,6 +39,11 @@ type Options struct {
 	RadioParams func(outdoor bool) radio.Params
 	// SkipClients disables client simulation (probe-only datasets).
 	SkipClients bool
+	// Workers bounds the synthesis worker pool: networks fan out across
+	// it because every network draws from its own seed-derived rng split.
+	// 0 means GOMAXPROCS, 1 forces the serial path. The output is
+	// byte-identical at any value.
+	Workers int
 }
 
 // Reference returns the full thesis-scale configuration: the 110-network
@@ -65,7 +74,105 @@ func Quick(seed uint64) Options {
 	}
 }
 
-// Generate builds the full synthetic dataset for opts.
+// Meta returns the dataset metadata Generate stamps on a fleet built from
+// these options, with package defaults applied (via the sub-configs' own
+// Normalized, so the default constants live in one place). Cache layers
+// compare it against a stored fleet's Meta to decide whether the file can
+// stand in for a fresh synthesis run.
+func (o Options) Meta() dataset.Meta {
+	p := o.Probe.Normalized()
+	c := o.Clients.Normalized()
+	return dataset.Meta{
+		Seed:           o.Seed,
+		ProbeDuration:  int32(p.Duration),
+		ProbeInterval:  int32(p.ReportInterval),
+		ClientDuration: int32(c.Duration),
+	}
+}
+
+// CacheValidatable reports whether a stored dataset can be fully checked
+// against o. A cache file records the seed, durations, cadence, client
+// presence, and (via MatchesTopology) the fleet topology — but not the
+// probe aggregation depth, the client-mixture tuning, or a RadioParams
+// override, so options setting any of those beyond their defaults must
+// bypass dataset caches rather than risk a false hit.
+func (o Options) CacheValidatable() bool {
+	if o.RadioParams != nil {
+		return false
+	}
+	// Keeping only the fields the cache records and re-applying defaults
+	// must reproduce the effective config; otherwise an unrecorded field
+	// was set.
+	if o.Probe.Normalized() != (probe.Config{Duration: o.Probe.Duration, ReportInterval: o.Probe.ReportInterval}).Normalized() {
+		return false
+	}
+	if o.Clients.Normalized() != (clients.Config{Duration: o.Clients.Duration}).Normalized() {
+		return false
+	}
+	// Meta stores durations as whole int32 seconds, so fractional or
+	// out-of-range values would collide with other durations stamping
+	// the same truncated Meta (e.g. a 300.9 s cadence stamps the same
+	// Meta as the default 300 s) and validate a cache they did not
+	// produce.
+	p := o.Probe.Normalized()
+	c := o.Clients.Normalized()
+	for _, d := range []float64{p.Duration, p.ReportInterval, c.Duration} {
+		if d != math.Trunc(d) || d < 0 || d > math.MaxInt32 {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchesTopology reports whether f's network population is exactly what
+// Generate would produce for opts: the same network datasets in fleet
+// order, each matching on name, band, environment, spacing, and AP
+// layout. Topology synthesis is layout-only and cheap, so combining this
+// with a Meta comparison validates a cached dataset against the full
+// fleet configuration — not just the seed and durations — without paying
+// for probe or client simulation.
+func MatchesTopology(f *dataset.Fleet, opts Options) bool {
+	root := rng.New(opts.Seed)
+	fleetTopo, err := topology.GenerateFleet(root.Split("topology"), opts.Fleet)
+	if err != nil {
+		return false
+	}
+	idx := 0
+	for _, topo := range fleetTopo.Networks {
+		for _, bandName := range topo.Bands {
+			if idx >= len(f.Networks) {
+				return false
+			}
+			info := f.Networks[idx].Info
+			idx++
+			if info.Name != topo.Name || info.Band != bandName ||
+				info.Env != topo.Env.String() || info.Spacing != topo.Spacing ||
+				len(info.APs) != len(topo.APs) {
+				return false
+			}
+			for a, ap := range topo.APs {
+				got := info.APs[a]
+				if got.Name != ap.Name || got.X != ap.X || got.Y != ap.Y || got.Outdoor != ap.Outdoor {
+					return false
+				}
+			}
+		}
+	}
+	return idx == len(f.Networks)
+}
+
+// netResult is one network's synthesized data: the per-band probe
+// datasets in band order plus the client log (nil when skipped).
+type netResult struct {
+	nets    []*dataset.NetworkData
+	clients *dataset.ClientData
+	err     error
+}
+
+// Generate builds the full synthetic dataset for opts. Every network
+// derives from an independent rng split of the root seed, so networks are
+// synthesized across a worker pool (Options.Workers) and assembled in
+// fleet order: the result is byte-identical at any worker count.
 func Generate(opts Options) (*dataset.Fleet, error) {
 	root := rng.New(opts.Seed)
 	fleetTopo, err := topology.GenerateFleet(root.Split("topology"), opts.Fleet)
@@ -73,42 +180,83 @@ func Generate(opts Options) (*dataset.Fleet, error) {
 		return nil, fmt.Errorf("synth: fleet topology: %w", err)
 	}
 
-	probeCfg := opts.Probe
-	clientCfg := opts.Clients
-
-	out := &dataset.Fleet{
-		Meta: dataset.Meta{
-			Seed:           opts.Seed,
-			ProbeDuration:  int32(withDefault(probeCfg.Duration, 86400)),
-			ProbeInterval:  int32(withDefault(probeCfg.ReportInterval, 300)),
-			ClientDuration: int32(withDefault(clientCfg.Duration, 39600)),
-		},
+	n := len(fleetTopo.Networks)
+	results := make([]netResult, n)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i, topo := range fleetTopo.Networks {
+			results[i] = buildNetwork(root, i, topo, opts)
+			if results[i].err != nil {
+				break
+			}
+		}
+	} else {
+		var next atomic.Int64
+		var failed atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n || failed.Load() {
+						return
+					}
+					results[i] = buildNetwork(root, i, fleetTopo.Networks[i], opts)
+					if results[i].err != nil {
+						failed.Store(true)
+					}
+				}
+			}()
+		}
+		wg.Wait()
 	}
 
-	for i, topo := range fleetTopo.Networks {
-		for _, bandName := range topo.Bands {
-			band, err := phy.BandByName(bandName)
-			if err != nil {
-				return nil, fmt.Errorf("synth: network %s: %w", topo.Name, err)
-			}
-			key := fmt.Sprintf("net%d/%s", i, bandName)
-			net := mesh.Build(root.Split("mesh/"+key), topo, band, mesh.BuildOptions{
-				ParamsFor: opts.RadioParams,
-			})
-			nd := probe.Collect(root.Split("probe/"+key), net, probeCfg)
-			out.Networks = append(out.Networks, nd)
+	// Report the error of the earliest network that was built. (With the
+	// early-abort flag, which networks were attempted — and therefore
+	// which error surfaces — can depend on worker scheduling; the
+	// success/failure outcome itself cannot.)
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
 		}
-		if !opts.SkipClients {
-			cd := clients.Simulate(root.SplitN("clients", i), topo, clientCfg)
-			out.Clients = append(out.Clients, cd)
+	}
+	out := &dataset.Fleet{Meta: opts.Meta()}
+	for i := range results {
+		out.Networks = append(out.Networks, results[i].nets...)
+		if results[i].clients != nil {
+			out.Clients = append(out.Clients, results[i].clients)
 		}
 	}
 	return out, nil
 }
 
-func withDefault(v, def float64) float64 {
-	if v <= 0 {
-		return def
+// buildNetwork synthesizes one network's probe and client data. It only
+// reads root's immutable split identity, so concurrent calls are safe.
+func buildNetwork(root *rng.Stream, i int, topo *topology.Network, opts Options) netResult {
+	var res netResult
+	for _, bandName := range topo.Bands {
+		band, err := phy.BandByName(bandName)
+		if err != nil {
+			res.err = fmt.Errorf("synth: network %s: %w", topo.Name, err)
+			return res
+		}
+		key := fmt.Sprintf("net%d/%s", i, bandName)
+		net := mesh.Build(root.Split("mesh/"+key), topo, band, mesh.BuildOptions{
+			ParamsFor: opts.RadioParams,
+		})
+		nd := probe.Collect(root.Split("probe/"+key), net, opts.Probe)
+		res.nets = append(res.nets, nd)
 	}
-	return v
+	if !opts.SkipClients {
+		res.clients = clients.Simulate(root.SplitN("clients", i), topo, opts.Clients)
+	}
+	return res
 }

@@ -1,9 +1,11 @@
 package synth
 
 import (
+	"bytes"
 	"testing"
 
 	"meshlab/internal/radio"
+	"meshlab/internal/wire"
 )
 
 func TestGenerateQuick(t *testing.T) {
@@ -56,6 +58,49 @@ func TestGenerateDeterminism(t *testing.T) {
 		if len(a.Clients[i].Clients) != len(b.Clients[i].Clients) {
 			t.Fatalf("network %d client counts differ", i)
 		}
+	}
+}
+
+// TestGenerateParallelMatchesSerial pins the parallel fan-out to the
+// serial path at the byte level: the wire encodings must be identical, so
+// no table or figure can depend on the worker count.
+func TestGenerateParallelMatchesSerial(t *testing.T) {
+	encode := func(workers int) []byte {
+		opts := Quick(11)
+		opts.Workers = workers
+		f, err := Generate(opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := wire.Write(&buf, f); err != nil {
+			t.Fatalf("workers=%d: encode: %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+	serial := encode(1)
+	for _, workers := range []int{4, 0} {
+		if got := encode(workers); !bytes.Equal(got, serial) {
+			t.Fatalf("workers=%d produced a different fleet than the serial path (%d vs %d bytes)",
+				workers, len(got), len(serial))
+		}
+	}
+}
+
+func TestOptionsMetaMatchesGenerated(t *testing.T) {
+	opts := Quick(6)
+	f, err := Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Meta != opts.Meta() {
+		t.Fatalf("Options.Meta %+v differs from generated meta %+v", opts.Meta(), f.Meta)
+	}
+	// Zero-valued sub-configs must resolve to the same defaults Generate
+	// applies.
+	ref := Reference(6)
+	if m := ref.Meta(); m.ProbeDuration != 86400 || m.ProbeInterval != 1200 || m.ClientDuration != 39600 {
+		t.Fatalf("reference meta defaults wrong: %+v", m)
 	}
 }
 
@@ -113,5 +158,40 @@ func TestReferenceShape(t *testing.T) {
 	}
 	if opts.Probe.Duration != 86400 {
 		t.Fatalf("reference probe duration %v", opts.Probe.Duration)
+	}
+}
+
+func TestCacheValidatable(t *testing.T) {
+	if !Quick(1).CacheValidatable() || !Reference(1).CacheValidatable() {
+		t.Fatal("presets must be cache-validatable")
+	}
+	o := Quick(1)
+	o.Probe.ProbesPerRate = 40
+	if o.CacheValidatable() {
+		t.Fatal("non-default ProbesPerRate is not recorded in a cache and must not validate")
+	}
+	o = Quick(1)
+	o.Clients.WalkerFrac = 0.5
+	if o.CacheValidatable() {
+		t.Fatal("non-default client mixture must not validate")
+	}
+	// Fractional durations collide with their int32-truncated Meta.
+	o = Quick(1)
+	o.Probe.ReportInterval = 300.9
+	if o.CacheValidatable() {
+		t.Fatal("fractional cadence must not validate against whole-second Meta")
+	}
+	o = Quick(1)
+	o.RadioParams = func(bool) radio.Params { return radio.DefaultParams(radio.Indoor) }
+	if o.CacheValidatable() {
+		t.Fatal("RadioParams override must not validate")
+	}
+}
+
+func TestCacheValidatableRejectsOutOfRangeDurations(t *testing.T) {
+	o := Quick(1)
+	o.Probe.Duration = 3e9 // beyond int32 seconds: Meta would truncate
+	if o.CacheValidatable() {
+		t.Fatal("durations beyond int32 must not validate against a cache")
 	}
 }

@@ -120,15 +120,22 @@ func Write(out io.Writer, f *dataset.Fleet) error {
 		}
 		w.u32(uint32(len(nd.Links)))
 		for _, l := range nd.Links {
+			if l.From < 0 || l.From > math.MaxUint16 || l.To < 0 || l.To > math.MaxUint16 {
+				return fmt.Errorf("wire: network %s: link %d→%d endpoints do not fit u16",
+					nd.Info.Name, l.From, l.To)
+			}
 			w.u16(uint16(l.From))
 			w.u16(uint16(l.To))
 			w.u32(uint32(len(l.Sets)))
-			for _, ps := range l.Sets {
+			for si, ps := range l.Sets {
 				w.i32(ps.T)
 				w.i16(ps.SNR)
 				w.f32(ps.SNRStd)
+				// The format stores the observation count in a u8; reject
+				// rather than silently truncating the probe set.
 				if len(ps.Obs) > math.MaxUint8 {
-					return fmt.Errorf("wire: too many observations in a probe set")
+					return fmt.Errorf("wire: network %s link %d→%d probe set %d: %d observations exceed the format's u8 limit of %d",
+						nd.Info.Name, l.From, l.To, si, len(ps.Obs), math.MaxUint8)
 				}
 				w.u8(uint8(len(ps.Obs)))
 				for _, o := range ps.Obs {
@@ -145,15 +152,25 @@ func Write(out io.Writer, f *dataset.Fleet) error {
 		if !ok {
 			return fmt.Errorf("wire: unknown environment %q", cd.Env)
 		}
+		if cd.NumAPs < 0 || cd.NumAPs > math.MaxUint16 {
+			return fmt.Errorf("wire: client dataset %s: AP count %d does not fit u16", cd.Network, cd.NumAPs)
+		}
 		w.str(cd.Network)
 		w.u8(env)
 		w.i32(cd.Duration)
 		w.u16(uint16(cd.NumAPs))
 		w.u32(uint32(len(cd.Clients)))
 		for _, cl := range cd.Clients {
+			if cl.ID < 0 || int64(cl.ID) > math.MaxUint32 {
+				return fmt.Errorf("wire: client dataset %s: client ID %d does not fit u32", cd.Network, cl.ID)
+			}
 			w.u32(uint32(cl.ID))
 			w.u32(uint32(len(cl.Assocs)))
 			for _, a := range cl.Assocs {
+				if a.AP < 0 || a.AP > math.MaxUint16 {
+					return fmt.Errorf("wire: client dataset %s client %d: association AP %d does not fit u16",
+						cd.Network, cl.ID, a.AP)
+				}
 				w.u16(uint16(a.AP))
 				w.i32(a.Start)
 				w.i32(a.End)

@@ -138,6 +138,65 @@ func TestUnknownBandRejectedOnWrite(t *testing.T) {
 	}
 }
 
+// TestOversizedProbeSetRejected pins the encode-time guard: a probe set
+// with more observations than the format's u8 count field must fail with
+// a descriptive error, never truncate silently.
+func TestOversizedProbeSetRejected(t *testing.T) {
+	obs := make([]dataset.Obs, 256)
+	for i := range obs {
+		obs[i] = dataset.Obs{RateIdx: uint8(i % 12)}
+	}
+	f := &dataset.Fleet{Networks: []*dataset.NetworkData{{
+		Info: dataset.NetworkInfo{Name: "big", Band: "bg", Env: "indoor"},
+		Links: []*dataset.Link{{
+			From: 0, To: 1,
+			Sets: []dataset.ProbeSet{{T: 0, SNR: 20, Obs: obs}},
+		}},
+	}}}
+	err := Write(&bytes.Buffer{}, f)
+	if err == nil {
+		t.Fatal("256 observations should fail to encode")
+	}
+	for _, want := range []string{"big", "0→1", "256"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q should name %q", err, want)
+		}
+	}
+	// Exactly 255 observations is legal and must round-trip.
+	f.Networks[0].Links[0].Sets[0].Obs = obs[:255]
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatalf("255 observations should encode: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(got.Networks[0].Links[0].Sets[0].Obs); n != 255 {
+		t.Fatalf("round-tripped %d observations, want 255", n)
+	}
+}
+
+// TestOutOfRangeFieldsRejected covers the other silent-truncation hazards
+// of the fixed-width format: link endpoints and association AP indices
+// beyond u16.
+func TestOutOfRangeFieldsRejected(t *testing.T) {
+	f := &dataset.Fleet{Networks: []*dataset.NetworkData{{
+		Info:  dataset.NetworkInfo{Name: "x", Band: "bg", Env: "indoor"},
+		Links: []*dataset.Link{{From: 70000, To: 1}},
+	}}}
+	if err := Write(&bytes.Buffer{}, f); err == nil {
+		t.Fatal("link endpoint beyond u16 should fail to encode")
+	}
+	f = &dataset.Fleet{Clients: []*dataset.ClientData{{
+		Network: "x", Env: "indoor", NumAPs: 5,
+		Clients: []dataset.ClientLog{{ID: 1, Assocs: []dataset.Assoc{{AP: 1 << 17}}}},
+	}}}
+	if err := Write(&bytes.Buffer{}, f); err == nil {
+		t.Fatal("association AP beyond u16 should fail to encode")
+	}
+}
+
 func TestEmptyFleet(t *testing.T) {
 	var buf bytes.Buffer
 	if err := Write(&buf, &dataset.Fleet{}); err != nil {
@@ -274,5 +333,15 @@ func TestRoundTripPropertyRandomFleets(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestOutOfRangeClientIDRejected(t *testing.T) {
+	f := &dataset.Fleet{Clients: []*dataset.ClientData{{
+		Network: "x", Env: "indoor", NumAPs: 5,
+		Clients: []dataset.ClientLog{{ID: -1}},
+	}}}
+	if err := Write(&bytes.Buffer{}, f); err == nil {
+		t.Fatal("negative client ID should fail to encode")
 	}
 }

@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"meshlab/internal/dataset"
@@ -134,4 +135,88 @@ func LoadFleet(path string) (*Fleet, error) {
 	}
 	defer file.Close()
 	return ReadFleet(file)
+}
+
+// LoadOrGenerateFleet returns the fleet for opts, using path as a dataset
+// cache so synthesis is paid at most once per (seed, config). A file at
+// path is loaded (format auto-detected by magic) and accepted when its
+// metadata — seed, probe duration and cadence, client snapshot length —
+// matches what Generate would stamp for opts, its client data presence
+// matches opts.SkipClients, and its network population matches a cheap
+// layout-only regeneration of the fleet topology (synth.MatchesTopology),
+// so a changed fleet configuration invalidates even when the metadata
+// coincides. Anything else (missing file, unreadable format, mismatched
+// seed or config) triggers a fresh synthesis whose result is written back
+// to path in the compact binary format. The returned bool reports whether
+// the cache was hit.
+//
+// Options the file format cannot record — a RadioParams override, a
+// non-default probe aggregation depth, or client-mixture tuning — bypass
+// the cache entirely (see synth.Options.CacheValidatable): generating is
+// always correct, serving a false hit never is.
+func LoadOrGenerateFleet(path string, opts Options) (*Fleet, bool, error) {
+	if !opts.CacheValidatable() {
+		f, err := GenerateFleet(opts)
+		return f, false, err
+	}
+	if f, err := LoadFleet(path); err == nil {
+		if f.Meta == opts.Meta() && opts.SkipClients == (len(f.Clients) == 0) &&
+			synth.MatchesTopology(f, opts) {
+			return f, true, nil
+		}
+	}
+	// Claim a temp file next to the cache path before synthesizing, so an
+	// unwritable location fails in milliseconds instead of after minutes
+	// of generation; the final rename is atomic, so an interrupt mid-run
+	// leaves any previous cache intact and concurrent readers never see a
+	// torn file. A directory at path would pass the temp-file probe but
+	// fail the rename after synthesis, so reject it up front too.
+	if info, err := os.Stat(path); err == nil && info.IsDir() {
+		return nil, false, fmt.Errorf("meshlab: dataset cache: %s is a directory", path)
+	}
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		// A bare filename must stage its temp file in the same (current)
+		// directory — CreateTemp("") would fall back to the system temp
+		// dir, where the final rename can cross filesystems.
+		dir = "."
+	}
+	// Probe writability with a throwaway file, but create the real temp
+	// only after synthesis succeeds: a crash or kill during the
+	// minutes-long generation then cannot leak a stale multi-hundred-MB
+	// .tmp file next to the cache.
+	probe, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return nil, false, fmt.Errorf("meshlab: dataset cache: %w", err)
+	}
+	probe.Close()
+	os.Remove(probe.Name())
+	f, err := GenerateFleet(opts)
+	if err != nil {
+		return nil, false, err
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return nil, false, fmt.Errorf("meshlab: dataset cache: %w", err)
+	}
+	if err := wire.Write(tmp, f); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, false, fmt.Errorf("meshlab: dataset cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return nil, false, fmt.Errorf("meshlab: dataset cache: %w", err)
+	}
+	// CreateTemp opens 0600; give the cache the usual data-file mode so
+	// other users of a shared fixture can read it, like SaveFleet output.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return nil, false, fmt.Errorf("meshlab: dataset cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return nil, false, fmt.Errorf("meshlab: dataset cache: %w", err)
+	}
+	return f, false, nil
 }

@@ -5,6 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
+
+	"meshlab/internal/radio"
 )
 
 func TestEndToEndQuick(t *testing.T) {
@@ -137,5 +140,235 @@ func TestWriteFleetBinaryStream(t *testing.T) {
 	}
 	if len(got.Networks) != len(fleet.Networks) {
 		t.Fatal("stream binary round trip failed")
+	}
+}
+
+func TestLoadOrGenerateFleet(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.bin")
+	opts := QuickOptions(17)
+
+	// Cold cache: synthesizes and writes the file.
+	f1, hit, err := LoadOrGenerateFleet(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("cold cache reported a hit")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("cache file not written: %v", err)
+	}
+
+	// Warm cache: loads the file, skipping synthesis.
+	f2, hit, err := LoadOrGenerateFleet(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("warm cache missed")
+	}
+	if f2.Meta != f1.Meta || f2.NumProbeSets() != f1.NumProbeSets() {
+		t.Fatal("cached fleet differs from generated fleet")
+	}
+
+	// Seed mismatch invalidates: regenerates and rewrites.
+	other := QuickOptions(18)
+	f3, hit, err := LoadOrGenerateFleet(path, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("seed mismatch should not hit the cache")
+	}
+	if f3.Meta.Seed != 18 {
+		t.Fatalf("regenerated fleet has seed %d, want 18", f3.Meta.Seed)
+	}
+	if f4, hit, _ := LoadOrGenerateFleet(path, other); !hit || f4.Meta.Seed != 18 {
+		t.Fatal("rewritten cache should hit for the new seed")
+	}
+
+	// Config mismatch (probe cadence) invalidates too.
+	tweaked := QuickOptions(18)
+	tweaked.Probe.ReportInterval = 600
+	if _, hit, err := LoadOrGenerateFleet(path, tweaked); err != nil || hit {
+		t.Fatalf("cadence mismatch should regenerate (hit=%v err=%v)", hit, err)
+	}
+
+	// SkipClients mismatch invalidates: a cache with client data cannot
+	// stand in for a probe-only request.
+	noClients := QuickOptions(18)
+	noClients.Probe.ReportInterval = 600
+	noClients.SkipClients = true
+	f5, hit, err := LoadOrGenerateFleet(path, noClients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("SkipClients mismatch should not hit the cache")
+	}
+	if len(f5.Clients) != 0 {
+		t.Fatal("probe-only regeneration still has clients")
+	}
+}
+
+func TestLoadOrGenerateFleetCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.bin")
+	if err := os.WriteFile(path, []byte("not a fleet at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, hit, err := LoadOrGenerateFleet(path, QuickOptions(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("corrupt cache should be regenerated, not hit")
+	}
+	if f.NumProbeSets() == 0 {
+		t.Fatal("regenerated fleet is empty")
+	}
+	if f2, hit, _ := LoadOrGenerateFleet(path, QuickOptions(5)); !hit || f2.Meta.Seed != 5 {
+		t.Fatal("regenerated cache should hit on the next run")
+	}
+}
+
+func TestLoadOrGenerateFleetBypassesCacheForRadioParams(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.bin")
+	opts := QuickOptions(5)
+	opts.RadioParams = func(outdoor bool) radio.Params {
+		return radio.DefaultParams(radio.Indoor)
+	}
+	if _, hit, err := LoadOrGenerateFleet(path, opts); err != nil || hit {
+		t.Fatalf("RadioParams options must bypass the cache (hit=%v err=%v)", hit, err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("RadioParams options must not write the cache file")
+	}
+}
+
+// TestLoadOrGenerateFleetDetectsTopologyMismatch covers the case the
+// metadata alone cannot: two configs with identical Meta (seed,
+// durations, cadence) but different fleet populations must not share a
+// cache entry.
+func TestLoadOrGenerateFleetDetectsTopologyMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.bin")
+	opts := QuickOptions(9)
+	if _, _, err := LoadOrGenerateFleet(path, opts); err != nil {
+		t.Fatal(err)
+	}
+	smaller := QuickOptions(9) // identical Meta...
+	smaller.Fleet.NumNetworks = 11
+	smaller.Fleet.NumIndoor = 6 // ...but one fewer indoor network
+	f, hit, err := LoadOrGenerateFleet(path, smaller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("fleet-config mismatch with identical Meta must not hit the cache")
+	}
+	if len(f.Clients) != 11 {
+		t.Fatalf("regenerated fleet has %d client logs, want 11", len(f.Clients))
+	}
+	if _, hit, _ := LoadOrGenerateFleet(path, smaller); !hit {
+		t.Fatal("rewritten cache should hit for the new config")
+	}
+}
+
+// TestLoadOrGenerateFleetFailsFastOnUnwritablePath: an unusable cache
+// path must error before synthesis, not after it.
+func TestLoadOrGenerateFleetFailsFastOnUnwritablePath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "cache.bin")
+	start := time.Now()
+	if _, _, err := LoadOrGenerateFleet(path, QuickOptions(5)); err == nil {
+		t.Fatal("unwritable cache path should error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("error took %v; should fail before synthesis", elapsed)
+	}
+}
+
+// TestLoadOrGenerateFleetBypassesCacheForUnrecordedConfig: options the
+// file format cannot record (probe aggregation depth, client mixture)
+// must bypass the cache rather than risk serving a false hit.
+func TestLoadOrGenerateFleetBypassesCacheForUnrecordedConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.bin")
+	deeper := QuickOptions(5)
+	deeper.Probe.ProbesPerRate = 40
+	if _, hit, err := LoadOrGenerateFleet(path, deeper); err != nil || hit {
+		t.Fatalf("ProbesPerRate override must bypass the cache (hit=%v err=%v)", hit, err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("bypassed options must not write the cache file")
+	}
+	mixed := QuickOptions(5)
+	mixed.Clients.ClientsPerAP = 2.5
+	if _, hit, err := LoadOrGenerateFleet(path, mixed); err != nil || hit {
+		t.Fatalf("client-mixture override must bypass the cache (hit=%v err=%v)", hit, err)
+	}
+	// Setting only the fields the cache does record stays cacheable.
+	recorded := QuickOptions(5)
+	recorded.Probe.ProbesPerRate = 20 // the package default, effectively unset
+	if _, _, err := LoadOrGenerateFleet(path, recorded); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, _ := LoadOrGenerateFleet(path, recorded); !hit {
+		t.Fatal("default-equal config should still be cacheable")
+	}
+}
+
+// TestLoadOrGenerateFleetWriteIsAtomic: a rewrite must not leave temp
+// files behind, and the cache stays decodable after every rewrite.
+func TestLoadOrGenerateFleetWriteIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.bin")
+	if _, _, err := LoadOrGenerateFleet(path, QuickOptions(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadOrGenerateFleet(path, QuickOptions(6)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "cache.bin" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("cache dir should hold exactly cache.bin, got %v", names)
+	}
+	if f, err := LoadFleet(path); err != nil || f.Meta.Seed != 6 {
+		t.Fatalf("rewritten cache unreadable or stale: %+v, %v", f, err)
+	}
+}
+
+// TestLoadOrGenerateFleetRelativePath: a bare relative cache path must
+// stage its temp file next to the destination (same filesystem) and end
+// up world-readable like every other data file the tools write.
+func TestLoadOrGenerateFleetRelativePath(t *testing.T) {
+	t.Chdir(t.TempDir())
+	if _, hit, err := LoadOrGenerateFleet("cache.bin", QuickOptions(5)); err != nil || hit {
+		t.Fatalf("relative-path cold write failed (hit=%v err=%v)", hit, err)
+	}
+	info, err := os.Stat("cache.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o644 {
+		t.Fatalf("cache mode %o, want 644", perm)
+	}
+	if _, hit, err := LoadOrGenerateFleet("cache.bin", QuickOptions(5)); err != nil || !hit {
+		t.Fatalf("relative-path warm read failed (hit=%v err=%v)", hit, err)
+	}
+}
+
+func TestLoadOrGenerateFleetRejectsDirectoryPath(t *testing.T) {
+	dir := t.TempDir()
+	start := time.Now()
+	if _, _, err := LoadOrGenerateFleet(dir, QuickOptions(5)); err == nil {
+		t.Fatal("a directory cache path should error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("error took %v; should fail before synthesis", elapsed)
 	}
 }
