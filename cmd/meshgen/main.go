@@ -7,8 +7,11 @@
 //	meshgen -seed 42 -scale reference -interval 1200 -out fleet.bin
 //	meshgen -seed 42 -scale reference -dataset cache.bin -out fleet.jsonl
 //
-// A ".bin" output suffix selects the compact binary format; anything else
-// writes JSON lines. Synthesis fans out across -workers cores (0 = all);
+// A ".bin" output suffix selects the compact binary format (spec:
+// docs/FORMAT.md); anything else writes JSON lines. -flat-samples
+// additionally appends the pre-flattened §4 sample section to a .bin
+// output so analysis warm starts skip re-flattening (dataset caches get
+// it automatically). Synthesis fans out across -workers cores (0 = all);
 // the dataset is byte-identical at any worker count. With -dataset, the
 // synthesized fleet is cached at the given path in the binary format and
 // later runs with a matching seed/config load it instead of
@@ -20,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"meshlab"
@@ -44,9 +48,13 @@ func run(args []string, stdout io.Writer) error {
 		noClients  = fs.Bool("no-clients", false, "skip client simulation")
 		workers    = fs.Int("workers", 0, "synthesis worker pool size (0: all cores, 1: serial)")
 		cache      = fs.String("dataset", "", "dataset cache path: loaded when it matches the seed/config, (re)written otherwise")
+		flatSamp   = fs.Bool("flat-samples", false, "append the pre-flattened §4 sample section to a .bin -out file (larger file, O(read) warm analysis)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *flatSamp && !strings.HasSuffix(*out, ".bin") {
+		return fmt.Errorf("-flat-samples requires a .bin -out path (the JSON-lines format has no sample section)")
 	}
 
 	var opts meshlab.Options
@@ -87,7 +95,11 @@ func run(args []string, stdout io.Writer) error {
 	if err := fleet.Validate(); err != nil {
 		return fmt.Errorf("generated fleet failed validation: %w", err)
 	}
-	if err := meshlab.SaveFleet(*out, fleet); err != nil {
+	save := meshlab.SaveFleet
+	if *flatSamp {
+		save = meshlab.SaveFleetWithSamples
+	}
+	if err := save(*out, fleet); err != nil {
 		return err
 	}
 

@@ -40,10 +40,29 @@ func TestRunBinaryOutput(t *testing.T) {
 	if len(fleet.Clients) != 0 {
 		t.Fatal("-no-clients ignored")
 	}
-	// Binary magic at the head.
+	// Binary magic at the head (the current format version).
 	b, _ := os.ReadFile(out)
-	if string(b[:4]) != "MLF1" {
+	if string(b[:4]) != "MLF2" {
 		t.Fatalf(".bin output is not binary: %q", b[:4])
+	}
+}
+
+// TestRunFlatSamples: -flat-samples appends the §4 sample section to a
+// .bin output and is rejected for JSONL paths.
+func TestRunFlatSamples(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fleet.bin")
+	if err := run([]string{"-seed", "4", "-out", out, "-flat-samples"}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	_, samples, err := meshlab.LoadFleetSamples(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("-flat-samples output carries no sample section")
+	}
+	if err := run([]string{"-out", "f.jsonl", "-flat-samples"}, &strings.Builder{}); err == nil {
+		t.Fatal("-flat-samples with a JSONL output should error")
 	}
 }
 

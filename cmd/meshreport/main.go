@@ -16,6 +16,10 @@
 // -dataset, the first run writes the synthesized fleet to the given path
 // and later runs with the same seed/scale load it instead of
 // re-synthesizing (a mismatched or unreadable file is regenerated).
+// Binary datasets are loaded through the streaming wire reader, and a
+// cache's flat-sample section primes the §4 analysis so warm starts skip
+// re-flattening probe data; the report is byte-identical either way (see
+// docs/FORMAT.md).
 package main
 
 import (
@@ -158,12 +162,17 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-data and -dataset are mutually exclusive: -data reads a fixed file, -dataset manages a synthesis cache")
 	}
 
-	fleet, label, err := obtainFleet(*data, *cache, *seed, *scale, *workers)
+	fleet, samples, label, err := obtainFleet(*data, *cache, *seed, *scale, *workers)
 	if err != nil {
 		return err
 	}
 
 	a := meshlab.NewAnalysis(fleet)
+	// A dataset file's flat-sample section replaces the §4 flattening
+	// pass; the samples are identical to what the analysis would derive.
+	for band, s := range samples {
+		a.PrimeSamples(band, s)
+	}
 	start := time.Now()
 	// The parallel runner produces byte-identical results in the same
 	// paper order, so the report does not depend on -workers.
@@ -217,10 +226,10 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-func obtainFleet(data, cache string, seed uint64, scale string, workers int) (*meshlab.Fleet, string, error) {
+func obtainFleet(data, cache string, seed uint64, scale string, workers int) (*meshlab.Fleet, meshlab.FleetSamples, string, error) {
 	if data != "" {
-		f, err := meshlab.LoadFleet(data)
-		return f, data, err
+		f, samples, err := meshlab.LoadFleetSamples(data)
+		return f, samples, data, err
 	}
 	var opts meshlab.Options
 	switch scale {
@@ -229,25 +238,25 @@ func obtainFleet(data, cache string, seed uint64, scale string, workers int) (*m
 	case "reference":
 		opts = meshlab.ReferenceOptions(seed)
 	default:
-		return nil, "", fmt.Errorf("unknown scale %q", scale)
+		return nil, nil, "", fmt.Errorf("unknown scale %q", scale)
 	}
 	opts.Workers = workers
 	if cache != "" {
-		f, hit, err := meshlab.LoadOrGenerateFleet(cache, opts)
+		f, samples, hit, err := meshlab.LoadOrGenerateFleetSamples(cache, opts)
 		if err != nil {
-			return nil, "", err
+			return nil, nil, "", err
 		}
 		switch {
 		case hit:
-			return f, fmt.Sprintf("%s (cache hit, synthesis skipped)", cache), nil
+			return f, samples, fmt.Sprintf("%s (cache hit, synthesis skipped)", cache), nil
 		case !opts.CacheValidatable():
-			return f, fmt.Sprintf("generated in-memory (%s, seed %d; -dataset bypassed: options not cache-validatable)", scale, seed), nil
+			return f, nil, fmt.Sprintf("generated in-memory (%s, seed %d; -dataset bypassed: options not cache-validatable)", scale, seed), nil
 		default:
-			return f, fmt.Sprintf("%s (cache written: %s, seed %d)", cache, scale, seed), nil
+			return f, samples, fmt.Sprintf("%s (cache written: %s, seed %d)", cache, scale, seed), nil
 		}
 	}
 	f, err := meshlab.GenerateFleet(opts)
-	return f, fmt.Sprintf("generated in-memory (%s, seed %d)", scale, seed), err
+	return f, nil, fmt.Sprintf("generated in-memory (%s, seed %d)", scale, seed), err
 }
 
 func writeMarkdownTable(b *strings.Builder, header []string, rows [][]string) {

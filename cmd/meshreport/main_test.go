@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"meshlab"
 )
 
 func TestRunQuickReport(t *testing.T) {
@@ -125,6 +127,56 @@ func TestDatasetCacheInvalidatedBySeed(t *testing.T) {
 	}
 	if !strings.Contains(string(md), "seed: 22") {
 		t.Fatal("report still reflects the stale cached seed")
+	}
+}
+
+// TestStreamingPathMatchesInMemory is the report-level oracle for the
+// streaming dataset path: one run generates the fleet in memory, one
+// streams a plain binary file, and one streams a sample-carrying binary
+// file (priming the §4 analysis from the flat-sample section). All three
+// reports must agree byte-for-byte on every experiment section; only the
+// dataset-label and wall-time preamble lines may differ.
+func TestStreamingPathMatchesInMemory(t *testing.T) {
+	dir := t.TempDir()
+	gen := filepath.Join(dir, "fleet.bin")
+	genSamples := filepath.Join(dir, "samples.bin")
+	fleet, err := meshlab.GenerateFleet(meshlab.QuickOptions(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := meshlab.SaveFleet(gen, fleet); err != nil {
+		t.Fatal(err)
+	}
+	if err := meshlab.SaveFleetWithSamples(genSamples, fleet); err != nil {
+		t.Fatal(err)
+	}
+
+	outs := map[string][]string{
+		"memory":   {"-seed", "21", "-scale", "quick"},
+		"streamed": {"-data", gen},
+		"primed":   {"-data", genSamples},
+	}
+	sections := map[string]string{}
+	for name, args := range outs {
+		out := filepath.Join(dir, name+".md")
+		if err := run(append(args, "-out", out), &strings.Builder{}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		md, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := strings.Index(string(md), "\n## ")
+		if i < 0 {
+			t.Fatalf("%s: report has no experiment sections", name)
+		}
+		sections[name] = string(md)[i:]
+	}
+	if sections["memory"] != sections["streamed"] {
+		t.Fatal("streamed binary run diverges from the in-memory run")
+	}
+	if sections["memory"] != sections["primed"] {
+		t.Fatal("sample-primed run diverges from the in-memory run")
 	}
 }
 

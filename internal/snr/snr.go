@@ -37,7 +37,9 @@ type Sample struct {
 
 // Flatten converts probe data from networks (all on the same band) into
 // samples, skipping probe sets where no rate delivered anything. The band
-// of the first network is used for rate resolution.
+// of the first network is used for rate resolution. For a network-at-a-time
+// source (e.g. a streaming wire.Reader) use Flattener, which produces the
+// same samples without requiring the whole fleet in memory.
 func Flatten(nets []*dataset.NetworkData) ([]Sample, error) {
 	if len(nets) == 0 {
 		return nil, nil
@@ -62,37 +64,85 @@ func Flatten(nets []*dataset.NetworkData) ([]Sample, error) {
 		if nd.Info.Band != band.Name {
 			return nil, fmt.Errorf("snr: mixed bands %q and %q", band.Name, nd.Info.Band)
 		}
-		for _, l := range nd.Links {
-			for _, ps := range l.Sets {
-				s := Sample{
-					Net: nd.Info.Name, From: l.From, To: l.To,
-					T: ps.T, SNR: int(ps.SNR),
-					Tput: flat[off : off+nr : off+nr],
-					Popt: -1,
-				}
-				for _, o := range ps.Obs {
-					tp := band.Rates[o.RateIdx].Throughput(float64(o.Loss))
-					s.Tput[o.RateIdx] = tp
-					if tp > s.BestTput {
-						s.BestTput = tp
-						s.Popt = int(o.RateIdx)
-					}
-				}
-				if s.Popt < 0 || s.BestTput <= 0 {
-					// Discard: re-zero the written cells so the chunk can
-					// back the next probe set.
-					for _, o := range ps.Obs {
-						s.Tput[o.RateIdx] = 0
-					}
-					continue
-				}
-				off += nr
-				out = append(out, s)
-			}
-		}
+		out, off = flattenNetwork(out, flat, off, nd, band)
 	}
 	return out, nil
 }
+
+// flattenNetwork appends one network's flattened probe sets to out, backing
+// each sample's Tput row with flat[off:]. flat must have capacity for one
+// row per remaining probe set. It returns the grown slice and new offset.
+func flattenNetwork(out []Sample, flat []float64, off int, nd *dataset.NetworkData, band phy.Band) ([]Sample, int) {
+	nr := len(band.Rates)
+	for _, l := range nd.Links {
+		for _, ps := range l.Sets {
+			s := Sample{
+				Net: nd.Info.Name, From: l.From, To: l.To,
+				T: ps.T, SNR: int(ps.SNR),
+				Tput: flat[off : off+nr : off+nr],
+				Popt: -1,
+			}
+			for _, o := range ps.Obs {
+				tp := band.Rates[o.RateIdx].Throughput(float64(o.Loss))
+				s.Tput[o.RateIdx] = tp
+				if tp > s.BestTput {
+					s.BestTput = tp
+					s.Popt = int(o.RateIdx)
+				}
+			}
+			if s.Popt < 0 || s.BestTput <= 0 {
+				// Discard: re-zero the written cells so the chunk can
+				// back the next probe set.
+				for _, o := range ps.Obs {
+					s.Tput[o.RateIdx] = 0
+				}
+				continue
+			}
+			off += nr
+			out = append(out, s)
+		}
+	}
+	return out, off
+}
+
+// Flattener is the incremental form of Flatten: networks are added one at
+// a time and only the flattened samples are retained, so a streaming
+// caller's peak memory is one network plus the samples — not the fleet.
+// Adding the networks of a band in fleet order yields exactly the samples
+// Flatten returns for that band.
+type Flattener struct {
+	band    phy.Band
+	samples []Sample
+}
+
+// NewFlattener returns a Flattener for one band's networks.
+func NewFlattener(band phy.Band) *Flattener {
+	return &Flattener{band: band}
+}
+
+// Add flattens one network's probe sets. The network must be on the
+// flattener's band.
+func (f *Flattener) Add(nd *dataset.NetworkData) error {
+	if nd.Info.Band != f.band.Name {
+		return fmt.Errorf("snr: flattener for band %q got network %s on band %q",
+			f.band.Name, nd.Info.Name, nd.Info.Band)
+	}
+	total := 0
+	for _, l := range nd.Links {
+		total += len(l.Sets)
+	}
+	if total == 0 {
+		return nil
+	}
+	// One backing array per network: the Tput rows of a network's samples
+	// stay contiguous, mirroring Flatten's layout at network granularity.
+	flat := make([]float64, total*len(f.band.Rates))
+	f.samples, _ = flattenNetwork(f.samples, flat, 0, nd, f.band)
+	return nil
+}
+
+// Samples returns every sample added so far.
+func (f *Flattener) Samples() []Sample { return f.samples }
 
 // Scope is the specificity of a look-up table's training environment
 // (§4.1's three options plus the global base case).

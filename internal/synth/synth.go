@@ -132,34 +132,76 @@ func (o Options) CacheValidatable() bool {
 // fleet configuration — not just the seed and durations — without paying
 // for probe or client simulation.
 func MatchesTopology(f *dataset.Fleet, opts Options) bool {
-	root := rng.New(opts.Seed)
-	fleetTopo, err := topology.GenerateFleet(root.Split("topology"), opts.Fleet)
+	m, err := NewTopologyMatcher(opts)
 	if err != nil {
 		return false
 	}
-	idx := 0
-	for _, topo := range fleetTopo.Networks {
-		for _, bandName := range topo.Bands {
-			if idx >= len(f.Networks) {
-				return false
-			}
-			info := f.Networks[idx].Info
-			idx++
-			if info.Name != topo.Name || info.Band != bandName ||
-				info.Env != topo.Env.String() || info.Spacing != topo.Spacing ||
-				len(info.APs) != len(topo.APs) {
-				return false
-			}
-			for a, ap := range topo.APs {
-				got := info.APs[a]
-				if got.Name != ap.Name || got.X != ap.X || got.Y != ap.Y || got.Outdoor != ap.Outdoor {
-					return false
-				}
-			}
+	for _, nd := range f.Networks {
+		if !m.Match(nd.Info) {
+			return false
 		}
 	}
-	return idx == len(f.Networks)
+	return m.Done()
 }
+
+// TopologyMatcher is the incremental form of MatchesTopology: the
+// expected layout is derived once, then stored networks are checked one
+// at a time in fleet order. Streaming cache loaders (see
+// meshlab.LoadOrGenerateFleet) use it to reject a mismatched dataset at
+// the first divergent network instead of decoding the whole file first.
+type TopologyMatcher struct {
+	expect []expectedNet
+	idx    int
+}
+
+// expectedNet is one (network topology, band) dataset Generate would emit.
+type expectedNet struct {
+	topo *topology.Network
+	band string
+}
+
+// NewTopologyMatcher derives the layout-only fleet topology for opts.
+func NewTopologyMatcher(opts Options) (*TopologyMatcher, error) {
+	root := rng.New(opts.Seed)
+	fleetTopo, err := topology.GenerateFleet(root.Split("topology"), opts.Fleet)
+	if err != nil {
+		return nil, fmt.Errorf("synth: fleet topology: %w", err)
+	}
+	m := &TopologyMatcher{}
+	for _, topo := range fleetTopo.Networks {
+		for _, bandName := range topo.Bands {
+			m.expect = append(m.expect, expectedNet{topo: topo, band: bandName})
+		}
+	}
+	return m, nil
+}
+
+// Match checks the next stored network against the expectation and
+// advances on success. A network past the expected population (or out of
+// order) reports false and does not advance.
+func (m *TopologyMatcher) Match(info dataset.NetworkInfo) bool {
+	if m.idx >= len(m.expect) {
+		return false
+	}
+	e := m.expect[m.idx]
+	topo := e.topo
+	if info.Name != topo.Name || info.Band != e.band ||
+		info.Env != topo.Env.String() || info.Spacing != topo.Spacing ||
+		len(info.APs) != len(topo.APs) {
+		return false
+	}
+	for a, ap := range topo.APs {
+		got := info.APs[a]
+		if got.Name != ap.Name || got.X != ap.X || got.Y != ap.Y || got.Outdoor != ap.Outdoor {
+			return false
+		}
+	}
+	m.idx++
+	return true
+}
+
+// Done reports whether every expected network dataset has been matched.
+func (m *TopologyMatcher) Done() bool { return m.idx == len(m.expect) }
 
 // netResult is one network's synthesized data: the per-band probe
 // datasets in band order plus the client log (nil when skipped).

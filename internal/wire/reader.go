@@ -1,0 +1,595 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"meshlab/internal/dataset"
+	"meshlab/internal/phy"
+	"meshlab/internal/snr"
+)
+
+// NetworkHeader is the cheaply decoded prefix of one network record:
+// enough to decide — before any AP or probe data is read — whether the
+// network is wanted. Filter matches against it.
+type NetworkHeader struct {
+	// Index is the network's position in fleet order.
+	Index int
+	// Name, Band, Env, and Spacing mirror dataset.NetworkInfo.
+	Name    string
+	Band    string
+	Env     string
+	Spacing float64
+	// NumAPs is the network size (the AP count).
+	NumAPs int
+}
+
+// Filter selects networks during a streaming walk. The zero value matches
+// everything.
+type Filter struct {
+	// Band restricts to one band ("bg" or "n"); empty matches all bands.
+	Band string
+	// MinAPs and MaxAPs bound the network size; zero means unbounded.
+	MinAPs, MaxAPs int
+}
+
+// Match reports whether the header passes the filter.
+func (f Filter) Match(h *NetworkHeader) bool {
+	if f.Band != "" && h.Band != f.Band {
+		return false
+	}
+	if h.NumAPs < f.MinAPs {
+		return false
+	}
+	if f.MaxAPs > 0 && h.NumAPs > f.MaxAPs {
+		return false
+	}
+	return true
+}
+
+// Reader section cursor: the format's sections appear in a fixed order,
+// and the cursor only moves forward.
+const (
+	sectNetworks  = iota // before the next network's record
+	sectInNetwork        // header consumed, body pending
+	sectClients          // before the client section
+	sectSamples          // before the flat-sample section (or EOF)
+	sectDone
+)
+
+// Reader streams a binary fleet file section by section: the networks one
+// at a time (NextHeader + Decode or Skip, or the EachNetwork loop), then
+// the client datasets, then the flat-sample section. It accepts both
+// format versions; on v2 files Skip discards a network by its record
+// length without decoding it, on v1 it walks the record structurally
+// without materializing anything. Methods must be called from one
+// goroutine; the cursor only moves forward.
+type Reader struct {
+	rd      reader
+	version int
+	meta    dataset.Meta
+	flags   uint8
+	nNets   int
+	next    int // networks consumed so far
+	sect    int
+	hdr     NetworkHeader
+	rem     int64 // v2: unread body bytes of the current record
+}
+
+// NewReader consumes the magic, metadata, and network count. The input is
+// buffered internally unless it already is a *bufio.Reader.
+func NewReader(in io.Reader) (*Reader, error) {
+	br, ok := in.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(in, 1<<20)
+	}
+	r := &Reader{rd: reader{r: br}}
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("wire: magic: %w", err)
+	}
+	switch magic {
+	case Magic:
+		r.version = 1
+	case Magic2:
+		r.version = 2
+	default:
+		return nil, fmt.Errorf("wire: bad magic %q (not a binary fleet file)", magic[:])
+	}
+	rd := &r.rd
+	r.meta.Seed = rd.u64()
+	r.meta.ProbeDuration = rd.i32()
+	r.meta.ProbeInterval = rd.i32()
+	r.meta.ClientDuration = rd.i32()
+	if r.version >= 2 {
+		r.flags = rd.u8()
+		if rd.err == nil && r.flags&^flagFlatSamples != 0 {
+			return nil, fmt.Errorf("wire: unknown section flags %#x (file from a newer format?)", r.flags)
+		}
+	}
+	r.nNets = rd.count("network", 1<<20)
+	if rd.err != nil {
+		return nil, fmt.Errorf("wire: header: %w", rd.err)
+	}
+	return r, nil
+}
+
+// Meta returns the dataset metadata, available before any network is read.
+func (r *Reader) Meta() dataset.Meta { return r.meta }
+
+// Version returns the format version (1 or 2).
+func (r *Reader) Version() int { return r.version }
+
+// NumNetworks returns the network record count declared in the header.
+func (r *Reader) NumNetworks() int { return r.nNets }
+
+// HasFlatSamples reports whether the file carries the flat-sample
+// section, i.e. whether Samples will be a direct section read.
+func (r *Reader) HasFlatSamples() bool { return r.flags&flagFlatSamples != 0 }
+
+// netErr wraps an error with the current network's identity.
+func (r *Reader) netErr(err error) error {
+	return fmt.Errorf("wire: network %d (%s/%s): %w", r.hdr.Index, r.hdr.Name, r.hdr.Band, err)
+}
+
+// NextHeader advances to the next network and returns its header, or
+// (nil, nil) once the network section is exhausted. A previously returned
+// header whose body was neither decoded nor skipped is skipped implicitly.
+func (r *Reader) NextHeader() (*NetworkHeader, error) {
+	switch r.sect {
+	case sectInNetwork:
+		if err := r.Skip(); err != nil {
+			return nil, err
+		}
+	case sectNetworks:
+	default:
+		return nil, fmt.Errorf("wire: network section already consumed")
+	}
+	if r.next >= r.nNets {
+		r.sect = sectClients
+		return nil, nil
+	}
+	rd := &r.rd
+	idx := r.next
+	r.next++
+	var recLen int64
+	if r.version >= 2 {
+		recLen = int64(rd.u32())
+	}
+	start := rd.n
+	r.hdr = NetworkHeader{Index: idx, Name: rd.str()}
+	band := rd.u8()
+	env := rd.u8()
+	var ok bool
+	if r.hdr.Band, ok = bandNames[band]; !ok && rd.err == nil {
+		rd.err = fmt.Errorf("unknown band code %d", band)
+	}
+	if r.hdr.Env, ok = envNames[env]; !ok && rd.err == nil {
+		rd.err = fmt.Errorf("unknown env code %d", env)
+	}
+	r.hdr.Spacing = rd.f64()
+	r.hdr.NumAPs = rd.count("AP", 1<<16)
+	if rd.err != nil {
+		return nil, fmt.Errorf("wire: network %d: header: %w", idx, rd.err)
+	}
+	if r.version >= 2 {
+		r.rem = recLen - (rd.n - start)
+		if r.rem < 0 {
+			rd.err = fmt.Errorf("record length %d shorter than its header", recLen)
+			return nil, r.netErr(rd.err)
+		}
+	}
+	r.sect = sectInNetwork
+	return &r.hdr, nil
+}
+
+// Decode reads the current network's body (APs and links) and returns the
+// full network dataset. On v2 files the consumed bytes are checked
+// against the record's declared length.
+func (r *Reader) Decode() (*dataset.NetworkData, error) {
+	if r.sect != sectInNetwork {
+		return nil, fmt.Errorf("wire: Decode without a pending network header")
+	}
+	band, err := phy.BandByName(r.hdr.Band)
+	if err != nil {
+		return nil, r.netErr(err)
+	}
+	nRates := uint8(len(band.Rates))
+	rd := &r.rd
+	start := rd.n
+	nd := &dataset.NetworkData{Info: dataset.NetworkInfo{
+		Name: r.hdr.Name, Band: r.hdr.Band, Env: r.hdr.Env, Spacing: r.hdr.Spacing,
+	}}
+	if r.hdr.NumAPs > 0 {
+		nd.Info.APs = make([]dataset.APInfo, 0, r.hdr.NumAPs)
+	}
+	for a := 0; a < r.hdr.NumAPs && rd.err == nil; a++ {
+		nd.Info.APs = append(nd.Info.APs, dataset.APInfo{
+			Name: rd.str(), X: rd.f64(), Y: rd.f64(), Outdoor: rd.u8() == 1,
+		})
+	}
+	nLinks := rd.count("link", 1<<26)
+	for l := 0; l < nLinks && rd.err == nil; l++ {
+		link := &dataset.Link{From: int(rd.u16()), To: int(rd.u16())}
+		nSets := rd.count("probe set", 1<<26)
+		if rd.err == nil && nSets > 0 {
+			link.Sets = make([]dataset.ProbeSet, 0, nSets)
+		}
+		for s := 0; s < nSets && rd.err == nil; s++ {
+			ps := dataset.ProbeSet{T: rd.i32(), SNR: rd.i16(), SNRStd: rd.f32()}
+			nObs := int(rd.u8())
+			for o := 0; o < nObs && rd.err == nil; o++ {
+				ri := rd.u8()
+				// Rate indices index the band's rate table downstream
+				// (snr.Flatten); bound them here so a corrupt file is an
+				// error, never a panic.
+				if ri >= nRates && rd.err == nil {
+					rd.err = fmt.Errorf("link %d→%d: observation rate index %d out of range for band %s (%d rates)",
+						link.From, link.To, ri, r.hdr.Band, nRates)
+				}
+				ps.Obs = append(ps.Obs, dataset.Obs{RateIdx: ri, Loss: rd.f32()})
+			}
+			link.Sets = append(link.Sets, ps)
+		}
+		nd.Links = append(nd.Links, link)
+	}
+	if rd.err != nil {
+		return nil, r.netErr(rd.err)
+	}
+	if r.version >= 2 {
+		if got := rd.n - start; got != r.rem {
+			rd.err = fmt.Errorf("record body was %d bytes, length prefix promised %d", got, r.rem)
+			return nil, r.netErr(rd.err)
+		}
+	}
+	r.sect = sectNetworks
+	return nd, nil
+}
+
+// Skip discards the current network's body without decoding it: a single
+// buffered discard on v2 (the record length is known), a structural walk
+// that materializes nothing on v1.
+func (r *Reader) Skip() error {
+	if r.sect != sectInNetwork {
+		return fmt.Errorf("wire: Skip without a pending network header")
+	}
+	rd := &r.rd
+	if r.version >= 2 {
+		rd.discard(r.rem)
+	} else {
+		r.skipBodyV1()
+	}
+	if rd.err != nil {
+		return r.netErr(rd.err)
+	}
+	r.sect = sectNetworks
+	return nil
+}
+
+// skipBodyV1 walks a v1 network body (which has no length prefix),
+// discarding fixed-width runs as they are sized by the decoded counts.
+func (r *Reader) skipBodyV1() {
+	rd := &r.rd
+	for a := 0; a < r.hdr.NumAPs && rd.err == nil; a++ {
+		rd.skipStr()
+		rd.discard(8 + 8 + 1) // x, y, outdoor
+	}
+	nLinks := rd.count("link", 1<<26)
+	for l := 0; l < nLinks && rd.err == nil; l++ {
+		rd.discard(2 + 2) // from, to
+		nSets := rd.count("probe set", 1<<26)
+		for s := 0; s < nSets && rd.err == nil; s++ {
+			rd.discard(4 + 2 + 4) // t, snr, std
+			nObs := int(rd.u8())
+			rd.discard(int64(nObs) * 5) // rate u8 + loss f32
+		}
+	}
+}
+
+// EachNetwork streams every remaining network matching the filter through
+// fn in fleet order, skipping the rest without decoding their bodies. An
+// fn error aborts the walk and is returned verbatim.
+func (r *Reader) EachNetwork(filter Filter, fn func(*dataset.NetworkData) error) error {
+	for {
+		h, err := r.NextHeader()
+		if err != nil {
+			return err
+		}
+		if h == nil {
+			return nil
+		}
+		if !filter.Match(h) {
+			if err := r.Skip(); err != nil {
+				return err
+			}
+			continue
+		}
+		nd, err := r.Decode()
+		if err != nil {
+			return err
+		}
+		if err := fn(nd); err != nil {
+			return err
+		}
+	}
+}
+
+// skipToClients fast-forwards over any unconsumed networks.
+func (r *Reader) skipToClients() error {
+	for r.sect == sectNetworks || r.sect == sectInNetwork {
+		h, err := r.NextHeader()
+		if err != nil {
+			return err
+		}
+		if h == nil {
+			return nil
+		}
+		if err := r.Skip(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clients reads the client section, skipping any unconsumed networks
+// first. On v2 files the consumed bytes are checked against the section's
+// declared length.
+func (r *Reader) Clients() ([]*dataset.ClientData, error) {
+	if err := r.skipToClients(); err != nil {
+		return nil, err
+	}
+	if r.sect != sectClients {
+		return nil, fmt.Errorf("wire: client section already consumed")
+	}
+	rd := &r.rd
+	var secLen int64
+	if r.version >= 2 {
+		secLen = int64(rd.u64())
+	}
+	start := rd.n
+	cds, err := decodeClients(rd)
+	if err != nil {
+		return nil, err
+	}
+	if r.version >= 2 && rd.n-start != secLen {
+		rd.err = fmt.Errorf("wire: client section was %d bytes, length prefix promised %d", rd.n-start, secLen)
+		return nil, rd.err
+	}
+	r.sect = sectSamples
+	return cds, nil
+}
+
+// skipClientSection discards the client section (after fast-forwarding
+// over any unconsumed networks): a single discard on v2, a decode-and-drop
+// walk on v1 (client data is orders of magnitude smaller than probe data).
+func (r *Reader) skipClientSection() error {
+	if err := r.skipToClients(); err != nil {
+		return err
+	}
+	if r.sect != sectClients {
+		return nil
+	}
+	rd := &r.rd
+	if r.version >= 2 {
+		secLen := int64(rd.u64())
+		rd.discard(secLen)
+	} else if _, err := decodeClients(rd); err != nil {
+		return err
+	}
+	if rd.err != nil {
+		return fmt.Errorf("wire: client section: %w", rd.err)
+	}
+	r.sect = sectSamples
+	return nil
+}
+
+func decodeClients(rd *reader) ([]*dataset.ClientData, error) {
+	var cds []*dataset.ClientData
+	nClients := rd.count("client dataset", 1<<20)
+	for i := 0; i < nClients && rd.err == nil; i++ {
+		cd := &dataset.ClientData{}
+		cd.Network = rd.str()
+		env := rd.u8()
+		var ok bool
+		if cd.Env, ok = envNames[env]; !ok && rd.err == nil {
+			rd.err = fmt.Errorf("wire: unknown env code %d", env)
+			return nil, rd.err
+		}
+		cd.Duration = rd.i32()
+		cd.NumAPs = int(rd.u16())
+		n := rd.count("client", 1<<24)
+		for c := 0; c < n && rd.err == nil; c++ {
+			cl := dataset.ClientLog{ID: int(rd.u32())}
+			na := rd.count("association", 1<<24)
+			for a := 0; a < na && rd.err == nil; a++ {
+				cl.Assocs = append(cl.Assocs, dataset.Assoc{
+					AP: int32(rd.u16()), Start: rd.i32(), End: rd.i32(),
+				})
+			}
+			cd.Clients = append(cd.Clients, cl)
+		}
+		cds = append(cds, cd)
+	}
+	if rd.err != nil {
+		return nil, fmt.Errorf("wire: client section: %w", rd.err)
+	}
+	return cds, nil
+}
+
+// Samples returns the per-band flattened §4 samples (band name → samples
+// in fleet order; bands without samples are omitted). When the file
+// carries the flat-sample section, any unconsumed networks and the client
+// section are skipped without decoding and the section is read directly —
+// the O(read) warm-start path. Otherwise the remaining networks are
+// streamed one at a time through snr.Flattener, so peak memory is one
+// network plus the samples either way; this fallback requires that no
+// network has been consumed yet.
+func (r *Reader) Samples() (map[string][]snr.Sample, error) {
+	if r.HasFlatSamples() {
+		if err := r.skipClientSection(); err != nil {
+			return nil, err
+		}
+		if r.sect != sectSamples {
+			return nil, fmt.Errorf("wire: flat-sample section already consumed")
+		}
+		out, err := r.readSampleSection()
+		if err != nil {
+			return nil, err
+		}
+		r.sect = sectDone
+		return out, nil
+	}
+	if r.next != 0 || r.sect != sectNetworks {
+		return nil, fmt.Errorf("wire: no flat-sample section and the network section was already consumed")
+	}
+	flatteners := make(map[string]*snr.Flattener, 2)
+	err := r.EachNetwork(Filter{}, func(nd *dataset.NetworkData) error {
+		fl := flatteners[nd.Info.Band]
+		if fl == nil {
+			band, err := nd.Band()
+			if err != nil {
+				return err
+			}
+			fl = snr.NewFlattener(band)
+			flatteners[nd.Info.Band] = fl
+		}
+		return fl.Add(nd)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := r.skipClientSection(); err != nil {
+		return nil, err
+	}
+	r.sect = sectDone
+	out := make(map[string][]snr.Sample, len(flatteners))
+	for bandName, fl := range flatteners {
+		if s := fl.Samples(); len(s) > 0 {
+			out[bandName] = s
+		}
+	}
+	return out, nil
+}
+
+// readSampleSection decodes the flat-sample section: the length prefix,
+// then per band the per-network sample groups. Each group shares one
+// network-name string and one flat Tput backing array.
+func (r *Reader) readSampleSection() (map[string][]snr.Sample, error) {
+	rd := &r.rd
+	secLen := int64(rd.u64())
+	start := rd.n
+	nBands := int(rd.u8())
+	if rd.err != nil {
+		return nil, fmt.Errorf("wire: flat-sample section: %w", rd.err)
+	}
+	out := make(map[string][]snr.Sample, nBands)
+	for b := 0; b < nBands; b++ {
+		code := rd.u8()
+		bandName, ok := bandNames[code]
+		if !ok && rd.err == nil {
+			return nil, fmt.Errorf("wire: flat-sample section: unknown band code %d", code)
+		}
+		band, err := phy.BandByName(bandName)
+		if err != nil && rd.err == nil {
+			return nil, fmt.Errorf("wire: flat-sample section: %w", err)
+		}
+		nr := int(rd.u8())
+		if rd.err == nil && nr != len(band.Rates) {
+			return nil, fmt.Errorf("wire: flat-sample section: band %s has %d rates, file stores %d",
+				bandName, len(band.Rates), nr)
+		}
+		nGroups := rd.count("sample group", 1<<20)
+		var samples []snr.Sample
+		// One sample row: from u16, to u16, t i32, snr i16, popt u8,
+		// best f64, then nr throughput f64s.
+		rowLen := 2 + 2 + 4 + 2 + 1 + 8 + nr*8
+		row := make([]byte, rowLen)
+		for g := 0; g < nGroups && rd.err == nil; g++ {
+			name := rd.str()
+			n := rd.count("flat sample", 1<<28)
+			if rd.err != nil {
+				break
+			}
+			// Bound the count by the bytes actually left in the section
+			// before allocating: a corrupt u32 must produce an error, not
+			// a multi-GB allocation attempt.
+			if remaining := secLen - (rd.n - start); int64(n)*int64(rowLen) > remaining {
+				return nil, fmt.Errorf("wire: flat-sample section: network %s declares %d samples (%d bytes) but only %d section bytes remain",
+					name, n, int64(n)*int64(rowLen), remaining)
+			}
+			flat := make([]float64, n*nr)
+			for i := 0; i < n && rd.err == nil; i++ {
+				rd.full(row)
+				if rd.err != nil {
+					break
+				}
+				s := snr.Sample{
+					Net:  name,
+					From: int(binary.LittleEndian.Uint16(row[0:])),
+					To:   int(binary.LittleEndian.Uint16(row[2:])),
+					T:    int32(binary.LittleEndian.Uint32(row[4:])),
+					SNR:  int(int16(binary.LittleEndian.Uint16(row[8:]))),
+					Popt: int(row[10]),
+					Tput: flat[i*nr : (i+1)*nr : (i+1)*nr],
+				}
+				s.BestTput = math.Float64frombits(binary.LittleEndian.Uint64(row[11:]))
+				if s.Popt >= nr {
+					return nil, fmt.Errorf("wire: flat-sample section: band %s network %s: optimal rate index %d out of range",
+						bandName, name, s.Popt)
+				}
+				for k := 0; k < nr; k++ {
+					s.Tput[k] = math.Float64frombits(binary.LittleEndian.Uint64(row[19+k*8:]))
+				}
+				samples = append(samples, s)
+			}
+		}
+		if len(samples) > 0 {
+			out[bandName] = samples
+		}
+	}
+	if rd.err != nil {
+		return nil, fmt.Errorf("wire: flat-sample section: %w", rd.err)
+	}
+	if got := rd.n - start; got != secLen {
+		return nil, fmt.Errorf("wire: flat-sample section was %d bytes, length prefix promised %d", got, secLen)
+	}
+	return out, nil
+}
+
+// Read decodes a whole fleet from either format version, streaming
+// internally. A trailing flat-sample section, if present, is not read;
+// use a Reader (or ReadSamples) to access it.
+func Read(in io.Reader) (*dataset.Fleet, error) {
+	r, err := NewReader(in)
+	if err != nil {
+		return nil, err
+	}
+	f := &dataset.Fleet{Meta: r.Meta()}
+	if err := r.EachNetwork(Filter{}, func(nd *dataset.NetworkData) error {
+		f.Networks = append(f.Networks, nd)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	cds, err := r.Clients()
+	if err != nil {
+		return nil, err
+	}
+	f.Clients = cds
+	return f, nil
+}
+
+// ReadSamples returns the per-band §4 samples of a binary fleet stream
+// without ever materializing more than one network: from the flat-sample
+// section when the file has one, otherwise by streaming every network
+// through a snr.Flattener. See Reader.Samples.
+func ReadSamples(in io.Reader) (map[string][]snr.Sample, error) {
+	r, err := NewReader(in)
+	if err != nil {
+		return nil, err
+	}
+	return r.Samples()
+}

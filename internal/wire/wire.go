@@ -1,26 +1,26 @@
-// Package wire implements a compact binary encoding of fleet datasets.
-// The JSON-lines format (internal/dataset) is the inspectable interchange
-// format; a reference-scale fleet in it runs to hundreds of megabytes,
-// while this encoding stores a probe set in tens of bytes. The format is
-// versioned by a leading magic ("MLF1") so readers can auto-detect which
-// decoder to use.
+// Package wire implements a compact binary encoding of fleet datasets
+// and a streaming reader over it. The JSON-lines format (internal/dataset)
+// is the inspectable interchange format; a reference-scale fleet in it
+// runs to hundreds of megabytes, while this encoding stores a probe set
+// in tens of bytes. The full byte-level specification, including the
+// version history and the cache-validation rules layered on top by
+// meshlab.LoadOrGenerateFleet, lives in docs/FORMAT.md.
 //
-// Layout (little-endian throughout):
+// Two format versions exist, distinguished by a leading magic:
 //
-//	magic "MLF1"
-//	meta: seed u64, probeDuration i32, probeInterval i32, clientDuration i32
-//	u32 network count, then per network:
-//	  name str, band u8, env u8, spacing f64
-//	  u32 AP count, per AP: name str, x f64, y f64, outdoor u8
-//	  u32 link count, per link: from u16, to u16, u32 set count,
-//	    per set: t i32, snr i16, std f32, obs count u8,
-//	      per obs: rate u8, loss f32
-//	u32 client-dataset count, then per dataset:
-//	  network str, env u8, duration i32, numAPs u16, u32 client count,
-//	    per client: id u32, u32 assoc count, per assoc: ap u16, start i32, end i32
+//   - "MLF1" (legacy): the bare record stream. Readable, no longer
+//     written; WriteV1 is retained so migration paths stay testable.
+//   - "MLF2" (current): adds a section-flag byte, length-prefixed
+//     network records and client section (so a Reader can skip either
+//     without decoding them), and an optional appended flat-sample
+//     section holding the pre-flattened §4 samples (snr.Sample) so warm
+//     analysis starts are O(read) instead of re-flattening probe data.
 //
-// Strings are u16 length + bytes. Enumerations: band 0=bg 1=n;
-// env 0=indoor 1=outdoor 2=mixed.
+// Write and WriteWithSamples produce MLF2; Read and Reader accept both
+// versions. Reader is the streaming API: it walks a fleet file
+// network-by-network with optional band/size filtering and per-network
+// skip, so analysis peak memory is bounded by the largest single network
+// plus whatever the caller retains — not the fleet.
 package wire
 
 import (
@@ -29,38 +29,30 @@ import (
 	"fmt"
 	"io"
 	"math"
-
-	"meshlab/internal/dataset"
 )
 
-// Magic identifies the format and version.
+// Magic identifies the legacy v1 format.
 var Magic = [4]byte{'M', 'L', 'F', '1'}
+
+// Magic2 identifies the current v2 format (sectioned, length-prefixed).
+var Magic2 = [4]byte{'M', 'L', 'F', '2'}
+
+// flagFlatSamples marks an MLF2 file carrying the appended flat-sample
+// section. All other flag bits are reserved and must be zero.
+const flagFlatSamples uint8 = 1 << 0
 
 var bandCodes = map[string]uint8{"bg": 0, "n": 1}
 var bandNames = map[uint8]string{0: "bg", 1: "n"}
 var envCodes = map[string]uint8{"indoor": 0, "outdoor": 1, "mixed": 2}
 var envNames = map[uint8]string{0: "indoor", 1: "outdoor", 2: "mixed"}
 
-// writer wraps buffered little-endian primitives with sticky errors.
+// writer wraps little-endian primitives with sticky errors. The target is
+// either the output's bufio.Writer or a per-record scratch buffer (v2
+// records are length-prefixed, so they are staged before emission).
 type writer struct {
-	w   *bufio.Writer
+	w   io.Writer
 	err error
-}
-
-func (w *writer) u8(v uint8)    { w.bytes([]byte{v}) }
-func (w *writer) u16(v uint16)  { w.fixed(v) }
-func (w *writer) u32(v uint32)  { w.fixed(v) }
-func (w *writer) u64(v uint64)  { w.fixed(v) }
-func (w *writer) i16(v int16)   { w.fixed(v) }
-func (w *writer) i32(v int32)   { w.fixed(v) }
-func (w *writer) f32(v float32) { w.fixed(math.Float32bits(v)) }
-func (w *writer) f64(v float64) { w.fixed(math.Float64bits(v)) }
-
-func (w *writer) fixed(v any) {
-	if w.err != nil {
-		return
-	}
-	w.err = binary.Write(w.w, binary.LittleEndian, v)
+	buf [8]byte
 }
 
 func (w *writer) bytes(b []byte) {
@@ -69,6 +61,28 @@ func (w *writer) bytes(b []byte) {
 	}
 	_, w.err = w.w.Write(b)
 }
+
+func (w *writer) u8(v uint8) { w.buf[0] = v; w.bytes(w.buf[:1]) }
+
+func (w *writer) u16(v uint16) {
+	binary.LittleEndian.PutUint16(w.buf[:2], v)
+	w.bytes(w.buf[:2])
+}
+
+func (w *writer) u32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[:4], v)
+	w.bytes(w.buf[:4])
+}
+
+func (w *writer) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:8], v)
+	w.bytes(w.buf[:8])
+}
+
+func (w *writer) i16(v int16)   { w.u16(uint16(v)) }
+func (w *writer) i32(v int32)   { w.u32(uint32(v)) }
+func (w *writer) f32(v float32) { w.u32(math.Float32bits(v)) }
+func (w *writer) f64(v float64) { w.u64(math.Float64bits(v)) }
 
 func (w *writer) str(s string) {
 	if len(s) > math.MaxUint16 {
@@ -81,141 +95,126 @@ func (w *writer) str(s string) {
 	w.bytes([]byte(s))
 }
 
-// Write encodes the fleet in the binary format.
-func Write(out io.Writer, f *dataset.Fleet) error {
-	w := &writer{w: bufio.NewWriterSize(out, 1<<20)}
-	w.bytes(Magic[:])
-	w.u64(f.Meta.Seed)
-	w.i32(f.Meta.ProbeDuration)
-	w.i32(f.Meta.ProbeInterval)
-	w.i32(f.Meta.ClientDuration)
-
-	w.u32(uint32(len(f.Networks)))
-	for _, nd := range f.Networks {
-		band, ok := bandCodes[nd.Info.Band]
-		if !ok {
-			return fmt.Errorf("wire: unknown band %q", nd.Info.Band)
-		}
-		env, ok := envCodes[nd.Info.Env]
-		if !ok {
-			return fmt.Errorf("wire: unknown environment %q", nd.Info.Env)
-		}
-		if len(nd.Info.APs) > math.MaxUint16 {
-			return fmt.Errorf("wire: network %s too large", nd.Info.Name)
-		}
-		w.str(nd.Info.Name)
-		w.u8(band)
-		w.u8(env)
-		w.f64(nd.Info.Spacing)
-		w.u32(uint32(len(nd.Info.APs)))
-		for _, ap := range nd.Info.APs {
-			w.str(ap.Name)
-			w.f64(ap.X)
-			w.f64(ap.Y)
-			if ap.Outdoor {
-				w.u8(1)
-			} else {
-				w.u8(0)
-			}
-		}
-		w.u32(uint32(len(nd.Links)))
-		for _, l := range nd.Links {
-			if l.From < 0 || l.From > math.MaxUint16 || l.To < 0 || l.To > math.MaxUint16 {
-				return fmt.Errorf("wire: network %s: link %d→%d endpoints do not fit u16",
-					nd.Info.Name, l.From, l.To)
-			}
-			w.u16(uint16(l.From))
-			w.u16(uint16(l.To))
-			w.u32(uint32(len(l.Sets)))
-			for si, ps := range l.Sets {
-				w.i32(ps.T)
-				w.i16(ps.SNR)
-				w.f32(ps.SNRStd)
-				// The format stores the observation count in a u8; reject
-				// rather than silently truncating the probe set.
-				if len(ps.Obs) > math.MaxUint8 {
-					return fmt.Errorf("wire: network %s link %d→%d probe set %d: %d observations exceed the format's u8 limit of %d",
-						nd.Info.Name, l.From, l.To, si, len(ps.Obs), math.MaxUint8)
-				}
-				w.u8(uint8(len(ps.Obs)))
-				for _, o := range ps.Obs {
-					w.u8(o.RateIdx)
-					w.f32(o.Loss)
-				}
-			}
-		}
-	}
-
-	w.u32(uint32(len(f.Clients)))
-	for _, cd := range f.Clients {
-		env, ok := envCodes[cd.Env]
-		if !ok {
-			return fmt.Errorf("wire: unknown environment %q", cd.Env)
-		}
-		if cd.NumAPs < 0 || cd.NumAPs > math.MaxUint16 {
-			return fmt.Errorf("wire: client dataset %s: AP count %d does not fit u16", cd.Network, cd.NumAPs)
-		}
-		w.str(cd.Network)
-		w.u8(env)
-		w.i32(cd.Duration)
-		w.u16(uint16(cd.NumAPs))
-		w.u32(uint32(len(cd.Clients)))
-		for _, cl := range cd.Clients {
-			if cl.ID < 0 || int64(cl.ID) > math.MaxUint32 {
-				return fmt.Errorf("wire: client dataset %s: client ID %d does not fit u32", cd.Network, cl.ID)
-			}
-			w.u32(uint32(cl.ID))
-			w.u32(uint32(len(cl.Assocs)))
-			for _, a := range cl.Assocs {
-				if a.AP < 0 || a.AP > math.MaxUint16 {
-					return fmt.Errorf("wire: client dataset %s client %d: association AP %d does not fit u16",
-						cd.Network, cl.ID, a.AP)
-				}
-				w.u16(uint16(a.AP))
-				w.i32(a.Start)
-				w.i32(a.End)
-			}
-		}
-	}
-	if w.err != nil {
-		return fmt.Errorf("wire: %w", w.err)
-	}
-	return w.w.Flush()
-}
-
-// reader wraps buffered little-endian primitives with sticky errors.
+// reader wraps buffered little-endian primitives with sticky errors and a
+// consumed-byte counter, which the v2 framing uses to verify that every
+// length-prefixed record is consumed exactly.
 type reader struct {
 	r   *bufio.Reader
 	err error
+	n   int64 // bytes consumed since NewReader
+	buf [8]byte
 }
 
-func (r *reader) fixed(v any) {
+// fail records the first error; a mid-structure EOF is always unexpected
+// because every read below is driven by a previously decoded count.
+func (r *reader) fail(err error) {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// read returns the next k (≤ 8) bytes, or nil after a failure.
+func (r *reader) read(k int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if _, err := io.ReadFull(r.r, r.buf[:k]); err != nil {
+		r.fail(err)
+		return nil
+	}
+	r.n += int64(k)
+	return r.buf[:k]
+}
+
+// full fills b from the stream, tracking consumed bytes.
+func (r *reader) full(b []byte) {
 	if r.err != nil {
 		return
 	}
-	r.err = binary.Read(r.r, binary.LittleEndian, v)
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		r.fail(err)
+		return
+	}
+	r.n += int64(len(b))
 }
 
-func (r *reader) u8() uint8    { var v uint8; r.fixed(&v); return v }
-func (r *reader) u16() uint16  { var v uint16; r.fixed(&v); return v }
-func (r *reader) u32() uint32  { var v uint32; r.fixed(&v); return v }
-func (r *reader) u64() uint64  { var v uint64; r.fixed(&v); return v }
-func (r *reader) i16() int16   { var v int16; r.fixed(&v); return v }
-func (r *reader) i32() int32   { var v int32; r.fixed(&v); return v }
-func (r *reader) f32() float32 { var v uint32; r.fixed(&v); return math.Float32frombits(v) }
-func (r *reader) f64() float64 { var v uint64; r.fixed(&v); return math.Float64frombits(v) }
+func (r *reader) u8() uint8 {
+	b := r.read(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.read(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.read(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.read(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) i16() int16   { return int16(r.u16()) }
+func (r *reader) i32() int32   { return int32(r.u32()) }
+func (r *reader) f32() float32 { return math.Float32frombits(r.u32()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
 
 func (r *reader) str() string {
-	n := int(r.u16())
+	k := int(r.u16())
 	if r.err != nil {
 		return ""
 	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(r.r, b); err != nil {
-		r.err = err
+	b := make([]byte, k)
+	r.full(b)
+	if r.err != nil {
 		return ""
 	}
 	return string(b)
+}
+
+// skipStr discards one length-prefixed string.
+func (r *reader) skipStr() {
+	k := int(r.u16())
+	if r.err != nil {
+		return
+	}
+	r.discard(int64(k))
+}
+
+// discard drops k bytes, failing on a short stream.
+func (r *reader) discard(k int64) {
+	for k > 0 && r.err == nil {
+		chunk := k
+		if chunk > 1<<30 {
+			chunk = 1 << 30
+		}
+		d, err := r.r.Discard(int(chunk))
+		r.n += int64(d)
+		if err != nil {
+			r.fail(err)
+			return
+		}
+		k -= chunk
+	}
 }
 
 // count reads a u32 element count and sanity-bounds it so corrupt files
@@ -226,90 +225,4 @@ func (r *reader) count(what string, limit uint32) int {
 		r.err = fmt.Errorf("implausible %s count %d", what, n)
 	}
 	return int(n)
-}
-
-// Read decodes a fleet from the binary format.
-func Read(in io.Reader) (*dataset.Fleet, error) {
-	r := &reader{r: bufio.NewReaderSize(in, 1<<20)}
-	var magic [4]byte
-	if _, err := io.ReadFull(r.r, magic[:]); err != nil {
-		return nil, fmt.Errorf("wire: magic: %w", err)
-	}
-	if magic != Magic {
-		return nil, fmt.Errorf("wire: bad magic %q (not a binary fleet file)", magic)
-	}
-	f := &dataset.Fleet{}
-	f.Meta.Seed = r.u64()
-	f.Meta.ProbeDuration = r.i32()
-	f.Meta.ProbeInterval = r.i32()
-	f.Meta.ClientDuration = r.i32()
-
-	nNets := r.count("network", 1<<20)
-	for i := 0; i < nNets && r.err == nil; i++ {
-		nd := &dataset.NetworkData{}
-		nd.Info.Name = r.str()
-		band := r.u8()
-		env := r.u8()
-		var ok bool
-		if nd.Info.Band, ok = bandNames[band]; !ok && r.err == nil {
-			return nil, fmt.Errorf("wire: unknown band code %d", band)
-		}
-		if nd.Info.Env, ok = envNames[env]; !ok && r.err == nil {
-			return nil, fmt.Errorf("wire: unknown env code %d", env)
-		}
-		nd.Info.Spacing = r.f64()
-		nAPs := r.count("AP", 1<<16)
-		for a := 0; a < nAPs && r.err == nil; a++ {
-			nd.Info.APs = append(nd.Info.APs, dataset.APInfo{
-				Name: r.str(), X: r.f64(), Y: r.f64(), Outdoor: r.u8() == 1,
-			})
-		}
-		nLinks := r.count("link", 1<<26)
-		for l := 0; l < nLinks && r.err == nil; l++ {
-			link := &dataset.Link{From: int(r.u16()), To: int(r.u16())}
-			nSets := r.count("probe set", 1<<26)
-			if r.err == nil && nSets > 0 {
-				link.Sets = make([]dataset.ProbeSet, 0, nSets)
-			}
-			for s := 0; s < nSets && r.err == nil; s++ {
-				ps := dataset.ProbeSet{T: r.i32(), SNR: r.i16(), SNRStd: r.f32()}
-				nObs := int(r.u8())
-				for o := 0; o < nObs && r.err == nil; o++ {
-					ps.Obs = append(ps.Obs, dataset.Obs{RateIdx: r.u8(), Loss: r.f32()})
-				}
-				link.Sets = append(link.Sets, ps)
-			}
-			nd.Links = append(nd.Links, link)
-		}
-		f.Networks = append(f.Networks, nd)
-	}
-
-	nClients := r.count("client dataset", 1<<20)
-	for i := 0; i < nClients && r.err == nil; i++ {
-		cd := &dataset.ClientData{}
-		cd.Network = r.str()
-		env := r.u8()
-		var ok bool
-		if cd.Env, ok = envNames[env]; !ok && r.err == nil {
-			return nil, fmt.Errorf("wire: unknown env code %d", env)
-		}
-		cd.Duration = r.i32()
-		cd.NumAPs = int(r.u16())
-		n := r.count("client", 1<<24)
-		for c := 0; c < n && r.err == nil; c++ {
-			cl := dataset.ClientLog{ID: int(r.u32())}
-			na := r.count("association", 1<<24)
-			for a := 0; a < na && r.err == nil; a++ {
-				cl.Assocs = append(cl.Assocs, dataset.Assoc{
-					AP: int32(r.u16()), Start: r.i32(), End: r.i32(),
-				})
-			}
-			cd.Clients = append(cd.Clients, cl)
-		}
-		f.Clients = append(f.Clients, cd)
-	}
-	if r.err != nil {
-		return nil, fmt.Errorf("wire: %w", r.err)
-	}
-	return f, nil
 }

@@ -9,6 +9,7 @@ import (
 	"testing/quick"
 
 	"meshlab/internal/dataset"
+	"meshlab/internal/phy"
 	"meshlab/internal/rng"
 	"meshlab/internal/synth"
 )
@@ -114,8 +115,9 @@ func TestCorruptCountRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := buf.Bytes()
-	// The network count lives right after magic (4) + meta (8+4+4+4).
-	off := 4 + 8 + 4 + 4 + 4
+	// The network count lives right after magic (4) + meta (8+4+4+4) +
+	// the v2 section-flag byte.
+	off := 4 + 8 + 4 + 4 + 4 + 1
 	for i := 0; i < 4; i++ {
 		b[off+i] = 0xFF
 	}
@@ -144,7 +146,9 @@ func TestUnknownBandRejectedOnWrite(t *testing.T) {
 func TestOversizedProbeSetRejected(t *testing.T) {
 	obs := make([]dataset.Obs, 256)
 	for i := range obs {
-		obs[i] = dataset.Obs{RateIdx: uint8(i % 12)}
+		// Indices must stay legal for the bg band (7 rates): this test is
+		// about the count limit, not the rate-index bound.
+		obs[i] = dataset.Obs{RateIdx: uint8(i % 7)}
 	}
 	f := &dataset.Fleet{Networks: []*dataset.NetworkData{{
 		Info: dataset.NetworkInfo{Name: "big", Band: "bg", Env: "indoor"},
@@ -263,6 +267,10 @@ func TestRoundTripPropertyRandomFleets(t *testing.T) {
 					Name: "ap", X: r.Range(-500, 500), Y: r.Range(-500, 500), Outdoor: r.Bool(0.5),
 				})
 			}
+			band, err := phy.BandByName(nd.Info.Band)
+			if err != nil {
+				t.Fatal(err)
+			}
 			for l := 0; l < r.Intn(4); l++ {
 				link := &dataset.Link{From: r.Intn(nAPs), To: r.Intn(nAPs)}
 				for s := 0; s < r.Intn(5); s++ {
@@ -271,7 +279,9 @@ func TestRoundTripPropertyRandomFleets(t *testing.T) {
 					}
 					for o := 0; o < r.Intn(4); o++ {
 						ps.Obs = append(ps.Obs, dataset.Obs{
-							RateIdx: uint8(r.Intn(16)), Loss: float32(r.Float64()),
+							// Rate indices must be legal for the band: the
+							// codec bounds them on encode and decode.
+							RateIdx: uint8(r.Intn(len(band.Rates))), Loss: float32(r.Float64()),
 						})
 					}
 					link.Sets = append(link.Sets, ps)

@@ -1,0 +1,293 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+
+	"meshlab/internal/dataset"
+	"meshlab/internal/phy"
+	"meshlab/internal/snr"
+)
+
+// Write encodes the fleet in the current (MLF2) binary format without the
+// flat-sample section: the smallest interchange form. Dataset caches use
+// WriteWithSamples instead so warm analysis starts skip re-flattening.
+func Write(out io.Writer, f *dataset.Fleet) error {
+	_, err := encodeFleet(out, f, false)
+	return err
+}
+
+// WriteWithSamples encodes the fleet like Write and appends the
+// flat-sample section: the per-band §4 samples snr.Flatten derives from
+// the probe data, stored so a later Reader.Samples is O(read). The
+// samples derived while encoding are returned (band → samples in fleet
+// order, empty bands omitted — the same shape Reader.Samples yields) so
+// a cache writer can hand them straight to an analysis instead of
+// re-flattening. The section roughly triples the file size (a sample's
+// f64 throughput row outweighs its probe set); it is meant for dataset
+// caches, not interchange files.
+func WriteWithSamples(out io.Writer, f *dataset.Fleet) (map[string][]snr.Sample, error) {
+	return encodeFleet(out, f, true)
+}
+
+func encodeFleet(out io.Writer, f *dataset.Fleet, withSamples bool) (map[string][]snr.Sample, error) {
+	bw := bufio.NewWriterSize(out, 1<<20)
+	w := &writer{w: bw}
+	w.bytes(Magic2[:])
+	encodeMeta(w, f.Meta)
+	var flags uint8
+	if withSamples {
+		flags |= flagFlatSamples
+	}
+	w.u8(flags)
+
+	// Each v2 record is staged in a scratch buffer so its byte length can
+	// prefix it; peak staging memory is one network record.
+	var scratch bytes.Buffer
+	w.u32(uint32(len(f.Networks)))
+	for _, nd := range f.Networks {
+		scratch.Reset()
+		sw := &writer{w: &scratch}
+		if err := encodeNetwork(sw, nd); err != nil {
+			return nil, err
+		}
+		if scratch.Len() > math.MaxUint32 {
+			return nil, fmt.Errorf("wire: network %s: record exceeds the format's u32 length field", nd.Info.Name)
+		}
+		w.u32(uint32(scratch.Len()))
+		w.bytes(scratch.Bytes())
+	}
+
+	scratch.Reset()
+	sw := &writer{w: &scratch}
+	if err := encodeClients(sw, f.Clients); err != nil {
+		return nil, err
+	}
+	w.u64(uint64(scratch.Len()))
+	w.bytes(scratch.Bytes())
+
+	var samples map[string][]snr.Sample
+	if withSamples {
+		scratch.Reset()
+		sw := &writer{w: &scratch}
+		var err error
+		if samples, err = encodeSampleSection(sw, f); err != nil {
+			return nil, err
+		}
+		w.u64(uint64(scratch.Len()))
+		w.bytes(scratch.Bytes())
+	}
+	if w.err != nil {
+		return nil, fmt.Errorf("wire: %w", w.err)
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// WriteV1 encodes the fleet in the legacy MLF1 format: no section flags,
+// no record length prefixes, no flat-sample section. It exists so the
+// migration path — meshlab.LoadOrGenerateFleet upgrading old caches in
+// place — stays testable; new files should use Write.
+func WriteV1(out io.Writer, f *dataset.Fleet) error {
+	bw := bufio.NewWriterSize(out, 1<<20)
+	w := &writer{w: bw}
+	w.bytes(Magic[:])
+	encodeMeta(w, f.Meta)
+	w.u32(uint32(len(f.Networks)))
+	for _, nd := range f.Networks {
+		if err := encodeNetwork(w, nd); err != nil {
+			return err
+		}
+	}
+	if err := encodeClients(w, f.Clients); err != nil {
+		return err
+	}
+	if w.err != nil {
+		return fmt.Errorf("wire: %w", w.err)
+	}
+	return bw.Flush()
+}
+
+func encodeMeta(w *writer, m dataset.Meta) {
+	w.u64(m.Seed)
+	w.i32(m.ProbeDuration)
+	w.i32(m.ProbeInterval)
+	w.i32(m.ClientDuration)
+}
+
+// encodeNetwork writes one network record: header (name, band, env,
+// spacing, AP count), APs, then links. The v2 framing's length prefix is
+// added by the caller.
+func encodeNetwork(w *writer, nd *dataset.NetworkData) error {
+	band, ok := bandCodes[nd.Info.Band]
+	if !ok {
+		return fmt.Errorf("wire: unknown band %q", nd.Info.Band)
+	}
+	phyBand, err := phy.BandByName(nd.Info.Band)
+	if err != nil {
+		return fmt.Errorf("wire: %w", err)
+	}
+	nRates := uint8(len(phyBand.Rates))
+	env, ok := envCodes[nd.Info.Env]
+	if !ok {
+		return fmt.Errorf("wire: unknown environment %q", nd.Info.Env)
+	}
+	if len(nd.Info.APs) > math.MaxUint16 {
+		return fmt.Errorf("wire: network %s too large", nd.Info.Name)
+	}
+	w.str(nd.Info.Name)
+	w.u8(band)
+	w.u8(env)
+	w.f64(nd.Info.Spacing)
+	w.u32(uint32(len(nd.Info.APs)))
+	for _, ap := range nd.Info.APs {
+		w.str(ap.Name)
+		w.f64(ap.X)
+		w.f64(ap.Y)
+		if ap.Outdoor {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	}
+	w.u32(uint32(len(nd.Links)))
+	for _, l := range nd.Links {
+		if l.From < 0 || l.From > math.MaxUint16 || l.To < 0 || l.To > math.MaxUint16 {
+			return fmt.Errorf("wire: network %s: link %d→%d endpoints do not fit u16",
+				nd.Info.Name, l.From, l.To)
+		}
+		w.u16(uint16(l.From))
+		w.u16(uint16(l.To))
+		w.u32(uint32(len(l.Sets)))
+		for si, ps := range l.Sets {
+			w.i32(ps.T)
+			w.i16(ps.SNR)
+			w.f32(ps.SNRStd)
+			// The format stores the observation count in a u8; reject
+			// rather than silently truncating the probe set.
+			if len(ps.Obs) > math.MaxUint8 {
+				return fmt.Errorf("wire: network %s link %d→%d probe set %d: %d observations exceed the format's u8 limit of %d",
+					nd.Info.Name, l.From, l.To, si, len(ps.Obs), math.MaxUint8)
+			}
+			w.u8(uint8(len(ps.Obs)))
+			for _, o := range ps.Obs {
+				// Rate indices index the band's rate table; the decoder
+				// enforces the same bound, so reject them symmetrically.
+				if o.RateIdx >= nRates {
+					return fmt.Errorf("wire: network %s link %d→%d: observation rate index %d out of range for band %s (%d rates)",
+						nd.Info.Name, l.From, l.To, o.RateIdx, nd.Info.Band, nRates)
+				}
+				w.u8(o.RateIdx)
+				w.f32(o.Loss)
+			}
+		}
+	}
+	return nil
+}
+
+// encodeClients writes the client section body (dataset count + datasets).
+func encodeClients(w *writer, cds []*dataset.ClientData) error {
+	w.u32(uint32(len(cds)))
+	for _, cd := range cds {
+		env, ok := envCodes[cd.Env]
+		if !ok {
+			return fmt.Errorf("wire: unknown environment %q", cd.Env)
+		}
+		if cd.NumAPs < 0 || cd.NumAPs > math.MaxUint16 {
+			return fmt.Errorf("wire: client dataset %s: AP count %d does not fit u16", cd.Network, cd.NumAPs)
+		}
+		w.str(cd.Network)
+		w.u8(env)
+		w.i32(cd.Duration)
+		w.u16(uint16(cd.NumAPs))
+		w.u32(uint32(len(cd.Clients)))
+		for _, cl := range cd.Clients {
+			if cl.ID < 0 || int64(cl.ID) > math.MaxUint32 {
+				return fmt.Errorf("wire: client dataset %s: client ID %d does not fit u32", cd.Network, cl.ID)
+			}
+			w.u32(uint32(cl.ID))
+			w.u32(uint32(len(cl.Assocs)))
+			for _, a := range cl.Assocs {
+				if a.AP < 0 || a.AP > math.MaxUint16 {
+					return fmt.Errorf("wire: client dataset %s client %d: association AP %d does not fit u16",
+						cd.Network, cl.ID, a.AP)
+				}
+				w.u16(uint16(a.AP))
+				w.i32(a.Start)
+				w.i32(a.End)
+			}
+		}
+	}
+	return nil
+}
+
+// encodeSampleSection writes the flat-sample section body: per band (in
+// the fixed "bg", "n" order), the per-network groups of snr.Flatten
+// output. Grouping by network keeps each sample's network name stored
+// once and lets the decoder share one string and one Tput backing array
+// per group. The derived samples are returned in Reader.Samples shape
+// (band → samples, empty bands omitted) for the caller to reuse.
+func encodeSampleSection(w *writer, f *dataset.Fleet) (map[string][]snr.Sample, error) {
+	type bandGroup struct {
+		code uint8
+		band phy.Band
+		nets []*dataset.NetworkData
+	}
+	var bands []bandGroup
+	for _, name := range []string{"bg", "n"} {
+		nets := f.ByBand(name)
+		if len(nets) == 0 {
+			continue
+		}
+		band, err := phy.BandByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("wire: flat-sample section: %w", err)
+		}
+		if len(band.Rates) > math.MaxUint8 {
+			return nil, fmt.Errorf("wire: flat-sample section: band %s has %d rates (u8 limit)", name, len(band.Rates))
+		}
+		bands = append(bands, bandGroup{code: bandCodes[name], band: band, nets: nets})
+	}
+	out := make(map[string][]snr.Sample, len(bands))
+	w.u8(uint8(len(bands)))
+	for _, bg := range bands {
+		nr := len(bg.band.Rates)
+		w.u8(bg.code)
+		w.u8(uint8(nr))
+		w.u32(uint32(len(bg.nets)))
+		var collected []snr.Sample
+		for _, nd := range bg.nets {
+			// Rate indices were already bounded by encodeNetwork (every
+			// network is encoded before this section), so snr.Flatten's
+			// table indexing is safe here.
+			samples, err := snr.Flatten([]*dataset.NetworkData{nd})
+			if err != nil {
+				return nil, fmt.Errorf("wire: flat-sample section: network %s: %w", nd.Info.Name, err)
+			}
+			w.str(nd.Info.Name)
+			w.u32(uint32(len(samples)))
+			for i := range samples {
+				s := &samples[i]
+				w.u16(uint16(s.From))
+				w.u16(uint16(s.To))
+				w.i32(s.T)
+				w.i16(int16(s.SNR))
+				w.u8(uint8(s.Popt))
+				w.f64(s.BestTput)
+				for _, tp := range s.Tput {
+					w.f64(tp)
+				}
+			}
+			collected = append(collected, samples...)
+		}
+		if len(collected) > 0 {
+			out[bg.band.Name] = collected
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package meshlab
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"meshlab/internal/wire"
+)
+
+// TestLoadOrGenerateFleetUpgradesLegacyCache: a valid cache written in
+// the legacy MLF1 framing must hit (no resynthesis) and be rewritten in
+// the current format with the flat-sample section, so the next run
+// returns samples.
+func TestLoadOrGenerateFleetUpgradesLegacyCache(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.bin")
+	opts := QuickOptions(31)
+	fleet, err := GenerateFleet(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteV1(file, fleet); err != nil {
+		t.Fatal(err)
+	}
+	if err := file.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, samples, hit, err := LoadOrGenerateFleetSamples(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("a valid legacy cache must hit, not resynthesize")
+	}
+	if len(samples) == 0 {
+		t.Fatal("the upgrade rewrite should return the samples it derived")
+	}
+	if f.NumProbeSets() != fleet.NumProbeSets() {
+		t.Fatal("legacy cache decoded differently")
+	}
+	head := make([]byte, 4)
+	fh, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.Read(head); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+	if !bytes.Equal(head, wire.Magic2[:]) {
+		t.Fatalf("cache not upgraded: magic %q", head)
+	}
+
+	// The upgraded cache now serves samples.
+	_, samples, hit, err = LoadOrGenerateFleetSamples(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || len(samples) == 0 {
+		t.Fatalf("upgraded cache should hit with samples (hit=%v, bands=%d)", hit, len(samples))
+	}
+}
+
+// TestLoadOrGenerateFleetSamplesWarm: the cold write stores the sample
+// section; the warm load returns it, and priming an Analysis with it
+// yields byte-identical experiment output to computing from scratch.
+func TestLoadOrGenerateFleetSamplesWarm(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.bin")
+	opts := QuickOptions(32)
+	fleet, _, hit, err := LoadOrGenerateFleetSamples(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("cold cache reported a hit")
+	}
+	warm, samples, hit, err := LoadOrGenerateFleetSamples(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("warm cache missed")
+	}
+	if len(samples) == 0 {
+		t.Fatal("warm load returned no samples despite the section")
+	}
+
+	// Oracle: a primed analysis and a from-scratch analysis agree on a
+	// §4-heavy experiment, byte for byte.
+	primed := NewAnalysis(warm)
+	for band, s := range samples {
+		primed.PrimeSamples(band, s)
+	}
+	scratch := NewAnalysis(fleet)
+	for _, id := range []string{"fig4.1", "fig4.4", "fig4.5"} {
+		a, err := primed.Run(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := scratch.Run(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Format() != b.Format() {
+			t.Fatalf("%s differs between primed and from-scratch analysis", id)
+		}
+	}
+}
+
+// TestLoadFleetSamples: .bin files round-trip the sample section through
+// the file facade; plain binary and JSONL files return nil samples.
+func TestLoadFleetSamples(t *testing.T) {
+	fleet, err := GenerateFleet(QuickOptions(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	with := filepath.Join(dir, "with.bin")
+	if err := SaveFleetWithSamples(with, fleet); err != nil {
+		t.Fatal(err)
+	}
+	f, samples, err := LoadFleetSamples(with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumProbeSets() != fleet.NumProbeSets() || len(samples) == 0 {
+		t.Fatalf("sample-carrying file: %d probe sets, %d sample bands", f.NumProbeSets(), len(samples))
+	}
+
+	plain := filepath.Join(dir, "plain.bin")
+	if err := SaveFleet(plain, fleet); err != nil {
+		t.Fatal(err)
+	}
+	if _, samples, err := LoadFleetSamples(plain); err != nil || samples != nil {
+		t.Fatalf("plain binary should load with nil samples (err %v)", err)
+	}
+
+	jsonl := filepath.Join(dir, "fleet.jsonl")
+	if err := SaveFleet(jsonl, fleet); err != nil {
+		t.Fatal(err)
+	}
+	if _, samples, err := LoadFleetSamples(jsonl); err != nil || samples != nil {
+		t.Fatalf("JSONL should load with nil samples (err %v)", err)
+	}
+
+	// The section needs the binary format; a JSONL path is rejected.
+	if err := SaveFleetWithSamples(filepath.Join(dir, "nope.jsonl"), fleet); err == nil {
+		t.Fatal("SaveFleetWithSamples should reject a non-.bin path")
+	}
+}

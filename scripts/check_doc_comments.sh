@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# check_doc_comments.sh — fail if any Go package lacks a godoc package
+# comment: a comment line directly above the `package` clause in at least
+# one of its non-test files. Libraries conventionally start "// Package
+# <name> ...", commands "// Command <name> ..." or "// <Name> ..."; this
+# check only demands that *some* doc comment is attached, which is what
+# `go doc` surfaces.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for dir in $(find . -name '*.go' -not -name '*_test.go' -not -path './.git/*' -exec dirname {} \; | sort -u); do
+  ok=0
+  for f in "$dir"/*.go; do
+    case "$f" in
+    *_test.go) continue ;;
+    esac
+    # A doc comment is the comment line immediately preceding `package X`.
+    if awk '
+      /^package [A-Za-z_]/ { if (prev ~ /^\/\//) found = 1; exit }
+      { prev = $0 }
+      END { exit !found }
+    ' "$f"; then
+      ok=1
+      break
+    fi
+  done
+  if [ "$ok" = 0 ]; then
+    echo "missing package doc comment: $dir" >&2
+    fail=1
+  fi
+done
+exit $fail
