@@ -13,6 +13,9 @@ package meshlab
 //	go test -bench=. -benchmem
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -25,7 +28,7 @@ import (
 var benchOnce sync.Once
 var benchFleet *Fleet
 
-func benchmarkFleet(b *testing.B) *Fleet {
+func benchmarkFleet(b testing.TB) *Fleet {
 	benchOnce.Do(func() {
 		f, err := GenerateFleet(QuickOptions(20100521)) // thesis submission date
 		if err != nil {
@@ -194,6 +197,103 @@ func BenchmarkRunAllExperimentsParallel(b *testing.B) {
 		if _, err := NewAnalysis(fleet).RunAllParallel(0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// streamingDataset writes the shared bench fleet (with the flat-sample
+// section) to a temp file for the streaming-suite benchmarks and tests.
+func streamingDataset(b testing.TB) string {
+	path := filepath.Join(b.TempDir(), "fleet.bin")
+	if err := SaveFleetWithSamples(path, benchmarkFleet(b)); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// BenchmarkRunAllStreaming is the full suite through the single-pass
+// streaming walk (decode + derive + finalize per iteration), the
+// counterpart of BenchmarkRunAllExperimentsParallel for the -dataset
+// path; the PERF.md PR 4 tables track it against the materialized run.
+func BenchmarkRunAllStreaming(b *testing.B) {
+	path := streamingDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := StreamFleet(path, StreamOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// liveHeap forces a full collection and returns the surviving heap bytes.
+func liveHeap() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// TestStreamingDoesNotMaterializeFleet pins the streamed path's memory
+// contract two ways: structurally (the pipeline never held more than its
+// bounded window of decoded networks) and by heap sample (what a
+// streamed run leaves live is far smaller than the materialized fleet
+// read from the same file).
+func TestStreamingDoesNotMaterializeFleet(t *testing.T) {
+	path := streamingDataset(t)
+
+	// Warm the process-wide caches (the ablation experiments memoize their
+	// own small fleets) so the measured delta is the run's working state,
+	// not one-time process state.
+	if _, _, err := StreamFleet(path, StreamOptions{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	base := int64(liveHeap())
+	results, sum, err := StreamFleet(path, StreamOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterStream := int64(liveHeap())
+
+	fleet, err := LoadFleet(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterLoad := int64(liveHeap())
+
+	if sum.MaxLiveNetworks >= sum.Networks || sum.MaxLiveNetworks > 2+2 {
+		t.Fatalf("streamed walk held %d of %d networks at once; the window should be ≤ workers+2",
+			sum.MaxLiveNetworks, sum.Networks)
+	}
+	streamBytes := afterStream - base
+	fleetBytes := afterLoad - afterStream
+	if fleetBytes < 1<<20 {
+		t.Fatalf("materialized fleet only added %d live bytes; the heap comparison is meaningless", fleetBytes)
+	}
+	if streamBytes >= fleetBytes {
+		t.Fatalf("streamed run left %d bytes live, not less than the %d-byte materialized fleet — is the walk retaining networks?",
+			streamBytes, fleetBytes)
+	}
+	t.Logf("live heap: streamed suite %d KB vs materialized fleet %d KB (window %d/%d networks)",
+		streamBytes>>10, fleetBytes>>10, sum.MaxLiveNetworks, sum.Networks)
+	runtime.KeepAlive(results)
+	runtime.KeepAlive(fleet)
+}
+
+// TestStreamingBenchFixture keeps the bench fixture honest: the dataset
+// the streaming benchmark walks must round-trip the bench fleet.
+func TestStreamingBenchFixture(t *testing.T) {
+	path := streamingDataset(t)
+	info, err := os.Stat(path)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("bench dataset not written: %v", err)
+	}
+	f, err := LoadFleet(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumProbeSets() != benchmarkFleet(t).NumProbeSets() {
+		t.Fatal("bench dataset decoded differently from the bench fleet")
 	}
 }
 

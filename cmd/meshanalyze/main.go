@@ -7,6 +7,16 @@
 //	meshanalyze -data fleet.jsonl -exp fig5.1
 //	meshanalyze -seed 42 -exp all          # generate a quick fleet in memory
 //	meshanalyze -data fleet.jsonl -exp fig5.2 -plot
+//	meshanalyze -data fleet.bin -sec4      # §4 tables at sample-sized memory
+//
+// -sec4 streams only the flattened §4 samples out of a binary dataset
+// (the flat-sample section when present, an incremental flatten
+// otherwise) and runs the sample-only experiments without ever
+// materializing the fleet — peak memory is the samples plus one network,
+// which is what makes reference-scale caches analyzable on small
+// machines. Experiments outside that population, or a dataset in a
+// format that cannot stream, are clear errors rather than silent
+// fallbacks.
 package main
 
 import (
@@ -14,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"meshlab"
 	"meshlab/internal/dataset"
@@ -38,6 +49,7 @@ func run(args []string, stdout io.Writer) error {
 		exp  = fs.String("exp", "all", "experiment ID (see -list) or 'all'")
 		list = fs.Bool("list", false, "list experiment IDs and exit")
 		plot = fs.Bool("plot", false, "also render an ASCII plot where the figure is a CDF")
+		sec4 = fs.Bool("sec4", false, "stream only the §4 samples from a binary -data file and run the sample-only experiments at sample-sized memory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,6 +60,10 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintln(stdout, id)
 		}
 		return nil
+	}
+
+	if *sec4 {
+		return runSampleOnly(stdout, *data, *exp, *plot)
 	}
 
 	fleet, err := loadOrGenerate(*data, *seed)
@@ -67,6 +83,48 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprint(stdout, res.Format())
 		if *plot {
+			renderPlot(stdout, a, id)
+		}
+		fmt.Fprintln(stdout)
+	}
+	return nil
+}
+
+// runSampleOnly is the -sec4 mode: the §4 sample-only experiments over a
+// streamed sample load, never materializing the fleet.
+func runSampleOnly(stdout io.Writer, data, exp string, plot bool) error {
+	if data == "" {
+		return fmt.Errorf("-sec4 streams samples from a dataset file: pass -data fleet.bin (generate one with `meshgen -out fleet.bin -flat-samples`)")
+	}
+	ids := []string{exp}
+	if exp == "all" {
+		ids = meshlab.SampleExperimentIDs()
+	}
+	known := make(map[string]bool)
+	for _, id := range meshlab.ExperimentIDs() {
+		known[id] = true
+	}
+	for _, id := range ids {
+		if !known[id] {
+			return fmt.Errorf("unknown experiment %q (see -list)", id)
+		}
+		if !meshlab.SampleOnlyExperiment(id) {
+			return fmt.Errorf("experiment %s needs the full fleet; -sec4 can only run %s (drop -sec4 to materialize the dataset)",
+				id, strings.Join(meshlab.SampleExperimentIDs(), ", "))
+		}
+	}
+	samples, err := meshlab.LoadSamples(data)
+	if err != nil {
+		return err
+	}
+	a := meshlab.NewSampleAnalysis(samples)
+	for _, id := range ids {
+		res, err := a.Run(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, res.Format())
+		if plot {
 			renderPlot(stdout, a, id)
 		}
 		fmt.Fprintln(stdout)

@@ -69,3 +69,82 @@ func TestMissingDataFile(t *testing.T) {
 		t.Fatal("missing dataset should error")
 	}
 }
+
+// TestSec4StreamsSamples: the -sec4 mode reproduces a §4 table
+// byte-identically to the full in-memory analysis, from both a
+// sample-carrying and a plain binary dataset.
+func TestSec4StreamsSamples(t *testing.T) {
+	fleet, err := meshlab.GenerateFleet(meshlab.QuickOptions(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	sampled := filepath.Join(dir, "sampled.bin")
+	if err := meshlab.SaveFleetWithSamples(sampled, fleet); err != nil {
+		t.Fatal(err)
+	}
+	plain := filepath.Join(dir, "plain.bin")
+	if err := meshlab.SaveFleet(plain, fleet); err != nil {
+		t.Fatal(err)
+	}
+
+	var want strings.Builder
+	res, err := meshlab.NewAnalysis(fleet).Run("fig4.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.WriteString(res.Format())
+	want.WriteString("\n")
+
+	for _, path := range []string{sampled, plain} {
+		var got strings.Builder
+		if err := run([]string{"-data", path, "-sec4", "-exp", "fig4.2"}, &got); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("%s: -sec4 output diverges from the in-memory analysis:\n%s", path, got.String())
+		}
+	}
+
+	// -sec4 -exp all runs the whole sample-only population.
+	var all strings.Builder
+	if err := run([]string{"-data", sampled, "-sec4"}, &all); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range meshlab.SampleExperimentIDs() {
+		if !strings.Contains(all.String(), id) {
+			t.Fatalf("-sec4 all output missing %s", id)
+		}
+	}
+}
+
+// TestSec4Errors: -sec4 refuses fleet-needing experiments and
+// non-streamable datasets with actionable messages instead of silently
+// regenerating.
+func TestSec4Errors(t *testing.T) {
+	if err := run([]string{"-sec4"}, &strings.Builder{}); err == nil {
+		t.Fatal("-sec4 without -data should error")
+	}
+	fleet, err := meshlab.GenerateFleet(meshlab.QuickOptions(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "f.bin")
+	if err := meshlab.SaveFleet(bin, fleet); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-data", bin, "-sec4", "-exp", "fig5.1"}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "needs the full fleet") {
+		t.Fatalf("fleet experiment under -sec4: got %v", err)
+	}
+
+	jsonl := filepath.Join(dir, "f.jsonl")
+	if err := meshlab.SaveFleet(jsonl, fleet); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-data", jsonl, "-sec4"}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "flat-samples") {
+		t.Fatalf("JSONL under -sec4 should point at meshgen -flat-samples, got %v", err)
+	}
+}

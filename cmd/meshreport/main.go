@@ -8,6 +8,7 @@
 //	meshreport -data fleet.jsonl -out EXPERIMENTS.md
 //	meshreport -scale quick -workers 1 -out EXPERIMENTS.md   # serial scheduling
 //	meshreport -scale reference -dataset fleet.bin           # cache synthesis
+//	meshreport -scale reference -dataset fleet.bin -stream   # must stream, never regenerate
 //
 // Experiments and dataset synthesis fan out across a worker pool
 // (-workers, default all cores; 1 schedules networks and experiments
@@ -16,13 +17,19 @@
 // -dataset, the first run writes the synthesized fleet to the given path
 // and later runs with the same seed/scale load it instead of
 // re-synthesizing (a mismatched or unreadable file is regenerated).
-// Binary datasets are loaded through the streaming wire reader, and a
-// cache's flat-sample section primes the §4 analysis so warm starts skip
-// re-flattening probe data; the report is byte-identical either way (see
-// docs/FORMAT.md).
+//
+// Binary datasets run through the single-pass streaming suite
+// (meshlab.StreamFleet): networks are decoded, analyzed, and released one
+// bounded window at a time, so peak memory is the derived data, not the
+// fleet, and a cache's flat-sample section primes the §4 analysis so warm
+// starts skip re-flattening probe data. JSON-lines input and cache misses
+// fall back to materializing; -stream forbids that fallback and errors
+// with guidance instead, for runs that must stay within derived-data
+// memory. The report is byte-identical on every path (see docs/FORMAT.md).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -154,6 +161,7 @@ func run(args []string, stdout io.Writer) error {
 		scale   = fs.String("scale", "quick", "generation scale when -data is empty: quick|reference")
 		out     = fs.String("out", "EXPERIMENTS.md", "output markdown path")
 		workers = fs.Int("workers", 0, "worker pool size for synthesis and experiment scheduling (0: all cores, 1: serial scheduling)")
+		stream  = fs.Bool("stream", false, "require the single-pass streaming suite: error (with guidance) instead of materializing or regenerating when the dataset cannot stream")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -162,21 +170,7 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-data and -dataset are mutually exclusive: -data reads a fixed file, -dataset manages a synthesis cache")
 	}
 
-	fleet, samples, label, err := obtainFleet(*data, *cache, *seed, *scale, *workers)
-	if err != nil {
-		return err
-	}
-
-	a := meshlab.NewAnalysis(fleet)
-	// A dataset file's flat-sample section replaces the §4 flattening
-	// pass; the samples are identical to what the analysis would derive.
-	for band, s := range samples {
-		a.PrimeSamples(band, s)
-	}
-	start := time.Now()
-	// The parallel runner produces byte-identical results in the same
-	// paper order, so the report does not depend on -workers.
-	results, err := a.RunAllParallel(*workers)
+	results, sum, label, expDur, err := obtainResults(*data, *cache, *seed, *scale, *workers, *stream)
 	if err != nil {
 		return err
 	}
@@ -192,10 +186,10 @@ func run(args []string, stdout io.Writer) error {
 	b.WriteString("and is noted per experiment.\n\n")
 	fmt.Fprintf(&b, "- dataset: %s\n", label)
 	fmt.Fprintf(&b, "- seed: %d; probe duration %ds at %ds cadence; client snapshot %ds\n",
-		fleet.Meta.Seed, fleet.Meta.ProbeDuration, fleet.Meta.ProbeInterval, fleet.Meta.ClientDuration)
+		sum.Meta.Seed, sum.Meta.ProbeDuration, sum.Meta.ProbeInterval, sum.Meta.ClientDuration)
 	fmt.Fprintf(&b, "- networks: %d datasets (%d b/g, %d n); probe sets: %d\n",
-		len(fleet.Networks), len(fleet.ByBand("bg")), len(fleet.ByBand("n")), fleet.NumProbeSets())
-	fmt.Fprintf(&b, "- experiment wall time: %v\n\n", time.Since(start).Round(time.Millisecond))
+		sum.Networks, sum.NetworksBG, sum.NetworksN, sum.ProbeSets)
+	fmt.Fprintf(&b, "- experiment wall time: %v\n\n", expDur.Round(time.Millisecond))
 	b.WriteString("Regenerate with: `go run ./cmd/meshreport -seed <seed> -scale <scale> -out EXPERIMENTS.md`\n\n")
 
 	for _, res := range results {
@@ -226,10 +220,29 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-func obtainFleet(data, cache string, seed uint64, scale string, workers int) (*meshlab.Fleet, meshlab.FleetSamples, string, error) {
+// obtainResults produces the full suite's results plus a dataset summary
+// and label for the report preamble. Binary datasets run through the
+// single-pass streaming suite; everything else (JSON lines, cache misses,
+// direct generation) materializes a fleet — unless forceStream forbids
+// the fallback. The returned duration covers experiment execution only
+// (for streaming, the walk is the execution).
+func obtainResults(data, cache string, seed uint64, scale string, workers int, forceStream bool) ([]*meshlab.Result, *meshlab.StreamSummary, string, time.Duration, error) {
 	if data != "" {
+		start := time.Now()
+		results, sum, err := meshlab.StreamFleet(data, meshlab.StreamOptions{Workers: workers})
+		switch {
+		case err == nil:
+			return results, sum, fmt.Sprintf("%s (streamed)", data), time.Since(start), nil
+		case forceStream:
+			return nil, nil, "", 0, fmt.Errorf("-stream: %w", err)
+		case !errors.Is(err, meshlab.ErrNotStreamable):
+			return nil, nil, "", 0, err
+		}
 		f, samples, err := meshlab.LoadFleetSamples(data)
-		return f, samples, data, err
+		if err != nil {
+			return nil, nil, "", 0, err
+		}
+		return runMaterialized(f, samples, workers, data)
 	}
 	var opts meshlab.Options
 	switch scale {
@@ -238,25 +251,76 @@ func obtainFleet(data, cache string, seed uint64, scale string, workers int) (*m
 	case "reference":
 		opts = meshlab.ReferenceOptions(seed)
 	default:
-		return nil, nil, "", fmt.Errorf("unknown scale %q", scale)
+		return nil, nil, "", 0, fmt.Errorf("unknown scale %q", scale)
 	}
 	opts.Workers = workers
 	if cache != "" {
+		if opts.CacheValidatable() {
+			start := time.Now()
+			results, sum, err := meshlab.StreamFleet(cache, meshlab.StreamOptions{Workers: workers, Validate: &opts})
+			if err == nil {
+				return results, sum, fmt.Sprintf("%s (cache hit, synthesis skipped; streamed)", cache), time.Since(start), nil
+			}
+			if forceStream {
+				return nil, nil, "", 0, fmt.Errorf(
+					"-stream: %s cannot serve the streaming suite: %w\nregenerate it first: `meshgen -scale %s -seed %d -dataset %s` (or rerun without -stream to synthesize and materialize)",
+					cache, err, scale, seed, cache)
+			}
+			// Any failure — missing file, mismatch, corruption — falls back
+			// to the materializing cache path, which regenerates.
+		} else if forceStream {
+			return nil, nil, "", 0, fmt.Errorf("-stream: these options cannot be validated against a cache file, so a streamed %s cannot be trusted", cache)
+		}
 		f, samples, hit, err := meshlab.LoadOrGenerateFleetSamples(cache, opts)
 		if err != nil {
-			return nil, nil, "", err
+			return nil, nil, "", 0, err
 		}
 		switch {
 		case hit:
-			return f, samples, fmt.Sprintf("%s (cache hit, synthesis skipped)", cache), nil
+			return runMaterialized(f, samples, workers, fmt.Sprintf("%s (cache hit, synthesis skipped)", cache))
 		case !opts.CacheValidatable():
-			return f, nil, fmt.Sprintf("generated in-memory (%s, seed %d; -dataset bypassed: options not cache-validatable)", scale, seed), nil
+			return runMaterialized(f, nil, workers, fmt.Sprintf("generated in-memory (%s, seed %d; -dataset bypassed: options not cache-validatable)", scale, seed))
 		default:
-			return f, samples, fmt.Sprintf("%s (cache written: %s, seed %d)", cache, scale, seed), nil
+			return runMaterialized(f, samples, workers, fmt.Sprintf("%s (cache written: %s, seed %d)", cache, scale, seed))
 		}
 	}
+	if forceStream {
+		return nil, nil, "", 0, fmt.Errorf("-stream needs a dataset to walk: pass -data fleet.bin or -dataset cache.bin")
+	}
 	f, err := meshlab.GenerateFleet(opts)
-	return f, nil, fmt.Sprintf("generated in-memory (%s, seed %d)", scale, seed), err
+	if err != nil {
+		return nil, nil, "", 0, err
+	}
+	return runMaterialized(f, nil, workers, fmt.Sprintf("generated in-memory (%s, seed %d)", scale, seed))
+}
+
+// runMaterialized runs the suite over an in-memory fleet, priming any
+// flat samples a dataset load carried, and summarizes the fleet for the
+// report preamble.
+func runMaterialized(f *meshlab.Fleet, samples meshlab.FleetSamples, workers int, label string) ([]*meshlab.Result, *meshlab.StreamSummary, string, time.Duration, error) {
+	a := meshlab.NewAnalysis(f)
+	// A dataset file's flat-sample section replaces the §4 flattening
+	// pass; the samples are identical to what the analysis would derive.
+	for band, s := range samples {
+		a.PrimeSamples(band, s)
+	}
+	start := time.Now()
+	// The parallel runner produces byte-identical results in the same
+	// paper order, so the report does not depend on -workers.
+	results, err := a.RunAllParallel(workers)
+	if err != nil {
+		return nil, nil, "", 0, err
+	}
+	sum := &meshlab.StreamSummary{
+		Meta:            f.Meta,
+		Networks:        len(f.Networks),
+		NetworksBG:      len(f.ByBand("bg")),
+		NetworksN:       len(f.ByBand("n")),
+		ProbeSets:       f.NumProbeSets(),
+		FlatSamples:     samples != nil,
+		MaxLiveNetworks: len(f.Networks),
+	}
+	return results, sum, label, time.Since(start), nil
 }
 
 func writeMarkdownTable(b *strings.Builder, header []string, rows [][]string) {

@@ -1,13 +1,124 @@
 package main
 
 import (
+	"flag"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
 	"meshlab"
 )
+
+// update regenerates testdata/quick_report.golden instead of comparing:
+//
+//	go test ./cmd/meshreport -run TestGoldenQuickReport -update
+var update = flag.Bool("update", false, "rewrite the golden report from the current output")
+
+// wallTimeLine is the only nondeterministic report line; golden
+// comparison elides it.
+var wallTimeLine = regexp.MustCompile(`(?m)^- experiment wall time: .*$`)
+
+func normalizeReport(md string) string {
+	return wallTimeLine.ReplaceAllString(md, "- experiment wall time: (elided)")
+}
+
+// TestGoldenQuickReport pins the full quick-fleet report byte for byte
+// (modulo the wall-time line), so a refactor cannot silently drift any
+// paper table. Regenerate deliberately with -update after an intended
+// change.
+func TestGoldenQuickReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "EXP.md")
+	if err := run([]string{"-seed", "21", "-scale", "quick", "-out", out}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeReport(string(raw))
+	golden := filepath.Join("testdata", "quick_report.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden report missing (regenerate with `go test ./cmd/meshreport -run TestGoldenQuickReport -update`): %v", err)
+	}
+	if got != string(want) {
+		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("report drifted from golden at line %d:\n got: %s\nwant: %s\n(regenerate deliberately with -update)", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("report length drifted from golden: %d vs %d lines (regenerate deliberately with -update)", len(gl), len(wl))
+	}
+}
+
+// TestStreamFlagErrors: -stream must never silently materialize or
+// regenerate; each unusable input gets an actionable error.
+func TestStreamFlagErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-stream", "-out", filepath.Join(dir, "a.md")}, &strings.Builder{}); err == nil {
+		t.Fatal("-stream without a dataset should error")
+	}
+	err := run([]string{"-stream", "-dataset", filepath.Join(dir, "missing.bin"), "-out", filepath.Join(dir, "b.md")}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "regenerate") {
+		t.Fatalf("missing cache under -stream should explain how to regenerate, got %v", err)
+	}
+
+	fleet, genErr := meshlab.GenerateFleet(meshlab.QuickOptions(21))
+	if genErr != nil {
+		t.Fatal(genErr)
+	}
+	jsonl := filepath.Join(dir, "fleet.jsonl")
+	if err := meshlab.SaveFleet(jsonl, fleet); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-stream", "-data", jsonl, "-out", filepath.Join(dir, "c.md")}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "streamable") {
+		t.Fatalf("JSONL under -stream should name the format problem, got %v", err)
+	}
+}
+
+// TestStreamedWarmCache: a cold -dataset run synthesizes and writes the
+// cache; the warm run serves it through the streaming suite and the
+// experiment sections match byte for byte.
+func TestStreamedWarmCache(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "fleet.bin")
+	cold := filepath.Join(dir, "cold.md")
+	warm := filepath.Join(dir, "warm.md")
+	if err := run([]string{"-seed", "21", "-scale", "quick", "-dataset", cache, "-out", cold}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-seed", "21", "-scale", "quick", "-dataset", cache, "-stream", "-out", warm}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "synthesis skipped; streamed") {
+		t.Fatalf("warm run did not stream: %q", string(b)[:200])
+	}
+	cut := func(md string) string { return md[strings.Index(md, "\n## "):] }
+	if cut(string(a)) != cut(string(b)) {
+		t.Fatal("streamed warm run diverged from the cold materialized run")
+	}
+}
 
 func TestRunQuickReport(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "EXP.md")

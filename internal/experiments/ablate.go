@@ -17,9 +17,9 @@ import (
 )
 
 func init() {
-	register("abl4.off", "Ablation: per-link environment offsets drive per-link training's advantage", abl4off)
-	register("abl4.burst", "Ablation: interference bursts drive optimal-rate churn at fixed SNR", abl4burst)
-	register("abl5.sym", "Ablation: link asymmetry drives the ETX1/ETX2 improvement gap", abl5sym)
+	registerShared("abl4.off", "Ablation: per-link environment offsets drive per-link training's advantage", abl4off)
+	registerShared("abl4.burst", "Ablation: interference bursts drive optimal-rate churn at fixed SNR", abl4burst)
+	registerShared("abl5.sym", "Ablation: link asymmetry drives the ETX1/ETX2 improvement gap", abl5sym)
 }
 
 // ablFleets caches ablation fleets process-wide: they are pure functions
@@ -65,7 +65,7 @@ func generateAblationFleet(mutate func(*radio.Params)) (*dataset.Fleet, error) {
 
 // abl4off removes the hidden per-link environment offsets and measures how
 // much of per-link training's advantage over global training survives.
-func abl4off(c *Context) (*Result, error) {
+func abl4off(shared) (*Result, error) {
 	res := &Result{Header: []string{
 		"variant", "exact frac (global)", "exact frac (link)", "advantage (link−global)",
 	}}
@@ -100,7 +100,7 @@ func abl4off(c *Context) (*Result, error) {
 
 // abl4burst removes interference bursts and measures how often an SNR's
 // optimal rate churns over time on a single link.
-func abl4burst(c *Context) (*Result, error) {
+func abl4burst(shared) (*Result, error) {
 	res := &Result{Header: []string{"variant", "(link,SNR) cells", "frac cells with churn"}}
 	var churns []float64
 	for _, v := range []struct {
@@ -151,7 +151,7 @@ func abl4burst(c *Context) (*Result, error) {
 
 // abl5sym removes per-direction asymmetry and measures the ETX2-over-ETX1
 // improvement gap.
-func abl5sym(c *Context) (*Result, error) {
+func abl5sym(shared) (*Result, error) {
 	res := &Result{Header: []string{
 		"variant", "mean |log asym ratio|", "median improvement ETX1 @1M", "median improvement ETX2 @1M", "gap",
 	}}

@@ -8,32 +8,40 @@ import (
 )
 
 func init() {
-	register("fig3.1", "Standard deviation of SNR values (probe sets, links, networks)", fig31)
+	register("fig3.1", "Standard deviation of SNR values (probe sets, links, networks)",
+		func() accumulator { return &fig31Acc{} })
 }
 
-// fig31 reproduces Figure 3.1: the CDF of SNR standard deviations within a
-// probe set, across each link's probe-set SNRs over time, and across each
-// network's SNRs at large.
-func fig31(c *Context) (*Result, error) {
-	var probeStds, linkStds, netStds []float64
-	for _, nd := range c.Fleet.Networks {
-		var netSNRs []float64
-		for _, l := range nd.Links {
-			var linkSNRs []float64
-			for _, ps := range l.Sets {
-				probeStds = append(probeStds, float64(ps.SNRStd))
-				linkSNRs = append(linkSNRs, float64(ps.SNR))
-				netSNRs = append(netSNRs, float64(ps.SNR))
-			}
-			if len(linkSNRs) >= 2 {
-				linkStds = append(linkStds, stats.Std(linkSNRs))
-			}
+// fig31Acc reproduces Figure 3.1: the CDF of SNR standard deviations
+// within a probe set, across each link's probe-set SNRs over time, and
+// across each network's SNRs at large. Each network contributes its std
+// series independently, so the census streams.
+type fig31Acc struct {
+	probeStds, linkStds, netStds []float64
+}
+
+func (a *fig31Acc) observe(nv *NetView) error {
+	nd := nv.Data()
+	var netSNRs []float64
+	for _, l := range nd.Links {
+		var linkSNRs []float64
+		for _, ps := range l.Sets {
+			a.probeStds = append(a.probeStds, float64(ps.SNRStd))
+			linkSNRs = append(linkSNRs, float64(ps.SNR))
+			netSNRs = append(netSNRs, float64(ps.SNR))
 		}
-		if len(netSNRs) >= 2 {
-			netStds = append(netStds, stats.Std(netSNRs))
+		if len(linkSNRs) >= 2 {
+			a.linkStds = append(a.linkStds, stats.Std(linkSNRs))
 		}
 	}
-	if len(probeStds) == 0 {
+	if len(netSNRs) >= 2 {
+		a.netStds = append(a.netStds, stats.Std(netSNRs))
+	}
+	return nil
+}
+
+func (a *fig31Acc) finalize(shared) (*Result, error) {
+	if len(a.probeStds) == 0 {
 		return nil, fmt.Errorf("no probe sets in fleet")
 	}
 
@@ -43,9 +51,9 @@ func fig31(c *Context) (*Result, error) {
 		name string
 		xs   []float64
 	}{
-		{"probe-sets", probeStds},
-		{"links", linkStds},
-		{"networks", netStds},
+		{"probe-sets", a.probeStds},
+		{"links", a.linkStds},
+		{"networks", a.netStds},
 	} {
 		row := []string{series.name, itoa(len(series.xs))}
 		cdf := stats.NewCDF(series.xs)
@@ -56,10 +64,10 @@ func fig31(c *Context) (*Result, error) {
 	}
 	res.Notes = append(res.Notes, fmt.Sprintf(
 		"fraction of probe sets with SNR std < 5 dB = %.3f (paper: ~0.975)",
-		stats.FractionAtMost(probeStds, 5)))
+		stats.FractionAtMost(a.probeStds, 5)))
 	res.Notes = append(res.Notes, fmt.Sprintf(
 		"median per-network SNR spread %.1f dB vs per-probe-set %.1f dB (networks hold diverse links)",
-		stats.Median(netStds), stats.Median(probeStds)))
+		stats.Median(a.netStds), stats.Median(a.probeStds)))
 	return res, nil
 }
 

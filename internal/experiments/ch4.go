@@ -9,19 +9,19 @@ import (
 )
 
 func init() {
-	register("fig4.1", "Optimal bit rates for different SNRs (802.11b/g)", fig41)
-	register("fig4.2", "SNR look-up table performance by scope, 802.11b/g", fig42)
-	register("fig4.3", "SNR look-up table performance by scope, 802.11n", fig43)
-	register("fig4.4", "Throughput penalty of look-up tables vs optimal", fig44)
-	register("fig4.5", "Correlation between SNR and throughput (802.11b/g)", fig45)
-	register("fig4.6", "Accuracy of online look-up table strategies", fig46)
-	register("tab4.1", "Costs of each look-up table strategy", tab41)
+	registerSampleOnly("fig4.1", "Optimal bit rates for different SNRs (802.11b/g)", fig41)
+	registerSampleOnly("fig4.2", "SNR look-up table performance by scope, 802.11b/g", fig42)
+	registerSampleOnly("fig4.3", "SNR look-up table performance by scope, 802.11n", fig43)
+	registerSampleOnly("fig4.4", "Throughput penalty of look-up tables vs optimal", fig44)
+	registerSampleOnly("fig4.5", "Correlation between SNR and throughput (802.11b/g)", fig45)
+	registerSampleOnly("fig4.6", "Accuracy of online look-up table strategies", fig46)
+	registerSampleOnly("tab4.1", "Costs of each look-up table strategy", tab41)
 }
 
 // fig41 reproduces Figure 4.1: which rates were ever optimal per SNR. The
 // table reports the distribution of per-SNR optimal-rate-set sizes; the
 // figure's message is that most SNRs see several different optimal rates.
-func fig41(c *Context) (*Result, error) {
+func fig41(c shared) (*Result, error) {
 	samples, err := c.SamplesBG()
 	if err != nil {
 		return nil, err
@@ -96,7 +96,7 @@ func coverageResult(samples []snr.Sample, band phy.Band, minObs int) *Result {
 	return res
 }
 
-func fig42(c *Context) (*Result, error) {
+func fig42(c shared) (*Result, error) {
 	samples, err := c.SamplesBG()
 	if err != nil {
 		return nil, err
@@ -107,7 +107,7 @@ func fig42(c *Context) (*Result, error) {
 	return res, nil
 }
 
-func fig43(c *Context) (*Result, error) {
+func fig43(c shared) (*Result, error) {
 	samples, err := c.SamplesN()
 	if err != nil {
 		return nil, err
@@ -120,7 +120,7 @@ func fig43(c *Context) (*Result, error) {
 
 // fig44 reproduces Figure 4.4: the CDF of throughput lost by following the
 // look-up table instead of the per-probe-set optimum, per scope and band.
-func fig44(c *Context) (*Result, error) {
+func fig44(c shared) (*Result, error) {
 	res := &Result{Header: []string{
 		"band", "scope", "exact-hit frac", "median loss", "p75", "p90", "p95", "max (Mbit/s)",
 	}}
@@ -156,7 +156,7 @@ func fig44(c *Context) (*Result, error) {
 
 // fig45 reproduces Figure 4.5: median throughput (with quartiles) versus
 // SNR per b/g rate, at 5 dB steps.
-func fig45(c *Context) (*Result, error) {
+func fig45(c shared) (*Result, error) {
 	samples, err := c.SamplesBG()
 	if err != nil {
 		return nil, err
@@ -179,7 +179,7 @@ func fig45(c *Context) (*Result, error) {
 
 // fig46 reproduces Figure 4.6: prediction accuracy versus probe sets seen,
 // for the four online strategies.
-func fig46(c *Context) (*Result, error) {
+func fig46(c shared) (*Result, error) {
 	samples, err := c.SamplesBG()
 	if err != nil {
 		return nil, err
@@ -210,7 +210,7 @@ func fig46(c *Context) (*Result, error) {
 
 // tab41 reproduces Table 4.1: update frequency and memory per strategy,
 // with measured counts from replaying the fleet.
-func tab41(c *Context) (*Result, error) {
+func tab41(c shared) (*Result, error) {
 	samples, err := c.SamplesBG()
 	if err != nil {
 		return nil, err

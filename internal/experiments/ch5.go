@@ -5,25 +5,89 @@ import (
 	"math"
 	"sort"
 
+	"meshlab/internal/dataset"
 	"meshlab/internal/phy"
 	"meshlab/internal/routing"
 	"meshlab/internal/stats"
 )
 
 func init() {
-	register("fig5.1", "Improvement of opportunistic routing over ETX1 and ETX2", fig51)
-	register("fig5.2", "Link asymmetry (forward/reverse delivery ratio)", fig52)
-	register("fig5.3", "Path length CDF per bit rate", fig53)
-	register("fig5.4", "Opportunistic improvement vs path length", fig54)
-	register("fig5.5", "Opportunistic improvement vs network size (1 Mbit/s)", fig55)
+	register("fig5.1", "Improvement of opportunistic routing over ETX1 and ETX2",
+		func() accumulator { return newFig51Acc() })
+	register("fig5.2", "Link asymmetry (forward/reverse delivery ratio)",
+		func() accumulator { return &fig52Acc{ratios: map[int][]float64{}} })
+	register("fig5.3", "Path length CDF per bit rate",
+		func() accumulator { return &fig53Acc{hops: map[int][]float64{}} })
+	register("fig5.4", "Opportunistic improvement vs path length",
+		func() accumulator { return &fig54Acc{byHops: map[int][]float64{}} })
+	register("fig5.5", "Opportunistic improvement vs network size (1 Mbit/s)",
+		func() accumulator { return &fig55Acc{} })
 }
 
-// fig51 reproduces Figure 5.1: the distribution of per-pair improvement of
-// idealized opportunistic routing over ETX1 and ETX2, per bit rate, over
-// all b/g networks with at least five APs.
-func fig51(c *Context) (*Result, error) {
-	nets := c.routableBG()
-	if len(nets) == 0 {
+// routable reports whether a network belongs to §5's analyzed population:
+// b/g with at least five APs.
+func routable(nd *dataset.NetworkData) bool {
+	return nd.Info.Band == "bg" && nd.NumAPs() >= 5
+}
+
+// prepareImprovements warms a routable network's full (rate, variant)
+// improvement sweep on a pipeline worker; a single request computes every
+// pair.
+func prepareImprovements(nv *NetView) error {
+	if !routable(nv.Data()) {
+		return nil
+	}
+	_, err := nv.Improvements(0, routing.ETX1)
+	return err
+}
+
+// fig51Acc reproduces Figure 5.1: the distribution of per-pair improvement
+// of idealized opportunistic routing over ETX1 and ETX2, per bit rate,
+// over all b/g networks with at least five APs.
+type fig51Acc struct {
+	nets        int
+	imps        map[impKey][]float64
+	none, small map[impKey]int
+}
+
+func newFig51Acc() *fig51Acc {
+	return &fig51Acc{
+		imps:  map[impKey][]float64{},
+		none:  map[impKey]int{},
+		small: map[impKey]int{},
+	}
+}
+
+func (a *fig51Acc) prepare(nv *NetView) error { return prepareImprovements(nv) }
+
+func (a *fig51Acc) observe(nv *NetView) error {
+	if !routable(nv.Data()) {
+		return nil
+	}
+	a.nets++
+	for _, v := range []routing.Variant{routing.ETX1, routing.ETX2} {
+		for ri := range phy.BandBG.Rates {
+			prs, err := nv.Improvements(ri, v)
+			if err != nil {
+				return err
+			}
+			k := impKey{rate: ri, variant: v}
+			for _, pr := range prs {
+				a.imps[k] = append(a.imps[k], pr.Improvement)
+				if pr.Improvement < 1e-9 {
+					a.none[k]++
+				}
+				if pr.Improvement <= 0.05 {
+					a.small[k]++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (a *fig51Acc) finalize(shared) (*Result, error) {
+	if a.nets == 0 {
 		return nil, fmt.Errorf("no b/g networks with ≥5 APs")
 	}
 	res := &Result{Header: []string{
@@ -31,31 +95,16 @@ func fig51(c *Context) (*Result, error) {
 	}}
 	for _, v := range []routing.Variant{routing.ETX1, routing.ETX2} {
 		for ri, rate := range phy.BandBG.Rates {
-			var imps []float64
-			none, small := 0, 0
-			for _, nd := range nets {
-				prs, err := c.Improvements(nd, ri, v)
-				if err != nil {
-					return nil, err
-				}
-				for _, pr := range prs {
-					imps = append(imps, pr.Improvement)
-					if pr.Improvement < 1e-9 {
-						none++
-					}
-					if pr.Improvement <= 0.05 {
-						small++
-					}
-				}
-			}
+			k := impKey{rate: ri, variant: v}
+			imps := a.imps[k]
 			if len(imps) == 0 {
 				continue
 			}
 			cdf := stats.NewCDF(imps)
 			res.Rows = append(res.Rows, []string{
 				v.String(), rate.Name, itoa(len(imps)),
-				f2(float64(none) / float64(len(imps))),
-				f2(float64(small) / float64(len(imps))),
+				f2(float64(a.none[k]) / float64(len(imps))),
+				f2(float64(a.small[k]) / float64(len(imps))),
 				f2(cdf.Quantile(0.5)), f2(stats.Mean(imps)), f2(cdf.Quantile(0.9)),
 			})
 		}
@@ -66,20 +115,38 @@ func fig51(c *Context) (*Result, error) {
 	return res, nil
 }
 
-// fig52 reproduces Figure 5.2: the CDF of forward/reverse delivery ratios
-// per bit rate.
-func fig52(c *Context) (*Result, error) {
-	nets := c.Fleet.ByBand("bg")
+// fig52Acc reproduces Figure 5.2: the CDF of forward/reverse delivery
+// ratios per bit rate, over every b/g network.
+type fig52Acc struct {
+	ratios map[int][]float64
+}
+
+func (a *fig52Acc) prepare(nv *NetView) error {
+	if nv.Data().Info.Band != "bg" {
+		return nil
+	}
+	_, err := nv.Matrices()
+	return err
+}
+
+func (a *fig52Acc) observe(nv *NetView) error {
+	if nv.Data().Info.Band != "bg" {
+		return nil
+	}
+	ms, err := nv.Matrices()
+	if err != nil {
+		return err
+	}
+	for ri := range phy.BandBG.Rates {
+		a.ratios[ri] = append(a.ratios[ri], routing.AsymmetryRatios(ms[ri])...)
+	}
+	return nil
+}
+
+func (a *fig52Acc) finalize(shared) (*Result, error) {
 	res := &Result{Header: []string{"rate", "pairs", "p10", "median", "p90", "frac within ±25%"}}
 	for ri, rate := range phy.BandBG.Rates {
-		var ratios []float64
-		for _, nd := range nets {
-			ms, err := c.Matrices(nd)
-			if err != nil {
-				return nil, err
-			}
-			ratios = append(ratios, routing.AsymmetryRatios(ms[ri])...)
-		}
+		ratios := a.ratios[ri]
 		if len(ratios) == 0 {
 			continue
 		}
@@ -101,22 +168,34 @@ func fig52(c *Context) (*Result, error) {
 	return res, nil
 }
 
-// fig53 reproduces Figure 5.3: the CDF of ETX1 shortest-path hop counts
-// per bit rate.
-func fig53(c *Context) (*Result, error) {
-	nets := c.routableBG()
+// fig53Acc reproduces Figure 5.3: the CDF of ETX1 shortest-path hop
+// counts per bit rate.
+type fig53Acc struct {
+	hops map[int][]float64
+}
+
+func (a *fig53Acc) prepare(nv *NetView) error { return prepareImprovements(nv) }
+
+func (a *fig53Acc) observe(nv *NetView) error {
+	if !routable(nv.Data()) {
+		return nil
+	}
+	for ri := range phy.BandBG.Rates {
+		prs, err := nv.Improvements(ri, routing.ETX1)
+		if err != nil {
+			return err
+		}
+		for _, pr := range prs {
+			a.hops[ri] = append(a.hops[ri], float64(pr.Hops))
+		}
+	}
+	return nil
+}
+
+func (a *fig53Acc) finalize(shared) (*Result, error) {
 	res := &Result{Header: []string{"rate", "pairs", "frac 1 hop", "frac ≤2", "frac ≤3", "mean", "max"}}
 	for ri, rate := range phy.BandBG.Rates {
-		var hops []float64
-		for _, nd := range nets {
-			prs, err := c.Improvements(nd, ri, routing.ETX1)
-			if err != nil {
-				return nil, err
-			}
-			for _, pr := range prs {
-				hops = append(hops, float64(pr.Hops))
-			}
-		}
+		hops := a.hops[ri]
 		if len(hops) == 0 {
 			continue
 		}
@@ -134,26 +213,35 @@ func fig53(c *Context) (*Result, error) {
 	return res, nil
 }
 
-// fig54 reproduces Figure 5.4: median and maximum improvement versus path
-// length, aggregated over all b/g rates under ETX1.
-func fig54(c *Context) (*Result, error) {
-	nets := c.routableBG()
-	byHops := map[int][]float64{}
+// fig54Acc reproduces Figure 5.4: median and maximum improvement versus
+// path length, aggregated over all b/g rates under ETX1.
+type fig54Acc struct {
+	byHops map[int][]float64
+}
+
+func (a *fig54Acc) prepare(nv *NetView) error { return prepareImprovements(nv) }
+
+func (a *fig54Acc) observe(nv *NetView) error {
+	if !routable(nv.Data()) {
+		return nil
+	}
 	for ri := range phy.BandBG.Rates {
-		for _, nd := range nets {
-			prs, err := c.Improvements(nd, ri, routing.ETX1)
-			if err != nil {
-				return nil, err
-			}
-			for _, pr := range prs {
-				byHops[pr.Hops] = append(byHops[pr.Hops], pr.Improvement)
-			}
+		prs, err := nv.Improvements(ri, routing.ETX1)
+		if err != nil {
+			return err
+		}
+		for _, pr := range prs {
+			a.byHops[pr.Hops] = append(a.byHops[pr.Hops], pr.Improvement)
 		}
 	}
+	return nil
+}
+
+func (a *fig54Acc) finalize(shared) (*Result, error) {
 	res := &Result{Header: []string{"path length (hops)", "pairs", "median improvement", "max improvement"}}
 	var medians, maxima []float64
-	for _, h := range sortedKeys(byHops) {
-		imps := byHops[h]
+	for _, h := range sortedKeys(a.byHops) {
+		imps := a.byHops[h]
 		if h < 1 || len(imps) < 10 {
 			continue
 		}
@@ -185,32 +273,44 @@ func trend(ys []float64) float64 {
 	return stats.Spearman(xs, ys)
 }
 
-// fig55 reproduces Figure 5.5: mean per-network improvement at 1 Mbit/s
-// versus network size.
-func fig55(c *Context) (*Result, error) {
-	nets := c.routableBG()
-	ri := phy.BandBG.RateIndex("1M")
-	type netPoint struct {
-		size      int
-		mean, std float64
+// netPoint is one network's mean improvement at 1 Mbit/s (Figure 5.5).
+type netPoint struct {
+	size      int
+	mean, std float64
+}
+
+// fig55Acc reproduces Figure 5.5: mean per-network improvement at
+// 1 Mbit/s versus network size.
+type fig55Acc struct {
+	pts []netPoint
+}
+
+func (a *fig55Acc) prepare(nv *NetView) error { return prepareImprovements(nv) }
+
+func (a *fig55Acc) observe(nv *NetView) error {
+	nd := nv.Data()
+	if !routable(nd) {
+		return nil
 	}
-	var pts []netPoint
-	for _, nd := range nets {
-		prs, err := c.Improvements(nd, ri, routing.ETX1)
-		if err != nil {
-			return nil, err
-		}
-		if len(prs) == 0 {
-			continue
-		}
-		var imps []float64
-		for _, pr := range prs {
-			imps = append(imps, pr.Improvement)
-		}
-		s, _ := stats.Summarize(imps)
-		pts = append(pts, netPoint{size: nd.NumAPs(), mean: s.Mean, std: s.Std})
+	prs, err := nv.Improvements(phy.BandBG.RateIndex("1M"), routing.ETX1)
+	if err != nil {
+		return err
 	}
-	sort.Slice(pts, func(a, b int) bool { return pts[a].size < pts[b].size })
+	if len(prs) == 0 {
+		return nil
+	}
+	var imps []float64
+	for _, pr := range prs {
+		imps = append(imps, pr.Improvement)
+	}
+	s, _ := stats.Summarize(imps)
+	a.pts = append(a.pts, netPoint{size: nd.NumAPs(), mean: s.Mean, std: s.Std})
+	return nil
+}
+
+func (a *fig55Acc) finalize(shared) (*Result, error) {
+	pts := a.pts
+	sort.Slice(pts, func(x, y int) bool { return pts[x].size < pts[y].size })
 
 	b := stats.NewBinned(10)
 	for _, p := range pts {

@@ -3,37 +3,72 @@ package experiments
 import (
 	"fmt"
 
-	"meshlab/internal/dataset"
 	"meshlab/internal/hidden"
 	"meshlab/internal/phy"
 	"meshlab/internal/stats"
 )
 
 func init() {
-	register("fig6.1", "Frequency of hidden triples per bit rate (threshold 10%)", fig61)
-	register("fig6.2", "Change in range vs bit rate (relative to 1 Mbit/s)", fig62)
-	register("sec6.3", "Impact of environment on hidden triples and range", sec63)
-	register("abl6.t", "Ablation: hidden-triple fraction across hearing thresholds", abl6t)
+	register("fig6.1", "Frequency of hidden triples per bit rate (threshold 10%)",
+		func() accumulator { return &fig61Acc{} })
+	register("fig6.2", "Change in range vs bit rate (relative to 1 Mbit/s)",
+		func() accumulator { return &fig62Acc{} })
+	register("sec6.3", "Impact of environment on hidden triples and range",
+		func() accumulator { return &sec63Acc{} })
+	register("abl6.t", "Ablation: hidden-triple fraction across hearing thresholds",
+		func() accumulator { return &abl6tAcc{censuses: map[float64][]*hidden.NetworkResult{}} })
 }
 
-// hiddenResults analyzes every network in nets at the threshold, memo-free
-// (the census is cheap compared with routing).
-func hiddenResults(nets []*dataset.NetworkData, threshold float64) ([]*hidden.NetworkResult, error) {
-	return hidden.AnalyzeAll(nets, threshold)
+// abl6tThresholds is the hearing-threshold sweep §6.1's sensitivity remark
+// is checked against.
+var abl6tThresholds = []float64{0.05, 0.10, 0.25, 0.50}
+
+// censusBG accumulates the §6 triple census of every b/g network at one
+// threshold, in fleet order — the shared observe body of the §6 figures.
+// The census is derived per network while it is live (and memoized
+// fleet-wide on the in-memory context), so figures sharing a threshold
+// share the computation.
+type censusBG struct {
+	results []*hidden.NetworkResult
 }
 
-// fig61 reproduces Figure 6.1: the CDF over networks of the fraction of
-// relevant triples that are hidden, per bit rate, at a 10% threshold.
-func fig61(c *Context) (*Result, error) {
-	results, err := hiddenResults(c.Fleet.ByBand("bg"), 0.10)
-	if err != nil {
-		return nil, err
+func (a *censusBG) observeAt(nv *NetView, threshold float64) error {
+	if nv.Data().Info.Band != "bg" {
+		return nil
 	}
+	nr, err := nv.Hidden(threshold)
+	if err != nil {
+		return err
+	}
+	a.results = append(a.results, nr)
+	return nil
+}
+
+func prepareHidden(nv *NetView, thresholds ...float64) error {
+	if nv.Data().Info.Band != "bg" {
+		return nil
+	}
+	for _, th := range thresholds {
+		if _, err := nv.Hidden(th); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig61Acc reproduces Figure 6.1: the CDF over networks of the fraction
+// of relevant triples that are hidden, per bit rate, at a 10% threshold.
+type fig61Acc struct{ censusBG }
+
+func (a *fig61Acc) prepare(nv *NetView) error { return prepareHidden(nv, 0.10) }
+func (a *fig61Acc) observe(nv *NetView) error { return a.observeAt(nv, 0.10) }
+
+func (a *fig61Acc) finalize(shared) (*Result, error) {
 	res := &Result{Header: []string{"rate", "networks", "p25", "median", "p75", "max"}}
 	medians := map[string]float64{}
 	for ri, rate := range phy.BandBG.Rates {
 		var fracs []float64
-		for _, nr := range results {
+		for _, nr := range a.results {
 			rr := nr.Rates[ri]
 			if rr.Relevant > 0 {
 				fracs = append(fracs, rr.Fraction)
@@ -56,20 +91,21 @@ func fig61(c *Context) (*Result, error) {
 	return res, nil
 }
 
-// fig62 reproduces Figure 6.2: per rate, the mean ± std over networks of
-// range(rate)/range(1M).
-func fig62(c *Context) (*Result, error) {
-	results, err := hiddenResults(c.Fleet.ByBand("bg"), 0.10)
-	if err != nil {
-		return nil, err
-	}
+// fig62Acc reproduces Figure 6.2: per rate, the mean ± std over networks
+// of range(rate)/range(1M).
+type fig62Acc struct{ censusBG }
+
+func (a *fig62Acc) prepare(nv *NetView) error { return prepareHidden(nv, 0.10) }
+func (a *fig62Acc) observe(nv *NetView) error { return a.observeAt(nv, 0.10) }
+
+func (a *fig62Acc) finalize(shared) (*Result, error) {
 	ref := phy.BandBG.RateIndex("1M")
 	res := &Result{Header: []string{"rate", "networks", "mean range ratio", "std"}}
 	var prevMean float64 = 2
 	monotone := true
 	for ri, rate := range phy.BandBG.Rates {
 		var ratios []float64
-		for _, nr := range results {
+		for _, nr := range a.results {
 			if r, ok := nr.RangeRatio(ri, ref); ok {
 				ratios = append(ratios, r)
 			}
@@ -91,9 +127,15 @@ func fig62(c *Context) (*Result, error) {
 	return res, nil
 }
 
-// sec63 reproduces §6.3: indoor vs outdoor hidden-triple fractions and
-// size-normalized range.
-func sec63(c *Context) (*Result, error) {
+// sec63Acc reproduces §6.3: indoor vs outdoor hidden-triple fractions and
+// size-normalized range. It censuses every b/g network once and splits by
+// environment at finalize.
+type sec63Acc struct{ censusBG }
+
+func (a *sec63Acc) prepare(nv *NetView) error { return prepareHidden(nv, 0.10) }
+func (a *sec63Acc) observe(nv *NetView) error { return a.observeAt(nv, 0.10) }
+
+func (a *sec63Acc) finalize(shared) (*Result, error) {
 	res := &Result{Header: []string{
 		"environment", "networks", "median hidden frac @1M", "median hidden frac @48M", "mean range/size² @1M",
 	}}
@@ -101,15 +143,11 @@ func sec63(c *Context) (*Result, error) {
 	ri48 := phy.BandBG.RateIndex("48M")
 	var medians []float64
 	for _, env := range []string{"indoor", "outdoor"} {
-		var nets []*dataset.NetworkData
-		for _, nd := range c.Fleet.ByBand("bg") {
-			if nd.Info.Env == env {
-				nets = append(nets, nd)
+		var results []*hidden.NetworkResult
+		for _, nr := range a.results {
+			if nr.Env == env {
+				results = append(results, nr)
 			}
-		}
-		results, err := hiddenResults(nets, 0.10)
-		if err != nil {
-			return nil, err
 		}
 		var f1, f48, norm []float64
 		for _, nr := range results {
@@ -136,20 +174,35 @@ func sec63(c *Context) (*Result, error) {
 	return res, nil
 }
 
-// abl6t sweeps the hearing threshold, checking the thesis's remark that
+// abl6tAcc sweeps the hearing threshold, checking the thesis's remark that
 // the hidden-triple results are not sensitive to it.
-func abl6t(c *Context) (*Result, error) {
-	nets := c.Fleet.ByBand("bg")
+type abl6tAcc struct {
+	censuses map[float64][]*hidden.NetworkResult
+}
+
+func (a *abl6tAcc) prepare(nv *NetView) error { return prepareHidden(nv, abl6tThresholds...) }
+
+func (a *abl6tAcc) observe(nv *NetView) error {
+	if nv.Data().Info.Band != "bg" {
+		return nil
+	}
+	for _, th := range abl6tThresholds {
+		nr, err := nv.Hidden(th)
+		if err != nil {
+			return err
+		}
+		a.censuses[th] = append(a.censuses[th], nr)
+	}
+	return nil
+}
+
+func (a *abl6tAcc) finalize(shared) (*Result, error) {
 	ri := phy.BandBG.RateIndex("1M")
 	res := &Result{Header: []string{"threshold", "median hidden frac @1M", "median hidden frac @24M"}}
 	ri24 := phy.BandBG.RateIndex("24M")
-	for _, th := range []float64{0.05, 0.10, 0.25, 0.50} {
-		results, err := hiddenResults(nets, th)
-		if err != nil {
-			return nil, err
-		}
+	for _, th := range abl6tThresholds {
 		var f1, f24 []float64
-		for _, nr := range results {
+		for _, nr := range a.censuses[th] {
 			if nr.Rates[ri].Relevant > 0 {
 				f1 = append(f1, nr.Rates[ri].Fraction)
 			}

@@ -7,16 +7,16 @@ import (
 )
 
 func init() {
-	register("fig7.1", "Number of APs visited by clients", fig71)
-	register("fig7.2", "Length of client connections", fig72)
-	register("fig7.3", "Prevalence CDF, indoor vs outdoor", fig73)
-	register("fig7.4", "Persistence CDF, indoor vs outdoor", fig74)
-	register("fig7.5", "Prevalence versus persistence per client", fig75)
+	registerShared("fig7.1", "Number of APs visited by clients", fig71)
+	registerShared("fig7.2", "Length of client connections", fig72)
+	registerShared("fig7.3", "Prevalence CDF, indoor vs outdoor", fig73)
+	registerShared("fig7.4", "Persistence CDF, indoor vs outdoor", fig74)
+	registerShared("fig7.5", "Prevalence versus persistence per client", fig75)
 }
 
 // fig71 reproduces Figure 7.1: the histogram of distinct APs visited per
 // client (session).
-func fig71(c *Context) (*Result, error) {
+func fig71(c shared) (*Result, error) {
 	a := c.analysis()
 	if a.Sessions == 0 {
 		return nil, fmt.Errorf("no client sessions")
@@ -51,7 +51,7 @@ func fig71(c *Context) (*Result, error) {
 }
 
 // fig72 reproduces Figure 7.2: the CDF of client connection lengths.
-func fig72(c *Context) (*Result, error) {
+func fig72(c shared) (*Result, error) {
 	a := c.analysis()
 	if len(a.ConnLengths) == 0 {
 		return nil, fmt.Errorf("no connections")
@@ -59,7 +59,7 @@ func fig72(c *Context) (*Result, error) {
 	var hours []float64
 	full := 0
 	dur := 0.0
-	for _, cd := range c.Fleet.Clients {
+	for _, cd := range c.clientData() {
 		if float64(cd.Duration) > dur {
 			dur = float64(cd.Duration)
 		}
@@ -106,7 +106,7 @@ func envQuantiles(byEnv map[string][]float64, scale float64, unit string) *Resul
 }
 
 // fig73 reproduces Figure 7.3: prevalence CDFs by environment.
-func fig73(c *Context) (*Result, error) {
+func fig73(c shared) (*Result, error) {
 	a := c.analysis()
 	res := envQuantiles(a.PrevalenceByEnv, 1, "fraction of connected time")
 	res.Notes = append(res.Notes,
@@ -115,7 +115,7 @@ func fig73(c *Context) (*Result, error) {
 }
 
 // fig74 reproduces Figure 7.4: persistence CDFs by environment.
-func fig74(c *Context) (*Result, error) {
+func fig74(c shared) (*Result, error) {
 	a := c.analysis()
 	res := envQuantiles(a.PersistenceByEnv, 1, "seconds")
 	res.Notes = append(res.Notes,
@@ -125,7 +125,7 @@ func fig74(c *Context) (*Result, error) {
 
 // fig75 reproduces Figure 7.5: per client, median persistence vs maximum
 // prevalence, summarized by quadrant.
-func fig75(c *Context) (*Result, error) {
+func fig75(c shared) (*Result, error) {
 	a := c.analysis()
 	if len(a.Points) == 0 {
 		return nil, fmt.Errorf("no client points")

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"meshlab/internal/dataset"
+	"meshlab/internal/hidden"
 	"meshlab/internal/mobility"
 	"meshlab/internal/routing"
 	"meshlab/internal/snr"
@@ -72,11 +73,62 @@ func (r *Result) Format() string {
 	return b.String()
 }
 
-// runner executes one experiment against a context.
+// shared is the fleet-wide derived state an experiment can consume
+// without walking networks: the flattened §4 samples, the client
+// datasets, and the §7 mobility analysis. Both Context (materialized
+// fleet) and StreamContext (single-pass walk) implement it, which is what
+// lets one finalize body serve both execution modes byte-identically.
+type shared interface {
+	SamplesBG() ([]snr.Sample, error)
+	SamplesN() ([]snr.Sample, error)
+	analysis() *mobility.Analysis
+	clientData() []*dataset.ClientData
+}
+
+// accumulator is the streaming decomposition of one experiment: observe
+// is called once per network in fleet order (with per-network derived
+// data available through the NetView), then finalize renders the Result
+// from the accumulated state plus the shared fleet-wide state. The
+// in-memory Context and the streaming StreamContext both execute
+// experiments through this interface, so their tables agree byte for
+// byte by construction.
+//
+// observe and finalize are never called concurrently on one accumulator,
+// but an accumulator that also implements preparer must keep prepare free
+// of accumulator state: prepare runs on pipeline workers across several
+// in-flight networks at once.
+type accumulator interface {
+	observe(nv *NetView) error
+	finalize(sc shared) (*Result, error)
+}
+
+// preparer is implemented by accumulators whose per-network work is
+// expensive (routing solutions, triple censuses). prepare is invoked on a
+// pipeline worker before the ordered observe call and should touch the
+// NetView's derived data so the heavy computation happens off the
+// serial path; it must not mutate the accumulator.
+type preparer interface {
+	prepare(nv *NetView) error
+}
+
+// sharedOnly adapts an experiment that consumes no per-network data —
+// §4 sample tables, §7 client mobility, ablations over their own fleets —
+// to the accumulator interface. The walk skips these entirely.
+type sharedOnly struct {
+	run func(shared) (*Result, error)
+}
+
+func (sharedOnly) observe(*NetView) error                { return nil }
+func (s sharedOnly) finalize(sc shared) (*Result, error) { return s.run(sc) }
+
+// runner executes one experiment: a fresh accumulator per run.
 type runner struct {
-	id    string
-	title string
-	run   func(*Context) (*Result, error)
+	id     string
+	title  string
+	newAcc func() accumulator
+	// sampleOnly marks experiments that need nothing beyond the §4
+	// samples, the population meshanalyze's sample-streaming mode can run.
+	sampleOnly bool
 }
 
 var (
@@ -86,9 +138,41 @@ var (
 	byID = make(map[string]int)
 )
 
-func register(id, title string, run func(*Context) (*Result, error)) {
+func register(id, title string, newAcc func() accumulator) {
 	byID[id] = len(registry)
-	registry = append(registry, runner{id: id, title: title, run: run})
+	registry = append(registry, runner{id: id, title: title, newAcc: newAcc})
+}
+
+// registerShared wires an experiment that only consumes shared fleet-wide
+// state (no per-network walk).
+func registerShared(id, title string, run func(shared) (*Result, error)) {
+	register(id, title, func() accumulator { return sharedOnly{run: run} })
+}
+
+// registerSampleOnly wires a shared experiment that consumes only the
+// flattened §4 samples, marking it runnable by the sample-streaming mode.
+func registerSampleOnly(id, title string, run func(shared) (*Result, error)) {
+	registerShared(id, title, run)
+	registry[len(registry)-1].sampleOnly = true
+}
+
+// SampleOnly reports whether the experiment consumes only the flattened
+// §4 samples, i.e. whether it can run from a dataset file's sample
+// section without any fleet (see meshanalyze's -sec4 mode).
+func SampleOnly(id string) bool {
+	i, ok := byID[id]
+	return ok && registry[i].sampleOnly
+}
+
+// SampleIDs returns the sample-only experiment identifiers in paper order.
+func SampleIDs() []string {
+	var out []string
+	for _, id := range IDs() {
+		if SampleOnly(id) {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // paperOrder ranks experiment IDs in the order the thesis presents them,
@@ -163,11 +247,18 @@ func memoCell[T any](m *sync.Map, key any) *memo[T] {
 type Context struct {
 	Fleet *dataset.Fleet
 
+	// workers caps the context's internal fan-out (the §6 census scan);
+	// 0 means GOMAXPROCS. RunAllParallel records its pool size here so
+	// one -workers knob bounds both experiment scheduling and the
+	// per-network scans experiments launch.
+	workers atomic.Int32
+
 	samplesBG memo[[]snr.Sample]
 	samplesN  memo[[]snr.Sample]
 	mob       memo[*mobility.Analysis]
 	matrices  sync.Map // *dataset.NetworkData → *memo[map[int]routing.Matrix]
 	improved  sync.Map // *dataset.NetworkData → *memo[map[impKey][]routing.PairResult]
+	hiddens   sync.Map // float64 threshold → *memo[map[*dataset.NetworkData]*hidden.NetworkResult]
 }
 
 // impKey identifies one (rate, ETX variant) routing comparison of a
@@ -182,14 +273,26 @@ func NewContext(f *dataset.Fleet) *Context {
 	return &Context{Fleet: f}
 }
 
-// Run executes the experiment with the given ID.
+// Run executes the experiment with the given ID: a fresh accumulator
+// observes every network of the fleet in order (skipped entirely for
+// shared-only experiments), then finalizes against the context's shared
+// state. Derived per-network data is memoized on the context, so repeated
+// or concurrent runs never recompute a routing solution or census.
 func (c *Context) Run(id string) (*Result, error) {
 	i, ok := byID[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
 	}
 	r := registry[i]
-	res, err := r.run(c)
+	acc := r.newAcc()
+	if _, pure := acc.(sharedOnly); !pure {
+		for _, nd := range c.Fleet.Networks {
+			if err := acc.observe(&NetView{nd: nd, d: c}); err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", id, err)
+			}
+		}
+	}
+	res, err := acc.finalize(c)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", id, err)
 	}
@@ -221,14 +324,48 @@ func (c *Context) RunAllParallel(workers int) ([]*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(ids) {
-		workers = len(ids)
+	c.workers.Store(int32(workers))
+	results := make([]*Result, len(ids))
+	err := forEachParallel(len(ids), workers, func(i int) error {
+		r, err := c.Run(ids[i])
+		results[i] = r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// workerBound returns the context's internal fan-out cap.
+func (c *Context) workerBound() int {
+	if w := int(c.workers.Load()); w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachParallel runs fn over 0..n-1 across a bounded worker pool
+// (workers ≤ 0 means GOMAXPROCS; ≤ 1 runs serially in index order) and
+// returns the error of the lowest index that failed, so the reported
+// failure does not depend on worker scheduling. Later work is skipped
+// once any fn fails.
+func forEachParallel(n, workers int, fn func(int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		return c.RunAll()
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	results := make([]*Result, len(ids))
-	errs := make([]error, len(ids))
+	errs := make([]error, n)
 	var next atomic.Int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
@@ -238,25 +375,22 @@ func (c *Context) RunAllParallel(workers int) ([]*Result, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(ids) || failed.Load() {
+				if i >= n || failed.Load() {
 					return
 				}
-				results[i], errs[i] = c.Run(ids[i])
-				if errs[i] != nil {
+				if errs[i] = fn(i); errs[i] != nil {
 					failed.Store(true)
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	// Surface the error of the earliest experiment in paper order, so the
-	// reported failure does not depend on worker scheduling.
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return results, nil
+	return nil
 }
 
 // PrimeSamples seeds a band's flattened-sample memo with precomputed
@@ -325,21 +459,66 @@ func (c *Context) Improvements(nd *dataset.NetworkData, rate int, v routing.Vari
 // analysis runs the §7 mobility aggregation once per context.
 func (c *Context) analysis() *mobility.Analysis {
 	a, _ := c.mob.get(func() (*mobility.Analysis, error) {
-		return mobility.Analyze(c.Fleet.Clients, mobility.DefaultGap), nil
+		return mobility.Analyze(c.clientData(), mobility.DefaultGap), nil
 	})
 	return a
 }
 
-// routableBG returns the b/g networks with at least five APs, the
-// population §5 analyzes.
-func (c *Context) routableBG() []*dataset.NetworkData {
-	var out []*dataset.NetworkData
-	for _, nd := range c.Fleet.ByBand("bg") {
-		if nd.NumAPs() >= 5 {
-			out = append(out, nd)
-		}
+// clientData returns the fleet's client datasets (the shared interface).
+func (c *Context) clientData() []*dataset.ClientData { return c.Fleet.Clients }
+
+// derivedSource methods: the Context backs NetViews with its fleet-wide
+// memoization, so every observer walking the fleet shares one routing
+// solution and one census per network.
+
+func (c *Context) netMatrices(nd *dataset.NetworkData) (map[int]routing.Matrix, error) {
+	return c.Matrices(nd)
+}
+
+func (c *Context) netImprovements(nd *dataset.NetworkData, rate int, v routing.Variant) ([]routing.PairResult, error) {
+	return c.Improvements(nd, rate, v)
+}
+
+// netHidden returns one network's §6 census at a threshold. The first
+// request for a threshold scans every b/g network of the fleet across the
+// context's worker bound — the censuses are per-network independent — so
+// a single-figure run gets the same multicore scan the full suite does;
+// every later request at that threshold is a map lookup.
+func (c *Context) netHidden(nd *dataset.NetworkData, threshold float64) (*hidden.NetworkResult, error) {
+	all, err := memoCell[map[*dataset.NetworkData]*hidden.NetworkResult](&c.hiddens, threshold).get(
+		func() (map[*dataset.NetworkData]*hidden.NetworkResult, error) {
+			nets := c.Fleet.ByBand("bg")
+			out := make([]*hidden.NetworkResult, len(nets))
+			err := forEachParallel(len(nets), c.workerBound(), func(i int) error {
+				ms, err := c.Matrices(nets[i])
+				if err != nil {
+					return err
+				}
+				out[i], err = hidden.Census(nets[i], ms, threshold)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			m := make(map[*dataset.NetworkData]*hidden.NetworkResult, len(nets))
+			for i, n := range nets {
+				m[n] = out[i]
+			}
+			return m, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	if nr, ok := all[nd]; ok {
+		return nr, nil
+	}
+	// Networks outside the scanned band (the figures only census b/g) are
+	// analyzed directly, still through the matrix memo.
+	ms, err := c.Matrices(nd)
+	if err != nil {
+		return nil, err
+	}
+	return hidden.Census(nd, ms, threshold)
 }
 
 // f formats a float compactly for table cells.

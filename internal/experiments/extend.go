@@ -13,16 +13,18 @@ import (
 )
 
 func init() {
-	register("ext4.topk", "Extension: top-k candidate sets cut probing overhead (§4.5)", ext4topk)
-	register("ext5.ett", "Extension: multi-rate ETT routing vs fixed-rate ETX", ext5ett)
-	register("ext6.mac", "Extension: MAC-level throughput cost of hidden triples", ext6mac)
+	registerSampleOnly("ext4.topk", "Extension: top-k candidate sets cut probing overhead (§4.5)", ext4topk)
+	register("ext5.ett", "Extension: multi-rate ETT routing vs fixed-rate ETX",
+		func() accumulator { return &ext5ettAcc{rateWins: make([]int, len(phy.BandBG.Rates))} })
+	register("ext6.mac", "Extension: MAC-level throughput cost of hidden triples",
+		func() accumulator { return &ext6macAcc{root: rng.New(606)} })
 }
 
 // ext4topk evaluates the thesis's §4.5 augmented table: keep the top-k
 // rates per (link, SNR) and restrict probing to them. The table reports,
 // per band and k, how often the true optimum falls in the candidate set
 // and the probing saved.
-func ext4topk(c *Context) (*Result, error) {
+func ext4topk(c shared) (*Result, error) {
 	res := &Result{Header: []string{"band", "k", "optimum in top-k", "probing saved", "probe sets"}}
 	for _, b := range []struct {
 		name    string
@@ -50,29 +52,45 @@ func ext4topk(c *Context) (*Result, error) {
 	return res, nil
 }
 
-// ext5ett evaluates the paper's other named path metric (§1 question 2):
+// ext5ettAcc evaluates the paper's other named path metric (§1 question 2):
 // expected transmission time with per-link rate selection, against the
 // best single fixed-rate ETX scheme, per network.
-func ext5ett(c *Context) (*Result, error) {
-	var gains []float64
-	rateWins := make([]int, len(phy.BandBG.Rates))
-	for _, nd := range c.routableBG() {
-		ms, err := c.Matrices(nd)
-		if err != nil {
-			return nil, err
-		}
-		r := routing.CompareETT(ms, phy.BandBG, 0, 0)
-		if r.Pairs == 0 || r.BestFixedRate < 0 {
-			continue
-		}
-		gains = append(gains, r.Gain)
-		rateWins[r.BestFixedRate]++
+type ext5ettAcc struct {
+	gains    []float64
+	rateWins []int
+}
+
+func (a *ext5ettAcc) prepare(nv *NetView) error {
+	if !routable(nv.Data()) {
+		return nil
 	}
-	if len(gains) == 0 {
+	_, err := nv.Matrices()
+	return err
+}
+
+func (a *ext5ettAcc) observe(nv *NetView) error {
+	if !routable(nv.Data()) {
+		return nil
+	}
+	ms, err := nv.Matrices()
+	if err != nil {
+		return err
+	}
+	r := routing.CompareETT(ms, phy.BandBG, 0, 0)
+	if r.Pairs == 0 || r.BestFixedRate < 0 {
+		return nil
+	}
+	a.gains = append(a.gains, r.Gain)
+	a.rateWins[r.BestFixedRate]++
+	return nil
+}
+
+func (a *ext5ettAcc) finalize(shared) (*Result, error) {
+	if len(a.gains) == 0 {
 		return nil, fmt.Errorf("no routable networks")
 	}
 	res := &Result{Header: []string{"metric", "value"}}
-	s, _ := stats.Summarize(gains)
+	s, _ := stats.Summarize(a.gains)
 	res.Rows = append(res.Rows,
 		[]string{"networks", itoa(s.N)},
 		[]string{"median airtime gain of ETT over best fixed-rate ETX", f2(s.Median)},
@@ -80,7 +98,7 @@ func ext5ett(c *Context) (*Result, error) {
 		[]string{"max gain", f2(s.Max)},
 	)
 	best, bestN := 0, 0
-	for ri, n := range rateWins {
+	for ri, n := range a.rateWins {
 		if n > bestN {
 			best, bestN = ri, n
 		}
@@ -94,59 +112,79 @@ func ext5ett(c *Context) (*Result, error) {
 	return res, nil
 }
 
-// ext6mac attaches a throughput cost to the §6 census: for a sample of
+// ext6macAcc attaches a throughput cost to the §6 census: for a sample of
 // relevant triples, it runs the slotted CSMA contention simulation with
 // the pair's measured mutual delivery as the carrier-sense probability,
-// and compares hidden triples against non-hidden ones.
-func ext6mac(c *Context) (*Result, error) {
-	const (
-		threshold = 0.10
-		slots     = 20000
-		perNet    = 12 // sampled triples per network
-	)
-	r := rng.New(606)
-	ri := phy.BandBG.RateIndex("1M")
+// and compares hidden triples against non-hidden ones. Each network's
+// simulation streams draw from rng substreams keyed by (network name,
+// triple index), so per-network results do not depend on walk scheduling.
+type ext6macAcc struct {
+	root                 *rng.Stream
+	hiddenPens, openPens []float64
+}
 
-	var hiddenPens, openPens []float64
-	for _, nd := range c.Fleet.ByBand("bg") {
-		ms, err := c.Matrices(nd)
-		if err != nil {
-			return nil, err
-		}
-		m := ms[ri]
-		g := hidden.HearingGraph(m, threshold)
-		n := nd.NumAPs()
-		sampled := 0
-		// Deterministic triple scan; sampling caps the per-network work.
-		for b := 0; b < n && sampled < perNet; b++ {
-			for a := 0; a < n && sampled < perNet; a++ {
-				if a == b || !g.Hears(a, b) {
+// ext6mac simulation parameters.
+const (
+	ext6Threshold = 0.10
+	ext6Slots     = 20000
+	ext6PerNet    = 12 // sampled triples per network
+)
+
+func (a *ext6macAcc) prepare(nv *NetView) error {
+	if nv.Data().Info.Band != "bg" {
+		return nil
+	}
+	_, err := nv.Matrices()
+	return err
+}
+
+func (a *ext6macAcc) observe(nv *NetView) error {
+	nd := nv.Data()
+	if nd.Info.Band != "bg" {
+		return nil
+	}
+	ms, err := nv.Matrices()
+	if err != nil {
+		return err
+	}
+	ri := phy.BandBG.RateIndex("1M")
+	m := ms[ri]
+	g := hidden.HearingGraph(m, ext6Threshold)
+	n := nd.NumAPs()
+	sampled := 0
+	// Deterministic triple scan; sampling caps the per-network work.
+	for b := 0; b < n && sampled < ext6PerNet; b++ {
+		for x := 0; x < n && sampled < ext6PerNet; x++ {
+			if x == b || !g.Hears(x, b) {
+				continue
+			}
+			for d := x + 1; d < n && sampled < ext6PerNet; d++ {
+				if d == b || !g.Hears(d, b) {
 					continue
 				}
-				for d := a + 1; d < n && sampled < perNet; d++ {
-					if d == b || !g.Hears(d, b) {
-						continue
-					}
-					// (a, b, d) is a relevant triple with center b.
-					sense := (m.At(a, d) + m.At(d, a)) / 2
-					pen := mac.HiddenPenalty(r.SplitN(nd.Info.Name, sampled), sense, slots)
-					if g.Hears(a, d) {
-						openPens = append(openPens, pen)
-					} else {
-						hiddenPens = append(hiddenPens, pen)
-					}
-					sampled++
+				// (x, b, d) is a relevant triple with center b.
+				sense := (m.At(x, d) + m.At(d, x)) / 2
+				pen := mac.HiddenPenalty(a.root.SplitN(nd.Info.Name, sampled), sense, ext6Slots)
+				if g.Hears(x, d) {
+					a.openPens = append(a.openPens, pen)
+				} else {
+					a.hiddenPens = append(a.hiddenPens, pen)
 				}
+				sampled++
 			}
 		}
 	}
+	return nil
+}
+
+func (a *ext6macAcc) finalize(shared) (*Result, error) {
 	res := &Result{Header: []string{"triple population", "sampled", "mean throughput penalty", "median", "p90"}}
 	for _, pop := range []struct {
 		name string
 		xs   []float64
 	}{
-		{"hidden (A,C cannot hear)", hiddenPens},
-		{"non-hidden (A,C hear)", openPens},
+		{"hidden (A,C cannot hear)", a.hiddenPens},
+		{"non-hidden (A,C hear)", a.openPens},
 	} {
 		if len(pop.xs) == 0 {
 			res.Rows = append(res.Rows, []string{pop.name, "0", "-", "-", "-"})
@@ -159,6 +197,6 @@ func ext6mac(c *Context) (*Result, error) {
 		})
 	}
 	res.Notes = append(res.Notes,
-		"hidden triples should pay a much larger contention penalty than triples whose leaves sense each other — the throughput cost §6 warns an ideal rate adapter still suffers")
+		"hidden triples should pay a much larger contention penalty than triples whose leaves carrier-sense each other — the throughput cost §6 warns an ideal rate adapter still suffers")
 	return res, nil
 }

@@ -1,0 +1,403 @@
+package experiments
+
+// stream.go implements the single-pass execution mode of the experiment
+// suite. A StreamContext consumes a fleet one decoded network at a time
+// (typically fed by a wire.Reader walk — see meshlab.StreamFleet), runs
+// every registered experiment's accumulator over each network before the
+// network is released, and finalizes into the same []*Result a
+// materialized Context produces — byte-identical, since both modes
+// execute the identical accumulator code over identical per-network
+// inputs in identical fleet order. Peak memory is bounded by the derived
+// data the accumulators retain (improvement distributions, censuses,
+// samples) plus the bounded window of in-flight networks, never by the
+// fleet.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"meshlab/internal/dataset"
+	"meshlab/internal/hidden"
+	"meshlab/internal/mobility"
+	"meshlab/internal/routing"
+	"meshlab/internal/snr"
+)
+
+// derivedSource supplies a NetView's lazily computed per-network derived
+// data. The Context implementation memoizes fleet-wide; the streaming
+// implementation caches only while its network is alive.
+type derivedSource interface {
+	netMatrices(nd *dataset.NetworkData) (map[int]routing.Matrix, error)
+	netImprovements(nd *dataset.NetworkData, rate int, v routing.Variant) ([]routing.PairResult, error)
+	netHidden(nd *dataset.NetworkData, threshold float64) (*hidden.NetworkResult, error)
+}
+
+// NetView hands an observer one network plus its derived data — routing
+// success matrices, opportunistic-routing comparisons, hidden-triple
+// censuses — computed at most once per network no matter how many
+// experiments ask. Views are not safe for concurrent use; the pipeline
+// hands each network's view to one goroutine at a time.
+type NetView struct {
+	nd *dataset.NetworkData
+	d  derivedSource
+}
+
+// Data returns the decoded network.
+func (nv *NetView) Data() *dataset.NetworkData { return nv.nd }
+
+// Matrices returns the network's per-rate mean success matrices.
+func (nv *NetView) Matrices() (map[int]routing.Matrix, error) {
+	return nv.d.netMatrices(nv.nd)
+}
+
+// Improvements returns the network's opportunistic-routing comparison at
+// one rate and ETX variant; all (rate, variant) pairs are computed on the
+// first request.
+func (nv *NetView) Improvements(rate int, v routing.Variant) ([]routing.PairResult, error) {
+	return nv.d.netImprovements(nv.nd, rate, v)
+}
+
+// Hidden returns the network's §6 triple census at a hearing threshold.
+func (nv *NetView) Hidden(threshold float64) (*hidden.NetworkResult, error) {
+	return nv.d.netHidden(nv.nd, threshold)
+}
+
+// streamDerived caches one live network's derived data. It is used from
+// one goroutine at a time (a pipeline worker during prepare, then the
+// collector during the ordered observe), so it needs no locking.
+type streamDerived struct {
+	ms     map[int]routing.Matrix
+	msErr  error
+	msDone bool
+
+	imps     map[impKey][]routing.PairResult
+	impsErr  error
+	impsDone bool
+
+	hiddens map[float64]*hidden.NetworkResult
+}
+
+func (d *streamDerived) netMatrices(nd *dataset.NetworkData) (map[int]routing.Matrix, error) {
+	if !d.msDone {
+		d.ms, d.msErr = routing.SuccessMatrices(nd)
+		d.msDone = true
+	}
+	return d.ms, d.msErr
+}
+
+func (d *streamDerived) netImprovements(nd *dataset.NetworkData, rate int, v routing.Variant) ([]routing.PairResult, error) {
+	if !d.impsDone {
+		d.impsDone = true
+		ms, err := d.netMatrices(nd)
+		if err != nil {
+			d.impsErr = err
+		} else {
+			// All (rate, variant) pairs in one pass, mirroring
+			// Context.Improvements: the §5 figures sweep every pair anyway.
+			d.imps = make(map[impKey][]routing.PairResult, 2*len(ms))
+			for _, variant := range []routing.Variant{routing.ETX1, routing.ETX2} {
+				for ri, m := range ms {
+					d.imps[impKey{rate: ri, variant: variant}] = routing.Improvements(m, variant)
+				}
+			}
+		}
+	}
+	if d.impsErr != nil {
+		return nil, d.impsErr
+	}
+	return d.imps[impKey{rate: rate, variant: v}], nil
+}
+
+func (d *streamDerived) netHidden(nd *dataset.NetworkData, threshold float64) (*hidden.NetworkResult, error) {
+	if nr, ok := d.hiddens[threshold]; ok {
+		return nr, nil
+	}
+	ms, err := d.netMatrices(nd)
+	if err != nil {
+		return nil, err
+	}
+	nr, err := hidden.Census(nd, ms, threshold)
+	if err != nil {
+		return nil, err
+	}
+	if d.hiddens == nil {
+		d.hiddens = make(map[float64]*hidden.NetworkResult, 4)
+	}
+	d.hiddens[threshold] = nr
+	return nr, nil
+}
+
+// streamJob is one network moving through the pipeline: a worker fills
+// the view's derived cache (prepare), then the collector applies the
+// ordered observes and drops the job — releasing the network.
+type streamJob struct {
+	nv   *NetView
+	err  error
+	done chan struct{}
+}
+
+// StreamContext runs the full experiment suite over a single streaming
+// walk of a fleet. The driver calls Observe once per network in fleet
+// order (from one goroutine), SetClients and optionally PrimeSamples for
+// the trailing sections, then Finalize for the results. Per-network heavy
+// work — routing solutions, improvement sweeps, triple censuses — fans
+// across a bounded worker pool while accumulator state is updated
+// strictly in fleet order, so the emitted results are byte-identical to
+// Context.RunAllParallel over the materialized fleet, at any pool size.
+type StreamContext struct {
+	workers int
+	ids     []string
+	accs    []accumulator
+
+	start         sync.Once
+	jobs          chan *streamJob
+	collectorDone chan struct{}
+
+	mu          sync.Mutex
+	err         error
+	inFlight    int
+	maxInFlight int
+
+	// §4 sample handling: either the walk flattens incrementally, or the
+	// driver defers to a dataset file's flat-sample section and primes it
+	// after the walk (the section trails the network records on disk).
+	deferSamples bool
+	flatteners   map[string]*snr.Flattener
+	primed       map[string][]snr.Sample
+
+	cds []*dataset.ClientData
+	mob memo[*mobility.Analysis]
+
+	// resolved shared state, fixed before finalizers run.
+	samples    map[string][]snr.Sample
+	samplesErr error
+
+	networks  int
+	finalized bool
+}
+
+// NewStreamContext prepares a streaming run of every registered
+// experiment. workers bounds the pipeline (≤ 0 means GOMAXPROCS); it also
+// bounds how many decoded networks are in flight at once.
+func NewStreamContext(workers int) *StreamContext {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &StreamContext{
+		workers:       workers,
+		ids:           IDs(),
+		jobs:          make(chan *streamJob, workers),
+		collectorDone: make(chan struct{}),
+	}
+	for _, id := range s.ids {
+		s.accs = append(s.accs, registry[byID[id]].newAcc())
+	}
+	return s
+}
+
+// DeferSamples declares that the §4 samples will arrive via PrimeSamples
+// after the walk (a dataset file's flat-sample section), so the walk
+// skips incremental flattening. Must be called before the first Observe.
+func (s *StreamContext) DeferSamples() { s.deferSamples = true }
+
+// PrimeSamples supplies one band's pre-flattened §4 samples. The samples
+// must equal what snr.Flatten derives for the walked networks of that
+// band (dataset files guarantee this; see internal/wire). Unknown bands
+// are ignored.
+func (s *StreamContext) PrimeSamples(band string, samples []snr.Sample) {
+	if band != "bg" && band != "n" {
+		return
+	}
+	if s.primed == nil {
+		s.primed = make(map[string][]snr.Sample, 2)
+	}
+	s.primed[band] = samples
+}
+
+// SetClients supplies the client datasets (the file section after the
+// networks). Must be called before Finalize.
+func (s *StreamContext) SetClients(cds []*dataset.ClientData) { s.cds = cds }
+
+// loadErr returns the first pipeline error, if any.
+func (s *StreamContext) loadErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Observe feeds the next network (in fleet order) into the pipeline. It
+// blocks while the bounded window of in-flight networks is full, and
+// returns the first pipeline error so the driver can abort its walk. The
+// network must not be mutated after the call; it is released once every
+// accumulator has observed it.
+func (s *StreamContext) Observe(nd *dataset.NetworkData) error {
+	if s.finalized {
+		return fmt.Errorf("experiments: Observe after Finalize")
+	}
+	if err := s.loadErr(); err != nil {
+		return err
+	}
+	s.start.Do(func() { go s.collect() })
+	s.mu.Lock()
+	s.networks++
+	s.inFlight++
+	if s.inFlight > s.maxInFlight {
+		s.maxInFlight = s.inFlight
+	}
+	s.mu.Unlock()
+	j := &streamJob{
+		nv:   &NetView{nd: nd, d: &streamDerived{}},
+		done: make(chan struct{}),
+	}
+	s.jobs <- j // FIFO: the collector applies jobs in send order
+	go func() {
+		j.err = s.prepare(j.nv)
+		close(j.done)
+	}()
+	return nil
+}
+
+// prepare runs on a pipeline worker: every accumulator that declares
+// expensive per-network work fills the view's derived cache here, off the
+// ordered path.
+func (s *StreamContext) prepare(nv *NetView) error {
+	for _, acc := range s.accs {
+		if p, ok := acc.(preparer); ok {
+			if err := p.prepare(nv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// collect drains the pipeline in fleet order, applying each network to
+// every accumulator and the incremental flatteners, then releasing it.
+func (s *StreamContext) collect() {
+	for j := range s.jobs {
+		<-j.done
+		s.mu.Lock()
+		if s.err == nil {
+			if j.err != nil {
+				s.err = j.err
+			} else {
+				s.err = s.applyOrdered(j.nv)
+			}
+		}
+		s.inFlight--
+		s.mu.Unlock()
+	}
+	close(s.collectorDone)
+}
+
+// applyOrdered runs the serial, order-sensitive part of one network:
+// sample flattening and every accumulator's observe.
+func (s *StreamContext) applyOrdered(nv *NetView) error {
+	if !s.deferSamples {
+		nd := nv.Data()
+		fl := s.flatteners[nd.Info.Band]
+		if fl == nil {
+			band, err := nd.Band()
+			if err != nil {
+				return err
+			}
+			fl = snr.NewFlattener(band)
+			if s.flatteners == nil {
+				s.flatteners = make(map[string]*snr.Flattener, 2)
+			}
+			s.flatteners[nd.Info.Band] = fl
+		}
+		if err := fl.Add(nd); err != nil {
+			return err
+		}
+	}
+	for i, acc := range s.accs {
+		if err := acc.observe(nv); err != nil {
+			return fmt.Errorf("experiments: %s: %w", s.ids[i], err)
+		}
+	}
+	return nil
+}
+
+// Stats reports pipeline accounting for the finished (or in-progress)
+// walk: how many networks were observed and the largest number
+// simultaneously in flight — the figure that substantiates the
+// bounded-memory claim, since in-flight networks are the only raw probe
+// data a streaming run holds.
+func (s *StreamContext) Stats() (networks, maxInFlight int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.networks, s.maxInFlight
+}
+
+// resolveSamples fixes the §4 shared state before finalizers run.
+func (s *StreamContext) resolveSamples() {
+	if s.deferSamples && s.primed == nil {
+		s.samplesErr = fmt.Errorf("experiments: DeferSamples without PrimeSamples: the walk skipped flattening but no flat-sample section was primed")
+		return
+	}
+	s.samples = make(map[string][]snr.Sample, 2)
+	for band, smp := range s.primed {
+		s.samples[band] = smp
+	}
+	for band, fl := range s.flatteners {
+		if _, ok := s.samples[band]; !ok {
+			s.samples[band] = fl.Samples()
+		}
+	}
+}
+
+// Finalize drains the pipeline and renders every experiment, in paper
+// order, fanning finalizers across the worker pool. It must be called
+// exactly once, after the last Observe.
+func (s *StreamContext) Finalize() ([]*Result, error) {
+	if s.finalized {
+		return nil, fmt.Errorf("experiments: Finalize called twice")
+	}
+	s.finalized = true
+	s.start.Do(func() { go s.collect() })
+	close(s.jobs)
+	<-s.collectorDone
+	if err := s.loadErr(); err != nil {
+		return nil, err
+	}
+	s.resolveSamples()
+	results := make([]*Result, len(s.accs))
+	err := forEachParallel(len(s.accs), s.workers, func(i int) error {
+		res, err := s.accs[i].finalize(s)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", s.ids[i], err)
+		}
+		r := registry[byID[s.ids[i]]]
+		res.ID = r.id
+		res.Title = r.title
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// shared interface: the streaming run's fleet-wide state.
+
+// SamplesBG returns the flattened 802.11b/g probe samples of the walk.
+func (s *StreamContext) SamplesBG() ([]snr.Sample, error) {
+	return s.samples["bg"], s.samplesErr
+}
+
+// SamplesN returns the flattened 802.11n probe samples of the walk.
+func (s *StreamContext) SamplesN() ([]snr.Sample, error) {
+	return s.samples["n"], s.samplesErr
+}
+
+func (s *StreamContext) analysis() *mobility.Analysis {
+	a, _ := s.mob.get(func() (*mobility.Analysis, error) {
+		return mobility.Analyze(s.cds, mobility.DefaultGap), nil
+	})
+	return a
+}
+
+func (s *StreamContext) clientData() []*dataset.ClientData { return s.cds }

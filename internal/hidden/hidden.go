@@ -133,13 +133,12 @@ func (nr *NetworkResult) RangeRatio(ri, refRate int) (float64, bool) {
 	return float64(cur.Range) / float64(ref.Range), true
 }
 
-// Analyze computes relevant/hidden triples and range for every rate of a
-// network's band at the given hearing threshold.
-func Analyze(nd *dataset.NetworkData, threshold float64) (*NetworkResult, error) {
-	ms, err := routing.SuccessMatrices(nd)
-	if err != nil {
-		return nil, err
-	}
+// Census computes relevant/hidden triples and range for every rate of a
+// network from its precomputed per-rate success matrices. Callers that
+// already solved the matrices (experiment contexts memoize them, streaming
+// walks derive them once per live network) use it to avoid the
+// recomputation Analyze performs.
+func Census(nd *dataset.NetworkData, ms map[int]routing.Matrix, threshold float64) (*NetworkResult, error) {
 	band, err := nd.Band()
 	if err != nil {
 		return nil, err
@@ -155,6 +154,16 @@ func Analyze(nd *dataset.NetworkData, threshold float64) (*NetworkResult, error)
 		out.Rates = append(out.Rates, rr)
 	}
 	return out, nil
+}
+
+// Analyze computes relevant/hidden triples and range for every rate of a
+// network's band at the given hearing threshold.
+func Analyze(nd *dataset.NetworkData, threshold float64) (*NetworkResult, error) {
+	ms, err := routing.SuccessMatrices(nd)
+	if err != nil {
+		return nil, err
+	}
+	return Census(nd, ms, threshold)
 }
 
 // AnalyzeAll runs Analyze over several networks, skipping none; callers

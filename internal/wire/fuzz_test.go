@@ -1,0 +1,293 @@
+package wire
+
+// Native fuzz targets for the decode surface. The contract under fuzzing
+// is threefold: a corrupt or truncated input must yield a contextual
+// error (prefixed "wire:", naming the structure being decoded) — never a
+// panic — and must never trigger unbounded allocation: every variable-
+// length structure is guarded by the reader's implausible-count limits
+// and the flat-sample section's remaining-bytes check, so a handful of
+// corrupt length bytes cannot demand gigabytes. Inputs past 1 MiB are
+// skipped to keep iterations fast; the count guards are byte-pattern
+// properties, not size properties.
+//
+// The seed corpus under testdata/fuzz covers both format versions, the
+// flat-sample section, and truncated/corrupt variants; regenerate it with
+//
+//	go test ./internal/wire -run TestWriteFuzzCorpus -update-corpus
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"meshlab/internal/dataset"
+	"meshlab/internal/phy"
+)
+
+// hugeSampleSection hand-assembles a minimal MLF2 file whose flat-sample
+// section lies about its length (2^62 bytes) and declares an absurd
+// sample count: the shape that would force a multi-GB up-front
+// allocation if the decoder trusted either number.
+func hugeSampleSection() []byte {
+	var buf bytes.Buffer
+	w := &writer{w: &buf}
+	w.bytes(Magic2[:])
+	encodeMeta(w, dataset.Meta{})
+	w.u8(flagFlatSamples)
+	w.u32(0)       // no networks
+	w.u64(4)       // client section length
+	w.u32(0)       // no client datasets
+	w.u64(1 << 62) // absurd section length
+	w.u8(1)        // one band
+	w.u8(0)        // bg
+	w.u8(uint8(len(phy.BandBG.Rates)))
+	w.u32(1) // one group
+	w.str("x")
+	w.u32(1 << 27) // absurd sample count, "backed" by the lying secLen
+	return buf.Bytes()
+}
+
+// TestSampleSectionLyingLengthBoundsAllocation: a ~60-byte file whose
+// section length and sample count are both hostile must produce a
+// contextual error after at most one bounded chunk allocation, never an
+// OOM-scale make.
+func TestSampleSectionLyingLengthBoundsAllocation(t *testing.T) {
+	_, err := ReadSamples(bytes.NewReader(hugeSampleSection()))
+	if err == nil || !strings.Contains(err.Error(), "wire:") {
+		t.Fatalf("want contextual error, got %v", err)
+	}
+}
+
+// fuzzFleet hand-builds a tiny two-band fleet (not via synth, so the
+// corpus stays stable across generator changes).
+func fuzzFleet() *dataset.Fleet {
+	ps := func(t int32, snr int16, rates ...uint8) dataset.ProbeSet {
+		p := dataset.ProbeSet{T: t, SNR: snr, SNRStd: 1.5}
+		for i, r := range rates {
+			p.Obs = append(p.Obs, dataset.Obs{RateIdx: r, Loss: float32(i) * 0.25})
+		}
+		return p
+	}
+	return &dataset.Fleet{
+		Meta: dataset.Meta{Seed: 7, ProbeDuration: 600, ProbeInterval: 300, ClientDuration: 900},
+		Networks: []*dataset.NetworkData{
+			{
+				Info: dataset.NetworkInfo{
+					Name: "alpha", Band: "bg", Env: "indoor", Spacing: 25,
+					APs: []dataset.APInfo{
+						{Name: "a0", X: 0, Y: 0},
+						{Name: "a1", X: 30, Y: 0, Outdoor: true},
+						{Name: "a2", X: 0, Y: 30},
+					},
+				},
+				Links: []*dataset.Link{
+					{From: 0, To: 1, Sets: []dataset.ProbeSet{ps(0, 20, 0, 1, 2), ps(300, 22, 0, 1)}},
+					{From: 1, To: 0, Sets: []dataset.ProbeSet{ps(0, 19, 0, 2)}},
+					{From: 1, To: 2, Sets: []dataset.ProbeSet{ps(0, 31, 0, 1, 2, 3)}},
+				},
+			},
+			{
+				Info: dataset.NetworkInfo{
+					Name: "beta", Band: "n", Env: "outdoor", Spacing: 40,
+					APs: []dataset.APInfo{
+						{Name: "b0", X: 0, Y: 0, Outdoor: true},
+						{Name: "b1", X: 50, Y: 10, Outdoor: true},
+					},
+				},
+				Links: []*dataset.Link{
+					{From: 0, To: 1, Sets: []dataset.ProbeSet{ps(0, 27, 0, 1, 2)}},
+				},
+			},
+		},
+		Clients: []*dataset.ClientData{
+			{
+				Network: "alpha", Env: "indoor", Duration: 900, NumAPs: 3,
+				Clients: []dataset.ClientLog{
+					{ID: 1, Assocs: []dataset.Assoc{{AP: 0, Start: 0, End: 400}, {AP: 2, Start: 450, End: 900}}},
+					{ID: 2, Assocs: []dataset.Assoc{{AP: 1, Start: 10, End: 890}}},
+				},
+			},
+		},
+	}
+}
+
+// fuzzSeeds returns the shared corpus: valid encodings of every format
+// flavor plus deterministic truncations and corruptions.
+func fuzzSeeds(tb testing.TB) [][]byte {
+	f := fuzzFleet()
+	var v1, v2, v2s bytes.Buffer
+	if err := WriteV1(&v1, f); err != nil {
+		tb.Fatal(err)
+	}
+	if err := Write(&v2, f); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := WriteWithSamples(&v2s, f); err != nil {
+		tb.Fatal(err)
+	}
+	corrupt := func(src []byte, off int, b byte) []byte {
+		out := bytes.Clone(src)
+		if off < len(out) {
+			out[off] = b
+		}
+		return out
+	}
+	seeds := [][]byte{
+		v1.Bytes(),
+		v2.Bytes(),
+		v2s.Bytes(),
+		{},                                      // empty
+		[]byte("MLFX????"),                      // bad magic
+		v1.Bytes()[:20],                         // header cut mid-meta
+		v2.Bytes()[:v2.Len()/2],                 // record cut mid-network
+		v2s.Bytes()[:v2s.Len()-37],              // cut inside the flat-sample section
+		corrupt(v2.Bytes(), 24, 0xFF),           // unknown section flags
+		corrupt(v1.Bytes(), 24, 0xFF),           // absurd network count (v1 count low byte)
+		corrupt(v2.Bytes(), 29, 0x01),           // wrong record length prefix
+		corrupt(v2s.Bytes(), 60, 0xAA),          // flipped byte mid-record
+		corrupt(v2s.Bytes(), v2s.Len()-9, 0x7F), // flipped byte in the sample section
+		hugeSampleSection(),                     // lying section length + absurd count
+	}
+	return seeds
+}
+
+// contextualError fails the fuzz run when a decode error lacks the
+// package's context prefix: "never panic" is enforced by the runtime,
+// "contextual" is enforced here.
+func contextualError(t *testing.T, err error) {
+	t.Helper()
+	if err != nil && !strings.Contains(err.Error(), "wire:") {
+		t.Fatalf("error without wire context: %v", err)
+	}
+}
+
+// FuzzReader drives the streaming API: header walk with alternating
+// Decode/Skip, then the client and sample sections.
+func FuzzReader(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			contextualError(t, err)
+			return
+		}
+		for i := 0; ; i++ {
+			h, err := rd.NextHeader()
+			if err != nil {
+				contextualError(t, err)
+				return
+			}
+			if h == nil {
+				break
+			}
+			if i%2 == 0 {
+				_, err = rd.Decode()
+			} else {
+				err = rd.Skip()
+			}
+			if err != nil {
+				contextualError(t, err)
+				return
+			}
+		}
+		if _, err := rd.Clients(); err != nil {
+			contextualError(t, err)
+			return
+		}
+		if rd.HasFlatSamples() {
+			_, err := rd.Samples()
+			contextualError(t, err)
+		}
+	})
+}
+
+// FuzzReadFleet drives the whole-fleet decoders, and checks that decoding
+// is a retraction of encoding: any fleet that decodes must re-encode, and
+// the re-encoding must decode back to the same bytes.
+func FuzzReadFleet(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		fl, err := Read(bytes.NewReader(data))
+		if err != nil {
+			contextualError(t, err)
+		} else {
+			var enc1 bytes.Buffer
+			if err := Write(&enc1, fl); err != nil {
+				t.Fatalf("a decoded fleet must re-encode: %v", err)
+			}
+			fl2, err := Read(bytes.NewReader(enc1.Bytes()))
+			if err != nil {
+				t.Fatalf("a re-encoded fleet must decode: %v", err)
+			}
+			var enc2 bytes.Buffer
+			if err := Write(&enc2, fl2); err != nil {
+				t.Fatalf("second re-encode failed: %v", err)
+			}
+			if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+				t.Fatal("encode∘decode is not idempotent")
+			}
+		}
+		// The sample stream must hold the same contract on the same input,
+		// whether it reads the section or flattens the records.
+		_, err = ReadSamples(bytes.NewReader(data))
+		contextualError(t, err)
+	})
+}
+
+var updateCorpus = flag.Bool("update-corpus", false, "rewrite the seed corpus under testdata/fuzz")
+
+// TestWriteFuzzCorpus materializes fuzzSeeds as checked-in corpus files
+// in Go's corpus encoding, so `go test -fuzz` starts from real format
+// bytes even before any local fuzzing has run.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if !*updateCorpus {
+		t.Skip("pass -update-corpus to rewrite testdata/fuzz")
+	}
+	for _, target := range []string{"FuzzReader", "FuzzReadFleet"} {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range fuzzSeeds(t) {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+			path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestSeedCorpusInSync guards the checked-in corpus against silent drift:
+// every seed the fuzz targets start from must exist on disk (the CI fuzz
+// smoke runs from these files).
+func TestSeedCorpusInSync(t *testing.T) {
+	seeds := fuzzSeeds(t)
+	for _, target := range []string{"FuzzReader", "FuzzReadFleet"} {
+		for i, seed := range seeds {
+			path := filepath.Join("testdata", "fuzz", target, fmt.Sprintf("seed-%02d", i))
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("corpus file missing (regenerate with -update-corpus): %v", err)
+			}
+			want := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+			if string(got) != want {
+				t.Fatalf("%s out of sync with fuzzSeeds (regenerate with -update-corpus)", path)
+			}
+		}
+	}
+}

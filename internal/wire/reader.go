@@ -507,21 +507,35 @@ func (r *Reader) readSampleSection() (map[string][]snr.Sample, error) {
 		// best f64, then nr throughput f64s.
 		rowLen := 2 + 2 + 4 + 2 + 1 + 8 + nr*8
 		row := make([]byte, rowLen)
+		// Tput backing arrays are allocated in bounded chunks as rows are
+		// actually read, so a corrupt count (or a corrupt secLen backing
+		// the count check below) can never demand more than one chunk
+		// before the stream runs dry and errors.
+		const chunkRows = 1 << 16
 		for g := 0; g < nGroups && rd.err == nil; g++ {
 			name := rd.str()
 			n := rd.count("flat sample", 1<<28)
 			if rd.err != nil {
 				break
 			}
-			// Bound the count by the bytes actually left in the section
-			// before allocating: a corrupt u32 must produce an error, not
-			// a multi-GB allocation attempt.
+			// Bound the count by the bytes the length prefix says are left
+			// in the section: catches counts that disagree with an honest
+			// secLen before any row is read (a corrupt secLen is caught by
+			// the chunked allocation and the final length check instead).
 			if remaining := secLen - (rd.n - start); int64(n)*int64(rowLen) > remaining {
 				return nil, fmt.Errorf("wire: flat-sample section: network %s declares %d samples (%d bytes) but only %d section bytes remain",
 					name, n, int64(n)*int64(rowLen), remaining)
 			}
-			flat := make([]float64, n*nr)
+			var flat []float64
 			for i := 0; i < n && rd.err == nil; i++ {
+				j := i % chunkRows
+				if j == 0 {
+					rows := n - i
+					if rows > chunkRows {
+						rows = chunkRows
+					}
+					flat = make([]float64, rows*nr)
+				}
 				rd.full(row)
 				if rd.err != nil {
 					break
@@ -533,7 +547,7 @@ func (r *Reader) readSampleSection() (map[string][]snr.Sample, error) {
 					T:    int32(binary.LittleEndian.Uint32(row[4:])),
 					SNR:  int(int16(binary.LittleEndian.Uint16(row[8:]))),
 					Popt: int(row[10]),
-					Tput: flat[i*nr : (i+1)*nr : (i+1)*nr],
+					Tput: flat[j*nr : (j+1)*nr : (j+1)*nr],
 				}
 				s.BestTput = math.Float64frombits(binary.LittleEndian.Uint64(row[11:]))
 				if s.Popt >= nr {

@@ -2,6 +2,7 @@ package meshlab
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -153,5 +154,148 @@ func TestLoadFleetSamples(t *testing.T) {
 	// The section needs the binary format; a JSONL path is rejected.
 	if err := SaveFleetWithSamples(filepath.Join(dir, "nope.jsonl"), fleet); err == nil {
 		t.Fatal("SaveFleetWithSamples should reject a non-.bin path")
+	}
+}
+
+// TestStreamFleetMatchesMaterialized is the meshlab-level oracle for the
+// streaming suite: the single-pass run over a binary file (with and
+// without the flat-sample section) must emit results byte-identical to
+// the materialized parallel runner, and must report honest walk
+// accounting.
+func TestStreamFleetMatchesMaterialized(t *testing.T) {
+	fleet, err := GenerateFleet(QuickOptions(34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewAnalysis(fleet).RunAllParallel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "plain.bin")
+	if err := SaveFleet(plain, fleet); err != nil {
+		t.Fatal(err)
+	}
+	sampled := filepath.Join(dir, "sampled.bin")
+	if err := SaveFleetWithSamples(sampled, fleet); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		path        string
+		flatSamples bool
+	}{{plain, false}, {sampled, true}} {
+		results, sum, err := StreamFleet(tc.path, StreamOptions{Workers: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.path, err)
+		}
+		if len(results) != len(want) {
+			t.Fatalf("%s: %d results vs %d", tc.path, len(results), len(want))
+		}
+		for i := range want {
+			if g, w := results[i].Format(), want[i].Format(); g != w {
+				t.Fatalf("%s: %s diverged from materialized run:\n--- stream ---\n%s\n--- memory ---\n%s",
+					tc.path, want[i].ID, g, w)
+			}
+		}
+		if sum.FlatSamples != tc.flatSamples {
+			t.Fatalf("%s: FlatSamples = %v, want %v", tc.path, sum.FlatSamples, tc.flatSamples)
+		}
+		if sum.Networks != len(fleet.Networks) || sum.ProbeSets != fleet.NumProbeSets() {
+			t.Fatalf("%s: summary %d networks/%d probe sets, fleet has %d/%d",
+				tc.path, sum.Networks, sum.ProbeSets, len(fleet.Networks), fleet.NumProbeSets())
+		}
+		if sum.NetworksBG != len(fleet.ByBand("bg")) || sum.NetworksN != len(fleet.ByBand("n")) {
+			t.Fatalf("%s: band split %d/%d wrong", tc.path, sum.NetworksBG, sum.NetworksN)
+		}
+		if sum.MaxLiveNetworks <= 0 || sum.MaxLiveNetworks >= sum.Networks {
+			t.Fatalf("%s: max live networks %d of %d — the walk is not bounded", tc.path, sum.MaxLiveNetworks, sum.Networks)
+		}
+	}
+}
+
+// TestStreamFleetValidates: the validating walk accepts a matching cache
+// and rejects metadata or topology divergence with ErrCacheMismatch.
+func TestStreamFleetValidates(t *testing.T) {
+	opts := QuickOptions(35)
+	fleet, err := GenerateFleet(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cache.bin")
+	if err := SaveFleetWithSamples(path, fleet); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := StreamFleet(path, StreamOptions{Validate: &opts}); err != nil {
+		t.Fatalf("matching cache rejected: %v", err)
+	}
+
+	wrongSeed := QuickOptions(36)
+	if _, _, err := StreamFleet(path, StreamOptions{Validate: &wrongSeed}); !errors.Is(err, ErrCacheMismatch) {
+		t.Fatalf("mismatched seed: got %v, want ErrCacheMismatch", err)
+	}
+
+	wrongFleet := opts
+	wrongFleet.Fleet.MinSize += 2
+	if _, _, err := StreamFleet(path, StreamOptions{Validate: &wrongFleet}); !errors.Is(err, ErrCacheMismatch) {
+		t.Fatalf("mismatched topology: got %v, want ErrCacheMismatch", err)
+	}
+}
+
+// TestStreamFleetNotStreamable: JSON-lines input is rejected with the
+// sentinel the CLIs use to fall back (or print guidance).
+func TestStreamFleetNotStreamable(t *testing.T) {
+	fleet, err := GenerateFleet(QuickOptions(37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fleet.jsonl")
+	if err := SaveFleet(path, fleet); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := StreamFleet(path, StreamOptions{}); !errors.Is(err, ErrNotStreamable) {
+		t.Fatalf("JSONL: got %v, want ErrNotStreamable", err)
+	}
+	if _, err := LoadSamples(path); !errors.Is(err, ErrNotStreamable) {
+		t.Fatalf("LoadSamples on JSONL: got %v, want ErrNotStreamable", err)
+	}
+}
+
+// TestSampleAnalysis: LoadSamples + NewSampleAnalysis reproduce the §4
+// tables byte-identically to a full in-memory analysis, and the
+// non-sample experiments fail instead of fabricating empty tables.
+func TestSampleAnalysis(t *testing.T) {
+	fleet, err := GenerateFleet(QuickOptions(38))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fleet.bin")
+	if err := SaveFleetWithSamples(path, fleet); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := LoadSamples(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := NewSampleAnalysis(samples)
+	full := NewAnalysis(fleet)
+	for _, id := range SampleExperimentIDs() {
+		if !SampleOnlyExperiment(id) {
+			t.Fatalf("%s listed but not sample-only", id)
+		}
+		a, err := bare.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		b, err := full.Run(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Format() != b.Format() {
+			t.Fatalf("%s diverges between sample analysis and full analysis", id)
+		}
+	}
+	if _, err := bare.Run("fig3.1"); err == nil {
+		t.Fatal("a fleet experiment should fail on a sample-only analysis")
 	}
 }
