@@ -19,6 +19,7 @@ import (
 	"sync"
 	"testing"
 
+	"meshlab/internal/experiments"
 	"meshlab/internal/phy"
 	"meshlab/internal/rng"
 	"meshlab/internal/routing"
@@ -224,6 +225,76 @@ func BenchmarkRunAllStreaming(b *testing.B) {
 	}
 }
 
+// BenchmarkSec4ChunkedPeakHeap runs the §4 sample-only population the
+// -sec4 way — chunked sample groups through incremental accumulators —
+// sampling the live heap mid-walk. The reported peak-live-B metric is
+// the path's memory bound: count/histogram tables plus one in-flight
+// group, independent of sample count. Compare
+// BenchmarkSec4MaterializedPeakHeap.
+func BenchmarkSec4ChunkedPeakHeap(b *testing.B) {
+	path := streamingDataset(b)
+	ids := SampleExperimentIDs()
+	var peak uint64
+	for i := 0; i < b.N; i++ {
+		base := liveHeap()
+		run, err := experiments.NewSampleRun(ids)
+		if err != nil {
+			b.Fatal(err)
+		}
+		groups := 0
+		err = EachSampleGroup(path, 2, func(band, _ string, samples []snr.Sample) error {
+			if err := run.ObserveGroup(band, samples); err != nil {
+				return err
+			}
+			groups++
+			if groups%5 == 0 {
+				if h := liveHeap() - base; h > peak {
+					peak = h
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		results, err := run.Finalize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if h := liveHeap() - base; h > peak {
+			peak = h
+		}
+		runtime.KeepAlive(results)
+	}
+	b.ReportMetric(float64(peak), "peak-live-B")
+}
+
+// BenchmarkSec4MaterializedPeakHeap is the pre-chunked §4 path for
+// comparison: materialize every sample, then analyze. Its peak live heap
+// scales with sample count.
+func BenchmarkSec4MaterializedPeakHeap(b *testing.B) {
+	path := streamingDataset(b)
+	var peak uint64
+	for i := 0; i < b.N; i++ {
+		base := liveHeap()
+		samples, err := LoadSamples(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := NewSampleAnalysis(samples)
+		for _, id := range SampleExperimentIDs() {
+			if _, err := a.Run(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if h := liveHeap() - base; h > peak {
+			peak = h
+		}
+		runtime.KeepAlive(samples)
+	}
+	b.ReportMetric(float64(peak), "peak-live-B")
+}
+
 // liveHeap forces a full collection and returns the surviving heap bytes.
 func liveHeap() uint64 {
 	runtime.GC()
@@ -234,10 +305,12 @@ func liveHeap() uint64 {
 }
 
 // TestStreamingDoesNotMaterializeFleet pins the streamed path's memory
-// contract two ways: structurally (the pipeline never held more than its
-// bounded window of decoded networks) and by heap sample (what a
-// streamed run leaves live is far smaller than the materialized fleet
-// read from the same file).
+// contract three ways: structurally (the pipeline never held more than
+// its bounded window of decoded networks), by heap sample against the
+// materialized fleet, and — for the chunked §4 path — by heap sample
+// against the materialized flat samples: a streamed run must leave far
+// less live than either, or the walk (or the sample-group plumbing) is
+// retaining what it claims to release.
 func TestStreamingDoesNotMaterializeFleet(t *testing.T) {
 	path := streamingDataset(t)
 
@@ -261,12 +334,25 @@ func TestStreamingDoesNotMaterializeFleet(t *testing.T) {
 	}
 	afterLoad := int64(liveHeap())
 
+	samples, err := LoadSamples(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterSamples := int64(liveHeap())
+
 	if sum.MaxLiveNetworks >= sum.Networks || sum.MaxLiveNetworks > 2+2 {
 		t.Fatalf("streamed walk held %d of %d networks at once; the window should be ≤ workers+2",
 			sum.MaxLiveNetworks, sum.Networks)
 	}
+	// At least one group per network dataset; huge networks may stream as
+	// several link-aligned sub-chunks (wire.SampleGroups).
+	if sum.SampleGroups < sum.Networks {
+		t.Fatalf("streamed %d sample groups for %d network datasets; the section stores at least one per network",
+			sum.SampleGroups, sum.Networks)
+	}
 	streamBytes := afterStream - base
 	fleetBytes := afterLoad - afterStream
+	samplesBytes := afterSamples - afterLoad
 	if fleetBytes < 1<<20 {
 		t.Fatalf("materialized fleet only added %d live bytes; the heap comparison is meaningless", fleetBytes)
 	}
@@ -274,10 +360,18 @@ func TestStreamingDoesNotMaterializeFleet(t *testing.T) {
 		t.Fatalf("streamed run left %d bytes live, not less than the %d-byte materialized fleet — is the walk retaining networks?",
 			streamBytes, fleetBytes)
 	}
-	t.Logf("live heap: streamed suite %d KB vs materialized fleet %d KB (window %d/%d networks)",
-		streamBytes>>10, fleetBytes>>10, sum.MaxLiveNetworks, sum.Networks)
+	if samplesBytes < 1<<18 {
+		t.Fatalf("materialized samples only added %d live bytes; the chunked comparison is meaningless", samplesBytes)
+	}
+	if streamBytes >= samplesBytes {
+		t.Fatalf("streamed run left %d bytes live, not less than the %d-byte materialized samples — is the chunked §4 path retaining sample groups?",
+			streamBytes, samplesBytes)
+	}
+	t.Logf("live heap: streamed suite %d KB vs materialized fleet %d KB vs materialized samples %d KB (window %d/%d networks, %d sample groups)",
+		streamBytes>>10, fleetBytes>>10, samplesBytes>>10, sum.MaxLiveNetworks, sum.Networks, sum.SampleGroups)
 	runtime.KeepAlive(results)
 	runtime.KeepAlive(fleet)
+	runtime.KeepAlive(samples)
 }
 
 // TestStreamingBenchFixture keeps the bench fixture honest: the dataset

@@ -7,12 +7,14 @@
 //	meshanalyze -data fleet.jsonl -exp fig5.1
 //	meshanalyze -seed 42 -exp all          # generate a quick fleet in memory
 //	meshanalyze -data fleet.jsonl -exp fig5.2 -plot
-//	meshanalyze -data fleet.bin -sec4      # §4 tables at sample-sized memory
+//	meshanalyze -data fleet.bin -sec4      # §4 tables at table-sized memory
 //
-// -sec4 streams only the flattened §4 samples out of a binary dataset
-// (the flat-sample section when present, an incremental flatten
-// otherwise) and runs the sample-only experiments without ever
-// materializing the fleet — peak memory is the samples plus one network,
+// -sec4 streams the §4 samples out of a binary dataset one per-network
+// group at a time (the flat-sample section when present, decoded across
+// -workers cores; an incremental per-network flatten otherwise) and runs
+// the sample-only experiments through their chunked accumulators without
+// ever materializing the fleet *or* the samples — peak memory is the
+// experiments' count/histogram tables plus a bounded window of groups,
 // which is what makes reference-scale caches analyzable on small
 // machines. Experiments outside that population, or a dataset in a
 // format that cannot stream, are clear errors rather than silent
@@ -27,9 +29,11 @@ import (
 	"strings"
 
 	"meshlab"
+	"meshlab/internal/conc"
 	"meshlab/internal/dataset"
 	"meshlab/internal/phy"
 	"meshlab/internal/routing"
+	"meshlab/internal/rusage"
 	"meshlab/internal/textplot"
 )
 
@@ -44,15 +48,23 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("meshanalyze", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		data = fs.String("data", "", "dataset file from meshgen (empty: generate a quick fleet from -seed)")
-		seed = fs.Uint64("seed", 42, "seed for in-memory generation when -data is empty")
-		exp  = fs.String("exp", "all", "experiment ID (see -list) or 'all'")
-		list = fs.Bool("list", false, "list experiment IDs and exit")
-		plot = fs.Bool("plot", false, "also render an ASCII plot where the figure is a CDF")
-		sec4 = fs.Bool("sec4", false, "stream only the §4 samples from a binary -data file and run the sample-only experiments at sample-sized memory")
+		data    = fs.String("data", "", "dataset file from meshgen (empty: generate a quick fleet from -seed)")
+		seed    = fs.Uint64("seed", 42, "seed for in-memory generation when -data is empty")
+		exp     = fs.String("exp", "all", "experiment ID (see -list) or 'all'")
+		list    = fs.Bool("list", false, "list experiment IDs and exit")
+		plot    = fs.Bool("plot", false, "also render an ASCII plot where the figure is a CDF")
+		sec4    = fs.Bool("sec4", false, "stream the §4 samples from a binary -data file group by group and run the sample-only experiments at table-sized memory")
+		workers = fs.Int("workers", 0, "process-wide worker budget for every parallel kernel (0: all cores, 1: effectively single-threaded)")
+		rss     = fs.Bool("rusage", false, "print the process max RSS (getrusage) after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	conc.SetBudget(*workers)
+	if *rss {
+		defer func() {
+			fmt.Fprintf(stdout, "max RSS (getrusage): %d MB\n", rusage.MaxRSSBytes()>>20)
+		}()
 	}
 
 	if *list {
@@ -63,7 +75,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *sec4 {
-		return runSampleOnly(stdout, *data, *exp, *plot)
+		return runSampleOnly(stdout, *data, *exp, *plot, *workers)
 	}
 
 	fleet, err := loadOrGenerate(*data, *seed)
@@ -91,8 +103,9 @@ func run(args []string, stdout io.Writer) error {
 }
 
 // runSampleOnly is the -sec4 mode: the §4 sample-only experiments over a
-// streamed sample load, never materializing the fleet.
-func runSampleOnly(stdout io.Writer, data, exp string, plot bool) error {
+// chunked sample-group stream, never materializing the fleet or the
+// samples.
+func runSampleOnly(stdout io.Writer, data, exp string, plot bool, workers int) error {
 	if data == "" {
 		return fmt.Errorf("-sec4 streams samples from a dataset file: pass -data fleet.bin (generate one with `meshgen -out fleet.bin -flat-samples`)")
 	}
@@ -113,19 +126,16 @@ func runSampleOnly(stdout io.Writer, data, exp string, plot bool) error {
 				id, strings.Join(meshlab.SampleExperimentIDs(), ", "))
 		}
 	}
-	samples, err := meshlab.LoadSamples(data)
+	results, err := meshlab.StreamSampleExperiments(data, ids, workers)
 	if err != nil {
 		return err
 	}
-	a := meshlab.NewSampleAnalysis(samples)
-	for _, id := range ids {
-		res, err := a.Run(id)
-		if err != nil {
-			return err
-		}
+	for _, res := range results {
 		fmt.Fprint(stdout, res.Format())
 		if plot {
-			renderPlot(stdout, a, id)
+			// No sample-only experiment has a CDF plot; keep the fallback
+			// message the full mode prints.
+			fmt.Fprintln(stdout, "(no plot for this experiment)")
 		}
 		fmt.Fprintln(stdout)
 	}

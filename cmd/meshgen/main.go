@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"meshlab"
+	"meshlab/internal/conc"
 )
 
 func main() {
@@ -53,6 +54,9 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// The flag doubles as the process-wide worker budget, so probe-link
+	// fan-out inside each network obeys it too.
+	conc.SetBudget(*workers)
 	if *flatSamp && !strings.HasSuffix(*out, ".bin") {
 		return fmt.Errorf("-flat-samples requires a .bin -out path (the JSON-lines format has no sample section)")
 	}

@@ -38,6 +38,8 @@ import (
 	"time"
 
 	"meshlab"
+	"meshlab/internal/conc"
+	"meshlab/internal/rusage"
 )
 
 // paperClaims records what the thesis reports for each artifact, so the
@@ -160,12 +162,18 @@ func run(args []string, stdout io.Writer) error {
 		seed    = fs.Uint64("seed", 42, "generation seed when -data is empty")
 		scale   = fs.String("scale", "quick", "generation scale when -data is empty: quick|reference")
 		out     = fs.String("out", "EXPERIMENTS.md", "output markdown path")
-		workers = fs.Int("workers", 0, "worker pool size for synthesis and experiment scheduling (0: all cores, 1: serial scheduling)")
+		workers = fs.Int("workers", 0, "process-wide worker budget for every parallel kernel — synthesis, probe links, experiment scheduling, streaming decode (0: all cores, 1: effectively single-threaded)")
 		stream  = fs.Bool("stream", false, "require the single-pass streaming suite: error (with guidance) instead of materializing or regenerating when the dataset cannot stream")
+		rss     = fs.Bool("rusage", false, "print the process max RSS (getrusage) after the run — what the CI guardrail records")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// One knob bounds every parallel kernel in the process — synthesis,
+	// experiment scheduling, the stream pipeline, §4 penalty scopes,
+	// probe-link fan-out, and wire sample-group decoding — so -workers 1
+	// runs effectively single-threaded.
+	conc.SetBudget(*workers)
 	if *data != "" && *cache != "" {
 		return fmt.Errorf("-data and -dataset are mutually exclusive: -data reads a fixed file, -dataset manages a synthesis cache")
 	}
@@ -217,6 +225,9 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "wrote %s (%d experiments)\n", *out, len(results))
+	if *rss {
+		fmt.Fprintf(stdout, "max RSS (getrusage): %d MB\n", rusage.MaxRSSBytes()>>20)
+	}
 	return nil
 }
 

@@ -1,0 +1,100 @@
+// Package conc holds the process-wide worker budget: one knob that caps
+// how many goroutines every parallel kernel in meshlab fans out —
+// synthesis networks, probe links, experiment scheduling, the streaming
+// pipeline, §4 penalty scopes, §6 census scans, and wire sample-group
+// decoding. CLIs set it from their -workers flag, so `-workers 1` makes
+// the whole process effectively single-threaded and a CPU-quota
+// environment can bound every kernel with one setting.
+//
+// Every fan-out in the repository is deterministic by construction
+// (work items are independent and results are assembled by index), so
+// the budget only changes wall clock, never bytes; the serial-vs-parallel
+// oracle tests in each package pin that.
+package conc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// budget is the configured cap; 0 means "default to GOMAXPROCS".
+var budget atomic.Int32
+
+// SetBudget caps the process-wide worker fan-out. n ≤ 0 resets to the
+// default (GOMAXPROCS, sampled at use time).
+func SetBudget(n int) {
+	if n < 0 {
+		n = 0
+	}
+	budget.Store(int32(n))
+}
+
+// Budget returns the current worker cap, always ≥ 1.
+func Budget() int {
+	if b := int(budget.Load()); b > 0 {
+		return b
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Workers resolves an explicit worker request against the budget:
+// positive values are taken as-is (a caller-scoped override), anything
+// else falls back to the process budget.
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return Budget()
+}
+
+// ForEachN runs fn over 0..n-1 across a bounded worker pool (workers ≤ 0
+// means the process Budget; ≤ 1 runs serially in index order) and returns
+// the error of the lowest index that failed, so the reported failure does
+// not depend on worker scheduling. Later work is skipped once any fn
+// fails.
+func ForEachN(n, workers int, fn func(int) error) error {
+	if workers <= 0 {
+		workers = Budget()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if errs[i] = fn(i); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEach is ForEachN bounded by the process Budget.
+func ForEach(n int, fn func(int) error) error { return ForEachN(n, 0, fn) }

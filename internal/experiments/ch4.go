@@ -1,32 +1,64 @@
 package experiments
 
+// ch4.go reproduces the §4 bit-rate tables. Every experiment here is a
+// chunked sample accumulator (sampleObserver): it trains flat
+// count/histogram tables from one network's samples at a time and never
+// retains the samples themselves, so a streaming run's §4 memory is
+// bounded by table size instead of the 2M+-sample flat section. The
+// incremental kernels live in internal/snr (PenaltyAccum, CoverageAccum,
+// TputAccum, StrategyAccum, RateSetAccum) and are pinned bit-exact
+// against their batch forms by the chunked-vs-batch oracles there, so
+// these tables are byte-identical to the pre-chunked suite.
+
 import (
 	"fmt"
 
+	"meshlab/internal/conc"
 	"meshlab/internal/phy"
 	"meshlab/internal/snr"
-	"meshlab/internal/stats"
 )
 
 func init() {
-	registerSampleOnly("fig4.1", "Optimal bit rates for different SNRs (802.11b/g)", fig41)
-	registerSampleOnly("fig4.2", "SNR look-up table performance by scope, 802.11b/g", fig42)
-	registerSampleOnly("fig4.3", "SNR look-up table performance by scope, 802.11n", fig43)
-	registerSampleOnly("fig4.4", "Throughput penalty of look-up tables vs optimal", fig44)
-	registerSampleOnly("fig4.5", "Correlation between SNR and throughput (802.11b/g)", fig45)
-	registerSampleOnly("fig4.6", "Accuracy of online look-up table strategies", fig46)
-	registerSampleOnly("tab4.1", "Costs of each look-up table strategy", tab41)
+	registerSamples("fig4.1", "Optimal bit rates for different SNRs (802.11b/g)",
+		func() accumulator { return &fig41Acc{sets: snr.NewRateSetAccum()} })
+	registerSamples("fig4.2", "SNR look-up table performance by scope, 802.11b/g",
+		func() accumulator {
+			return newCoverageAcc("bg", phy.BandBG,
+				"specificity should decrease rates-needed monotonically: global ≥ network ≥ ap ≥ link (paper Fig 4.2)")
+		})
+	registerSamples("fig4.3", "SNR look-up table performance by scope, 802.11n",
+		func() accumulator {
+			return newCoverageAcc("n", phy.BandN,
+				"802.11n needs more rates per percentile than b/g at every scope (paper Fig 4.3): compare with fig4.2")
+		})
+	registerSamples("fig4.4", "Throughput penalty of look-up tables vs optimal",
+		func() accumulator { return newFig44Acc() })
+	registerSamples("fig4.5", "Correlation between SNR and throughput (802.11b/g)",
+		func() accumulator { return &fig45Acc{tput: snr.NewTputAccum(len(phy.BandBG.Rates), 25)} })
+	registerSamples("fig4.6", "Accuracy of online look-up table strategies",
+		func() accumulator { return &fig46Acc{strat: snr.NewStrategyAccum(len(phy.BandBG.Rates), fig46MaxX)} })
+	registerSamples("tab4.1", "Costs of each look-up table strategy",
+		func() accumulator { return &tab41Acc{strat: snr.NewStrategyAccum(len(phy.BandBG.Rates), fig46MaxX)} })
 }
 
-// fig41 reproduces Figure 4.1: which rates were ever optimal per SNR. The
-// table reports the distribution of per-SNR optimal-rate-set sizes; the
-// figure's message is that most SNRs see several different optimal rates.
-func fig41(c shared) (*Result, error) {
-	samples, err := c.SamplesBG()
-	if err != nil {
-		return nil, err
+// fig41Acc reproduces Figure 4.1: which rates were ever optimal per SNR.
+// The table reports the distribution of per-SNR optimal-rate-set sizes;
+// the figure's message is that most SNRs see several different optimal
+// rates.
+type fig41Acc struct {
+	sampleAcc
+	sets *snr.RateSetAccum
+}
+
+func (a *fig41Acc) observeSampleGroup(band string, samples []snr.Sample) error {
+	if band == "bg" {
+		a.sets.ObserveGroup(samples)
 	}
-	sets := snr.OptimalRateSets(samples)
+	return nil
+}
+
+func (a *fig41Acc) finalize(shared) (*Result, error) {
+	sets := a.sets.Finalize()
 	sizeHist := map[int]int{}
 	single := 0
 	for _, rates := range sets {
@@ -61,14 +93,40 @@ func fig41(c shared) (*Result, error) {
 	return res, nil
 }
 
-// coverageResult renders Figures 4.2/4.3 for one band's samples.
-func coverageResult(samples []snr.Sample, band phy.Band, minObs int) *Result {
+// coverageAcc reproduces Figures 4.2/4.3 for one band: one incremental
+// coverage core per scope, fanned across the worker budget per group.
+type coverageAcc struct {
+	sampleAcc
+	band  string
+	scope []*snr.CoverageAccum
+	note  string
+}
+
+func newCoverageAcc(band string, phyBand phy.Band, note string) *coverageAcc {
+	a := &coverageAcc{band: band, note: note}
+	for _, sc := range snr.Scopes {
+		a.scope = append(a.scope, snr.NewCoverageAccum(len(phyBand.Rates), sc, 8))
+	}
+	return a
+}
+
+func (a *coverageAcc) observeSampleGroup(band string, samples []snr.Sample) error {
+	if band != a.band {
+		return nil
+	}
+	return conc.ForEach(len(a.scope), func(i int) error {
+		a.scope[i].ObserveGroup(samples)
+		return nil
+	})
+}
+
+func (a *coverageAcc) finalize(shared) (*Result, error) {
 	res := &Result{Header: []string{
 		"scope", "SNR cells", "mean rates@50%", "mean rates@80%", "mean rates@95%",
 		"frac SNRs 1 rate@95%", "frac SNRs ≤2 rates@95%",
 	}}
-	for _, sc := range snr.Scopes {
-		rows := snr.Train(samples, len(band.Rates), sc).Coverage(minObs)
+	for i, sc := range snr.Scopes {
+		rows := a.scope[i].Finalize()
 		if len(rows) == 0 {
 			res.Rows = append(res.Rows, []string{sc.String(), "0", "-", "-", "-", "-", "-"})
 			continue
@@ -93,59 +151,58 @@ func coverageResult(samples []snr.Sample, band phy.Band, minObs int) *Result {
 			f2(float64(one) / n), f2(float64(two) / n),
 		})
 	}
-	return res
-}
-
-func fig42(c shared) (*Result, error) {
-	samples, err := c.SamplesBG()
-	if err != nil {
-		return nil, err
-	}
-	res := coverageResult(samples, phy.BandBG, 8)
-	res.Notes = append(res.Notes,
-		"specificity should decrease rates-needed monotonically: global ≥ network ≥ ap ≥ link (paper Fig 4.2)")
+	res.Notes = append(res.Notes, a.note)
 	return res, nil
 }
 
-func fig43(c shared) (*Result, error) {
-	samples, err := c.SamplesN()
-	if err != nil {
-		return nil, err
-	}
-	res := coverageResult(samples, phy.BandN, 8)
-	res.Notes = append(res.Notes,
-		"802.11n needs more rates per percentile than b/g at every scope (paper Fig 4.3): compare with fig4.2")
-	return res, nil
+// fig44Acc reproduces Figure 4.4: the CDF of throughput lost by following
+// the look-up table instead of the per-probe-set optimum, per scope and
+// band. The chunked penalty cores deliver counted distributions, so the
+// quantile row is computed without ever materializing a per-sample Diffs
+// slice.
+type fig44Acc struct {
+	sampleAcc
+	bands []fig44Band
 }
 
-// fig44 reproduces Figure 4.4: the CDF of throughput lost by following the
-// look-up table instead of the per-probe-set optimum, per scope and band.
-func fig44(c shared) (*Result, error) {
+type fig44Band struct {
+	name string
+	acc  *snr.PenaltyAccum
+	seen int
+}
+
+func newFig44Acc() *fig44Acc {
+	return &fig44Acc{bands: []fig44Band{
+		{name: "bg", acc: snr.NewPenaltyAccum(len(phy.BandBG.Rates), snr.Scopes)},
+		{name: "n", acc: snr.NewPenaltyAccum(len(phy.BandN.Rates), snr.Scopes)},
+	}}
+}
+
+func (a *fig44Acc) observeSampleGroup(band string, samples []snr.Sample) error {
+	for i := range a.bands {
+		if a.bands[i].name == band {
+			a.bands[i].acc.ObserveGroup(samples)
+			a.bands[i].seen += len(samples)
+		}
+	}
+	return nil
+}
+
+func (a *fig44Acc) finalize(shared) (*Result, error) {
 	res := &Result{Header: []string{
 		"band", "scope", "exact-hit frac", "median loss", "p75", "p90", "p95", "max (Mbit/s)",
 	}}
-	for _, b := range []struct {
-		name    string
-		band    phy.Band
-		samples func() ([]snr.Sample, error)
-	}{
-		{"bg", phy.BandBG, c.SamplesBG},
-		{"n", phy.BandN, c.SamplesN},
-	} {
-		samples, err := b.samples()
-		if err != nil {
-			return nil, err
-		}
-		if len(samples) == 0 {
+	for i := range a.bands {
+		b := &a.bands[i]
+		if b.seen == 0 {
 			continue
 		}
-		for _, pr := range snr.Penalty(samples, len(b.band.Rates), snr.Scopes) {
-			cdf := stats.NewCDF(pr.Diffs)
+		for _, pd := range b.acc.FinalizeDists() {
 			res.Rows = append(res.Rows, []string{
-				b.name, pr.Scope.String(), f2(pr.ExactFrac),
-				f2(cdf.Quantile(0.5)), f2(cdf.Quantile(0.75)),
-				f2(cdf.Quantile(0.90)), f2(cdf.Quantile(0.95)),
-				f2(cdf.Quantile(1.0)),
+				b.name, pd.Scope.String(), f2(pd.ExactFrac),
+				f2(pd.Diffs.Quantile(0.5)), f2(pd.Diffs.Quantile(0.75)),
+				f2(pd.Diffs.Quantile(0.90)), f2(pd.Diffs.Quantile(0.95)),
+				f2(pd.Diffs.Quantile(1.0)),
 			})
 		}
 	}
@@ -154,14 +211,22 @@ func fig44(c shared) (*Result, error) {
 	return res, nil
 }
 
-// fig45 reproduces Figure 4.5: median throughput (with quartiles) versus
-// SNR per b/g rate, at 5 dB steps.
-func fig45(c shared) (*Result, error) {
-	samples, err := c.SamplesBG()
-	if err != nil {
-		return nil, err
+// fig45Acc reproduces Figure 4.5: median throughput (with quartiles)
+// versus SNR per b/g rate, at 5 dB steps.
+type fig45Acc struct {
+	sampleAcc
+	tput *snr.TputAccum
+}
+
+func (a *fig45Acc) observeSampleGroup(band string, samples []snr.Sample) error {
+	if band == "bg" {
+		a.tput.ObserveGroup(samples)
 	}
-	pts := snr.ThroughputVsSNR(samples, len(phy.BandBG.Rates), 25)
+	return nil
+}
+
+func (a *fig45Acc) finalize(shared) (*Result, error) {
+	pts := a.tput.Finalize()
 	res := &Result{Header: []string{"rate", "SNR (dB)", "median tput", "q1", "q3", "n"}}
 	for _, p := range pts {
 		if p.SNR%5 != 0 {
@@ -177,21 +242,31 @@ func fig45(c shared) (*Result, error) {
 	return res, nil
 }
 
-// fig46 reproduces Figure 4.6: prediction accuracy versus probe sets seen,
-// for the four online strategies.
-func fig46(c shared) (*Result, error) {
-	samples, err := c.SamplesBG()
-	if err != nil {
-		return nil, err
+// fig46MaxX caps the history-length axis of the online-strategy replays.
+const fig46MaxX = 35
+
+// fig46Acc reproduces Figure 4.6: prediction accuracy versus probe sets
+// seen, for the four online strategies.
+type fig46Acc struct {
+	sampleAcc
+	strat *snr.StrategyAccum
+}
+
+func (a *fig46Acc) observeSampleGroup(band string, samples []snr.Sample) error {
+	if band == "bg" {
+		a.strat.ObserveGroup(samples)
 	}
-	const maxX = 35
-	results := snr.ReplayStrategies(samples, len(phy.BandBG.Rates), maxX)
+	return nil
+}
+
+func (a *fig46Acc) finalize(shared) (*Result, error) {
+	results := a.strat.Finalize()
 	res := &Result{Header: []string{"probe sets seen", "first", "most-recent", "subsampled", "all"}}
 	for _, x := range []int{1, 2, 3, 5, 10, 15, 20, 25, 30, 35} {
 		row := []string{itoa(x)}
-		for _, r := range results {
-			if a := r.Accuracy(x); a >= 0 {
-				row = append(row, f2(a))
+		for i := range results {
+			if acc := results[i].Accuracy(x); acc >= 0 {
+				row = append(row, f2(acc))
 			} else {
 				row = append(row, "-")
 			}
@@ -199,8 +274,8 @@ func fig46(c shared) (*Result, error) {
 		res.Rows = append(res.Rows, row)
 	}
 	overall := []string{"overall"}
-	for _, r := range results {
-		overall = append(overall, f2(r.OverallAccuracy()))
+	for i := range results {
+		overall = append(overall, f2(results[i].OverallAccuracy()))
 	}
 	res.Rows = append(res.Rows, overall)
 	res.Notes = append(res.Notes,
@@ -208,14 +283,22 @@ func fig46(c shared) (*Result, error) {
 	return res, nil
 }
 
-// tab41 reproduces Table 4.1: update frequency and memory per strategy,
-// with measured counts from replaying the fleet.
-func tab41(c shared) (*Result, error) {
-	samples, err := c.SamplesBG()
-	if err != nil {
-		return nil, err
+// tab41Acc reproduces Table 4.1: update frequency and memory per
+// strategy, with measured counts from replaying the fleet.
+type tab41Acc struct {
+	sampleAcc
+	strat *snr.StrategyAccum
+}
+
+func (a *tab41Acc) observeSampleGroup(band string, samples []snr.Sample) error {
+	if band == "bg" {
+		a.strat.ObserveGroup(samples)
 	}
-	results := snr.ReplayStrategies(samples, len(phy.BandBG.Rates), 35)
+	return nil
+}
+
+func (a *tab41Acc) finalize(shared) (*Result, error) {
+	results := a.strat.Finalize()
 	labels := map[snr.Strategy][2]string{
 		snr.First:      {"Low", "Small"},
 		snr.MostRecent: {"High", "Small"},
@@ -225,7 +308,8 @@ func tab41(c shared) (*Result, error) {
 	res := &Result{Header: []string{
 		"strategy", "update frequency", "memory", "measured updates", "measured stored points",
 	}}
-	for _, r := range results {
+	for i := range results {
+		r := &results[i]
 		l := labels[r.Strategy]
 		res.Rows = append(res.Rows, []string{
 			r.Strategy.String(), l[0], l[1], itoa(r.Updates), itoa(r.MemEntries),
@@ -235,3 +319,12 @@ func tab41(c shared) (*Result, error) {
 		"orderings must hold: updates(first) < updates(subsampled) < updates(all); memory(first|most-recent) < memory(subsampled) < memory(all)")
 	return res, nil
 }
+
+// Single-band declarations (bandFiltered): a materialized Context run
+// skips flattening the band these accumulators discard. fig4.4 and
+// ext4.topk consume both bands and stay undeclared.
+func (a *fig41Acc) sampleBand() string    { return "bg" }
+func (a *coverageAcc) sampleBand() string { return a.band }
+func (a *fig45Acc) sampleBand() string    { return "bg" }
+func (a *fig46Acc) sampleBand() string    { return "bg" }
+func (a *tab41Acc) sampleBand() string    { return "bg" }

@@ -8,12 +8,12 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"meshlab/internal/conc"
 	"meshlab/internal/dataset"
 	"meshlab/internal/hidden"
 	"meshlab/internal/mobility"
@@ -111,6 +111,38 @@ type preparer interface {
 	prepare(nv *NetView) error
 }
 
+// sampleObserver is implemented by the §4 accumulators, which consume the
+// flattened samples as per-network groups (exactly the unit the wire
+// format's flat-sample section stores) instead of one materialized slice.
+// A Context feeds the groups by splitting its materialized samples, a
+// StreamContext feeds them straight off the walk or the file section —
+// the accumulator code is identical, so the two modes agree byte for
+// byte while the streaming mode's peak memory is the accumulator's
+// count/histogram tables, not the 90%-of-derived-data sample set.
+//
+// Groups arrive in fleet order within each band; each call carries all
+// samples of one network. Band interleaving differs between sources (a
+// file section stores bands contiguously, a walk interleaves them) —
+// accumulators must keep per-band state independent, which every §4
+// table does naturally.
+type sampleObserver interface {
+	observeSampleGroup(band string, samples []snr.Sample) error
+}
+
+// bandFiltered is optionally implemented by sample accumulators that
+// consume a single band, so a materialized Context run does not flatten
+// a band the experiment would discard (streaming runs flatten per
+// network regardless — some accumulator always wants each band).
+type bandFiltered interface {
+	sampleBand() string
+}
+
+// sampleAcc is the embeddable base of §4 accumulators: the network walk
+// is skipped entirely (state accrues through observeSampleGroup).
+type sampleAcc struct{}
+
+func (sampleAcc) observe(*NetView) error { return nil }
+
 // sharedOnly adapts an experiment that consumes no per-network data —
 // §4 sample tables, §7 client mobility, ablations over their own fleets —
 // to the accumulator interface. The walk skips these entirely.
@@ -149,10 +181,12 @@ func registerShared(id, title string, run func(shared) (*Result, error)) {
 	register(id, title, func() accumulator { return sharedOnly{run: run} })
 }
 
-// registerSampleOnly wires a shared experiment that consumes only the
-// flattened §4 samples, marking it runnable by the sample-streaming mode.
-func registerSampleOnly(id, title string, run func(shared) (*Result, error)) {
-	registerShared(id, title, run)
+// registerSamples wires a §4 accumulator: an experiment whose only input
+// is the flattened samples, consumed as per-network groups
+// (sampleObserver), and therefore runnable by the chunked
+// sample-streaming mode at table-sized memory.
+func registerSamples(id, title string, newAcc func() accumulator) {
+	register(id, title, newAcc)
 	registry[len(registry)-1].sampleOnly = true
 }
 
@@ -285,7 +319,13 @@ func (c *Context) Run(id string) (*Result, error) {
 	}
 	r := registry[i]
 	acc := r.newAcc()
-	if _, pure := acc.(sharedOnly); !pure {
+	if so, ok := acc.(sampleObserver); ok {
+		// §4 accumulators consume the materialized (or primed) samples as
+		// per-network groups — the same sequence a streaming walk feeds.
+		if err := c.feedSampleGroups(so); err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+	} else if _, pure := acc.(sharedOnly); !pure {
 		for _, nd := range c.Fleet.Networks {
 			if err := acc.observe(&NetView{nd: nd, d: c}); err != nil {
 				return nil, fmt.Errorf("experiments: %s: %w", id, err)
@@ -322,7 +362,7 @@ func (c *Context) RunAll() ([]*Result, error) {
 func (c *Context) RunAllParallel(workers int) ([]*Result, error) {
 	ids := IDs()
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = conc.Budget()
 	}
 	c.workers.Store(int32(workers))
 	results := make([]*Result, len(ids))
@@ -337,56 +377,49 @@ func (c *Context) RunAllParallel(workers int) ([]*Result, error) {
 	return results, nil
 }
 
-// workerBound returns the context's internal fan-out cap.
+// workerBound returns the context's internal fan-out cap; without an
+// explicit RunAllParallel pool size it follows the process worker budget.
 func (c *Context) workerBound() int {
 	if w := int(c.workers.Load()); w > 0 {
 		return w
 	}
-	return runtime.GOMAXPROCS(0)
+	return conc.Budget()
 }
 
 // forEachParallel runs fn over 0..n-1 across a bounded worker pool
-// (workers ≤ 0 means GOMAXPROCS; ≤ 1 runs serially in index order) and
-// returns the error of the lowest index that failed, so the reported
-// failure does not depend on worker scheduling. Later work is skipped
-// once any fn fails.
+// (workers ≤ 0 means the process worker budget; ≤ 1 runs serially in
+// index order) and returns the error of the lowest index that failed, so
+// the reported failure does not depend on worker scheduling.
 func forEachParallel(n, workers int, fn func(int) error) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	return conc.ForEachN(n, workers, fn)
+}
+
+// feedSampleGroups replays the context's per-band samples through a §4
+// accumulator as per-network groups, skipping bands a single-band
+// accumulator declares it discards (so fig4.1 never flattens the
+// 802.11n samples).
+func (c *Context) feedSampleGroups(so sampleObserver) error {
+	only := ""
+	if bf, ok := so.(bandFiltered); ok {
+		only = bf.sampleBand()
 	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
+	for _, band := range []string{"bg", "n"} {
+		if only != "" && band != only {
+			continue
 		}
-		return nil
-	}
-	errs := make([]error, n)
-	var next atomic.Int64
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
-					return
-				}
-				if errs[i] = fn(i); errs[i] != nil {
-					failed.Store(true)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
+		var samples []snr.Sample
+		var err error
+		if band == "bg" {
+			samples, err = c.SamplesBG()
+		} else {
+			samples, err = c.SamplesN()
+		}
 		if err != nil {
+			return err
+		}
+		if err := snr.ForEachSampleGroup(samples, func(group []snr.Sample) error {
+			return so.observeSampleGroup(band, group)
+		}); err != nil {
 			return err
 		}
 	}

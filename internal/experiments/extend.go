@@ -13,35 +13,57 @@ import (
 )
 
 func init() {
-	registerSampleOnly("ext4.topk", "Extension: top-k candidate sets cut probing overhead (§4.5)", ext4topk)
+	registerSamples("ext4.topk", "Extension: top-k candidate sets cut probing overhead (§4.5)",
+		func() accumulator { return newExt4topkAcc() })
 	register("ext5.ett", "Extension: multi-rate ETT routing vs fixed-rate ETX",
 		func() accumulator { return &ext5ettAcc{rateWins: make([]int, len(phy.BandBG.Rates))} })
 	register("ext6.mac", "Extension: MAC-level throughput cost of hidden triples",
 		func() accumulator { return &ext6macAcc{root: rng.New(606)} })
 }
 
-// ext4topk evaluates the thesis's §4.5 augmented table: keep the top-k
+// ext4topkAcc evaluates the thesis's §4.5 augmented table: keep the top-k
 // rates per (link, SNR) and restrict probing to them. The table reports,
 // per band and k, how often the true optimum falls in the candidate set
-// and the probing saved.
-func ext4topk(c shared) (*Result, error) {
-	res := &Result{Header: []string{"band", "k", "optimum in top-k", "probing saved", "probe sets"}}
-	for _, b := range []struct {
-		name    string
-		band    phy.Band
-		samples func() ([]snr.Sample, error)
-	}{
-		{"bg", phy.BandBG, c.SamplesBG},
-		{"n", phy.BandN, c.SamplesN},
-	} {
-		samples, err := b.samples()
-		if err != nil {
-			return nil, err
+// and the probing saved. Link-scope cells are network-local, so the
+// chunked core trains and evaluates one network at a time — identical to
+// the batch TopKCoverage by the snr package's oracle.
+type ext4topkAcc struct {
+	sampleAcc
+	bands []ext4topkBand
+}
+
+type ext4topkBand struct {
+	name string
+	acc  *snr.TopKAccum
+	seen int
+}
+
+func newExt4topkAcc() *ext4topkAcc {
+	ks := []int{1, 2, 3}
+	return &ext4topkAcc{bands: []ext4topkBand{
+		{name: "bg", acc: snr.NewTopKAccum(len(phy.BandBG.Rates), ks)},
+		{name: "n", acc: snr.NewTopKAccum(len(phy.BandN.Rates), ks)},
+	}}
+}
+
+func (a *ext4topkAcc) observeSampleGroup(band string, samples []snr.Sample) error {
+	for i := range a.bands {
+		if a.bands[i].name == band {
+			a.bands[i].acc.ObserveGroup(samples)
+			a.bands[i].seen += len(samples)
 		}
-		if len(samples) == 0 {
+	}
+	return nil
+}
+
+func (a *ext4topkAcc) finalize(shared) (*Result, error) {
+	res := &Result{Header: []string{"band", "k", "optimum in top-k", "probing saved", "probe sets"}}
+	for i := range a.bands {
+		b := &a.bands[i]
+		if b.seen == 0 {
 			continue
 		}
-		for _, r := range snr.TopKCoverage(samples, len(b.band.Rates), snr.Link, []int{1, 2, 3}) {
+		for _, r := range b.acc.Finalize() {
 			res.Rows = append(res.Rows, []string{
 				b.name, itoa(r.K), f2(r.HitFrac), f2(r.ProbeReduction), itoa(r.Evaluated),
 			})

@@ -7,16 +7,19 @@ package experiments
 // network is released, and finalizes into the same []*Result a
 // materialized Context produces — byte-identical, since both modes
 // execute the identical accumulator code over identical per-network
-// inputs in identical fleet order. Peak memory is bounded by the derived
-// data the accumulators retain (improvement distributions, censuses,
-// samples) plus the bounded window of in-flight networks, never by the
-// fleet.
+// inputs in identical fleet order. The §4 samples flow the same way:
+// per-network groups (flattened off the walk, or streamed from a file's
+// flat-sample section) feed chunked accumulators and are released, so
+// peak memory is bounded by the derived tables the accumulators retain
+// (improvement distributions, censuses, count/histogram tables) plus the
+// bounded window of in-flight networks — never by the fleet or the
+// sample count.
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
+	"meshlab/internal/conc"
 	"meshlab/internal/dataset"
 	"meshlab/internal/hidden"
 	"meshlab/internal/mobility"
@@ -159,30 +162,40 @@ type StreamContext struct {
 	inFlight    int
 	maxInFlight int
 
-	// §4 sample handling: either the walk flattens incrementally, or the
-	// driver defers to a dataset file's flat-sample section and primes it
-	// after the walk (the section trails the network records on disk).
+	// §4 sample handling: either the walk flattens each network and feeds
+	// the chunked sample accumulators directly (the samples are then
+	// released with the network), or the driver defers to a dataset file's
+	// flat-sample section and streams its groups through
+	// ObserveSampleGroup after the walk (the section trails the network
+	// records on disk). Full samples are retained only under the explicit
+	// MaterializeSamples knob.
 	deferSamples bool
-	flatteners   map[string]*snr.Flattener
-	primed       map[string][]snr.Sample
+	materialize  bool
+	samplesDone  bool
+	samples      map[string][]snr.Sample
+	sampleObs    []sampleObsAt
 
 	cds []*dataset.ClientData
 	mob memo[*mobility.Analysis]
-
-	// resolved shared state, fixed before finalizers run.
-	samples    map[string][]snr.Sample
-	samplesErr error
 
 	networks  int
 	finalized bool
 }
 
+// sampleObsAt pairs a §4 accumulator with its registry slot, for error
+// context.
+type sampleObsAt struct {
+	idx int
+	so  sampleObserver
+}
+
 // NewStreamContext prepares a streaming run of every registered
-// experiment. workers bounds the pipeline (≤ 0 means GOMAXPROCS); it also
-// bounds how many decoded networks are in flight at once.
+// experiment. workers bounds the pipeline (≤ 0 means the process worker
+// budget); it also bounds how many decoded networks are in flight at
+// once.
 func NewStreamContext(workers int) *StreamContext {
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = conc.Budget()
 	}
 	s := &StreamContext{
 		workers:       workers,
@@ -193,26 +206,84 @@ func NewStreamContext(workers int) *StreamContext {
 	for _, id := range s.ids {
 		s.accs = append(s.accs, registry[byID[id]].newAcc())
 	}
+	for i, acc := range s.accs {
+		if so, ok := acc.(sampleObserver); ok {
+			s.sampleObs = append(s.sampleObs, sampleObsAt{idx: i, so: so})
+		}
+	}
 	return s
 }
 
-// DeferSamples declares that the §4 samples will arrive via PrimeSamples
-// after the walk (a dataset file's flat-sample section), so the walk
-// skips incremental flattening. Must be called before the first Observe.
+// DeferSamples declares that the §4 samples will arrive as groups via
+// ObserveSampleGroup (or PrimeSamples) after the walk — a dataset file's
+// flat-sample section — so the walk skips incremental flattening. Must
+// be called before the first Observe; the driver must then call
+// FinishSamples (directly or via PrimeSamples) before Finalize.
 func (s *StreamContext) DeferSamples() { s.deferSamples = true }
 
-// PrimeSamples supplies one band's pre-flattened §4 samples. The samples
+// MaterializeSamples makes the run retain the full per-band §4 samples so
+// SamplesBG/SamplesN serve them, restoring the pre-chunked memory
+// profile. No registered experiment needs it — every §4 table consumes
+// groups — but an extension that genuinely needs global sample order can
+// opt in. Must be called before the first Observe.
+func (s *StreamContext) MaterializeSamples() {
+	s.materialize = true
+	if s.samples == nil {
+		s.samples = make(map[string][]snr.Sample, 2)
+	}
+}
+
+// feedSampleGroup hands one network's samples to every §4 accumulator
+// (fanned across the worker budget — their states are independent) and,
+// under MaterializeSamples, appends them to the retained per-band slices.
+func (s *StreamContext) feedSampleGroup(band string, group []snr.Sample) error {
+	if s.materialize {
+		s.samples[band] = append(s.samples[band], group...)
+	}
+	return conc.ForEach(len(s.sampleObs), func(k int) error {
+		o := s.sampleObs[k]
+		if err := o.so.observeSampleGroup(band, group); err != nil {
+			return fmt.Errorf("experiments: %s: %w", s.ids[o.idx], err)
+		}
+		return nil
+	})
+}
+
+// ObserveSampleGroup feeds one per-network sample group from a dataset
+// file's flat-sample section (a wire.Reader SampleGroups walk). Only
+// valid on a DeferSamples run, from the driver goroutine, after the last
+// Observe.
+func (s *StreamContext) ObserveSampleGroup(band string, samples []snr.Sample) error {
+	if !s.deferSamples {
+		return fmt.Errorf("experiments: ObserveSampleGroup without DeferSamples (the walk already fed the samples)")
+	}
+	if s.finalized {
+		return fmt.Errorf("experiments: ObserveSampleGroup after Finalize")
+	}
+	s.samplesDone = true
+	return s.feedSampleGroup(band, samples)
+}
+
+// FinishSamples marks the deferred sample stream complete. A DeferSamples
+// run that never saw the section fails Finalize loudly instead of
+// emitting empty §4 tables; a section with zero groups is still
+// "complete".
+func (s *StreamContext) FinishSamples() { s.samplesDone = true }
+
+// PrimeSamples supplies one band's pre-flattened §4 samples, splitting
+// them into per-network groups for the chunked accumulators. The samples
 // must equal what snr.Flatten derives for the walked networks of that
 // band (dataset files guarantee this; see internal/wire). Unknown bands
-// are ignored.
-func (s *StreamContext) PrimeSamples(band string, samples []snr.Sample) {
+// are ignored. It is the materialized-slice compatibility form of
+// ObserveSampleGroup.
+func (s *StreamContext) PrimeSamples(band string, samples []snr.Sample) error {
 	if band != "bg" && band != "n" {
-		return
+		return nil
 	}
-	if s.primed == nil {
-		s.primed = make(map[string][]snr.Sample, 2)
-	}
-	s.primed[band] = samples
+	s.samplesDone = true
+	return snr.ForEachSampleGroup(samples, func(group []snr.Sample) error {
+		return s.feedSampleGroup(band, group)
+	})
 }
 
 // SetClients supplies the client datasets (the file section after the
@@ -292,23 +363,18 @@ func (s *StreamContext) collect() {
 }
 
 // applyOrdered runs the serial, order-sensitive part of one network:
-// sample flattening and every accumulator's observe.
+// flatten-and-feed of its §4 sample group, then every accumulator's
+// observe. The flattened samples are released with the network — the
+// chunked accumulators retain only their tables — so a section-less
+// stream is sample-bounded too.
 func (s *StreamContext) applyOrdered(nv *NetView) error {
 	if !s.deferSamples {
 		nd := nv.Data()
-		fl := s.flatteners[nd.Info.Band]
-		if fl == nil {
-			band, err := nd.Band()
-			if err != nil {
-				return err
-			}
-			fl = snr.NewFlattener(band)
-			if s.flatteners == nil {
-				s.flatteners = make(map[string]*snr.Flattener, 2)
-			}
-			s.flatteners[nd.Info.Band] = fl
+		group, err := snr.Flatten([]*dataset.NetworkData{nd})
+		if err != nil {
+			return err
 		}
-		if err := fl.Add(nd); err != nil {
+		if err := s.feedSampleGroup(nd.Info.Band, group); err != nil {
 			return err
 		}
 	}
@@ -331,26 +397,10 @@ func (s *StreamContext) Stats() (networks, maxInFlight int) {
 	return s.networks, s.maxInFlight
 }
 
-// resolveSamples fixes the §4 shared state before finalizers run.
-func (s *StreamContext) resolveSamples() {
-	if s.deferSamples && s.primed == nil {
-		s.samplesErr = fmt.Errorf("experiments: DeferSamples without PrimeSamples: the walk skipped flattening but no flat-sample section was primed")
-		return
-	}
-	s.samples = make(map[string][]snr.Sample, 2)
-	for band, smp := range s.primed {
-		s.samples[band] = smp
-	}
-	for band, fl := range s.flatteners {
-		if _, ok := s.samples[band]; !ok {
-			s.samples[band] = fl.Samples()
-		}
-	}
-}
-
 // Finalize drains the pipeline and renders every experiment, in paper
 // order, fanning finalizers across the worker pool. It must be called
-// exactly once, after the last Observe.
+// exactly once, after the last Observe (and, on a DeferSamples run,
+// after the sample-group walk).
 func (s *StreamContext) Finalize() ([]*Result, error) {
 	if s.finalized {
 		return nil, fmt.Errorf("experiments: Finalize called twice")
@@ -362,7 +412,9 @@ func (s *StreamContext) Finalize() ([]*Result, error) {
 	if err := s.loadErr(); err != nil {
 		return nil, err
 	}
-	s.resolveSamples()
+	if s.deferSamples && !s.samplesDone {
+		return nil, fmt.Errorf("experiments: DeferSamples without a sample walk: the network walk skipped flattening but no flat-sample groups were observed (stream the section through ObserveSampleGroup, then FinishSamples)")
+	}
 	results := make([]*Result, len(s.accs))
 	err := forEachParallel(len(s.accs), s.workers, func(i int) error {
 		res, err := s.accs[i].finalize(s)
@@ -383,14 +435,27 @@ func (s *StreamContext) Finalize() ([]*Result, error) {
 
 // shared interface: the streaming run's fleet-wide state.
 
-// SamplesBG returns the flattened 802.11b/g probe samples of the walk.
-func (s *StreamContext) SamplesBG() ([]snr.Sample, error) {
-	return s.samples["bg"], s.samplesErr
+// materializedSamples serves a band's full sample slice, which a chunked
+// run deliberately does not retain: every registered §4 experiment
+// consumes groups instead. The explicit MaterializeSamples knob restores
+// retention for extensions that need global sample order.
+func (s *StreamContext) materializedSamples(band string) ([]snr.Sample, error) {
+	if !s.materialize {
+		return nil, fmt.Errorf("experiments: the chunked streaming run does not retain full §4 samples; call MaterializeSamples (meshlab: StreamOptions.MaterializeSamples) if an experiment needs global sample order")
+	}
+	return s.samples[band], nil
 }
 
-// SamplesN returns the flattened 802.11n probe samples of the walk.
+// SamplesBG returns the flattened 802.11b/g probe samples of the walk
+// (MaterializeSamples runs only).
+func (s *StreamContext) SamplesBG() ([]snr.Sample, error) {
+	return s.materializedSamples("bg")
+}
+
+// SamplesN returns the flattened 802.11n probe samples of the walk
+// (MaterializeSamples runs only).
 func (s *StreamContext) SamplesN() ([]snr.Sample, error) {
-	return s.samples["n"], s.samplesErr
+	return s.materializedSamples("n")
 }
 
 func (s *StreamContext) analysis() *mobility.Analysis {

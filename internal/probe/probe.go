@@ -16,6 +16,7 @@ package probe
 import (
 	"math"
 
+	"meshlab/internal/conc"
 	"meshlab/internal/dataset"
 	"meshlab/internal/mesh"
 	"meshlab/internal/radio"
@@ -74,6 +75,16 @@ func NetworkInfo(net *mesh.Net) dataset.NetworkInfo {
 // reproducible given the same net state. Directed links that never deliver
 // a probe are omitted, matching the real dataset where unheard neighbors
 // simply produce no entries.
+//
+// Each step splits into two phases. The expensive part — advancing every
+// pair's channel state and integrating the per-rate faded success
+// probabilities — is deterministic per pair (each channel owns its own
+// seed-derived rng split), so it fans across the process worker budget
+// (internal/conc). The cheap sampling noise then draws from the shared
+// collection stream serially, in the exact order the serial
+// implementation used: the probabilities decide how many draws each
+// probe set consumes, and they are bit-identical in both phases' orders,
+// so the collected dataset is byte-identical at any budget.
 func Collect(r *rng.Stream, net *mesh.Net, cfg Config) *dataset.NetworkData {
 	cfg = cfg.withDefaults()
 	cr := r.Split("collect")
@@ -83,10 +94,33 @@ func Collect(r *rng.Stream, net *mesh.Net, cfg Config) *dataset.NetworkData {
 	// link index = 2*pairIdx + {0: fwd, 1: rev}.
 	links := make([]*dataset.Link, 2*len(net.Pairs))
 
+	nr := len(net.Band.Rates)
+	// probs[di*nr+ri] holds directed link di's delivery probability at
+	// rate ri for the current step, filled by the parallel phase. Pair
+	// tasks write disjoint ranges.
+	probs := make([]float64, 2*len(net.Pairs)*nr)
+
 	steps := int(cfg.Duration / cfg.ReportInterval)
 	for step := 1; step <= steps; step++ {
 		t := int32(float64(step) * cfg.ReportInterval)
-		net.Advance(cfg.ReportInterval)
+		_ = conc.ForEach(len(net.Pairs), func(pi int) error {
+			lp := net.Pairs[pi]
+			lp.Pair.Fwd.Advance(cfg.ReportInterval)
+			lp.Pair.Rev.Advance(cfg.ReportInterval)
+			for dir := 0; dir < 2; dir++ {
+				ch := lp.Pair.Fwd
+				if dir == 1 {
+					ch = lp.Pair.Rev
+				}
+				eff := ch.EffectiveSNR()
+				fadeStd := ch.Params().FadeStd
+				base := (2*pi + dir) * nr
+				for ri, rate := range net.Band.Rates {
+					probs[base+ri] = radio.FadedSuccess(rate, eff, fadeStd)
+				}
+			}
+			return nil
+		})
 		for pi, lp := range net.Pairs {
 			for dir := 0; dir < 2; dir++ {
 				ch := lp.Pair.Fwd
@@ -95,11 +129,11 @@ func Collect(r *rng.Stream, net *mesh.Net, cfg Config) *dataset.NetworkData {
 					ch = lp.Pair.Rev
 					from, to = lp.J, lp.I
 				}
-				ps, ok := sampleProbeSet(cr, ch, net, t, cfg)
+				di := 2*pi + dir
+				ps, ok := sampleProbeSet(cr, ch, probs[di*nr:(di+1)*nr], t, cfg)
 				if !ok {
 					continue
 				}
-				di := 2*pi + dir
 				if links[di] == nil {
 					links[di] = &dataset.Link{From: from, To: to}
 				}
@@ -117,16 +151,15 @@ func Collect(r *rng.Stream, net *mesh.Net, cfg Config) *dataset.NetworkData {
 
 // sampleProbeSet produces one window's report for a directed channel, or
 // ok=false when no probe at any rate was received (the neighbor was not
-// heard this window).
-func sampleProbeSet(r *rng.Stream, ch *radio.Channel, net *mesh.Net, t int32, cfg Config) (dataset.ProbeSet, bool) {
+// heard this window). probs carries the channel's per-rate delivery
+// probabilities, precomputed by Collect's parallel phase.
+func sampleProbeSet(r *rng.Stream, ch *radio.Channel, probs []float64, t int32, cfg Config) (dataset.ProbeSet, bool) {
 	n := cfg.ProbesPerRate
-	eff := ch.EffectiveSNR()
 	params := ch.Params()
 
 	ps := dataset.ProbeSet{T: t}
 	received := 0
-	for ri, rate := range net.Band.Rates {
-		p := radio.FadedSuccess(rate, eff, params.FadeStd)
+	for ri, p := range probs {
 		k := binomialApprox(r, n, p)
 		received += k
 		ps.Obs = append(ps.Obs, dataset.Obs{

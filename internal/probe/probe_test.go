@@ -2,7 +2,10 @@ package probe
 
 import (
 	"math"
+	"reflect"
 	"testing"
+
+	"meshlab/internal/conc"
 
 	"meshlab/internal/dataset"
 	"meshlab/internal/mesh"
@@ -219,5 +222,22 @@ func BenchmarkCollect20APsOneHour(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		net := buildNet(b, uint64(i), 20, topology.EnvIndoor)
 		_ = Collect(rng.New(uint64(i)), net, Config{Duration: 3600, ReportInterval: 300})
+	}
+}
+
+// TestCollectBudgetOracle pins the parallel collection phase: the
+// channel advance and success-probability integration fan across the
+// process worker budget, while the shared sampling stream stays serial —
+// so the collected dataset must be byte-identical at any budget (the
+// probabilities, not the schedule, decide every rng draw).
+func TestCollectBudgetOracle(t *testing.T) {
+	defer conc.SetBudget(0)
+	cfg := Config{Duration: 2 * 3600, ReportInterval: 300}
+	conc.SetBudget(1)
+	serial := collect(t, 77, 12, cfg)
+	conc.SetBudget(8)
+	parallel := collect(t, 77, 12, cfg)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("Collect diverges between budget 1 and budget 8")
 	}
 }

@@ -1,0 +1,8 @@
+// Package rusage exposes the process's getrusage(2) peak memory so CLIs
+// (and the CI guardrail) can record the max RSS of a run without
+// depending on an external /usr/bin/time binary.
+package rusage
+
+// MaxRSSBytes returns the process's peak resident set size in bytes via
+// getrusage(RUSAGE_SELF), or 0 on platforms without the call.
+func MaxRSSBytes() int64 { return maxRSSBytes() }

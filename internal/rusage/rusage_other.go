@@ -1,0 +1,5 @@
+//go:build !linux && !darwin
+
+package rusage
+
+func maxRSSBytes() int64 { return 0 }

@@ -1,0 +1,22 @@
+package rusage
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestMaxRSSBytes(t *testing.T) {
+	got := MaxRSSBytes()
+	switch runtime.GOOS {
+	case "linux", "darwin":
+		// A running Go test binary is comfortably past 1 MB and (on any
+		// machine this repo targets) under 1 TB.
+		if got < 1<<20 || got > 1<<40 {
+			t.Fatalf("implausible max RSS %d bytes", got)
+		}
+	default:
+		if got != 0 {
+			t.Fatalf("unsupported platform should report 0, got %d", got)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+//go:build linux || darwin
+
+package rusage
+
+import (
+	"runtime"
+	"syscall"
+)
+
+func maxRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	// Linux reports ru_maxrss in kilobytes, Darwin in bytes.
+	if runtime.GOOS == "darwin" {
+		return int64(ru.Maxrss)
+	}
+	return int64(ru.Maxrss) * 1024
+}

@@ -1,0 +1,1003 @@
+package snr
+
+// chunked.go implements the incremental (chunk-consuming) cores of the §4
+// analyses. Each accumulator consumes sample chunks via ObserveGroup and
+// retains only flat count/histogram tables — never the raw samples — so
+// a streaming caller's peak memory is bounded by table size, not sample
+// count. The batch entry points (Penalty, ReplayStrategies,
+// OptimalRateSets) are thin wrappers over these cores, and the
+// chunked-vs-batch oracle tests pin both forms bit-exact against the
+// reference table replays.
+//
+// The chunk contract, shared by every accumulator here: chunks arrive in
+// section order; one network's chunks are consecutive; and a directed
+// link's samples never split across chunks. A whole network is always a
+// valid chunk (ForEachSampleGroup, the streaming walk's per-network
+// flatten), and wire.SampleGroups splits huge networks into smaller
+// chunks at link boundaries so no single network's samples ever need to
+// be resident at once. An accumulator may keep a reference to the most
+// recently observed chunk until the next ObserveGroup or Finalize call
+// (the held-first-chunk fast path below), so callers must not recycle
+// chunk backing arrays.
+//
+// Two facts make exact chunked results cheap. First, quantization: a
+// sample's per-rate throughput is rate.Throughput(loss) where loss is
+// the probe window's 1/ProbesPerRate-quantized delivery fraction, so
+// each rate's throughput — and every derived penalty difference — takes
+// only a few dozen distinct float64 values. A value→count histogram
+// therefore reproduces the full empirical distribution exactly in
+// O(distinct) memory, and quantiles computed over the counted multiset
+// match quantiles over the materialized sorted slice bit for bit.
+// Second, scope locality: Link-scope table cells complete within every
+// chunk (links never split), AP- and Network-scope cells complete at the
+// network boundary, and only the Global scope's few dozen cells span the
+// fleet — so each scope trains, replays, and discards its cells at the
+// earliest boundary where they are final, banking quantized penalty
+// histograms where replay must wait.
+
+import (
+	"math"
+	"sort"
+
+	"meshlab/internal/conc"
+)
+
+// ForEachSampleGroup invokes fn once per maximal run of consecutive
+// samples sharing a network name — the per-network groups the flat-sample
+// wire section stores and the chunked accumulators consume. Flatten
+// output keeps each network contiguous, so feeding it through this
+// splitter reproduces the streaming group sequence exactly. fn errors
+// abort the walk.
+func ForEachSampleGroup(samples []Sample, fn func(group []Sample) error) error {
+	for i := 0; i < len(samples); {
+		j := i + 1
+		for j < len(samples) && samples[j].Net == samples[i].Net {
+			j++
+		}
+		if err := fn(samples[i:j]); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+// counted is a sorted, counted multiset of float64s: the exact empirical
+// distribution of a quantized sample in O(distinct values) memory. NaNs
+// are tracked separately and sort first, mirroring sort.Float64s.
+type counted struct {
+	nan  int64
+	vals []float64 // distinct non-NaN values, ascending
+	cum  []int64   // cum[i] = #values ≤ vals[i], NaNs included as a prefix
+	n    int64
+}
+
+// newCounted freezes a value→count histogram into its sorted counted form.
+func newCounted(m map[float64]int64, nan int64) *counted {
+	c := &counted{nan: nan, n: nan}
+	if len(m) > 0 {
+		c.vals = make([]float64, 0, len(m))
+		for v := range m {
+			c.vals = append(c.vals, v)
+		}
+		sort.Float64s(c.vals)
+		c.cum = make([]int64, len(c.vals))
+		run := nan
+		for i, v := range c.vals {
+			run += m[v]
+			c.cum[i] = run
+		}
+		c.n = run
+	}
+	return c
+}
+
+// at returns the i-th element (0-based) of the virtual sorted slice.
+func (c *counted) at(i int64) float64 {
+	if i < c.nan {
+		return math.NaN()
+	}
+	// First distinct value whose cumulative count exceeds i.
+	lo, hi := 0, len(c.vals)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.cum[mid] > i {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return c.vals[lo]
+}
+
+// Dist is the counted empirical distribution an incremental penalty core
+// produces in place of a materialized, sorted []float64: same quantiles,
+// table-sized memory. See PenaltyAccum.
+type Dist struct{ c counted }
+
+// N returns the number of observations.
+func (d *Dist) N() int { return int(d.c.n) }
+
+// Quantile returns the q-quantile, bit-identical to
+// stats.NewCDF(d.Materialize()).Quantile(q).
+func (d *Dist) Quantile(q float64) float64 {
+	n := d.c.n
+	if n == 0 {
+		return math.NaN()
+	}
+	if q < 0 || q > 1 {
+		panic("snr: quantile out of [0,1]")
+	}
+	if n == 1 {
+		return d.c.at(0)
+	}
+	pos := q * float64(n-1)
+	lo := int64(math.Floor(pos))
+	hi := int64(math.Ceil(pos))
+	if lo == hi {
+		return d.c.at(lo)
+	}
+	frac := pos - float64(lo)
+	return d.c.at(lo)*(1-frac) + d.c.at(hi)*frac
+}
+
+// Materialize expands the distribution into the ascending sorted slice the
+// batch form returns (NaNs first, as sort.Float64s orders them).
+func (d *Dist) Materialize() []float64 {
+	out := make([]float64, 0, d.c.n)
+	for i := int64(0); i < d.c.nan; i++ {
+		out = append(out, math.NaN())
+	}
+	prev := d.c.nan
+	for i, v := range d.c.vals {
+		for k := prev; k < d.c.cum[i]; k++ {
+			out = append(out, v)
+		}
+		prev = d.c.cum[i]
+	}
+	return out
+}
+
+// diffHist accumulates a value→count histogram with NaN tracking.
+type diffHist struct {
+	m   map[float64]int64
+	nan int64
+}
+
+func (h *diffHist) add(v float64, n int64) {
+	if math.IsNaN(v) {
+		h.nan += n
+		return
+	}
+	if h.m == nil {
+		h.m = make(map[float64]int64)
+	}
+	h.m[v] += n
+}
+
+func (h *diffHist) freeze() *Dist { return &Dist{c: *newCounted(h.m, h.nan)} }
+
+// PenaltyDist is one scope's chunked §4.3 outcome: the penalty
+// distribution in counted form plus the exact-hit fraction. It carries
+// the same information as PenaltyResult at table-sized memory.
+type PenaltyDist struct {
+	Scope Scope
+	// Diffs is the counted distribution of per-probe-set throughput
+	// penalties (clamped at 0, ascending); Diffs.Materialize() equals the
+	// batch PenaltyResult.Diffs exactly.
+	Diffs *Dist
+	// ExactFrac is the fraction of probe sets predicted exactly optimally.
+	ExactFrac float64
+}
+
+// bankedCell is one training cell whose replay must wait until its
+// training finishes (the Global scope's fleet-lifetime SNR cells and the
+// Network scope's per-network cells — both "few big cells"). Each
+// sample's penalty under every candidate predicted rate is banked into a
+// per-rate histogram; resolution keeps only the histogram of the rate
+// the finished cell actually predicts. Quantization keeps these
+// histograms small.
+type bankedCell struct {
+	counts []int64    // per-rate optimal-rate training counts
+	pend   []diffHist // per candidate rate: histogram of clamped penalties
+}
+
+// diffCount is one (dictionary id, count) entry of a compact bank: the
+// AP scope has tens of thousands of small cells per large network, where
+// per-cell maps would cost more than the data, so its banks are tiny
+// linear-scanned slices over a scope-lifetime value dictionary.
+type diffCount struct {
+	id int32
+	n  int32
+}
+
+// apCellKey identifies one AP-scope training cell within the current
+// network.
+type apCellKey struct {
+	from int32
+	snr  int32
+}
+
+// penaltyScopeState is one scope's accumulator state. The four scopes
+// resolve at different boundaries, matching where their cells complete:
+//
+//   - Link: a directed link's samples never split across chunks, so every
+//     chunk trains and replays its own complete cells immediately
+//     (observeLocal) — nothing persists.
+//   - AP and Network: cells complete when the network's last chunk
+//     passes; they bank per-candidate penalties and resolve at the
+//     network boundary.
+//   - Global: cells span the fleet; they bank and resolve at Finalize.
+type penaltyScopeState struct {
+	scope Scope
+	diffs diffHist
+	exact int64
+
+	// Global and Network scopes: map-banked cells keyed by SNR.
+	cells map[int]*bankedCell
+
+	// AP scope: dictionary+slice banks.
+	apCells  map[apCellKey]int32
+	apCounts []int64       // [cell*nr + ri] training counts
+	apBanks  [][]diffCount // [cell*nr + p]
+	dict     map[float64]int32
+	diffVals []float64
+	nanID    int32
+
+	// held defers the current network's first chunk: if the network turns
+	// out to be unsplit (every network but the occasional huge one), its
+	// cells are complete and the chunk takes the same fast train-and-
+	// replay path the Link scope uses, skipping the banking machinery
+	// entirely. Only a network that actually spans chunks banks.
+	held    []Sample
+	banking bool
+
+	curNet  string
+	netSeen bool
+}
+
+// PenaltyAccum is the incremental core of Penalty: feed sample chunks in
+// section order through ObserveGroup, then Finalize. A chunk is any run
+// of one network's samples that never splits a directed link — a whole
+// network (ForEachSampleGroup, the walk-flatten path) or a sub-chunk of
+// a huge one (wire.SampleGroups splits at link boundaries) — and one
+// network's chunks must arrive consecutively. No samples are retained:
+// peak memory is the (instance, SNR)-shaped count and histogram tables.
+type PenaltyAccum struct {
+	numRates int
+	states   []penaltyScopeState
+	total    int64
+}
+
+// NewPenaltyAccum prepares an incremental penalty run over the scopes.
+func NewPenaltyAccum(numRates int, scopes []Scope) *PenaltyAccum {
+	a := &PenaltyAccum{numRates: numRates}
+	for _, sc := range scopes {
+		st := penaltyScopeState{scope: sc, nanID: -1}
+		switch sc {
+		case Global, Network:
+			st.cells = make(map[int]*bankedCell)
+		case AP:
+			st.apCells = make(map[apCellKey]int32)
+			st.dict = make(map[float64]int32)
+		}
+		a.states = append(a.states, st)
+	}
+	return a
+}
+
+// ObserveGroup trains (and, where cells are complete, replays) one chunk
+// of samples. Scopes are processed across the process worker budget;
+// their states are independent, so the result is byte-identical at any
+// budget.
+func (a *PenaltyAccum) ObserveGroup(group []Sample) {
+	if len(group) == 0 || a.numRates == 0 {
+		return
+	}
+	a.total += int64(len(group))
+	_ = conc.ForEach(len(a.states), func(si int) error {
+		st := &a.states[si]
+		switch st.scope {
+		case Global:
+			a.bankCells(st, group)
+		case Network, AP:
+			a.observeBoundary(st, group)
+		default:
+			a.observeLocal(st, group)
+		}
+		return nil
+	})
+}
+
+// observeBoundary drives the Network/AP-scope state machine: the current
+// network's first chunk is held back; an unsplit network replays it on
+// the fast local path at the boundary, a split network falls back to
+// banking.
+func (a *PenaltyAccum) observeBoundary(st *penaltyScopeState, group []Sample) {
+	if net := group[0].Net; !st.netSeen || net != st.curNet {
+		a.finishNet(st)
+		st.curNet, st.netSeen = net, true
+		st.held = group
+		return
+	}
+	// The network spans chunks: bank the held first chunk, then this one.
+	if st.held != nil {
+		a.bank(st, st.held)
+		st.held = nil
+		st.banking = true
+	}
+	a.bank(st, group)
+}
+
+// bank routes a chunk to the scope's banking form.
+func (a *PenaltyAccum) bank(st *penaltyScopeState, group []Sample) {
+	if st.scope == AP {
+		a.bankAP(st, group)
+	} else {
+		a.bankCells(st, group)
+	}
+}
+
+// finishNet completes the previous network: an unsplit one replays its
+// held chunk locally, a split one resolves its banked cells.
+func (a *PenaltyAccum) finishNet(st *penaltyScopeState) {
+	if st.held != nil {
+		a.observeLocal(st, st.held)
+		st.held = nil
+	}
+	if st.banking {
+		if st.scope == AP {
+			a.resolveAP(st)
+		} else {
+			a.resolveCells(st)
+		}
+		st.banking = false
+	}
+}
+
+// bankCells trains the state's map-banked cells (SNR-keyed: the Global
+// scope fleet-wide, the Network scope within the current network) and
+// banks each sample's penalty under every candidate rate.
+func (a *PenaltyAccum) bankCells(st *penaltyScopeState, group []Sample) {
+	nr := a.numRates
+	for i := range group {
+		s := &group[i]
+		cell := st.cells[s.SNR]
+		if cell == nil {
+			cell = &bankedCell{
+				counts: make([]int64, nr),
+				pend:   make([]diffHist, nr),
+			}
+			st.cells[s.SNR] = cell
+		}
+		cell.counts[s.Popt]++
+		for p := 0; p < nr; p++ {
+			diff := s.BestTput - s.Tput[p]
+			if diff < 0 {
+				diff = 0
+			}
+			cell.pend[p].add(diff, 1)
+		}
+	}
+}
+
+// resolveCells replays the finished map-banked cells into the scope's
+// penalty distribution and resets them.
+func (a *PenaltyAccum) resolveCells(st *penaltyScopeState) {
+	for _, cell := range st.cells {
+		best, bestN := 0, int64(0)
+		for ri, n := range cell.counts {
+			if n > bestN {
+				best, bestN = ri, n
+			}
+		}
+		st.exact += cell.counts[best]
+		for v, n := range cell.pend[best].m {
+			st.diffs.add(v, n)
+		}
+		st.diffs.nan += cell.pend[best].nan
+	}
+	if len(st.cells) > 0 {
+		st.cells = make(map[int]*bankedCell)
+	}
+}
+
+// diffID interns a penalty value in the scope's dictionary.
+func (st *penaltyScopeState) diffID(v float64) int32 {
+	if math.IsNaN(v) {
+		if st.nanID < 0 {
+			st.nanID = int32(len(st.diffVals))
+			st.diffVals = append(st.diffVals, v)
+		}
+		return st.nanID
+	}
+	id, ok := st.dict[v]
+	if !ok {
+		id = int32(len(st.diffVals))
+		st.dict[v] = id
+		st.diffVals = append(st.diffVals, v)
+	}
+	return id
+}
+
+// bankAP trains the current network's AP-scope cells and banks penalties
+// into compact dictionary slices: per (cell, candidate) the realized
+// penalty values are few (quantized throughputs over one AP's links at
+// one SNR), so a linear-scanned slice beats a map by an order of
+// magnitude in memory.
+func (a *PenaltyAccum) bankAP(st *penaltyScopeState, group []Sample) {
+	nr := a.numRates
+	for i := range group {
+		s := &group[i]
+		key := apCellKey{from: int32(s.From), snr: int32(s.SNR)}
+		idx, ok := st.apCells[key]
+		if !ok {
+			idx = int32(len(st.apCells))
+			st.apCells[key] = idx
+			st.apCounts = append(st.apCounts, make([]int64, nr)...)
+			st.apBanks = append(st.apBanks, make([][]diffCount, nr)...)
+		}
+		st.apCounts[int(idx)*nr+s.Popt]++
+		for p := 0; p < nr; p++ {
+			diff := s.BestTput - s.Tput[p]
+			if diff < 0 {
+				diff = 0
+			}
+			id := st.diffID(diff)
+			bank := &st.apBanks[int(idx)*nr+p]
+			found := false
+			for bi := range *bank {
+				if (*bank)[bi].id == id {
+					(*bank)[bi].n++
+					found = true
+					break
+				}
+			}
+			if !found {
+				*bank = append(*bank, diffCount{id: id, n: 1})
+			}
+		}
+	}
+}
+
+// resolveAP replays the finished AP cells of the current network and
+// resets the per-network state (the dictionary persists for the scope).
+func (a *PenaltyAccum) resolveAP(st *penaltyScopeState) {
+	nr := a.numRates
+	for idx := 0; idx < len(st.apCells); idx++ {
+		row := st.apCounts[idx*nr : (idx+1)*nr]
+		best, bestN := 0, int64(0)
+		for ri, n := range row {
+			if n > bestN {
+				best, bestN = ri, n
+			}
+		}
+		st.exact += row[best]
+		for _, dc := range st.apBanks[idx*nr+best] {
+			st.diffs.add(st.diffVals[dc.id], int64(dc.n))
+		}
+	}
+	if len(st.apCells) > 0 {
+		st.apCells = make(map[apCellKey]int32)
+		st.apCounts = st.apCounts[:0]
+		st.apBanks = st.apBanks[:0]
+	}
+}
+
+// observeLocal runs one non-global scope's train-and-replay over a single
+// network's completed cells: the same dense flat-buffer pass the batch
+// form used fleet-wide, shrunk to group scope, with the diffs folded into
+// the histogram instead of a per-sample slice.
+func (a *PenaltyAccum) observeLocal(st *penaltyScopeState, group []Sample) {
+	nr := a.numRates
+	cellOf := make([]int32, len(group))
+	ids := make(map[penaltyCell]int32, 64)
+	for i := range group {
+		k := st.scope.penaltyCell(&group[i])
+		id, ok := ids[k]
+		if !ok {
+			id = int32(len(ids))
+			ids[k] = id
+		}
+		cellOf[i] = id
+	}
+	counts := make([]int64, len(ids)*nr)
+	for i := range group {
+		counts[int(cellOf[i])*nr+group[i].Popt]++
+	}
+	// Most-frequent rate per cell, ties toward the lower index (Lookup's
+	// tie-break rule).
+	pred := make([]int32, len(ids))
+	for c := range pred {
+		row := counts[c*nr : (c+1)*nr]
+		best, bestN := int32(0), int64(0)
+		for ri, n := range row {
+			if n > bestN {
+				best, bestN = int32(ri), n
+			}
+		}
+		pred[c] = best
+	}
+	for i := range group {
+		s := &group[i]
+		p := pred[cellOf[i]]
+		diff := s.BestTput - s.Tput[p]
+		if diff < 0 {
+			diff = 0
+		}
+		st.diffs.add(diff, 1)
+		if int(p) == s.Popt {
+			st.exact++
+		}
+	}
+}
+
+// FinalizeDists resolves the still-banked cells (the Global scope's
+// fleet-lifetime cells and the last network's Network/AP cells) and
+// returns every scope's counted outcome, in scope argument order. The
+// accumulator must not be observed afterwards.
+func (a *PenaltyAccum) FinalizeDists() []PenaltyDist {
+	out := make([]PenaltyDist, len(a.states))
+	_ = conc.ForEach(len(a.states), func(si int) error {
+		st := &a.states[si]
+		switch st.scope {
+		case Global:
+			a.resolveCells(st)
+		case Network, AP:
+			a.finishNet(st)
+		}
+		pd := PenaltyDist{Scope: st.scope, Diffs: st.diffs.freeze()}
+		if a.total > 0 {
+			pd.ExactFrac = float64(st.exact) / float64(a.total)
+		}
+		out[si] = pd
+		return nil
+	})
+	return out
+}
+
+// Finalize materializes FinalizeDists into the batch PenaltyResult form
+// (sorted Diffs slices). Streaming callers that only need quantiles
+// should use FinalizeDists and skip the O(samples) expansion.
+func (a *PenaltyAccum) Finalize() []PenaltyResult {
+	dists := a.FinalizeDists()
+	out := make([]PenaltyResult, len(dists))
+	for i, pd := range dists {
+		out[i] = PenaltyResult{Scope: pd.Scope, ExactFrac: pd.ExactFrac}
+		if pd.Diffs.N() > 0 {
+			out[i].Diffs = pd.Diffs.Materialize()
+		}
+	}
+	return out
+}
+
+// coverageAgg folds per-(instance, SNR) cells into the per-SNR coverage
+// aggregates Figure 4.2/4.3 plot. Cell contributions are integer-valued,
+// so the float sums are exact and the fold is order-independent — which
+// is what lets group-at-a-time folding match the batch table walk bit for
+// bit.
+type coverageAgg struct {
+	minObs  int
+	scratch []int
+	bySNR   map[int]*covCell
+}
+
+type covCell struct {
+	n50, n80, n95 float64
+	max95, cells  int
+}
+
+func newCoverageAgg(numRates, minObs int) *coverageAgg {
+	return &coverageAgg{
+		minObs:  minObs,
+		scratch: make([]int, numRates),
+		bySNR:   make(map[int]*covCell),
+	}
+}
+
+// addCell folds one training cell's rate counts.
+func (g *coverageAgg) addCell(snrVal int, c []int) {
+	total := 0
+	for _, n := range c {
+		total += n
+	}
+	if total < g.minObs {
+		return
+	}
+	a, ok := g.bySNR[snrVal]
+	if !ok {
+		a = &covCell{}
+		g.bySNR[snrVal] = a
+	}
+	n50, n80, n95 := coverageNeeds(c, total, g.scratch)
+	a.n50 += float64(n50)
+	a.n80 += float64(n80)
+	a.n95 += float64(n95)
+	if n95 > a.max95 {
+		a.max95 = n95
+	}
+	a.cells++
+}
+
+// rows renders the aggregate in ascending SNR order.
+func (g *coverageAgg) rows() []CoverageRow {
+	snrs := make([]int, 0, len(g.bySNR))
+	for s := range g.bySNR {
+		snrs = append(snrs, s)
+	}
+	sort.Ints(snrs)
+	rows := make([]CoverageRow, 0, len(snrs))
+	for _, s := range snrs {
+		a := g.bySNR[s]
+		rows = append(rows, CoverageRow{
+			SNR:     s,
+			NeedP50: a.n50 / float64(a.cells),
+			NeedP80: a.n80 / float64(a.cells),
+			NeedP95: a.n95 / float64(a.cells),
+			MaxP95:  a.max95,
+			Cells:   a.cells,
+		})
+	}
+	return rows
+}
+
+// CoverageAccum is the incremental core of Train+Coverage for one scope,
+// consuming the same link-aligned chunks PenaltyAccum does. Link-scope
+// cells are complete within every chunk, so they train and fold
+// per-chunk with nothing persisting; Network- and AP-scope cells
+// accumulate in a per-network table (at most ~10⁴ small cells even for
+// a huge network) folded at the network boundary; Global keeps its
+// single SNR-keyed table (a few dozen cells) until Finalize. Peak memory
+// is one network's table plus the per-SNR aggregates.
+type CoverageAccum struct {
+	scope    Scope
+	numRates int
+	agg      *coverageAgg
+	table    *Table // Global: fleet-lifetime; Network/AP: split current network
+	held     []Sample
+	curNet   string
+	netSeen  bool
+}
+
+// NewCoverageAccum prepares an incremental coverage run. minObs is the
+// cell floor Table.Coverage applies.
+func NewCoverageAccum(numRates int, scope Scope, minObs int) *CoverageAccum {
+	a := &CoverageAccum{
+		scope:    scope,
+		numRates: numRates,
+		agg:      newCoverageAgg(numRates, minObs),
+	}
+	if scope != Link {
+		a.table = &Table{Scope: scope, NumRates: numRates, counts: make(map[instKey]map[int][]int)}
+	}
+	return a
+}
+
+// foldTable folds the pending table's cells into the aggregates and
+// resets it.
+func (a *CoverageAccum) foldTable() {
+	for _, inst := range a.table.counts {
+		for snrVal, c := range inst {
+			a.agg.addCell(snrVal, c)
+		}
+	}
+	if len(a.table.counts) > 0 {
+		a.table.counts = make(map[instKey]map[int][]int)
+	}
+}
+
+// ObserveGroup consumes one chunk (see PenaltyAccum for the chunk
+// contract).
+func (a *CoverageAccum) ObserveGroup(group []Sample) {
+	if len(group) == 0 {
+		return
+	}
+	switch a.scope {
+	case Link:
+		a.trainFold(group)
+	case Global:
+		for i := range group {
+			a.table.Add(&group[i])
+		}
+	default:
+		// Network, AP: cells complete at the network boundary. The first
+		// chunk is held back so an unsplit network (the common case)
+		// trains and folds in one throwaway pass; a split network
+		// accumulates the persistent per-network table instead. This is
+		// the same held-first-chunk protocol PenaltyAccum.observeBoundary
+		// drives (kept separate because the flush actions differ); the
+		// sub-chunk oracles pin both against their batch forms, so a
+		// contract change that misses one of them fails loudly.
+		if net := group[0].Net; !a.netSeen || net != a.curNet {
+			a.finishNet()
+			a.curNet, a.netSeen = net, true
+			a.held = group
+			return
+		}
+		if a.held != nil {
+			a.tableAdd(a.held)
+			a.held = nil
+		}
+		a.tableAdd(group)
+	}
+}
+
+// trainFold trains a throwaway table over one complete-cell chunk and
+// folds it.
+func (a *CoverageAccum) trainFold(group []Sample) {
+	tbl := Train(group, a.numRates, a.scope)
+	for _, inst := range tbl.counts {
+		for snrVal, c := range inst {
+			a.agg.addCell(snrVal, c)
+		}
+	}
+}
+
+// tableAdd accumulates a chunk into the persistent per-network table.
+func (a *CoverageAccum) tableAdd(group []Sample) {
+	for i := range group {
+		a.table.Add(&group[i])
+	}
+}
+
+// finishNet completes the previous network: a held unsplit chunk folds
+// through the throwaway path, a split network folds its table.
+func (a *CoverageAccum) finishNet() {
+	if a.held != nil {
+		a.trainFold(a.held)
+		a.held = nil
+	}
+	a.foldTable()
+}
+
+// Finalize returns the coverage rows, identical to
+// Train(allSamples, numRates, scope).Coverage(minObs).
+func (a *CoverageAccum) Finalize() []CoverageRow {
+	if a.table != nil {
+		a.finishNet()
+		a.table = nil
+	}
+	return a.agg.rows()
+}
+
+// TputAccum is the incremental core of ThroughputVsSNR: per (SNR, rate)
+// it keeps a quantized value→count histogram of throughputs instead of
+// the materialized per-cell slices, so memory is (SNR range × rates ×
+// distinct losses), independent of sample count.
+type TputAccum struct {
+	numRates, minObs int
+	minSNR, maxSNR   int
+	rows             map[int]*tputRow
+}
+
+type tputRow struct {
+	n     int64 // samples at this SNR (every sample hits every rate cell)
+	cells []diffHist
+}
+
+// NewTputAccum prepares an incremental Figure 4.5 run.
+func NewTputAccum(numRates, minObs int) *TputAccum {
+	return &TputAccum{numRates: numRates, minObs: minObs, rows: make(map[int]*tputRow)}
+}
+
+// ObserveGroup consumes one network's samples (any grouping works — the
+// histogram is order-independent — but groups keep the call pattern
+// uniform with the other accumulators).
+func (a *TputAccum) ObserveGroup(group []Sample) {
+	if a.numRates == 0 {
+		return
+	}
+	for i := range group {
+		s := &group[i]
+		row := a.rows[s.SNR]
+		if row == nil {
+			row = &tputRow{cells: make([]diffHist, a.numRates)}
+			a.rows[s.SNR] = row
+			if len(a.rows) == 1 || s.SNR < a.minSNR {
+				a.minSNR = s.SNR
+			}
+			if len(a.rows) == 1 || s.SNR > a.maxSNR {
+				a.maxSNR = s.SNR
+			}
+		}
+		row.n++
+		for ri := 0; ri < a.numRates; ri++ {
+			row.cells[ri].add(s.Tput[ri], 1)
+		}
+	}
+}
+
+// Finalize returns the per-cell quartile points, identical to
+// ThroughputVsSNR over the concatenated samples.
+func (a *TputAccum) Finalize() []TputPoint {
+	if len(a.rows) == 0 {
+		return nil
+	}
+	var out []TputPoint
+	for ri := 0; ri < a.numRates; ri++ {
+		for s := a.minSNR; s <= a.maxSNR; s++ {
+			row := a.rows[s]
+			if row == nil || row.n < int64(a.minObs) {
+				continue
+			}
+			c := newCounted(row.cells[ri].m, row.cells[ri].nan)
+			// The batch form's interpolation: hi is lo+1 whenever a next
+			// element exists, even at integral positions. Replicated
+			// exactly so the emitted float64s match bit for bit.
+			n := c.n
+			q := func(p float64) float64 {
+				pos := p * float64(n-1)
+				lo := int64(pos)
+				hi := lo
+				if lo+1 < n {
+					hi = lo + 1
+				}
+				frac := pos - float64(lo)
+				return c.at(lo)*(1-frac) + c.at(hi)*frac
+			}
+			out = append(out, TputPoint{
+				RateIdx: ri, SNR: s,
+				Median: q(0.5), Q1: q(0.25), Q3: q(0.75), N: int(n),
+			})
+		}
+	}
+	return out
+}
+
+// RateSetAccum is the incremental core of OptimalRateSets (Figure 4.1):
+// the seen-set is a few hundred booleans, so it simply accumulates.
+type RateSetAccum struct {
+	seen map[int]map[int]bool
+}
+
+// NewRateSetAccum prepares an incremental Figure 4.1 run.
+func NewRateSetAccum() *RateSetAccum {
+	return &RateSetAccum{seen: make(map[int]map[int]bool)}
+}
+
+// ObserveGroup consumes one chunk of samples (any grouping).
+func (a *RateSetAccum) ObserveGroup(group []Sample) {
+	for i := range group {
+		s := &group[i]
+		m, ok := a.seen[s.SNR]
+		if !ok {
+			m = make(map[int]bool)
+			a.seen[s.SNR] = m
+		}
+		m[s.Popt] = true
+	}
+}
+
+// Finalize returns the per-SNR ever-optimal rate sets, identical to
+// OptimalRateSets over the concatenated samples.
+func (a *RateSetAccum) Finalize() map[int][]int {
+	out := make(map[int][]int, len(a.seen))
+	for snrVal, m := range a.seen {
+		var rates []int
+		for ri := range m {
+			rates = append(rates, ri)
+		}
+		sort.Ints(rates)
+		out[snrVal] = rates
+	}
+	return out
+}
+
+// StrategyAccum is the incremental core of ReplayStrategies: links never
+// split across chunks, so each chunk replays its own links to completion
+// and only the integer hit/total/update counters persist.
+type StrategyAccum struct {
+	numRates, maxX int
+	results        []StrategyResult
+}
+
+// NewStrategyAccum prepares an incremental Figure 4.6 / Table 4.1 run.
+func NewStrategyAccum(numRates, maxX int) *StrategyAccum {
+	if maxX < 2 {
+		maxX = 2
+	}
+	a := &StrategyAccum{numRates: numRates, maxX: maxX}
+	for _, st := range Strategies {
+		a.results = append(a.results, StrategyResult{
+			Strategy: st,
+			Hits:     make([]int, maxX+1),
+			Total:    make([]int, maxX+1),
+		})
+	}
+	return a
+}
+
+// ObserveGroup replays one chunk through every strategy. The chunk
+// contract (see PenaltyAccum) guarantees links never split across
+// chunks, so every link's online table runs its full sequence here.
+func (a *StrategyAccum) ObserveGroup(group []Sample) {
+	byLink := make(map[string][]*Sample)
+	var keys []string
+	for i := range group {
+		k := Link.Key(&group[i])
+		if _, ok := byLink[k]; !ok {
+			keys = append(keys, k)
+		}
+		byLink[k] = append(byLink[k], &group[i])
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		seq := byLink[k]
+		sort.SliceStable(seq, func(x, y int) bool { return seq[x].T < seq[y].T })
+	}
+	for si, st := range Strategies {
+		res := &a.results[si]
+		for _, k := range keys {
+			replayLink(res, st, byLink[k], a.numRates, a.maxX)
+		}
+	}
+}
+
+// Finalize returns the per-strategy results, identical to
+// ReplayStrategies over the concatenated samples: every reported field is
+// an integer sum over per-link replays, so the per-group fold commutes.
+func (a *StrategyAccum) Finalize() []StrategyResult { return a.results }
+
+// TopKAccum is the incremental core of TopKCoverage at Link scope (the
+// §4.5 extension): link cells are complete within every chunk (see
+// PenaltyAccum's chunk contract), so each chunk trains its own table,
+// evaluates its own samples, and is discarded.
+type TopKAccum struct {
+	numRates        int
+	ks              []int
+	hits, evaluated []int
+}
+
+// NewTopKAccum prepares an incremental top-k candidate-set run.
+func NewTopKAccum(numRates int, ks []int) *TopKAccum {
+	return &TopKAccum{
+		numRates:  numRates,
+		ks:        ks,
+		hits:      make([]int, len(ks)),
+		evaluated: make([]int, len(ks)),
+	}
+}
+
+// ObserveGroup trains on and evaluates one network's samples.
+func (a *TopKAccum) ObserveGroup(group []Sample) {
+	if len(group) == 0 {
+		return
+	}
+	tbl := Train(group, a.numRates, Link)
+	for ki, k := range a.ks {
+		for i := range group {
+			s := &group[i]
+			cands, ok := tbl.TopK(s, k)
+			if !ok {
+				continue
+			}
+			a.evaluated[ki]++
+			for _, ri := range cands {
+				if ri == s.Popt {
+					a.hits[ki]++
+					break
+				}
+			}
+		}
+	}
+}
+
+// Finalize returns the per-k results, identical to TopKCoverage at Link
+// scope over the concatenated samples.
+func (a *TopKAccum) Finalize() []TopKResult {
+	out := make([]TopKResult, 0, len(a.ks))
+	for ki, k := range a.ks {
+		res := TopKResult{K: k, Evaluated: a.evaluated[ki]}
+		if a.evaluated[ki] > 0 {
+			res.HitFrac = float64(a.hits[ki]) / float64(a.evaluated[ki])
+		}
+		if a.numRates > 0 {
+			res.ProbeReduction = 1 - float64(k)/float64(a.numRates)
+			if res.ProbeReduction < 0 {
+				res.ProbeReduction = 0
+			}
+		}
+		out = append(out, res)
+	}
+	return out
+}

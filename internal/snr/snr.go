@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
-	"sync"
 
 	"meshlab/internal/dataset"
 	"meshlab/internal/phy"
@@ -341,81 +340,26 @@ type CoverageRow struct {
 
 // Coverage computes the unique-rates-needed curves for a trained table.
 // Cells with fewer than minObs observations are ignored (they cannot
-// estimate a 95th percentile).
+// estimate a 95th percentile). The fold is shared with the incremental
+// CoverageAccum, which produces identical rows one network group at a
+// time.
 func (t *Table) Coverage(minObs int) []CoverageRow {
-	type acc struct {
-		n50, n80, n95 float64
-		max95, cells  int
-	}
-	bySNR := make(map[int]*acc)
-	scratch := make([]int, t.NumRates)
+	agg := newCoverageAgg(t.NumRates, minObs)
 	for _, inst := range t.counts {
 		for snrVal, c := range inst {
-			total := 0
-			for _, n := range c {
-				total += n
-			}
-			if total < minObs {
-				continue
-			}
-			a, ok := bySNR[snrVal]
-			if !ok {
-				a = &acc{}
-				bySNR[snrVal] = a
-			}
-			n50, n80, n95 := coverageNeeds(c, total, scratch)
-			a.n50 += float64(n50)
-			a.n80 += float64(n80)
-			a.n95 += float64(n95)
-			if n95 > a.max95 {
-				a.max95 = n95
-			}
-			a.cells++
+			agg.addCell(snrVal, c)
 		}
 	}
-	snrs := make([]int, 0, len(bySNR))
-	for s := range bySNR {
-		snrs = append(snrs, s)
-	}
-	sort.Ints(snrs)
-	rows := make([]CoverageRow, 0, len(snrs))
-	for _, s := range snrs {
-		a := bySNR[s]
-		rows = append(rows, CoverageRow{
-			SNR:     s,
-			NeedP50: a.n50 / float64(a.cells),
-			NeedP80: a.n80 / float64(a.cells),
-			NeedP95: a.n95 / float64(a.cells),
-			MaxP95:  a.max95,
-			Cells:   a.cells,
-		})
-	}
-	return rows
+	return agg.rows()
 }
 
 // OptimalRateSets returns, per SNR, the set of rate indices that were ever
-// optimal anywhere in the data (Figure 4.1).
+// optimal anywhere in the data (Figure 4.1). It is the batch form of
+// RateSetAccum.
 func OptimalRateSets(samples []Sample) map[int][]int {
-	seen := make(map[int]map[int]bool)
-	for i := range samples {
-		s := &samples[i]
-		m, ok := seen[s.SNR]
-		if !ok {
-			m = make(map[int]bool)
-			seen[s.SNR] = m
-		}
-		m[s.Popt] = true
-	}
-	out := make(map[int][]int, len(seen))
-	for snrVal, m := range seen {
-		var rates []int
-		for ri := range m {
-			rates = append(rates, ri)
-		}
-		sort.Ints(rates)
-		out[snrVal] = rates
-	}
-	return out
+	acc := NewRateSetAccum()
+	acc.ObserveGroup(samples)
+	return acc.Finalize()
 }
 
 // PenaltyResult is the per-scope outcome of the §4.3 analysis.
@@ -447,79 +391,24 @@ func (s Scope) penaltyCell(sm *Sample) penaltyCell {
 // every sample through it, recording the throughput difference between the
 // optimal rate and the predicted rate (Figure 4.4). Training and
 // evaluation use the same data, matching the thesis's in-sample
-// methodology. The per-scope replays run concurrently; results come back
-// in scope argument order, so the output is deterministic.
+// methodology. It is the batch form of PenaltyAccum: the samples are fed
+// through the incremental core one network group at a time (scopes fan
+// across the process worker budget inside the core), then the counted
+// distributions are materialized into sorted Diffs slices. Results come
+// back in scope argument order, so the output is deterministic.
+//
+// The samples must be in Flatten order — each network's samples
+// contiguous, each directed link's samples contiguous within it — which
+// everything that produces samples in this repository (Flatten,
+// Flattener, the wire section) guarantees. Reordered input would
+// fragment the incremental core's per-network resolution.
 func Penalty(samples []Sample, numRates int, scopes []Scope) []PenaltyResult {
-	out := make([]PenaltyResult, len(scopes))
-	var wg sync.WaitGroup
-	for si, sc := range scopes {
-		wg.Add(1)
-		go func(si int, sc Scope) {
-			defer wg.Done()
-			out[si] = penaltyScope(samples, numRates, sc)
-		}(si, sc)
-	}
-	wg.Wait()
-	return out
-}
-
-// penaltyScope runs one scope's train-and-replay over flat buffers: each
-// sample is mapped to a dense (instance, SNR) cell id once, training
-// counts live in one cell-major array, and the per-cell argmax is
-// computed once instead of per replayed sample. In-sample evaluation
-// means every sample's cell is populated, so Diffs is exactly
-// len(samples) long and is allocated up front.
-func penaltyScope(samples []Sample, numRates int, sc Scope) PenaltyResult {
-	res := PenaltyResult{Scope: sc}
-	if len(samples) == 0 || numRates == 0 {
-		return res
-	}
-	cellOf := make([]int32, len(samples))
-	ids := make(map[penaltyCell]int32, 1024)
-	for i := range samples {
-		k := sc.penaltyCell(&samples[i])
-		id, ok := ids[k]
-		if !ok {
-			id = int32(len(ids))
-			ids[k] = id
-		}
-		cellOf[i] = id
-	}
-	counts := make([]int32, len(ids)*numRates)
-	for i := range samples {
-		counts[int(cellOf[i])*numRates+samples[i].Popt]++
-	}
-	// Most-frequent rate per cell, ties toward the lower index (Lookup's
-	// tie-break rule).
-	pred := make([]int32, len(ids))
-	for c := range pred {
-		row := counts[c*numRates : (c+1)*numRates]
-		best, bestN := int32(0), int32(0)
-		for ri, n := range row {
-			if n > bestN {
-				best, bestN = int32(ri), n
-			}
-		}
-		pred[c] = best
-	}
-	diffs := make([]float64, len(samples))
-	exact := 0
-	for i := range samples {
-		s := &samples[i]
-		p := pred[cellOf[i]]
-		diff := s.BestTput - s.Tput[p]
-		if diff < 0 {
-			diff = 0
-		}
-		diffs[i] = diff
-		if int(p) == s.Popt {
-			exact++
-		}
-	}
-	sort.Float64s(diffs)
-	res.Diffs = diffs
-	res.ExactFrac = float64(exact) / float64(len(diffs))
-	return res
+	acc := NewPenaltyAccum(numRates, scopes)
+	_ = ForEachSampleGroup(samples, func(group []Sample) error {
+		acc.ObserveGroup(group)
+		return nil
+	})
+	return acc.Finalize()
 }
 
 // TputPoint is one (rate, SNR) cell of Figure 4.5.

@@ -1,9 +1,6 @@
 package snr
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Strategy is an online table-building policy (§4.5, Figure 4.6,
 // Table 4.1): how a node keeps its per-link SNR→rate table up to date.
@@ -89,62 +86,49 @@ type linkState struct {
 // ReplayStrategies replays every link's probe sets in time order through
 // each strategy, predicting before updating (Figure 4.6). maxX caps the
 // history-length axis; longer histories accumulate into the last bucket.
+// It is the batch form of StrategyAccum: links never span networks and
+// every reported field is an integer sum over per-link replays, so the
+// per-network-group fold produces identical results. Like Penalty, it
+// requires the samples in Flatten order (networks contiguous, links
+// contiguous within them) — a link split across non-adjacent runs would
+// restart its online table mid-sequence.
 func ReplayStrategies(samples []Sample, numRates, maxX int) []StrategyResult {
-	if maxX < 2 {
-		maxX = 2
-	}
-	// Group per link, in time order. Flatten preserves per-link time
-	// order, but sort defensively.
-	byLink := make(map[string][]*Sample)
-	var keys []string
-	for i := range samples {
-		k := Link.Key(&samples[i])
-		if _, ok := byLink[k]; !ok {
-			keys = append(keys, k)
-		}
-		byLink[k] = append(byLink[k], &samples[i])
-	}
-	sort.Strings(keys)
+	acc := NewStrategyAccum(numRates, maxX)
+	_ = ForEachSampleGroup(samples, func(group []Sample) error {
+		acc.ObserveGroup(group)
+		return nil
+	})
+	return acc.Finalize()
+}
 
-	results := make([]StrategyResult, len(Strategies))
-	for si, st := range Strategies {
-		results[si] = StrategyResult{
-			Strategy: st,
-			Hits:     make([]int, maxX+1),
-			Total:    make([]int, maxX+1),
-		}
-		res := &results[si]
-		for _, k := range keys {
-			seq := byLink[k]
-			sort.SliceStable(seq, func(a, b int) bool { return seq[a].T < seq[b].T })
-			ls := &linkState{
-				firstVal:  make(map[int]int),
-				recentVal: make(map[int]int),
-				counts:    make(map[int][]int),
-			}
-			for _, sm := range seq {
-				// Predict from current state.
-				pred, ok := ls.predict(st, sm.SNR)
-				if ok {
-					x := ls.seen
-					if x > maxX {
-						x = maxX
-					}
-					res.Total[x]++
-					if pred == sm.Popt {
-						res.Hits[x]++
-					}
-				} else {
-					res.Skipped++
-				}
-				ls.update(st, sm.SNR, sm.Popt, numRates)
-				ls.seen++
-			}
-			res.Updates += ls.updates
-			res.MemEntries += ls.stored
-		}
+// replayLink replays one link's time-ordered probe sets through one
+// strategy, folding the hit/total/update counters into res.
+func replayLink(res *StrategyResult, st Strategy, seq []*Sample, numRates, maxX int) {
+	ls := &linkState{
+		firstVal:  make(map[int]int),
+		recentVal: make(map[int]int),
+		counts:    make(map[int][]int),
 	}
-	return results
+	for _, sm := range seq {
+		// Predict from current state.
+		pred, ok := ls.predict(st, sm.SNR)
+		if ok {
+			x := ls.seen
+			if x > maxX {
+				x = maxX
+			}
+			res.Total[x]++
+			if pred == sm.Popt {
+				res.Hits[x]++
+			}
+		} else {
+			res.Skipped++
+		}
+		ls.update(st, sm.SNR, sm.Popt, numRates)
+		ls.seen++
+	}
+	res.Updates += ls.updates
+	res.MemEntries += ls.stored
 }
 
 func (ls *linkState) predict(st Strategy, snr int) (int, bool) {

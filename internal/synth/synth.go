@@ -8,11 +8,9 @@ package synth
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"meshlab/internal/clients"
+	"meshlab/internal/conc"
 	"meshlab/internal/dataset"
 	"meshlab/internal/mesh"
 	"meshlab/internal/phy"
@@ -224,51 +222,15 @@ func Generate(opts Options) (*dataset.Fleet, error) {
 
 	n := len(fleetTopo.Networks)
 	results := make([]netResult, n)
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i, topo := range fleetTopo.Networks {
-			results[i] = buildNetwork(root, i, topo, opts)
-			if results[i].err != nil {
-				break
-			}
-		}
-	} else {
-		var next atomic.Int64
-		var failed atomic.Bool
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= n || failed.Load() {
-						return
-					}
-					results[i] = buildNetwork(root, i, fleetTopo.Networks[i], opts)
-					if results[i].err != nil {
-						failed.Store(true)
-					}
-				}
-			}()
-		}
-		wg.Wait()
-	}
-
-	// Report the error of the earliest network that was built. (With the
-	// early-abort flag, which networks were attempted — and therefore
-	// which error surfaces — can depend on worker scheduling; the
-	// success/failure outcome itself cannot.)
-	for i := range results {
-		if results[i].err != nil {
-			return nil, results[i].err
-		}
+	// conc.ForEachN reports the error of the lowest-index network that
+	// failed and skips later work once anything fails, so the surfaced
+	// error does not depend on worker scheduling. Workers ≤ 0 follows the
+	// process worker budget.
+	if err := conc.ForEachN(n, opts.Workers, func(i int) error {
+		results[i] = buildNetwork(root, i, fleetTopo.Networks[i], opts)
+		return results[i].err
+	}); err != nil {
+		return nil, err
 	}
 	out := &dataset.Fleet{Meta: opts.Meta()}
 	for i := range results {

@@ -62,6 +62,59 @@ func TestSampleSectionLyingLengthBoundsAllocation(t *testing.T) {
 	}
 }
 
+// lyingGroupCount hand-assembles an MLF2 file whose flat-sample section
+// is internally consistent byte-wise (honest secLen) but declares five
+// sample groups while holding one: the walk must error contextually when
+// the stream runs dry mid-group-header, never hang or panic.
+func lyingGroupCount() []byte {
+	var body bytes.Buffer
+	bw := &writer{w: &body}
+	bw.u8(1) // one band
+	bw.u8(0) // bg
+	nr := len(phy.BandBG.Rates)
+	bw.u8(uint8(nr))
+	bw.u32(5) // five groups declared, one encoded
+	bw.str("liar")
+	bw.u32(1) // one sample row
+	bw.u16(0) // from
+	bw.u16(1) // to
+	bw.i32(300)
+	bw.i16(20)
+	bw.u8(2)     // popt
+	bw.f64(11.5) // best
+	for i := 0; i < nr; i++ {
+		bw.f64(float64(i))
+	}
+
+	var buf bytes.Buffer
+	w := &writer{w: &buf}
+	w.bytes(Magic2[:])
+	encodeMeta(w, dataset.Meta{})
+	w.u8(flagFlatSamples)
+	w.u32(0) // no networks
+	w.u64(4) // client section length
+	w.u32(0) // no client datasets
+	w.u64(uint64(body.Len()))
+	w.bytes(body.Bytes())
+	return buf.Bytes()
+}
+
+// truncatedMidGroup cuts a real sample-carrying encoding inside the first
+// group's row bytes: the chunk boundary case FuzzSampleGroups starts from.
+func truncatedMidGroup(tb testing.TB) []byte {
+	f := fuzzFleet()
+	var v2, v2s bytes.Buffer
+	if err := Write(&v2, f); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := WriteWithSamples(&v2s, f); err != nil {
+		tb.Fatal(err)
+	}
+	// The section trails the fleet; land the cut a handful of rows into it.
+	cut := v2.Len() + (v2s.Len()-v2.Len())/3
+	return bytes.Clone(v2s.Bytes()[:cut])
+}
+
 // fuzzFleet hand-builds a tiny two-band fleet (not via synth, so the
 // corpus stays stable across generator changes).
 func fuzzFleet() *dataset.Fleet {
@@ -151,6 +204,8 @@ func fuzzSeeds(tb testing.TB) [][]byte {
 		corrupt(v2s.Bytes(), 60, 0xAA),          // flipped byte mid-record
 		corrupt(v2s.Bytes(), v2s.Len()-9, 0x7F), // flipped byte in the sample section
 		hugeSampleSection(),                     // lying section length + absurd count
+		lyingGroupCount(),                       // more groups declared than present
+		truncatedMidGroup(tb),                   // cut inside a group's row bytes
 	}
 	return seeds
 }
@@ -248,6 +303,53 @@ func FuzzReadFleet(f *testing.F) {
 	})
 }
 
+// FuzzSampleGroups drives the chunked sample-section walk: the decode
+// pool and in-order delivery must hold the same contract as the scalar
+// readers — contextual errors, no panics, no hangs — across chunk
+// boundaries, truncated groups, and lying counts. Delivered groups are
+// additionally cross-checked against the serial walk, so corruption can
+// never make the parallel path diverge from the single-threaded one.
+func FuzzSampleGroups(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		walk := func(workers int) (int, error) {
+			rd, err := NewReader(bytes.NewReader(data))
+			if err != nil {
+				contextualError(t, err)
+				return 0, err
+			}
+			if !rd.HasFlatSamples() {
+				return 0, nil
+			}
+			groups := 0
+			err = rd.SampleGroups(workers, func(g *SampleGroup) error {
+				for i := range g.Samples {
+					if g.Samples[i].Net != g.Net {
+						t.Fatalf("group %q delivered a sample for network %q", g.Net, g.Samples[i].Net)
+					}
+				}
+				groups++
+				return nil
+			})
+			contextualError(t, err)
+			return groups, err
+		}
+		serialGroups, serialErr := walk(1)
+		parallelGroups, parallelErr := walk(3)
+		if (serialErr == nil) != (parallelErr == nil) {
+			t.Fatalf("serial err %v vs parallel err %v", serialErr, parallelErr)
+		}
+		if serialErr == nil && serialGroups != parallelGroups {
+			t.Fatalf("serial walk saw %d groups, parallel %d", serialGroups, parallelGroups)
+		}
+	})
+}
+
 var updateCorpus = flag.Bool("update-corpus", false, "rewrite the seed corpus under testdata/fuzz")
 
 // TestWriteFuzzCorpus materializes fuzzSeeds as checked-in corpus files
@@ -257,7 +359,7 @@ func TestWriteFuzzCorpus(t *testing.T) {
 	if !*updateCorpus {
 		t.Skip("pass -update-corpus to rewrite testdata/fuzz")
 	}
-	for _, target := range []string{"FuzzReader", "FuzzReadFleet"} {
+	for _, target := range []string{"FuzzReader", "FuzzReadFleet", "FuzzSampleGroups"} {
 		dir := filepath.Join("testdata", "fuzz", target)
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			t.Fatal(err)
@@ -277,7 +379,7 @@ func TestWriteFuzzCorpus(t *testing.T) {
 // smoke runs from these files).
 func TestSeedCorpusInSync(t *testing.T) {
 	seeds := fuzzSeeds(t)
-	for _, target := range []string{"FuzzReader", "FuzzReadFleet"} {
+	for _, target := range []string{"FuzzReader", "FuzzReadFleet", "FuzzSampleGroups"} {
 		for i, seed := range seeds {
 			path := filepath.Join("testdata", "fuzz", target, fmt.Sprintf("seed-%02d", i))
 			got, err := os.ReadFile(path)

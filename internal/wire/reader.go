@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
+	"sync"
 
+	"meshlab/internal/conc"
 	"meshlab/internal/dataset"
 	"meshlab/internal/phy"
 	"meshlab/internal/snr"
@@ -423,23 +426,23 @@ func decodeClients(rd *reader) ([]*dataset.ClientData, error) {
 // in fleet order; bands without samples are omitted). When the file
 // carries the flat-sample section, any unconsumed networks and the client
 // section are skipped without decoding and the section is read directly —
-// the O(read) warm-start path. Otherwise the remaining networks are
-// streamed one at a time through snr.Flattener, so peak memory is one
-// network plus the samples either way; this fallback requires that no
-// network has been consumed yet.
+// the O(read) warm-start path, with the per-network groups decoded across
+// the process worker budget (see SampleGroups). Otherwise the remaining
+// networks are streamed one at a time through snr.Flattener, so peak
+// memory is one network plus the samples either way; this fallback
+// requires that no network has been consumed yet.
 func (r *Reader) Samples() (map[string][]snr.Sample, error) {
 	if r.HasFlatSamples() {
-		if err := r.skipClientSection(); err != nil {
-			return nil, err
-		}
-		if r.sect != sectSamples {
-			return nil, fmt.Errorf("wire: flat-sample section already consumed")
-		}
-		out, err := r.readSampleSection()
+		out := make(map[string][]snr.Sample, 2)
+		err := r.SampleGroups(0, func(g *SampleGroup) error {
+			if len(g.Samples) > 0 {
+				out[g.Band] = append(out[g.Band], g.Samples...)
+			}
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		r.sect = sectDone
 		return out, nil
 	}
 	if r.next != 0 || r.sect != sectNetworks {
@@ -474,44 +477,180 @@ func (r *Reader) Samples() (map[string][]snr.Sample, error) {
 	return out, nil
 }
 
-// readSampleSection decodes the flat-sample section: the length prefix,
-// then per band the per-network sample groups. Each group shares one
-// network-name string and one flat Tput backing array.
-func (r *Reader) readSampleSection() (map[string][]snr.Sample, error) {
+// SampleGroup is one run of a network's flat §4 samples, the section's
+// independently decodable unit: a group's row bytes are fixed-width and
+// self-contained given its header, so groups can decode in parallel.
+// Most networks arrive as exactly one group; a huge network is delivered
+// as several consecutive groups split only at directed-link boundaries,
+// so a link's samples are always complete within one group and no
+// network's sample set ever needs to be resident at once (the chunk
+// contract the snr accumulators consume).
+type SampleGroup struct {
+	// Band is the band name ("bg" or "n"); the section stores each band's
+	// groups contiguously, in fleet order within the band.
+	Band string
+	// Net is the network name every sample in the group shares. A
+	// network's groups are consecutive.
+	Net string
+	// Samples holds the group's samples in probe order (shared Tput
+	// backing). Empty for networks that delivered nothing.
+	Samples []snr.Sample
+}
+
+// sampleRowLen returns the fixed encoded width of one sample row: from
+// u16, to u16, t i32, snr i16, popt u8, best f64, then nr throughput
+// f64s.
+func sampleRowLen(nr int) int { return 2 + 2 + 4 + 2 + 1 + 8 + nr*8 }
+
+// sampleGroupJob is one group moving through the decode pipeline: the
+// producer reads its raw bytes off the stream, a pool worker decodes
+// them, and the consumer delivers the result in file order.
+type sampleGroupJob struct {
+	band    string
+	net     string
+	nr, n   int
+	raw     []byte
+	samples []snr.Sample
+	err     error
+	done    chan struct{}
+}
+
+// SampleGroups streams the flat-sample section as per-network groups,
+// invoking fn once per group in file order (all of one band's groups,
+// then the next band's). Group decoding is overlapped and parallel: a
+// producer reads group bytes sequentially ahead of consumption while a
+// pool of workers (≤ 0 means the process conc.Budget) decodes them, so
+// the stream read, the decode of group i+1, and fn's own work on group i
+// all proceed concurrently — and the delivered groups are byte-identical
+// at any pool size. An fn error aborts the walk and is returned verbatim.
+//
+// The section is required (see HasFlatSamples); for section-less files
+// stream the network records through snr.Flattener instead. Corrupt
+// input — truncated mid-group, sample counts exceeding the section
+// budget, out-of-range rate indices — yields a contextual error, never a
+// panic, and never an allocation beyond the bytes actually present plus
+// one read chunk.
+func (r *Reader) SampleGroups(workers int, fn func(*SampleGroup) error) error {
+	if !r.HasFlatSamples() {
+		return fmt.Errorf("wire: file has no flat-sample section; stream the network records through snr.Flattener instead")
+	}
+	if err := r.skipClientSection(); err != nil {
+		return err
+	}
+	if r.sect != sectSamples {
+		return fmt.Errorf("wire: flat-sample section already consumed")
+	}
+	err := r.streamSampleGroups(conc.Workers(workers), fn)
+	// The cursor is past (or, after an abort, inside) the trailing
+	// section either way; poison the reader on failure so a later call
+	// cannot misread a half-consumed stream.
+	r.sect = sectDone
+	if err != nil && r.rd.err == nil {
+		r.rd.err = fmt.Errorf("flat-sample walk aborted: %w", err)
+	}
+	return err
+}
+
+// streamSampleGroups runs the bounded producer/worker/consumer pipeline
+// behind SampleGroups. The producer goroutine owns the underlying reader
+// for the duration of the call and reads up to a window's worth of
+// groups ahead; the consumer (the caller's goroutine) applies fn in send
+// order.
+func (r *Reader) streamSampleGroups(workers int, fn func(*SampleGroup) error) error {
+	// ordered is the in-order delivery window (double buffering needs
+	// ≥ 2); work feeds the decode pool. work's capacity plus the workers
+	// themselves always exceed the window, so the producer can park a
+	// job in work for every job it parked in ordered without deadlock.
+	ordered := make(chan *sampleGroupJob, workers+1)
+	work := make(chan *sampleGroupJob, workers+1)
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range work {
+				j.samples, j.err = decodeSampleGroup(j.band, j.net, j.nr, j.n, j.raw)
+				j.raw = nil
+				close(j.done)
+			}
+		}()
+	}
+	go func() {
+		r.produceSampleGroups(ordered, work, quit)
+		close(work)
+		close(ordered)
+	}()
+
+	var abort error
+	quitClosed := false
+	stop := func(err error) {
+		if abort == nil {
+			abort = err
+		}
+		if !quitClosed {
+			close(quit)
+			quitClosed = true
+		}
+	}
+	for j := range ordered {
+		if abort != nil {
+			continue // drain the window; in-flight decodes finish via wg.Wait
+		}
+		<-j.done
+		if j.err != nil {
+			stop(j.err)
+			continue
+		}
+		if err := fn(&SampleGroup{Band: j.band, Net: j.net, Samples: j.samples}); err != nil {
+			stop(err)
+		}
+	}
+	wg.Wait()
+	return abort
+}
+
+// produceSampleGroups sequentially reads the flat-sample section,
+// emitting one job per group. Error jobs carry a pre-closed done channel
+// and skip the decode pool. Every send races quit so a consumer abort
+// unblocks the producer mid-window.
+func (r *Reader) produceSampleGroups(ordered, work chan<- *sampleGroupJob, quit <-chan struct{}) {
 	rd := &r.rd
+	fail := func(err error) {
+		j := &sampleGroupJob{err: err, done: make(chan struct{})}
+		close(j.done)
+		select {
+		case ordered <- j:
+		case <-quit:
+		}
+	}
 	secLen := int64(rd.u64())
 	start := rd.n
 	nBands := int(rd.u8())
 	if rd.err != nil {
-		return nil, fmt.Errorf("wire: flat-sample section: %w", rd.err)
+		fail(fmt.Errorf("wire: flat-sample section: %w", rd.err))
+		return
 	}
-	out := make(map[string][]snr.Sample, nBands)
 	for b := 0; b < nBands; b++ {
 		code := rd.u8()
 		bandName, ok := bandNames[code]
 		if !ok && rd.err == nil {
-			return nil, fmt.Errorf("wire: flat-sample section: unknown band code %d", code)
+			fail(fmt.Errorf("wire: flat-sample section: unknown band code %d", code))
+			return
 		}
 		band, err := phy.BandByName(bandName)
 		if err != nil && rd.err == nil {
-			return nil, fmt.Errorf("wire: flat-sample section: %w", err)
+			fail(fmt.Errorf("wire: flat-sample section: %w", err))
+			return
 		}
 		nr := int(rd.u8())
 		if rd.err == nil && nr != len(band.Rates) {
-			return nil, fmt.Errorf("wire: flat-sample section: band %s has %d rates, file stores %d",
-				bandName, len(band.Rates), nr)
+			fail(fmt.Errorf("wire: flat-sample section: band %s has %d rates, file stores %d",
+				bandName, len(band.Rates), nr))
+			return
 		}
 		nGroups := rd.count("sample group", 1<<20)
-		var samples []snr.Sample
-		// One sample row: from u16, to u16, t i32, snr i16, popt u8,
-		// best f64, then nr throughput f64s.
-		rowLen := 2 + 2 + 4 + 2 + 1 + 8 + nr*8
-		row := make([]byte, rowLen)
-		// Tput backing arrays are allocated in bounded chunks as rows are
-		// actually read, so a corrupt count (or a corrupt secLen backing
-		// the count check below) can never demand more than one chunk
-		// before the stream runs dry and errors.
-		const chunkRows = 1 << 16
+		rowLen := sampleRowLen(nr)
 		for g := 0; g < nGroups && rd.err == nil; g++ {
 			name := rd.str()
 			n := rd.count("flat sample", 1<<28)
@@ -521,56 +660,202 @@ func (r *Reader) readSampleSection() (map[string][]snr.Sample, error) {
 			// Bound the count by the bytes the length prefix says are left
 			// in the section: catches counts that disagree with an honest
 			// secLen before any row is read (a corrupt secLen is caught by
-			// the chunked allocation and the final length check instead).
+			// the chunked raw read below and the final length check).
 			if remaining := secLen - (rd.n - start); int64(n)*int64(rowLen) > remaining {
-				return nil, fmt.Errorf("wire: flat-sample section: network %s declares %d samples (%d bytes) but only %d section bytes remain",
-					name, n, int64(n)*int64(rowLen), remaining)
+				fail(fmt.Errorf("wire: flat-sample section: network %s declares %d samples (%d bytes) but only %d section bytes remain",
+					name, n, int64(n)*int64(rowLen), remaining))
+				return
 			}
-			var flat []float64
-			for i := 0; i < n && rd.err == nil; i++ {
-				j := i % chunkRows
-				if j == 0 {
-					rows := n - i
-					if rows > chunkRows {
-						rows = chunkRows
-					}
-					flat = make([]float64, rows*nr)
+			if n > directDecodeRows {
+				// Huge groups (the reference fleet's largest network alone
+				// holds ~70% of all samples) skip both the raw staging
+				// buffer and the single-delivery contract: the producer
+				// decodes them inline, row by row, off the buffered
+				// stream, emitting link-aligned sub-chunks as it goes.
+				// Nothing proportional to the network is ever resident —
+				// the point of the chunked §4 path, which a
+				// network-at-once delivery would defeat exactly for the
+				// network that dominates the sample count.
+				if !r.produceSampleChunks(ordered, quit, bandName, name, nr, n) {
+					return
 				}
-				rd.full(row)
 				if rd.err != nil {
 					break
 				}
-				s := snr.Sample{
-					Net:  name,
-					From: int(binary.LittleEndian.Uint16(row[0:])),
-					To:   int(binary.LittleEndian.Uint16(row[2:])),
-					T:    int32(binary.LittleEndian.Uint32(row[4:])),
-					SNR:  int(int16(binary.LittleEndian.Uint16(row[8:]))),
-					Popt: int(row[10]),
-					Tput: flat[j*nr : (j+1)*nr : (j+1)*nr],
+				continue
+			}
+			// Read the group's raw bytes in bounded steps, so allocation
+			// never exceeds the bytes actually present plus one chunk even
+			// when both secLen and the count lie. slices.Grow + reslice
+			// extends without the zeroed throwaway an append(make(...))
+			// would churn per step; rd.full overwrites the region anyway.
+			const chunk = 1 << 20
+			total := int64(n) * int64(rowLen)
+			cap64 := total
+			if cap64 > chunk {
+				cap64 = chunk
+			}
+			raw := make([]byte, 0, cap64)
+			for int64(len(raw)) < total && rd.err == nil {
+				step := total - int64(len(raw))
+				if step > chunk {
+					step = chunk
 				}
-				s.BestTput = math.Float64frombits(binary.LittleEndian.Uint64(row[11:]))
-				if s.Popt >= nr {
-					return nil, fmt.Errorf("wire: flat-sample section: band %s network %s: optimal rate index %d out of range",
-						bandName, name, s.Popt)
-				}
-				for k := 0; k < nr; k++ {
-					s.Tput[k] = math.Float64frombits(binary.LittleEndian.Uint64(row[19+k*8:]))
-				}
-				samples = append(samples, s)
+				from := len(raw)
+				raw = slices.Grow(raw, int(step))[:from+int(step)]
+				rd.full(raw[from:])
+			}
+			if rd.err != nil {
+				break
+			}
+			j := &sampleGroupJob{
+				band: bandName, net: name, nr: nr, n: n, raw: raw,
+				done: make(chan struct{}),
+			}
+			select {
+			case ordered <- j:
+			case <-quit:
+				return
+			}
+			select {
+			case work <- j:
+			case <-quit:
+				return
 			}
 		}
-		if len(samples) > 0 {
-			out[bandName] = samples
+		if rd.err != nil {
+			fail(fmt.Errorf("wire: flat-sample section: %w", rd.err))
+			return
 		}
 	}
-	if rd.err != nil {
-		return nil, fmt.Errorf("wire: flat-sample section: %w", rd.err)
-	}
 	if got := rd.n - start; got != secLen {
-		return nil, fmt.Errorf("wire: flat-sample section was %d bytes, length prefix promised %d", got, secLen)
+		fail(fmt.Errorf("wire: flat-sample section was %d bytes, length prefix promised %d", got, secLen))
 	}
-	return out, nil
+}
+
+// directDecodeRows is the group size above which the producer switches
+// from staged whole-group decoding to inline, link-aligned sub-chunk
+// streaming: past this many rows the group itself — not the tables the
+// §4 accumulators train from it — would dominate the §4 path's memory.
+// A var so tests can lower it to exercise the splitting on small fleets.
+var directDecodeRows = 1 << 16
+
+// subChunkRows is the target sub-chunk size of the inline path: half the
+// direct-decode threshold, so splitting always engages when the inline
+// path does. Chunks split only where a new directed link begins (the §4
+// accumulators' chunk contract), so a chunk can exceed this by at most
+// one link's run.
+func subChunkRows() int {
+	if n := directDecodeRows / 2; n > 0 {
+		return n
+	}
+	return 1
+}
+
+// produceSampleChunks decodes one huge group straight off the stream and
+// emits it as link-aligned sub-chunks: peak memory is one sub-chunk plus
+// a row buffer, with no raw staging and no whole-group residency. It
+// reports false when the walk should stop (consumer quit, or a decode
+// validation error already delivered); stream read errors are left in
+// r.rd.err for the caller to surface.
+func (r *Reader) produceSampleChunks(ordered chan<- *sampleGroupJob, quit <-chan struct{}, bandName, net string, nr, n int) bool {
+	rd := &r.rd
+	row := make([]byte, sampleRowLen(nr))
+	emit := func(samples []snr.Sample, err error) bool {
+		j := &sampleGroupJob{
+			band: bandName, net: net, nr: nr, n: len(samples),
+			samples: samples, err: err,
+			done: make(chan struct{}),
+		}
+		close(j.done)
+		select {
+		case ordered <- j:
+			return err == nil
+		case <-quit:
+			return false
+		}
+	}
+	chunkRows := subChunkRows()
+	samples := make([]snr.Sample, 0, chunkRows)
+	// Tput backing arrays are allocated in bounded blocks as rows are
+	// actually read, so a corrupt count backed by a lying section length
+	// can never demand more than one block before the stream runs dry.
+	var flat []float64
+	off := 0
+	lastFrom, lastTo := -1, -1
+	for i := 0; i < n; i++ {
+		rd.full(row)
+		if rd.err != nil {
+			return true
+		}
+		from := int(binary.LittleEndian.Uint16(row[0:]))
+		to := int(binary.LittleEndian.Uint16(row[2:]))
+		if len(samples) >= chunkRows && (from != lastFrom || to != lastTo) {
+			if !emit(samples, nil) {
+				return false
+			}
+			samples = make([]snr.Sample, 0, chunkRows)
+		}
+		lastFrom, lastTo = from, to
+		if off == len(flat) {
+			flat = make([]float64, chunkRows*nr)
+			off = 0
+		}
+		s := snr.Sample{
+			Net:  net,
+			From: from,
+			To:   to,
+			T:    int32(binary.LittleEndian.Uint32(row[4:])),
+			SNR:  int(int16(binary.LittleEndian.Uint16(row[8:]))),
+			Popt: int(row[10]),
+			Tput: flat[off : off+nr : off+nr],
+		}
+		off += nr
+		s.BestTput = math.Float64frombits(binary.LittleEndian.Uint64(row[11:]))
+		if s.Popt >= nr {
+			return emit(nil, fmt.Errorf("wire: flat-sample section: band %s network %s: optimal rate index %d out of range",
+				bandName, net, s.Popt))
+		}
+		for k := 0; k < nr; k++ {
+			s.Tput[k] = math.Float64frombits(binary.LittleEndian.Uint64(row[19+k*8:]))
+		}
+		samples = append(samples, s)
+	}
+	return emit(samples, nil)
+}
+
+// decodeSampleGroup parses one group's fixed-width rows. It touches no
+// reader state, so the pool decodes groups concurrently; each group
+// shares one network-name string and one flat Tput backing array.
+func decodeSampleGroup(bandName, net string, nr, n int, raw []byte) ([]snr.Sample, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	rowLen := sampleRowLen(nr)
+	samples := make([]snr.Sample, 0, n)
+	flat := make([]float64, n*nr)
+	for i := 0; i < n; i++ {
+		row := raw[i*rowLen : (i+1)*rowLen]
+		s := snr.Sample{
+			Net:  net,
+			From: int(binary.LittleEndian.Uint16(row[0:])),
+			To:   int(binary.LittleEndian.Uint16(row[2:])),
+			T:    int32(binary.LittleEndian.Uint32(row[4:])),
+			SNR:  int(int16(binary.LittleEndian.Uint16(row[8:]))),
+			Popt: int(row[10]),
+			Tput: flat[i*nr : (i+1)*nr : (i+1)*nr],
+		}
+		s.BestTput = math.Float64frombits(binary.LittleEndian.Uint64(row[11:]))
+		if s.Popt >= nr {
+			return nil, fmt.Errorf("wire: flat-sample section: band %s network %s: optimal rate index %d out of range",
+				bandName, net, s.Popt)
+		}
+		for k := 0; k < nr; k++ {
+			s.Tput[k] = math.Float64frombits(binary.LittleEndian.Uint64(row[19+k*8:]))
+		}
+		samples = append(samples, s)
+	}
+	return samples, nil
 }
 
 // Read decodes a whole fleet from either format version, streaming

@@ -3,10 +3,13 @@ package meshlab
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
+	"meshlab/internal/snr"
 	"meshlab/internal/wire"
 )
 
@@ -297,5 +300,120 @@ func TestSampleAnalysis(t *testing.T) {
 	}
 	if _, err := bare.Run("fig3.1"); err == nil {
 		t.Fatal("a fleet experiment should fail on a sample-only analysis")
+	}
+}
+
+// TestEachSampleGroupMatchesLoadSamples: the chunked group walk carries
+// exactly the samples LoadSamples materializes, per band and in order,
+// from both a sample-carrying and a section-less binary file.
+func TestEachSampleGroupMatchesLoadSamples(t *testing.T) {
+	fleet, err := GenerateFleet(QuickOptions(39))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	sampled := filepath.Join(dir, "sampled.bin")
+	if err := SaveFleetWithSamples(sampled, fleet); err != nil {
+		t.Fatal(err)
+	}
+	plain := filepath.Join(dir, "plain.bin")
+	if err := SaveFleet(plain, fleet); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{sampled, plain} {
+		want, err := LoadSamples(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat := FleetSamples{}
+		groups := 0
+		if err := EachSampleGroup(path, 2, func(band, net string, samples []snr.Sample) error {
+			groups++
+			for i := range samples {
+				if samples[i].Net != net {
+					return fmt.Errorf("group %s carries sample for %s", net, samples[i].Net)
+				}
+			}
+			if len(samples) > 0 {
+				cat[band] = append(cat[band], samples...)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if groups != len(fleet.Networks) {
+			t.Fatalf("%s: %d groups, fleet has %d network datasets", path, groups, len(fleet.Networks))
+		}
+		if !reflect.DeepEqual(cat, want) {
+			t.Fatalf("%s: concatenated groups diverge from LoadSamples", path)
+		}
+	}
+	if err := EachSampleGroup(filepath.Join(dir, "missing.bin"), 1, nil); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+// TestStreamSampleExperimentsMatchesAnalysis: the fleet-less chunked §4
+// engine (meshanalyze -sec4) reproduces every sample-only table
+// byte-identically to the full in-memory analysis, at any worker count.
+func TestStreamSampleExperimentsMatchesAnalysis(t *testing.T) {
+	fleet, err := GenerateFleet(QuickOptions(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fleet.bin")
+	if err := SaveFleetWithSamples(path, fleet); err != nil {
+		t.Fatal(err)
+	}
+	full := NewAnalysis(fleet)
+	ids := SampleExperimentIDs()
+	for _, workers := range []int{1, 3} {
+		results, err := StreamSampleExperiments(path, ids, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != len(ids) {
+			t.Fatalf("%d results for %d ids", len(results), len(ids))
+		}
+		for i, id := range ids {
+			want, err := full.Run(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if results[i].Format() != want.Format() {
+				t.Fatalf("workers=%d: %s diverges from the in-memory analysis", workers, id)
+			}
+		}
+	}
+	// Fleet-needing experiments are refused up front.
+	if _, err := StreamSampleExperiments(path, []string{"fig5.1"}, 1); err == nil {
+		t.Fatal("a fleet experiment should be refused by the sample run")
+	}
+}
+
+// TestStreamFleetMaterializeSamplesKnob: the explicit opt-out of chunked
+// sample handling still emits byte-identical results — it only changes
+// what stays resident.
+func TestStreamFleetMaterializeSamplesKnob(t *testing.T) {
+	fleet, err := GenerateFleet(QuickOptions(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fleet.bin")
+	if err := SaveFleetWithSamples(path, fleet); err != nil {
+		t.Fatal(err)
+	}
+	chunked, _, err := StreamFleet(path, StreamOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	materialized, _, err := StreamFleet(path, StreamOptions{Workers: 2, MaterializeSamples: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range chunked {
+		if chunked[i].Format() != materialized[i].Format() {
+			t.Fatalf("%s diverges under MaterializeSamples", chunked[i].ID)
+		}
 	}
 }
