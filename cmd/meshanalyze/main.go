@@ -19,9 +19,21 @@
 // machines. Experiments outside that population, or a dataset in a
 // format that cannot stream, are clear errors rather than silent
 // fallbacks.
+//
+// -shards N runs the full suite as a fault-tolerant sharded stream over
+// an MLF2 file (or a directory of per-shard MLF2 files): shard workers
+// retry transient I/O failures with capped exponential backoff
+// (-max-retries per shard), corrupt shards are quarantined, and
+// -allow-partial turns a quarantine from a fatal error into a degraded
+// run whose coverage manifest is printed to stderr.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 corrupt
+// input, 4 transient-retry budget exhausted.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -37,10 +49,33 @@ import (
 	"meshlab/internal/textplot"
 )
 
+// usageError marks an error as the caller's invocation being wrong (bad
+// flag, bad combination), mapping it to exit code 2 instead of the
+// runtime-failure codes.
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+// exitCode implements the documented contract: 2 for usage errors
+// (including flag-parse failures), then the streaming classification —
+// 3 corrupt input, 4 transient exhaustion, 1 anything else.
+func exitCode(err error) int {
+	var u usageError
+	if errors.As(err, &u) || errors.Is(err, flag.ErrHelp) {
+		return 2
+	}
+	return meshlab.ShardExitCode(err)
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "meshanalyze: %v\n", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
@@ -54,11 +89,14 @@ func run(args []string, stdout io.Writer) error {
 		list    = fs.Bool("list", false, "list experiment IDs and exit")
 		plot    = fs.Bool("plot", false, "also render an ASCII plot where the figure is a CDF")
 		sec4    = fs.Bool("sec4", false, "stream the §4 samples from a binary -data file group by group and run the sample-only experiments at table-sized memory")
+		shards  = fs.Int("shards", 0, "run the suite as N fault-tolerant shards over an MLF2 -data file or shard directory (0: single-pass)")
+		retries = fs.Int("max-retries", 3, "per-shard transient-failure retry budget (sharded mode)")
+		partial = fs.Bool("allow-partial", false, "complete a sharded run without its quarantined shards, printing a coverage manifest to stderr (default: a corrupt shard is fatal)")
 		workers = fs.Int("workers", 0, "process-wide worker budget for every parallel kernel (0: all cores, 1: effectively single-threaded)")
 		rss     = fs.Bool("rusage", false, "print the process max RSS (getrusage) after the run")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageError{err}
 	}
 	conc.SetBudget(*workers)
 	if *rss {
@@ -72,6 +110,15 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintln(stdout, id)
 		}
 		return nil
+	}
+
+	if *shards != 0 {
+		if *sec4 {
+			return usagef("-shards already streams the §4 samples chunked; drop -sec4")
+		}
+		return runSharded(stdout, *data, *exp, *plot, meshlab.ShardOptions{
+			Shards: *shards, Workers: *workers, MaxRetries: *retries, AllowPartial: *partial,
+		})
 	}
 
 	if *sec4 {
@@ -98,6 +145,38 @@ func run(args []string, stdout io.Writer) error {
 			renderPlot(stdout, a, id)
 		}
 		fmt.Fprintln(stdout)
+	}
+	return nil
+}
+
+// runSharded is the -shards mode: the full suite over a fault-tolerant
+// sharded stream, with the degraded-mode coverage manifest (if any) on
+// stderr so piped table output stays clean.
+func runSharded(stdout io.Writer, data, exp string, plot bool, so meshlab.ShardOptions) error {
+	if data == "" {
+		return usagef("-shards streams a binary dataset: pass -data fleet.bin or -data shard-dir/")
+	}
+	res, err := meshlab.ShardedStream(context.Background(), data, so)
+	if err != nil {
+		return err
+	}
+	if res.Manifest.Degraded {
+		fmt.Fprint(os.Stderr, res.Manifest.Format())
+	}
+	printed := false
+	for _, r := range res.Results {
+		if exp != "all" && r.ID != exp {
+			continue
+		}
+		printed = true
+		fmt.Fprint(stdout, r.Format())
+		if plot {
+			fmt.Fprintln(stdout, "(no plot in sharded mode)")
+		}
+		fmt.Fprintln(stdout)
+	}
+	if !printed {
+		return usagef("unknown experiment %q (see -list)", exp)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -146,5 +147,61 @@ func TestSec4Errors(t *testing.T) {
 	err = run([]string{"-data", jsonl, "-sec4"}, &strings.Builder{})
 	if err == nil || !strings.Contains(err.Error(), "flat-samples") {
 		t.Fatalf("JSONL under -sec4 should point at meshgen -flat-samples, got %v", err)
+	}
+}
+
+func TestShardedRunMatchesSinglePass(t *testing.T) {
+	fleet, err := meshlab.GenerateFleet(meshlab.QuickOptions(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "f.bin")
+	if err := meshlab.SaveFleetWithSamples(path, fleet); err != nil {
+		t.Fatal(err)
+	}
+	var whole, sharded strings.Builder
+	if err := run([]string{"-data", path, "-exp", "fig6.1"}, &whole); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", path, "-exp", "fig6.1", "-shards", "3"}, &sharded); err != nil {
+		t.Fatal(err)
+	}
+	if whole.String() != sharded.String() {
+		t.Fatalf("sharded output diverges:\n--- whole ---\n%s\n--- sharded ---\n%s", whole.String(), sharded.String())
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-shards", "2"}, &buf); exitCode(err) != 2 {
+		t.Fatalf("missing -data: exit %d (%v), want 2", exitCode(err), err)
+	}
+	if err := run([]string{"-bogus-flag"}, &buf); exitCode(err) != 2 {
+		t.Fatalf("bad flag: exit %d (%v), want 2", exitCode(err), err)
+	}
+	if err := run([]string{"-shards", "2", "-sec4", "-data", "x.bin"}, &buf); exitCode(err) != 2 {
+		t.Fatalf("-shards with -sec4: exit %d (%v), want 2", exitCode(err), err)
+	}
+	if exitCode(nil) != 0 {
+		t.Fatal("nil error must exit 0")
+	}
+	// A truncated MLF2 file is corrupt input: exit 3 in sharded mode.
+	fleet, err := meshlab.GenerateFleet(meshlab.QuickOptions(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "f.bin")
+	if err := meshlab.SaveFleetWithSamples(path, fleet); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", path, "-shards", "2"}, &buf); exitCode(err) != 3 {
+		t.Fatalf("truncated input: exit %d (%v), want 3", exitCode(err), err)
 	}
 }

@@ -26,9 +26,18 @@
 // fall back to materializing; -stream forbids that fallback and errors
 // with guidance instead, for runs that must stay within derived-data
 // memory. The report is byte-identical on every path (see docs/FORMAT.md).
+//
+// -shards N runs the suite as a fault-tolerant sharded stream over an
+// MLF2 -data file (or a directory of per-shard MLF2 files): transient
+// I/O failures are retried per shard (-max-retries), corrupt shards are
+// quarantined, and -allow-partial lets the report complete in degraded
+// mode — the coverage manifest goes to stderr and the report preamble
+// names the run degraded. Exit codes: 0 success, 1 runtime failure,
+// 2 usage error, 3 corrupt input, 4 transient-retry budget exhausted.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -146,10 +155,33 @@ var paperClaims = map[string][]string{
 	},
 }
 
+// usageError marks an error as the caller's invocation being wrong (bad
+// flag, bad combination), mapping it to exit code 2 instead of the
+// runtime-failure codes.
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+// exitCode implements the documented contract: 2 for usage errors
+// (including flag-parse failures), then the streaming classification —
+// 3 corrupt input, 4 transient exhaustion, 1 anything else.
+func exitCode(err error) int {
+	var u usageError
+	if errors.As(err, &u) || errors.Is(err, flag.ErrHelp) {
+		return 2
+	}
+	return meshlab.ShardExitCode(err)
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "meshreport: %v\n", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
@@ -164,10 +196,13 @@ func run(args []string, stdout io.Writer) error {
 		out     = fs.String("out", "EXPERIMENTS.md", "output markdown path")
 		workers = fs.Int("workers", 0, "process-wide worker budget for every parallel kernel — synthesis, probe links, experiment scheduling, streaming decode (0: all cores, 1: effectively single-threaded)")
 		stream  = fs.Bool("stream", false, "require the single-pass streaming suite: error (with guidance) instead of materializing or regenerating when the dataset cannot stream")
+		shards  = fs.Int("shards", 0, "run the suite as N fault-tolerant shards over an MLF2 -data file or shard directory (0: single-pass)")
+		retries = fs.Int("max-retries", 3, "per-shard transient-failure retry budget (sharded mode)")
+		partial = fs.Bool("allow-partial", false, "complete a degraded report without quarantined shards, printing a coverage manifest to stderr (default: a corrupt shard is fatal)")
 		rss     = fs.Bool("rusage", false, "print the process max RSS (getrusage) after the run — what the CI guardrail records")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageError{err}
 	}
 	// One knob bounds every parallel kernel in the process — synthesis,
 	// experiment scheduling, the stream pipeline, §4 penalty scopes,
@@ -175,10 +210,14 @@ func run(args []string, stdout io.Writer) error {
 	// runs effectively single-threaded.
 	conc.SetBudget(*workers)
 	if *data != "" && *cache != "" {
-		return fmt.Errorf("-data and -dataset are mutually exclusive: -data reads a fixed file, -dataset manages a synthesis cache")
+		return usagef("-data and -dataset are mutually exclusive: -data reads a fixed file, -dataset manages a synthesis cache")
+	}
+	if *shards != 0 && *data == "" {
+		return usagef("-shards streams a binary dataset: pass -data fleet.bin or -data shard-dir/")
 	}
 
-	results, sum, label, expDur, err := obtainResults(*data, *cache, *seed, *scale, *workers, *stream)
+	so := meshlab.ShardOptions{Shards: *shards, Workers: *workers, MaxRetries: *retries, AllowPartial: *partial}
+	results, sum, label, expDur, err := obtainResults(*data, *cache, *seed, *scale, *workers, *stream, *shards != 0, so)
 	if err != nil {
 		return err
 	}
@@ -237,8 +276,11 @@ func run(args []string, stdout io.Writer) error {
 // direct generation) materializes a fleet — unless forceStream forbids
 // the fallback. The returned duration covers experiment execution only
 // (for streaming, the walk is the execution).
-func obtainResults(data, cache string, seed uint64, scale string, workers int, forceStream bool) ([]*meshlab.Result, *meshlab.StreamSummary, string, time.Duration, error) {
+func obtainResults(data, cache string, seed uint64, scale string, workers int, forceStream, sharded bool, so meshlab.ShardOptions) ([]*meshlab.Result, *meshlab.StreamSummary, string, time.Duration, error) {
 	if data != "" {
+		if sharded {
+			return runSharded(data, so)
+		}
 		start := time.Now()
 		results, sum, err := meshlab.StreamFleet(data, meshlab.StreamOptions{Workers: workers})
 		switch {
@@ -303,6 +345,29 @@ func obtainResults(data, cache string, seed uint64, scale string, workers int, f
 		return nil, nil, "", 0, err
 	}
 	return runMaterialized(f, nil, workers, fmt.Sprintf("generated in-memory (%s, seed %d)", scale, seed))
+}
+
+// runSharded runs the suite as a fault-tolerant sharded stream. The
+// coverage manifest of a degraded run goes to stderr (so the report and
+// the wrote-line on stdout stay clean), and the degradation is named in
+// the report's dataset label.
+func runSharded(data string, so meshlab.ShardOptions) ([]*meshlab.Result, *meshlab.StreamSummary, string, time.Duration, error) {
+	start := time.Now()
+	res, err := meshlab.ShardedStream(context.Background(), data, so)
+	if err != nil {
+		return nil, nil, "", 0, err
+	}
+	sum := &meshlab.StreamSummary{
+		Meta: res.Meta, Networks: res.Networks, NetworksBG: res.NetworksBG,
+		NetworksN: res.NetworksN, ProbeSets: res.ProbeSets, FlatSamples: res.FlatSamples,
+	}
+	label := fmt.Sprintf("%s (sharded stream, %d shards)", data, len(res.Manifest.Shards))
+	if res.Manifest.Degraded {
+		fmt.Fprint(os.Stderr, res.Manifest.Format())
+		label += fmt.Sprintf("; DEGRADED: %d of %d networks skipped",
+			len(res.Manifest.Skipped), res.Networks+len(res.Manifest.Skipped))
+	}
+	return res.Results, sum, label, time.Since(start), nil
 }
 
 // runMaterialized runs the suite over an in-memory fleet, priming any

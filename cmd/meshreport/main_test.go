@@ -297,3 +297,48 @@ func TestDataAndDatasetMutuallyExclusive(t *testing.T) {
 		t.Fatalf("want mutually-exclusive error, got %v", err)
 	}
 }
+
+// TestShardedReportMatchesStreamed: the -shards report must be
+// byte-identical to the single-pass streamed report, modulo the dataset
+// label and the wall-time line.
+func TestShardedReportMatchesStreamed(t *testing.T) {
+	fleet, err := meshlab.GenerateFleet(meshlab.QuickOptions(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	data := filepath.Join(dir, "f.bin")
+	if err := meshlab.SaveFleetWithSamples(data, fleet); err != nil {
+		t.Fatal(err)
+	}
+	read := func(args ...string) string {
+		t.Helper()
+		out := filepath.Join(dir, "EXP.md")
+		if err := run(append(args, "-data", data, "-out", out), &strings.Builder{}); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		md := normalizeReport(string(raw))
+		return regexp.MustCompile(`(?m)^- dataset: .*$`).ReplaceAllString(md, "- dataset: (elided)")
+	}
+	whole := read()
+	sharded := read("-shards", "3")
+	if whole != sharded {
+		t.Fatal("sharded report diverges from the streamed report")
+	}
+}
+
+func TestExitCodeMapping(t *testing.T) {
+	if err := run([]string{"-shards", "2"}, &strings.Builder{}); exitCode(err) != 2 {
+		t.Fatalf("-shards without -data: exit %d (%v), want 2", exitCode(err), err)
+	}
+	if err := run([]string{"-bogus"}, &strings.Builder{}); exitCode(err) != 2 {
+		t.Fatalf("bad flag: exit %d (%v), want 2", exitCode(err), err)
+	}
+	if exitCode(nil) != 0 {
+		t.Fatal("nil error must exit 0")
+	}
+}

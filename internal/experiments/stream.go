@@ -179,6 +179,7 @@ type StreamContext struct {
 	mob memo[*mobility.Analysis]
 
 	networks  int
+	drained   bool
 	finalized bool
 }
 
@@ -303,8 +304,8 @@ func (s *StreamContext) loadErr() error {
 // network must not be mutated after the call; it is released once every
 // accumulator has observed it.
 func (s *StreamContext) Observe(nd *dataset.NetworkData) error {
-	if s.finalized {
-		return fmt.Errorf("experiments: Observe after Finalize")
+	if s.drained || s.finalized {
+		return fmt.Errorf("experiments: Observe after Drain/Finalize")
 	}
 	if err := s.loadErr(); err != nil {
 		return err
@@ -406,10 +407,7 @@ func (s *StreamContext) Finalize() ([]*Result, error) {
 		return nil, fmt.Errorf("experiments: Finalize called twice")
 	}
 	s.finalized = true
-	s.start.Do(func() { go s.collect() })
-	close(s.jobs)
-	<-s.collectorDone
-	if err := s.loadErr(); err != nil {
+	if err := s.Drain(); err != nil {
 		return nil, err
 	}
 	if s.deferSamples && !s.samplesDone {

@@ -1,0 +1,260 @@
+// Package faultfs wraps readers with deterministic fault injection: the
+// robustness tests and the CI fault-injection smoke drive the shard
+// runner (internal/shard) over real datasets while this package injects
+// short reads, transient I/O errors, latency stalls, and byte corruption
+// at chosen byte offsets. Faults fire by byte position, never by timing,
+// so a seeded scenario replays identically on any machine.
+//
+// The Injector holds the fault state and survives re-opens: a shard
+// worker that retries a transient failure re-opens the file through the
+// same Injector, which is what lets a test script "fail twice, then
+// succeed". Transient errors wrap ErrTransient so retry policy can
+// classify them with errors.Is; corruption is silent (the bytes are
+// simply wrong), which is exactly what makes it non-retryable — the
+// decoder's validation, not the I/O layer, has to catch it.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ErrTransient marks an injected transient I/O failure (the moral
+// equivalent of EIO from flaky storage). Injected errors wrap it.
+var ErrTransient = errors.New("faultfs: transient I/O error")
+
+// Kind selects a fault behavior.
+type Kind int
+
+const (
+	// Transient fails a Read whose range covers Offset with an error
+	// wrapping ErrTransient, Count times; later reads pass through.
+	Transient Kind = iota
+	// ShortRead truncates a Read whose range spans past Offset to the
+	// bytes before Offset (a legal partial read with a nil error), Count
+	// times. io.ReadFull-based decoders must absorb it transparently.
+	ShortRead
+	// Stall sleeps Delay before a Read whose range covers Offset, Count
+	// times: injected latency, not an error.
+	Stall
+	// Corrupt XORs the byte at Offset with XOR on every read that covers
+	// it. Count is ignored — corruption is a property of the data, so it
+	// persists across retries and re-opens.
+	Corrupt
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Transient:
+		return "transient"
+	case ShortRead:
+		return "short-read"
+	case Stall:
+		return "stall"
+	case Corrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Fault is one injected behavior at a byte offset.
+type Fault struct {
+	// Offset is the absolute byte position that triggers the fault.
+	Offset int64
+	Kind   Kind
+	// Count is how many times the fault fires before burning out; 0 means
+	// once. Ignored by Corrupt, which never burns out.
+	Count int
+	// XOR is the corruption mask (Corrupt only). 0 XORs nothing, so
+	// corruption scenarios must pick a non-zero mask.
+	XOR byte
+	// Delay is the injected latency (Stall only).
+	Delay time.Duration
+}
+
+// Injector owns a fault set shared by every reader it wraps. Fault
+// burn-down is synchronized, so concurrent shard workers (and sequential
+// retry re-opens) observe one consistent scenario.
+type Injector struct {
+	mu     sync.Mutex
+	faults []Fault
+	fired  []int // per-fault fire count
+}
+
+// New builds an injector over the fault set.
+func New(faults ...Fault) *Injector {
+	return &Injector{faults: faults, fired: make([]int, len(faults))}
+}
+
+// Fired reports how many times fault i has fired — test bookkeeping for
+// asserting a scenario actually exercised its faults.
+func (in *Injector) Fired(i int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[i]
+}
+
+// budget returns a fault's total allowed firings.
+func budget(f *Fault) int {
+	if f.Count <= 0 {
+		return 1
+	}
+	return f.Count
+}
+
+// plan decides what a read of [pos, pos+n) does: how many bytes it may
+// return (≤ n), an error to inject instead (nil for none), a stall to
+// sleep first, and the corruption positions to apply afterwards. Fault
+// state burns down inside the lock; the caller performs the I/O outside.
+func (in *Injector) plan(pos int64, n int) (limit int, stall time.Duration, corrupt []int64, err error) {
+	limit = n
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i := range in.faults {
+		f := &in.faults[i]
+		if f.Offset < pos || f.Offset >= pos+int64(limit) {
+			continue
+		}
+		switch f.Kind {
+		case Corrupt:
+			in.fired[i]++
+			corrupt = append(corrupt, f.Offset-pos)
+		case Stall:
+			if in.fired[i] < budget(f) {
+				in.fired[i]++
+				stall += f.Delay
+			}
+		case Transient:
+			if in.fired[i] < budget(f) {
+				in.fired[i]++
+				return 0, stall, nil, fmt.Errorf("faultfs: injected EIO at offset %d: %w", f.Offset, ErrTransient)
+			}
+		case ShortRead:
+			if in.fired[i] < budget(f) && f.Offset > pos {
+				in.fired[i]++
+				if cut := int(f.Offset - pos); cut < limit {
+					limit = cut
+					// Corruption positions past the cut no longer apply.
+					kept := corrupt[:0]
+					for _, c := range corrupt {
+						if c < int64(limit) {
+							kept = append(kept, c)
+						}
+					}
+					corrupt = kept
+				}
+			}
+		}
+	}
+	return limit, stall, corrupt, nil
+}
+
+// WrapReadSeeker wraps a positioned reader (what os.Open returns) with
+// the injector's faults. The wrapper tracks the position itself via Read
+// and Seek, so the inner reader only needs io.ReadSeekCloser.
+func (in *Injector) WrapReadSeeker(inner io.ReadSeekCloser) io.ReadSeekCloser {
+	return &faultFile{in: in, inner: inner}
+}
+
+// WrapOpen adapts an open function (path → reader) so every file it
+// opens carries the injector's faults — the hook shape the shard
+// runner's Open option takes.
+func (in *Injector) WrapOpen(open func(string) (io.ReadSeekCloser, error)) func(string) (io.ReadSeekCloser, error) {
+	return func(path string) (io.ReadSeekCloser, error) {
+		f, err := open(path)
+		if err != nil {
+			return nil, err
+		}
+		return in.WrapReadSeeker(f), nil
+	}
+}
+
+type faultFile struct {
+	in    *Injector
+	inner io.ReadSeekCloser
+	pos   int64
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return f.inner.Read(p)
+	}
+	limit, stall, corrupt, err := f.in.plan(f.pos, len(p))
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	if err != nil {
+		return 0, err
+	}
+	n, err := f.inner.Read(p[:limit])
+	for _, c := range corrupt {
+		if c < int64(n) {
+			p[c] ^= f.in.xorAt(f.pos + c)
+		}
+	}
+	f.pos += int64(n)
+	return n, err
+}
+
+func (f *faultFile) Seek(offset int64, whence int) (int64, error) {
+	pos, err := f.inner.Seek(offset, whence)
+	if err == nil {
+		f.pos = pos
+	}
+	return pos, err
+}
+
+func (f *faultFile) Close() error { return f.inner.Close() }
+
+// xorAt returns the corruption mask for an absolute offset (0 if none).
+func (in *Injector) xorAt(off int64) byte {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var x byte
+	for i := range in.faults {
+		f := &in.faults[i]
+		if f.Kind == Corrupt && f.Offset == off {
+			x ^= f.XOR
+		}
+	}
+	return x
+}
+
+// ReaderAt wraps an io.ReaderAt with the injector's faults, for callers
+// that read by absolute offset instead of a cursor.
+func (in *Injector) ReaderAt(inner io.ReaderAt) io.ReaderAt {
+	return &faultReaderAt{in: in, inner: inner}
+}
+
+type faultReaderAt struct {
+	in    *Injector
+	inner io.ReaderAt
+}
+
+func (r *faultReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return r.inner.ReadAt(p, off)
+	}
+	limit, stall, corrupt, err := r.in.plan(off, len(p))
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	if err != nil {
+		return 0, err
+	}
+	n, err := r.inner.ReadAt(p[:limit], off)
+	for _, c := range corrupt {
+		if c < int64(n) {
+			p[c] ^= r.in.xorAt(off + c)
+		}
+	}
+	if err == nil && limit < len(p) {
+		// A shortened ReadAt must error per the io.ReaderAt contract;
+		// report the partial read without inventing data.
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}

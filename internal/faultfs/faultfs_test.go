@@ -1,0 +1,154 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// memFile is an in-memory io.ReadSeekCloser backing the wrapper tests.
+type memFile struct {
+	*bytes.Reader
+}
+
+func (memFile) Close() error { return nil }
+
+func data(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}
+
+func open(in *Injector, b []byte) io.ReadSeekCloser {
+	return in.WrapReadSeeker(memFile{bytes.NewReader(b)})
+}
+
+func TestTransientBurnsDownAcrossReopens(t *testing.T) {
+	src := data(64)
+	in := New(Fault{Kind: Transient, Offset: 10, Count: 2})
+	for attempt := 0; attempt < 2; attempt++ {
+		f := open(in, src)
+		_, err := io.ReadAll(f)
+		if !errors.Is(err, ErrTransient) {
+			t.Fatalf("attempt %d: got %v, want ErrTransient", attempt, err)
+		}
+	}
+	// The budget is spent; a third open reads clean.
+	got, err := io.ReadAll(open(in, src))
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatalf("post-burn-down read: %v, %d bytes", err, len(got))
+	}
+	if in.Fired(0) != 2 {
+		t.Fatalf("fired %d, want 2", in.Fired(0))
+	}
+}
+
+func TestTransientOnlyCoveringReads(t *testing.T) {
+	src := data(64)
+	in := New(Fault{Kind: Transient, Offset: 32, Count: 1})
+	f := open(in, src)
+	// A read entirely before the offset passes through untouched.
+	buf := make([]byte, 16)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, src[:16]) {
+		t.Fatal("clean range corrupted")
+	}
+	if _, err := io.ReadAll(f); !errors.Is(err, ErrTransient) {
+		t.Fatalf("covering read: %v", err)
+	}
+}
+
+func TestShortReadIsLegalPartial(t *testing.T) {
+	src := data(64)
+	in := New(Fault{Kind: ShortRead, Offset: 20, Count: 1})
+	f := open(in, src)
+	buf := make([]byte, 64)
+	n, err := f.Read(buf)
+	if err != nil {
+		t.Fatalf("short read must not error: %v", err)
+	}
+	if n != 20 {
+		t.Fatalf("read %d bytes, want the 20 before the fault offset", n)
+	}
+	// io.ReadFull-style consumers absorb the partial transparently.
+	rest, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(append(buf[:n], rest...), src) {
+		t.Fatal("bytes lost across the partial read")
+	}
+}
+
+func TestCorruptPersistsAcrossReopens(t *testing.T) {
+	src := data(64)
+	in := New(Fault{Kind: Corrupt, Offset: 33, XOR: 0x80})
+	for attempt := 0; attempt < 2; attempt++ {
+		got, err := io.ReadAll(open(in, src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[33] != src[33]^0x80 {
+			t.Fatalf("attempt %d: byte 33 = %#x, want %#x", attempt, got[33], src[33]^0x80)
+		}
+		got[33] = src[33]
+		if !bytes.Equal(got, src) {
+			t.Fatalf("attempt %d: corruption leaked beyond offset 33", attempt)
+		}
+	}
+}
+
+func TestCorruptAfterSeek(t *testing.T) {
+	src := data(64)
+	in := New(Fault{Kind: Corrupt, Offset: 40, XOR: 0xFF})
+	f := open(in, src)
+	if _, err := f.Seek(32, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[8] != src[40]^0xFF {
+		t.Fatalf("corruption missed its absolute offset after a seek: %#x", got[8])
+	}
+}
+
+func TestStallDelaysWithoutError(t *testing.T) {
+	src := data(16)
+	in := New(Fault{Kind: Stall, Offset: 0, Count: 1, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	got, err := io.ReadAll(open(in, src))
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatalf("stall must be latency only: %v", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("stall did not delay the read")
+	}
+}
+
+func TestReaderAtContract(t *testing.T) {
+	src := data(64)
+	in := New(Fault{Kind: ShortRead, Offset: 8, Count: 1})
+	ra := in.ReaderAt(bytes.NewReader(src))
+	buf := make([]byte, 16)
+	n, err := ra.ReadAt(buf, 0)
+	// io.ReaderAt must error on a partial read instead of returning short
+	// silently.
+	if n != 8 || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("got n=%d err=%v, want 8 bytes + ErrUnexpectedEOF", n, err)
+	}
+	n, err = ra.ReadAt(buf, 16)
+	if n != 16 || err != nil {
+		t.Fatalf("clean ReadAt: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(buf, src[16:32]) {
+		t.Fatal("clean ReadAt returned wrong bytes")
+	}
+}

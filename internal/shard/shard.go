@@ -1,0 +1,581 @@
+// Package shard runs the streaming experiment suite across network-range
+// shards with fault tolerance: each shard streams its contiguous slice of
+// the fleet through its own experiments.StreamContext (re-opening the
+// dataset with its own file handle), transient I/O failures are retried
+// with capped exponential backoff, corrupt shards are quarantined, and
+// the surviving partials merge — in shard order — into one context whose
+// results are byte-identical to a whole-fleet streaming run.
+//
+// Two dataset shapes are supported:
+//
+//   - A single MLF2 file: wire.BuildPlan indexes the network records
+//     once, the plan partitions them into contiguous index ranges, and
+//     each shard worker seeks straight to its range (and filters the
+//     shared flat-sample section down to its own networks). The framing
+//     — record length prefixes and group headers — must be intact for
+//     planning and filtering; corruption confined to a record body or a
+//     group's rows quarantines only the shard that decodes it.
+//   - A directory of MLF2 files: each file is one shard, walked whole,
+//     in file-name order; client sections concatenate in the same order.
+//
+// Failure policy: an error that wire.IsCorrupt classifies as data
+// corruption is never retried — the bytes are wrong, not unlucky — and
+// quarantines the shard. Any other error is presumed transient and
+// retried on a fresh file handle up to Options.MaxRetries times; a shard
+// that exhausts its budget is reported as such. Without
+// Options.AllowPartial any failed shard fails the run, wrapping
+// ErrCorruptShard or ErrExhausted so callers can exit with distinct
+// codes. With it, the run completes in degraded mode over the surviving
+// shards, and the Manifest names every network observed and skipped with
+// each failed shard's full error chain.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"meshlab/internal/conc"
+	"meshlab/internal/dataset"
+	"meshlab/internal/experiments"
+	"meshlab/internal/wire"
+)
+
+// ErrCorruptShard marks a run that failed (or degraded) because a shard
+// hit data corruption: retrying cannot help, the input needs fixing.
+var ErrCorruptShard = errors.New("shard: corrupt input")
+
+// ErrExhausted marks a run that failed because a shard's transient-retry
+// budget ran out: the input may be fine, the environment was not.
+var ErrExhausted = errors.New("shard: transient retry budget exhausted")
+
+// State classifies how one shard ended.
+type State int
+
+const (
+	// OK: the shard streamed completely (possibly after retries).
+	OK State = iota
+	// Quarantined: the shard hit corrupt data and was excluded without
+	// retrying.
+	Quarantined
+	// Exhausted: every attempt failed with a presumed-transient error.
+	Exhausted
+)
+
+func (s State) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Quarantined:
+		return "quarantined"
+	case Exhausted:
+		return "exhausted"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Report describes one shard's outcome.
+type Report struct {
+	// Index is the shard's position (fleet order / file-name order).
+	Index int
+	// File is the dataset file the shard streamed.
+	File string
+	// Networks names the shard's networks in fleet order; nil when the
+	// shard's plan itself failed before the names were known.
+	Networks []string
+	// Attempts counts how many times the shard ran (≥ 1).
+	Attempts int
+	State    State
+	// Err is the shard's final error (nil for OK shards), with its full
+	// wrap chain intact: wire.Error context, ErrCorrupt/transient cause.
+	Err error
+}
+
+// Manifest is the coverage record of a sharded run: what was observed,
+// what was lost, and why — the artifact a degraded-mode run hands the
+// user in place of silent omission.
+type Manifest struct {
+	// Degraded reports whether any shard failed (so the results cover a
+	// subset of the dataset).
+	Degraded bool
+	Shards   []Report
+	// Observed and Skipped name the networks covered by, and missing
+	// from, the merged results, each in fleet order.
+	Observed []string
+	Skipped  []string
+}
+
+// Format renders the manifest as an indented block, one line per shard
+// plus the skipped-network roll-up — the degraded-mode report the CLIs
+// print to stderr.
+func (m *Manifest) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sharded run: %d shards, %d networks observed, %d skipped\n",
+		len(m.Shards), len(m.Observed), len(m.Skipped))
+	for i := range m.Shards {
+		r := &m.Shards[i]
+		nets := fmt.Sprintf("%d networks", len(r.Networks))
+		if r.Networks == nil {
+			nets = "networks unknown (plan failed)"
+		}
+		fmt.Fprintf(&b, "  shard %d [%s]: %s, %s, %d attempt(s)\n", r.Index, r.File, r.State, nets, r.Attempts)
+		if r.Err != nil {
+			fmt.Fprintf(&b, "    cause: %v\n", r.Err)
+		}
+	}
+	if len(m.Skipped) > 0 {
+		fmt.Fprintf(&b, "  skipped networks: %s\n", strings.Join(m.Skipped, ", "))
+	}
+	return b.String()
+}
+
+// Result is a sharded run's output.
+type Result struct {
+	// Results holds every experiment's rendered table, in paper order —
+	// byte-identical to a whole-fleet streaming run when no shard failed.
+	Results []*experiments.Result
+	// Meta is the dataset's stamped generation metadata (the first
+	// planned shard's, in directory mode).
+	Meta dataset.Meta
+	// Networks counts the networks the merged results actually cover;
+	// NetworksBG, NetworksN, and ProbeSets break the same coverage down
+	// for report preambles.
+	Networks, NetworksBG, NetworksN int
+	ProbeSets                       int
+	// FlatSamples reports whether the dataset carried the flat-sample
+	// section (every planned shard in directory mode must agree in
+	// practice; any one having it sets this).
+	FlatSamples bool
+	Manifest    *Manifest
+}
+
+// Options configures a sharded run.
+type Options struct {
+	// Shards is the shard count for single-file datasets; ≤ 0 means the
+	// process worker budget, and the count is clamped to the network
+	// count. Ignored in directory mode (one shard per file).
+	Shards int
+	// Workers bounds each shard's StreamContext pipeline and sample
+	// decode pool; ≤ 0 means the process worker budget.
+	Workers int
+	// MaxRetries is how many times a shard re-runs after a
+	// presumed-transient failure (0 = fail on the first).
+	MaxRetries int
+	// AllowPartial completes the run in degraded mode when shards fail,
+	// instead of failing it; the Manifest records the damage. A run where
+	// every shard fails still errors.
+	AllowPartial bool
+	// Open opens the dataset file; nil means os.Open. Tests inject
+	// faults here (faultfs.Injector.WrapOpen).
+	Open func(path string) (io.ReadSeekCloser, error)
+	// RetryBase is the backoff unit: attempt k sleeps in
+	// [base·2ᵏ, 1.5·base·2ᵏ), capped at 64·base. ≤ 0 means 5ms.
+	RetryBase time.Duration
+}
+
+func (o *Options) open() func(string) (io.ReadSeekCloser, error) {
+	if o.Open != nil {
+		return o.Open
+	}
+	return func(path string) (io.ReadSeekCloser, error) { return os.Open(path) }
+}
+
+func (o *Options) retryBase() time.Duration {
+	if o.RetryBase > 0 {
+		return o.RetryBase
+	}
+	return 5 * time.Millisecond
+}
+
+// ExitCode maps a sharded-run (or any streaming) error to the CLI
+// exit-code contract: 0 success, 3 corrupt input, 4 transient
+// exhaustion, 1 anything else. (2 is reserved for usage errors, which
+// never reach this function.)
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, ErrCorruptShard) || wire.IsCorrupt(err):
+		return 3
+	case errors.Is(err, ErrExhausted):
+		return 4
+	}
+	return 1
+}
+
+// Run executes the full experiment suite over the dataset at path —
+// a single MLF2 file, or a directory of per-shard MLF2 files — sharded
+// per opts. ctx cancellation aborts between attempts and during backoff
+// sleeps.
+func Run(ctx context.Context, path string, opts Options) (*Result, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	if info.IsDir() {
+		return runDir(ctx, path, opts)
+	}
+	return runFile(ctx, path, opts)
+}
+
+// backoff returns attempt k's sleep: capped exponential with
+// deterministic jitter from the shard's own rng, so concurrent shards
+// desynchronize without making test runs timing-dependent.
+func backoff(base time.Duration, attempt int, rng *rand.Rand) time.Duration {
+	d := base << uint(attempt)
+	if max := base << 6; d > max || d <= 0 {
+		d = max
+	}
+	return d + time.Duration(rng.Int63n(int64(d)/2+1))
+}
+
+// sleep waits d or until ctx cancels, whichever first.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// shardRng seeds a shard's jitter stream from its index alone, so a
+// scenario replays identically at any concurrency.
+func shardRng(index int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(index)*0x9E3779B9 + 0x6A09E667))
+}
+
+// shardOut is one shard's successful yield: the drained context plus
+// the dataset tallies a report preamble wants.
+type shardOut struct {
+	sc               *experiments.StreamContext
+	bg, n, probeSets int
+	flatSamples      bool
+}
+
+// attempt runs one shard's body up to 1+MaxRetries times on fresh file
+// handles, returning the shard's yield, the attempt count, and the
+// final error. Corruption short-circuits the loop; ctx cancellation
+// surfaces as the context's error.
+func attempt(ctx context.Context, index int, opts Options, run func() (*shardOut, error)) (*shardOut, int, error) {
+	rng := shardRng(index)
+	for try := 0; ; try++ {
+		if err := ctx.Err(); err != nil {
+			return nil, try, err
+		}
+		out, err := run()
+		if err == nil {
+			return out, try + 1, nil
+		}
+		if wire.IsCorrupt(err) || try >= opts.MaxRetries {
+			return nil, try + 1, err
+		}
+		if serr := sleep(ctx, backoff(opts.retryBase(), try, rng)); serr != nil {
+			return nil, try + 1, serr
+		}
+	}
+}
+
+// streamRange streams networks [first, first+count) of a planned file
+// into a fresh StreamContext, then the flat-sample section filtered to
+// those networks, and drains the pipeline. keep is nil to take every
+// sample group (directory mode, where the shard is the whole file).
+func streamRange(f io.ReadSeeker, plan *wire.Plan, first, count int, keep map[string]bool, opts Options) (*shardOut, error) {
+	out := &shardOut{sc: experiments.NewStreamContext(opts.Workers)}
+	sc := out.sc
+	done := false
+	// The collector goroutine must be released on every exit path; a
+	// failed attempt's context is abandoned, not merged.
+	defer func() {
+		if !done {
+			sc.Drain()
+		}
+	}()
+	hasSamples := plan.SamplesOffset != 0
+	out.flatSamples = hasSamples
+	if hasSamples {
+		sc.DeferSamples()
+	}
+	if count > 0 {
+		if _, err := f.Seek(plan.Networks[first].Offset, io.SeekStart); err != nil {
+			return nil, err
+		}
+		r, err := plan.ResumeNetworks(f, first, count)
+		if err != nil {
+			return nil, err
+		}
+		err = r.EachNetwork(wire.Filter{}, func(nd *dataset.NetworkData) error {
+			switch nd.Info.Band {
+			case "bg":
+				out.bg++
+			case "n":
+				out.n++
+			}
+			for _, l := range nd.Links {
+				out.probeSets += len(l.Sets)
+			}
+			return sc.Observe(nd)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if hasSamples {
+		if _, err := f.Seek(plan.SamplesOffset, io.SeekStart); err != nil {
+			return nil, err
+		}
+		r, err := plan.ResumeSamples(f)
+		if err != nil {
+			return nil, err
+		}
+		var filter func(string) bool
+		if keep != nil {
+			filter = func(net string) bool { return keep[net] }
+		}
+		err = r.FilterSampleGroups(opts.Workers, filter, func(g *wire.SampleGroup) error {
+			return sc.ObserveSampleGroup(g.Band, g.Samples)
+		})
+		if err != nil {
+			return nil, err
+		}
+		sc.FinishSamples()
+	}
+	if err := sc.Drain(); err != nil {
+		return nil, err
+	}
+	done = true
+	return out, nil
+}
+
+// runFile shards one MLF2 file by contiguous network-index ranges.
+func runFile(ctx context.Context, path string, opts Options) (*Result, error) {
+	open := opts.open()
+	// The plan scan is an I/O pass like any shard, with the same retry
+	// policy (shard index -1 keeps its jitter stream distinct).
+	var plan *wire.Plan
+	rng := shardRng(-1)
+	for try := 0; ; try++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		f, err := open(path)
+		if err == nil {
+			plan, err = wire.BuildPlan(f)
+			f.Close()
+			if err == nil {
+				break
+			}
+		}
+		if wire.IsCorrupt(err) {
+			return nil, fmt.Errorf("%w: planning %s: %w", ErrCorruptShard, path, err)
+		}
+		if try >= opts.MaxRetries {
+			return nil, fmt.Errorf("%w: planning %s after %d attempt(s): %w", ErrExhausted, path, try+1, err)
+		}
+		if serr := sleep(ctx, backoff(opts.retryBase(), try, rng)); serr != nil {
+			return nil, serr
+		}
+	}
+
+	n := len(plan.Networks)
+	k := opts.Shards
+	if k <= 0 {
+		k = conc.Budget()
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1 // an empty fleet still walks its (empty) sample section once
+	}
+	tasks := make([]Report, k)
+	outs := make([]*shardOut, k)
+	var wg sync.WaitGroup
+	for s := 0; s < k; s++ {
+		first, next := s*n/k, (s+1)*n/k
+		r := &tasks[s]
+		r.Index = s
+		r.File = path
+		r.Networks = make([]string, 0, next-first)
+		keep := make(map[string]bool, next-first)
+		for _, pn := range plan.Networks[first:next] {
+			r.Networks = append(r.Networks, pn.Name)
+			keep[pn.Name] = true
+		}
+		wg.Add(1)
+		go func(s, first, count int) {
+			defer wg.Done()
+			out, tries, err := attempt(ctx, s, opts, func() (*shardOut, error) {
+				f, err := open(path)
+				if err != nil {
+					return nil, err
+				}
+				defer f.Close()
+				return streamRange(f, plan, first, count, keep, opts)
+			})
+			r.Attempts = tries
+			r.Err = err
+			outs[s] = out
+			switch {
+			case err == nil:
+				r.State = OK
+			case wire.IsCorrupt(err):
+				r.State = Quarantined
+			default:
+				r.State = Exhausted
+			}
+		}(s, first, next-first)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return assemble(tasks, outs, plan.Meta, plan.Clients, opts)
+}
+
+// runDir treats each MLF2 file in the directory as one shard, in
+// file-name order. Each attempt plans and streams the file whole on a
+// fresh handle; client sections concatenate across surviving shards in
+// the same order.
+func runDir(ctx context.Context, dir string, opts Options) (*Result, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".bin") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("shard: no .bin shard files in %s", dir)
+	}
+	open := opts.open()
+	tasks := make([]Report, len(files))
+	outs := make([]*shardOut, len(files))
+	plans := make([]*wire.Plan, len(files))
+	var wg sync.WaitGroup
+	for s, path := range files {
+		r := &tasks[s]
+		r.Index = s
+		r.File = path
+		wg.Add(1)
+		go func(s int, path string) {
+			defer wg.Done()
+			out, tries, err := attempt(ctx, s, opts, func() (*shardOut, error) {
+				f, err := open(path)
+				if err != nil {
+					return nil, err
+				}
+				defer f.Close()
+				plan, err := wire.BuildPlan(f)
+				if err != nil {
+					return nil, err
+				}
+				plans[s] = plan
+				nets := make([]string, 0, len(plan.Networks))
+				for _, pn := range plan.Networks {
+					nets = append(nets, pn.Name)
+				}
+				r.Networks = nets
+				return streamRange(f, plan, 0, len(plan.Networks), nil, opts)
+			})
+			r.Attempts = tries
+			r.Err = err
+			outs[s] = out
+			switch {
+			case err == nil:
+				r.State = OK
+			case wire.IsCorrupt(err):
+				r.State = Quarantined
+			default:
+				r.State = Exhausted
+			}
+		}(s, path)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var meta dataset.Meta
+	var clients []*dataset.ClientData
+	metaSet := false
+	for s := range tasks {
+		if plans[s] == nil {
+			continue
+		}
+		if !metaSet {
+			meta = plans[s].Meta
+			metaSet = true
+		}
+		if tasks[s].State == OK {
+			clients = append(clients, plans[s].Clients...)
+		}
+	}
+	return assemble(tasks, outs, meta, clients, opts)
+}
+
+// assemble applies the failure policy and folds the surviving shard
+// contexts — in shard order — into the final results.
+func assemble(reports []Report, outs []*shardOut, meta dataset.Meta, clients []*dataset.ClientData, opts Options) (*Result, error) {
+	m := &Manifest{Shards: reports}
+	res := &Result{Meta: meta, Manifest: m}
+	var primary *experiments.StreamContext
+	var firstErr error
+	for s := range reports {
+		r := &reports[s]
+		if r.State == OK {
+			out := outs[s]
+			m.Observed = append(m.Observed, r.Networks...)
+			res.Networks += len(r.Networks)
+			res.NetworksBG += out.bg
+			res.NetworksN += out.n
+			res.ProbeSets += out.probeSets
+			res.FlatSamples = res.FlatSamples || out.flatSamples
+			if primary == nil {
+				primary = out.sc
+			} else if err := primary.Merge(out.sc); err != nil {
+				return nil, fmt.Errorf("shard: merging shard %d: %w", s, err)
+			}
+			continue
+		}
+		m.Degraded = true
+		m.Skipped = append(m.Skipped, r.Networks...)
+		if firstErr == nil {
+			kind := ErrExhausted
+			if r.State == Quarantined {
+				kind = ErrCorruptShard
+			}
+			firstErr = fmt.Errorf("%w: shard %d (%s) after %d attempt(s): %w", kind, r.Index, r.File, r.Attempts, r.Err)
+		}
+	}
+	if firstErr != nil && !opts.AllowPartial {
+		return nil, firstErr
+	}
+	if primary == nil {
+		if firstErr != nil {
+			// Degraded mode needs at least one surviving shard to report on.
+			return nil, fmt.Errorf("every shard failed: %w", firstErr)
+		}
+		return nil, fmt.Errorf("shard: no shards ran")
+	}
+	primary.SetClients(clients)
+	results, err := primary.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	res.Results = results
+	return res, nil
+}

@@ -1,0 +1,234 @@
+package snr
+
+// merge.go gives every chunked §4 core a Merge operation: fold another
+// accumulator's partial state into this one, as if this accumulator had
+// observed both inputs' chunks itself. Every core's persistent state is a
+// count or histogram table, so merge is addition — exact, with no
+// floating-point reassociation — and the shard-vs-whole oracle pins the
+// merged result byte-identical to a single whole-input run.
+//
+// The shard contract mirrors the chunk contract (see the package comment
+// in chunked.go), one level up: each partial observes a contiguous run of
+// networks, partials are merged in input order, and no network's chunks
+// split across partials. Under that contract the Network-, AP-, and
+// Link-scope states are already resolved (or resolvable) per partial,
+// and only Global-scope cells — which span the fleet — carry unresolved
+// banked state across the merge. Merging resolves nothing Global: cells
+// combine count-wise and resolve once, at the final Finalize, so the
+// fleet-wide argmax sees exactly the counts a whole run would.
+//
+// A merged-from accumulator must not be observed or finalized afterwards;
+// the merged-into accumulator remains usable.
+
+// merge folds another histogram into this one.
+func (h *diffHist) merge(o *diffHist) {
+	h.nan += o.nan
+	if len(o.m) == 0 {
+		return
+	}
+	if h.m == nil {
+		h.m = make(map[float64]int64, len(o.m))
+	}
+	for v, n := range o.m {
+		h.m[v] += n
+	}
+}
+
+// histogram re-expands the counted form into a value→count map (the
+// inverse of newCounted, minus the NaN prefix).
+func (c *counted) histogram() map[float64]int64 {
+	if len(c.vals) == 0 {
+		return nil
+	}
+	m := make(map[float64]int64, len(c.vals))
+	prev := c.nan
+	for i, v := range c.vals {
+		m[v] = c.cum[i] - prev
+		prev = c.cum[i]
+	}
+	return m
+}
+
+// Merge folds another distribution into this one: the result is the
+// counted form of the combined multiset, identical to freezing one
+// histogram fed both inputs.
+func (d *Dist) Merge(o *Dist) {
+	if o == nil || o.c.n == 0 {
+		return
+	}
+	m := d.c.histogram()
+	if m == nil {
+		m = make(map[float64]int64, len(o.c.vals))
+	}
+	prev := o.c.nan
+	for i, v := range o.c.vals {
+		m[v] += o.c.cum[i] - prev
+		prev = o.c.cum[i]
+	}
+	d.c = *newCounted(m, d.c.nan+o.c.nan)
+}
+
+// Merge folds another penalty partial into this one. Both accumulators
+// must share numRates and the same scope sequence (construct both with
+// NewPenaltyAccum over identical arguments), and each must have observed
+// a shard of whole networks. Link-, Network-, and AP-scope state resolves
+// within each partial; Global cells merge count-wise and stay banked
+// until FinalizeDists, so the fleet-wide argmax is unchanged.
+func (a *PenaltyAccum) Merge(o *PenaltyAccum) {
+	a.total += o.total
+	for si := range a.states {
+		st, ost := &a.states[si], &o.states[si]
+		switch st.scope {
+		case Global:
+			for snrVal, ocell := range ost.cells {
+				cell := st.cells[snrVal]
+				if cell == nil {
+					cell = &bankedCell{
+						counts: make([]int64, a.numRates),
+						pend:   make([]diffHist, a.numRates),
+					}
+					st.cells[snrVal] = cell
+				}
+				for ri, n := range ocell.counts {
+					cell.counts[ri] += n
+				}
+				for p := range ocell.pend {
+					cell.pend[p].merge(&ocell.pend[p])
+				}
+			}
+		case Network, AP:
+			// Shards hold whole networks, so both sides' pending network
+			// state is complete: flush it, then the remaining state is
+			// pure histogram addition.
+			a.finishNet(st)
+			o.finishNet(ost)
+			if ost.netSeen {
+				st.curNet, st.netSeen = ost.curNet, true
+			}
+		}
+		st.diffs.merge(&ost.diffs)
+		st.exact += ost.exact
+	}
+}
+
+// merge folds another per-SNR coverage aggregate into this one. covCell
+// contributions are integer-valued, so the float sums stay exact.
+func (g *coverageAgg) merge(o *coverageAgg) {
+	for snrVal, oc := range o.bySNR {
+		c, ok := g.bySNR[snrVal]
+		if !ok {
+			c = &covCell{}
+			g.bySNR[snrVal] = c
+		}
+		c.n50 += oc.n50
+		c.n80 += oc.n80
+		c.n95 += oc.n95
+		if oc.max95 > c.max95 {
+			c.max95 = oc.max95
+		}
+		c.cells += oc.cells
+	}
+}
+
+// Merge folds another table's cells into this one, count-wise. Both
+// tables must share Scope and NumRates.
+func (t *Table) Merge(o *Table) {
+	for key, obySNR := range o.counts {
+		bySNR, ok := t.counts[key]
+		if !ok {
+			bySNR = make(map[int][]int, len(obySNR))
+			t.counts[key] = bySNR
+		}
+		for snrVal, oc := range obySNR {
+			c, ok := bySNR[snrVal]
+			if !ok {
+				c = make([]int, t.NumRates)
+				bySNR[snrVal] = c
+			}
+			for ri, n := range oc {
+				c[ri] += n
+			}
+		}
+	}
+}
+
+// Merge folds another coverage partial into this one. Both accumulators
+// must share scope, numRates, and minObs, and each must have observed a
+// shard of whole networks. Non-Global scopes resolve within each partial;
+// the Global scope's fleet-lifetime table merges count-wise and folds
+// once, at Finalize.
+func (a *CoverageAccum) Merge(o *CoverageAccum) {
+	switch a.scope {
+	case Global:
+		a.table.Merge(o.table)
+	case Network, AP:
+		a.finishNet()
+		o.finishNet()
+		if o.netSeen {
+			a.curNet, a.netSeen = o.curNet, true
+		}
+	}
+	a.agg.merge(o.agg)
+}
+
+// Merge folds another throughput partial into this one. Both accumulators
+// must share numRates and minObs. The histogram rows are
+// order-independent, so any shard split works.
+func (a *TputAccum) Merge(o *TputAccum) {
+	for snrVal, orow := range o.rows {
+		row := a.rows[snrVal]
+		if row == nil {
+			row = &tputRow{cells: make([]diffHist, a.numRates)}
+			a.rows[snrVal] = row
+			if len(a.rows) == 1 || snrVal < a.minSNR {
+				a.minSNR = snrVal
+			}
+			if len(a.rows) == 1 || snrVal > a.maxSNR {
+				a.maxSNR = snrVal
+			}
+		}
+		row.n += orow.n
+		for ri := range orow.cells {
+			row.cells[ri].merge(&orow.cells[ri])
+		}
+	}
+}
+
+// Merge folds another rate-set partial into this one (set union).
+func (a *RateSetAccum) Merge(o *RateSetAccum) {
+	for snrVal, om := range o.seen {
+		m, ok := a.seen[snrVal]
+		if !ok {
+			m = make(map[int]bool, len(om))
+			a.seen[snrVal] = m
+		}
+		for ri := range om {
+			m[ri] = true
+		}
+	}
+}
+
+// Merge folds another strategy partial into this one. Every persistent
+// field is an integer sum over per-link replays, so the fold commutes.
+// Both accumulators must share numRates and maxX.
+func (a *StrategyAccum) Merge(o *StrategyAccum) {
+	for si := range a.results {
+		res, ores := &a.results[si], &o.results[si]
+		for x := range ores.Hits {
+			res.Hits[x] += ores.Hits[x]
+			res.Total[x] += ores.Total[x]
+		}
+		res.Updates += ores.Updates
+		res.MemEntries += ores.MemEntries
+		res.Skipped += ores.Skipped
+	}
+}
+
+// Merge folds another top-k partial into this one. Both accumulators must
+// share numRates and the same k sequence.
+func (a *TopKAccum) Merge(o *TopKAccum) {
+	for ki := range a.ks {
+		a.hits[ki] += o.hits[ki]
+		a.evaluated[ki] += o.evaluated[ki]
+	}
+}

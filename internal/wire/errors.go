@@ -1,0 +1,82 @@
+package wire
+
+// errors.go classifies and contextualizes reader failures so callers —
+// the shard runner's retry/quarantine policy above all — can make
+// decisions with errors.Is/errors.As instead of string matching. Two
+// axes matter:
+//
+//   - What: ErrCorrupt marks data that is wrong (a failed validation, an
+//     implausible count, a mid-structure truncation). Everything else
+//     surfacing from the underlying stream (EIO from flaky storage, an
+//     injected faultfs.ErrTransient) is an I/O fault: the bytes might be
+//     fine on a retry. Corruption is never retryable; I/O faults are.
+//   - Where: Error carries the absolute byte offset and, inside the
+//     network section, the fleet-order network index and identity, so a
+//     quarantine manifest can name exactly what was lost.
+//
+// Every contextual wrap in this package uses %w (or Error, which
+// unwraps), so both sentinels survive arbitrary nesting.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrCorrupt marks data corruption: the stream delivered bytes, but they
+// fail the format's validation. Retrying the read cannot help. Use
+// IsCorrupt to classify, since mid-structure truncation
+// (io.ErrUnexpectedEOF) counts as corruption too.
+var ErrCorrupt = errors.New("wire: corrupt data")
+
+// corruptMark attaches ErrCorrupt to a validation error without changing
+// its message, preserving any %w causes the message already wraps.
+type corruptMark struct{ err error }
+
+func (e *corruptMark) Error() string   { return e.err.Error() }
+func (e *corruptMark) Unwrap() []error { return []error{e.err, ErrCorrupt} }
+
+// corruptf builds a validation error that errors.Is-matches ErrCorrupt.
+func corruptf(format string, args ...any) error {
+	return &corruptMark{fmt.Errorf(format, args...)}
+}
+
+// IsCorrupt reports whether err is data corruption — a failed decode
+// validation or a mid-structure truncation — as opposed to an I/O fault
+// a retry might clear. The zero-byte case (a clean io.EOF before any
+// structure) is not corruption.
+func IsCorrupt(err error) bool {
+	return errors.Is(err, ErrCorrupt) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// Error is the contextual error a Reader attaches to failures: the
+// absolute byte offset where the failure surfaced, the fleet-order
+// network index and identity when inside the network section, and the
+// section name otherwise. It wraps the cause, so sentinel classification
+// (ErrCorrupt, io.ErrUnexpectedEOF, an injected transient) passes
+// through errors.Is/errors.As unchanged.
+type Error struct {
+	// Offset is the absolute byte offset of the reader when the error
+	// surfaced (bytes consumed from the start of the file, counting the
+	// magic, plus any resume base).
+	Offset int64
+	// Network is the fleet-order network index, or -1 outside the network
+	// section.
+	Network int
+	// Net and Band identify the network when known.
+	Net, Band string
+	// Section names the file section ("header", "network", "clients",
+	// "flat-sample").
+	Section string
+	// Err is the cause.
+	Err error
+}
+
+func (e *Error) Error() string {
+	if e.Network >= 0 {
+		return fmt.Sprintf("wire: network %d (%s/%s) at byte %d: %v", e.Network, e.Net, e.Band, e.Offset, e.Err)
+	}
+	return fmt.Sprintf("wire: %s section at byte %d: %v", e.Section, e.Offset, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }

@@ -115,6 +115,45 @@ func truncatedMidGroup(tb testing.TB) []byte {
 	return bytes.Clone(v2s.Bytes()[:cut])
 }
 
+// sampleSectionFirstRows locates where the first group's row bytes begin
+// in a WriteWithSamples encoding of fuzzFleet. The flat-sample section
+// trails the v2 fleet bytes and opens with a u64 section length and a u8
+// band count; the first band contributes a code u8, a rate-count u8, and
+// a u32 group count before the first group's header (name string + u32
+// sample count) — the rows start right after that header.
+func sampleSectionFirstRows(tb testing.TB) (data []byte, rowsStart int) {
+	f := fuzzFleet()
+	var v2, v2s bytes.Buffer
+	if err := Write(&v2, f); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := WriteWithSamples(&v2s, f); err != nil {
+		tb.Fatal(err)
+	}
+	name := f.Networks[0].Info.Name // the bg band's first (only) group
+	rowsStart = v2.Len() + 8 + 1 + (1 + 1 + 4) + (2 + len(name)) + 4
+	return v2s.Bytes(), rowsStart
+}
+
+// truncatedAfterGroupHeader cuts the encoding immediately after a valid
+// group header — name and sample count decoded, zero row bytes present —
+// so the very first row read hits the truncation.
+func truncatedAfterGroupHeader(tb testing.TB) []byte {
+	data, rowsStart := sampleSectionFirstRows(tb)
+	return bytes.Clone(data[:rowsStart])
+}
+
+// flippedGroupCount corrupts a byte inside the first group's u32
+// sample-count length prefix: the inflated count disagrees with the
+// section's honest byte budget, the shape the remaining-bytes check
+// exists to reject before any row allocation.
+func flippedGroupCount(tb testing.TB) []byte {
+	data, rowsStart := sampleSectionFirstRows(tb)
+	out := bytes.Clone(data)
+	out[rowsStart-2] = 0xFF
+	return out
+}
+
 // fuzzFleet hand-builds a tiny two-band fleet (not via synth, so the
 // corpus stays stable across generator changes).
 func fuzzFleet() *dataset.Fleet {
@@ -206,6 +245,8 @@ func fuzzSeeds(tb testing.TB) [][]byte {
 		hugeSampleSection(),                     // lying section length + absurd count
 		lyingGroupCount(),                       // more groups declared than present
 		truncatedMidGroup(tb),                   // cut inside a group's row bytes
+		truncatedAfterGroupHeader(tb),           // cut right after a valid group header
+		flippedGroupCount(tb),                   // flipped byte in a group's count prefix
 	}
 	return seeds
 }

@@ -1,0 +1,148 @@
+package wire
+
+// plan.go supports sharded reading of one MLF2 file: BuildPlan walks the
+// file once without decoding network bodies, recording the byte offset
+// and identity of every network record plus the flat-sample section, and
+// the resulting Plan can then mint independent Readers that resume at
+// any network range (ResumeNetworks) or at the sample section
+// (ResumeSamples) on a freshly opened — and pre-seeked — stream. Each
+// shard worker owns its own file handle and its own Reader, so shards
+// stream concurrently with no shared cursor, and a retry is just a
+// re-open + re-seek with the same plan.
+//
+// Only MLF2 qualifies: v1 records carry no length prefixes, so their
+// extents cannot be known without decoding, and there is nothing to
+// seek back to cheaply. The plan walk itself is the cheap one-pass scan
+// the v2 framing was designed for (header + discard per network).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"meshlab/internal/dataset"
+)
+
+// PlanNet locates one network record inside the planned file.
+type PlanNet struct {
+	// Index is the network's position in fleet order.
+	Index int
+	// Name, Band, and NumAPs mirror the record's header — enough to
+	// partition shards and to name a quarantined network in a manifest
+	// without touching the file again.
+	Name   string
+	Band   string
+	NumAPs int
+	// Offset is the absolute byte offset of the record's length prefix;
+	// Len is the full record extent (prefix + header + body), so
+	// Offset+Len is the next record's Offset.
+	Offset int64
+	Len    int64
+}
+
+// Plan is the byte-offset index of one MLF2 file, built by BuildPlan.
+// The client section is decoded during the walk (it sits between the
+// network and sample sections and is orders of magnitude smaller than
+// either), so shard workers never need to touch it.
+type Plan struct {
+	Meta     dataset.Meta
+	Networks []PlanNet
+	// Clients is the decoded client section, in file order.
+	Clients []*dataset.ClientData
+	// SamplesOffset is the absolute byte offset of the flat-sample
+	// section's length prefix, or 0 when the file carries no such section
+	// (0 is never a valid section offset — the magic alone occupies it).
+	SamplesOffset int64
+	flags         uint8
+}
+
+// BuildPlan scans an MLF2 stream from its first byte, recording every
+// network record's offset and extent, decoding the client section, and
+// locating the flat-sample section. Network bodies are skipped, not
+// decoded, so the scan is bounded by I/O, not decode work.
+func BuildPlan(in io.Reader) (*Plan, error) {
+	r, err := NewReader(in)
+	if err != nil {
+		return nil, err
+	}
+	if r.Version() < 2 {
+		return nil, fmt.Errorf("wire: sharded reading requires an MLF2 file; version %d records are not seekable", r.Version())
+	}
+	p := &Plan{Meta: r.Meta(), flags: r.flags}
+	if n := r.NumNetworks(); n > 0 {
+		p.Networks = make([]PlanNet, 0, n)
+	}
+	for {
+		off := r.Offset()
+		h, err := r.NextHeader()
+		if err != nil {
+			return nil, err
+		}
+		if h == nil {
+			break
+		}
+		pn := PlanNet{
+			Index: h.Index, Name: h.Name, Band: h.Band, NumAPs: h.NumAPs,
+			Offset: off,
+		}
+		if err := r.Skip(); err != nil {
+			return nil, err
+		}
+		pn.Len = r.Offset() - off
+		p.Networks = append(p.Networks, pn)
+	}
+	cds, err := r.Clients()
+	if err != nil {
+		return nil, err
+	}
+	p.Clients = cds
+	if r.HasFlatSamples() {
+		p.SamplesOffset = r.Offset()
+	}
+	return p, nil
+}
+
+// resume builds a Reader over a stream already positioned at base.
+func (p *Plan) resume(in io.Reader, base int64, next, nNets, sect int) *Reader {
+	br, ok := in.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(in, 1<<20)
+	}
+	return &Reader{
+		rd:      reader{r: br, base: base},
+		version: 2,
+		meta:    p.Meta,
+		flags:   p.flags,
+		nNets:   nNets,
+		next:    next,
+		sect:    sect,
+	}
+}
+
+// ResumeNetworks returns a Reader that walks exactly count network
+// records starting at fleet index first, reporting fleet-order indices
+// and byte-accurate error offsets. The stream must already be
+// positioned at p.Networks[first].Offset — re-open the file and Seek
+// there first; the Reader never reads outside [first, first+count).
+func (p *Plan) ResumeNetworks(in io.Reader, first, count int) (*Reader, error) {
+	if first < 0 || count < 0 || first+count > len(p.Networks) {
+		return nil, fmt.Errorf("wire: resume range [%d, %d) outside the plan's %d networks", first, first+count, len(p.Networks))
+	}
+	var base int64
+	if count > 0 {
+		base = p.Networks[first].Offset
+	}
+	return p.resume(in, base, first, first+count, sectNetworks), nil
+}
+
+// ResumeSamples returns a Reader positioned at the flat-sample section,
+// ready for SampleGroups or FilterSampleGroups. The stream must already
+// be positioned at p.SamplesOffset. Errors when the planned file
+// carries no flat-sample section.
+func (p *Plan) ResumeSamples(in io.Reader) (*Reader, error) {
+	if p.SamplesOffset == 0 {
+		return nil, fmt.Errorf("wire: planned file has no flat-sample section to resume")
+	}
+	n := len(p.Networks)
+	return p.resume(in, p.SamplesOffset, n, n, sectSamples), nil
+}

@@ -92,15 +92,19 @@ func NewReader(in io.Reader) (*Reader, error) {
 	r := &Reader{rd: reader{r: br}}
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, corruptf("wire: magic: %w", err)
+		}
 		return nil, fmt.Errorf("wire: magic: %w", err)
 	}
+	r.rd.base = int64(len(magic)) // magic was read off br directly
 	switch magic {
 	case Magic:
 		r.version = 1
 	case Magic2:
 		r.version = 2
 	default:
-		return nil, fmt.Errorf("wire: bad magic %q (not a binary fleet file)", magic[:])
+		return nil, corruptf("wire: bad magic %q (not a binary fleet file)", magic[:])
 	}
 	rd := &r.rd
 	r.meta.Seed = rd.u64()
@@ -110,15 +114,20 @@ func NewReader(in io.Reader) (*Reader, error) {
 	if r.version >= 2 {
 		r.flags = rd.u8()
 		if rd.err == nil && r.flags&^flagFlatSamples != 0 {
-			return nil, fmt.Errorf("wire: unknown section flags %#x (file from a newer format?)", r.flags)
+			return nil, corruptf("wire: unknown section flags %#x (file from a newer format?)", r.flags)
 		}
 	}
 	r.nNets = rd.count("network", 1<<20)
 	if rd.err != nil {
-		return nil, fmt.Errorf("wire: header: %w", rd.err)
+		return nil, &Error{Offset: rd.off(), Network: -1, Section: "header", Err: rd.err}
 	}
 	return r, nil
 }
+
+// Offset returns the absolute byte offset of the next unread byte —
+// what a plan records so a shard worker can re-open the file, seek, and
+// resume with byte-accurate error positions.
+func (r *Reader) Offset() int64 { return r.rd.off() }
 
 // Meta returns the dataset metadata, available before any network is read.
 func (r *Reader) Meta() dataset.Meta { return r.meta }
@@ -133,9 +142,22 @@ func (r *Reader) NumNetworks() int { return r.nNets }
 // section, i.e. whether Samples will be a direct section read.
 func (r *Reader) HasFlatSamples() bool { return r.flags&flagFlatSamples != 0 }
 
-// netErr wraps an error with the current network's identity.
+// netErr wraps an error with the current network's identity and the
+// reader's byte offset, so retry/quarantine policy can classify it and a
+// degraded-mode manifest can name what was lost.
 func (r *Reader) netErr(err error) error {
-	return fmt.Errorf("wire: network %d (%s/%s): %w", r.hdr.Index, r.hdr.Name, r.hdr.Band, err)
+	return &Error{
+		Offset: r.rd.off(), Network: r.hdr.Index,
+		Net: r.hdr.Name, Band: r.hdr.Band,
+		Section: "network", Err: err,
+	}
+}
+
+// sampErr wraps a flat-sample-section error with the reader's byte
+// offset. The section is shared across shards, so no network index is
+// attached; the cause often names the network by name instead.
+func (r *Reader) sampErr(err error) error {
+	return &Error{Offset: r.rd.off(), Network: -1, Section: "flat-sample", Err: err}
 }
 
 // NextHeader advances to the next network and returns its header, or
@@ -168,20 +190,23 @@ func (r *Reader) NextHeader() (*NetworkHeader, error) {
 	env := rd.u8()
 	var ok bool
 	if r.hdr.Band, ok = bandNames[band]; !ok && rd.err == nil {
-		rd.err = fmt.Errorf("unknown band code %d", band)
+		rd.err = corruptf("unknown band code %d", band)
 	}
 	if r.hdr.Env, ok = envNames[env]; !ok && rd.err == nil {
-		rd.err = fmt.Errorf("unknown env code %d", env)
+		rd.err = corruptf("unknown env code %d", env)
 	}
 	r.hdr.Spacing = rd.f64()
 	r.hdr.NumAPs = rd.count("AP", 1<<16)
 	if rd.err != nil {
-		return nil, fmt.Errorf("wire: network %d: header: %w", idx, rd.err)
+		return nil, &Error{
+			Offset: rd.off(), Network: idx, Net: r.hdr.Name,
+			Section: "network", Err: fmt.Errorf("header: %w", rd.err),
+		}
 	}
 	if r.version >= 2 {
 		r.rem = recLen - (rd.n - start)
 		if r.rem < 0 {
-			rd.err = fmt.Errorf("record length %d shorter than its header", recLen)
+			rd.err = corruptf("record length %d shorter than its header", recLen)
 			return nil, r.netErr(rd.err)
 		}
 	}
@@ -230,7 +255,7 @@ func (r *Reader) Decode() (*dataset.NetworkData, error) {
 				// (snr.Flatten); bound them here so a corrupt file is an
 				// error, never a panic.
 				if ri >= nRates && rd.err == nil {
-					rd.err = fmt.Errorf("link %d→%d: observation rate index %d out of range for band %s (%d rates)",
+					rd.err = corruptf("link %d→%d: observation rate index %d out of range for band %s (%d rates)",
 						link.From, link.To, ri, r.hdr.Band, nRates)
 				}
 				ps.Obs = append(ps.Obs, dataset.Obs{RateIdx: ri, Loss: rd.f32()})
@@ -244,7 +269,7 @@ func (r *Reader) Decode() (*dataset.NetworkData, error) {
 	}
 	if r.version >= 2 {
 		if got := rd.n - start; got != r.rem {
-			rd.err = fmt.Errorf("record body was %d bytes, length prefix promised %d", got, r.rem)
+			rd.err = corruptf("record body was %d bytes, length prefix promised %d", got, r.rem)
 			return nil, r.netErr(rd.err)
 		}
 	}
@@ -358,8 +383,8 @@ func (r *Reader) Clients() ([]*dataset.ClientData, error) {
 		return nil, err
 	}
 	if r.version >= 2 && rd.n-start != secLen {
-		rd.err = fmt.Errorf("wire: client section was %d bytes, length prefix promised %d", rd.n-start, secLen)
-		return nil, rd.err
+		rd.err = corruptf("client section was %d bytes, length prefix promised %d", rd.n-start, secLen)
+		return nil, &Error{Offset: rd.off(), Network: -1, Section: "clients", Err: rd.err}
 	}
 	r.sect = sectSamples
 	return cds, nil
@@ -383,7 +408,7 @@ func (r *Reader) skipClientSection() error {
 		return err
 	}
 	if rd.err != nil {
-		return fmt.Errorf("wire: client section: %w", rd.err)
+		return &Error{Offset: rd.off(), Network: -1, Section: "clients", Err: rd.err}
 	}
 	r.sect = sectSamples
 	return nil
@@ -398,8 +423,8 @@ func decodeClients(rd *reader) ([]*dataset.ClientData, error) {
 		env := rd.u8()
 		var ok bool
 		if cd.Env, ok = envNames[env]; !ok && rd.err == nil {
-			rd.err = fmt.Errorf("wire: unknown env code %d", env)
-			return nil, rd.err
+			rd.err = corruptf("unknown env code %d", env)
+			return nil, &Error{Offset: rd.off(), Network: -1, Section: "clients", Err: rd.err}
 		}
 		cd.Duration = rd.i32()
 		cd.NumAPs = int(rd.u16())
@@ -417,7 +442,7 @@ func decodeClients(rd *reader) ([]*dataset.ClientData, error) {
 		cds = append(cds, cd)
 	}
 	if rd.err != nil {
-		return nil, fmt.Errorf("wire: client section: %w", rd.err)
+		return nil, &Error{Offset: rd.off(), Network: -1, Section: "clients", Err: rd.err}
 	}
 	return cds, nil
 }
@@ -509,6 +534,7 @@ type sampleGroupJob struct {
 	band    string
 	net     string
 	nr, n   int
+	off     int64 // absolute offset of the group's first row, for decode errors
 	raw     []byte
 	samples []snr.Sample
 	err     error
@@ -531,6 +557,16 @@ type sampleGroupJob struct {
 // panic, and never an allocation beyond the bytes actually present plus
 // one read chunk.
 func (r *Reader) SampleGroups(workers int, fn func(*SampleGroup) error) error {
+	return r.FilterSampleGroups(workers, nil, fn)
+}
+
+// FilterSampleGroups behaves like SampleGroups, but decodes only the
+// groups whose network name keep returns true for; the rest are
+// discarded raw, without decoding (their fixed-width byte length is
+// known from the group header). A nil keep keeps every group. This is
+// the shard runner's sample walk: each shard streams the one shared
+// section but pays decode cost only for its own networks.
+func (r *Reader) FilterSampleGroups(workers int, keep func(net string) bool, fn func(*SampleGroup) error) error {
 	if !r.HasFlatSamples() {
 		return fmt.Errorf("wire: file has no flat-sample section; stream the network records through snr.Flattener instead")
 	}
@@ -540,7 +576,7 @@ func (r *Reader) SampleGroups(workers int, fn func(*SampleGroup) error) error {
 	if r.sect != sectSamples {
 		return fmt.Errorf("wire: flat-sample section already consumed")
 	}
-	err := r.streamSampleGroups(conc.Workers(workers), fn)
+	err := r.streamSampleGroups(conc.Workers(workers), keep, fn)
 	// The cursor is past (or, after an abort, inside) the trailing
 	// section either way; poison the reader on failure so a later call
 	// cannot misread a half-consumed stream.
@@ -556,7 +592,7 @@ func (r *Reader) SampleGroups(workers int, fn func(*SampleGroup) error) error {
 // for the duration of the call and reads up to a window's worth of
 // groups ahead; the consumer (the caller's goroutine) applies fn in send
 // order.
-func (r *Reader) streamSampleGroups(workers int, fn func(*SampleGroup) error) error {
+func (r *Reader) streamSampleGroups(workers int, keep func(net string) bool, fn func(*SampleGroup) error) error {
 	// ordered is the in-order delivery window (double buffering needs
 	// ≥ 2); work feeds the decode pool. work's capacity plus the workers
 	// themselves always exceed the window, so the producer can park a
@@ -571,13 +607,16 @@ func (r *Reader) streamSampleGroups(workers int, fn func(*SampleGroup) error) er
 			defer wg.Done()
 			for j := range work {
 				j.samples, j.err = decodeSampleGroup(j.band, j.net, j.nr, j.n, j.raw)
+				if j.err != nil {
+					j.err = &Error{Offset: j.off, Network: -1, Section: "flat-sample", Err: j.err}
+				}
 				j.raw = nil
 				close(j.done)
 			}
 		}()
 	}
 	go func() {
-		r.produceSampleGroups(ordered, work, quit)
+		r.produceSampleGroups(ordered, work, quit, keep)
 		close(work)
 		close(ordered)
 	}()
@@ -614,10 +653,10 @@ func (r *Reader) streamSampleGroups(workers int, fn func(*SampleGroup) error) er
 // emitting one job per group. Error jobs carry a pre-closed done channel
 // and skip the decode pool. Every send races quit so a consumer abort
 // unblocks the producer mid-window.
-func (r *Reader) produceSampleGroups(ordered, work chan<- *sampleGroupJob, quit <-chan struct{}) {
+func (r *Reader) produceSampleGroups(ordered, work chan<- *sampleGroupJob, quit <-chan struct{}, keep func(net string) bool) {
 	rd := &r.rd
 	fail := func(err error) {
-		j := &sampleGroupJob{err: err, done: make(chan struct{})}
+		j := &sampleGroupJob{err: r.sampErr(err), done: make(chan struct{})}
 		close(j.done)
 		select {
 		case ordered <- j:
@@ -628,24 +667,24 @@ func (r *Reader) produceSampleGroups(ordered, work chan<- *sampleGroupJob, quit 
 	start := rd.n
 	nBands := int(rd.u8())
 	if rd.err != nil {
-		fail(fmt.Errorf("wire: flat-sample section: %w", rd.err))
+		fail(rd.err)
 		return
 	}
 	for b := 0; b < nBands; b++ {
 		code := rd.u8()
 		bandName, ok := bandNames[code]
 		if !ok && rd.err == nil {
-			fail(fmt.Errorf("wire: flat-sample section: unknown band code %d", code))
+			fail(corruptf("unknown band code %d", code))
 			return
 		}
 		band, err := phy.BandByName(bandName)
 		if err != nil && rd.err == nil {
-			fail(fmt.Errorf("wire: flat-sample section: %w", err))
+			fail(corruptf("%w", err))
 			return
 		}
 		nr := int(rd.u8())
 		if rd.err == nil && nr != len(band.Rates) {
-			fail(fmt.Errorf("wire: flat-sample section: band %s has %d rates, file stores %d",
+			fail(corruptf("band %s has %d rates, file stores %d",
 				bandName, len(band.Rates), nr))
 			return
 		}
@@ -662,9 +701,16 @@ func (r *Reader) produceSampleGroups(ordered, work chan<- *sampleGroupJob, quit 
 			// secLen before any row is read (a corrupt secLen is caught by
 			// the chunked raw read below and the final length check).
 			if remaining := secLen - (rd.n - start); int64(n)*int64(rowLen) > remaining {
-				fail(fmt.Errorf("wire: flat-sample section: network %s declares %d samples (%d bytes) but only %d section bytes remain",
+				fail(corruptf("network %s declares %d samples (%d bytes) but only %d section bytes remain",
 					name, n, int64(n)*int64(rowLen), remaining))
 				return
+			}
+			if keep != nil && !keep(name) {
+				// Not this shard's network: skip the group's fixed-width
+				// rows wholesale — the bound check above already proved the
+				// discard stays inside the section.
+				rd.discard(int64(n) * int64(rowLen))
+				continue
 			}
 			if n > directDecodeRows {
 				// Huge groups (the reference fleet's largest network alone
@@ -695,6 +741,7 @@ func (r *Reader) produceSampleGroups(ordered, work chan<- *sampleGroupJob, quit 
 			if cap64 > chunk {
 				cap64 = chunk
 			}
+			rowsOff := rd.off()
 			raw := make([]byte, 0, cap64)
 			for int64(len(raw)) < total && rd.err == nil {
 				step := total - int64(len(raw))
@@ -709,7 +756,7 @@ func (r *Reader) produceSampleGroups(ordered, work chan<- *sampleGroupJob, quit 
 				break
 			}
 			j := &sampleGroupJob{
-				band: bandName, net: name, nr: nr, n: n, raw: raw,
+				band: bandName, net: name, nr: nr, n: n, off: rowsOff, raw: raw,
 				done: make(chan struct{}),
 			}
 			select {
@@ -724,12 +771,14 @@ func (r *Reader) produceSampleGroups(ordered, work chan<- *sampleGroupJob, quit 
 			}
 		}
 		if rd.err != nil {
-			fail(fmt.Errorf("wire: flat-sample section: %w", rd.err))
+			// The cause may be a transient I/O fault, not corruption;
+			// surface it unmarked so retry policy classifies the root cause.
+			fail(rd.err)
 			return
 		}
 	}
 	if got := rd.n - start; got != secLen {
-		fail(fmt.Errorf("wire: flat-sample section was %d bytes, length prefix promised %d", got, secLen))
+		fail(corruptf("section was %d bytes, length prefix promised %d", got, secLen))
 	}
 }
 
@@ -813,8 +862,8 @@ func (r *Reader) produceSampleChunks(ordered chan<- *sampleGroupJob, quit <-chan
 		off += nr
 		s.BestTput = math.Float64frombits(binary.LittleEndian.Uint64(row[11:]))
 		if s.Popt >= nr {
-			return emit(nil, fmt.Errorf("wire: flat-sample section: band %s network %s: optimal rate index %d out of range",
-				bandName, net, s.Popt))
+			return emit(nil, r.sampErr(corruptf("band %s network %s: optimal rate index %d out of range",
+				bandName, net, s.Popt)))
 		}
 		for k := 0; k < nr; k++ {
 			s.Tput[k] = math.Float64frombits(binary.LittleEndian.Uint64(row[19+k*8:]))
@@ -847,7 +896,7 @@ func decodeSampleGroup(bandName, net string, nr, n int, raw []byte) ([]snr.Sampl
 		}
 		s.BestTput = math.Float64frombits(binary.LittleEndian.Uint64(row[11:]))
 		if s.Popt >= nr {
-			return nil, fmt.Errorf("wire: flat-sample section: band %s network %s: optimal rate index %d out of range",
+			return nil, corruptf("band %s network %s: optimal rate index %d out of range",
 				bandName, net, s.Popt)
 		}
 		for k := 0; k < nr; k++ {

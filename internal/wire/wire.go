@@ -99,11 +99,16 @@ func (w *writer) str(s string) {
 // consumed-byte counter, which the v2 framing uses to verify that every
 // length-prefixed record is consumed exactly.
 type reader struct {
-	r   *bufio.Reader
-	err error
-	n   int64 // bytes consumed since NewReader
-	buf [8]byte
+	r    *bufio.Reader
+	err  error
+	n    int64 // bytes consumed since the reader was constructed
+	base int64 // absolute file offset the count started at (resume support)
+	buf  [8]byte
 }
+
+// off returns the absolute file offset of the next unread byte, assuming
+// the stream was positioned at base when the reader was constructed.
+func (r *reader) off() int64 { return r.base + r.n }
 
 // fail records the first error; a mid-structure EOF is always unexpected
 // because every read below is driven by a previously decoded count.
@@ -222,7 +227,7 @@ func (r *reader) discard(k int64) {
 func (r *reader) count(what string, limit uint32) int {
 	n := r.u32()
 	if r.err == nil && n > limit {
-		r.err = fmt.Errorf("implausible %s count %d", what, n)
+		r.err = corruptf("implausible %s count %d", what, n)
 	}
 	return int(n)
 }
