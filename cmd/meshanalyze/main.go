@@ -27,8 +27,19 @@
 // -allow-partial turns a quarantine from a fatal error into a degraded
 // run whose coverage manifest is printed to stderr.
 //
-// Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 corrupt
-// input, 4 transient-retry budget exhausted.
+// -checkpoint DIR makes the sharded run crash-resumable: every
+// -checkpoint-every fully-observed networks, each shard durably
+// snapshots its accumulator state into DIR (atomic temp+fsync+rename,
+// CRC-guarded, last two generations kept). A killed run restarted with
+// -resume seeks straight past the checkpointed work and finalizes
+// byte-identically to an uninterrupted run; checkpoints from a
+// different dataset or shard layout are a usage error (exit 2), and
+// stale or corrupt generations are skipped by checksum and reported in
+// the manifest. -checkpoint without -shards runs one shard.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error (including a
+// -resume dataset mismatch), 3 corrupt input, 4 transient-retry budget
+// exhausted, 130 interrupted.
 package main
 
 import (
@@ -62,11 +73,13 @@ func usagef(format string, args ...any) error {
 }
 
 // exitCode implements the documented contract: 2 for usage errors
-// (including flag-parse failures), then the streaming classification —
-// 3 corrupt input, 4 transient exhaustion, 1 anything else.
+// (flag-parse failures, and a -resume whose checkpoints name a
+// different dataset), then the streaming classification — 3 corrupt
+// input, 4 transient exhaustion, 130 interrupted, 1 anything else. The
+// authoritative table lives on shard.ExitCode.
 func exitCode(err error) int {
 	var u usageError
-	if errors.As(err, &u) || errors.Is(err, flag.ErrHelp) {
+	if errors.As(err, &u) || errors.Is(err, flag.ErrHelp) || errors.Is(err, meshlab.ErrCheckpointMismatch) {
 		return 2
 	}
 	return meshlab.ShardExitCode(err)
@@ -92,6 +105,9 @@ func run(args []string, stdout io.Writer) error {
 		shards  = fs.Int("shards", 0, "run the suite as N fault-tolerant shards over an MLF2 -data file or shard directory (0: single-pass)")
 		retries = fs.Int("max-retries", 3, "per-shard transient-failure retry budget (sharded mode)")
 		partial = fs.Bool("allow-partial", false, "complete a sharded run without its quarantined shards, printing a coverage manifest to stderr (default: a corrupt shard is fatal)")
+		ckdir   = fs.String("checkpoint", "", "checkpoint directory: durably snapshot each shard's progress so a killed run can -resume (implies one shard if -shards is 0)")
+		ckevery = fs.Int("checkpoint-every", 16, "networks between durable checkpoints per shard")
+		resume  = fs.Bool("resume", false, "resume from the newest valid checkpoints in -checkpoint before streaming")
 		workers = fs.Int("workers", 0, "process-wide worker budget for every parallel kernel (0: all cores, 1: effectively single-threaded)")
 		rss     = fs.Bool("rusage", false, "print the process max RSS (getrusage) after the run")
 	)
@@ -112,12 +128,22 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
-	if *shards != 0 {
+	if *resume && *ckdir == "" {
+		return usagef("-resume needs -checkpoint DIR to resume from")
+	}
+	if *shards != 0 || *ckdir != "" {
 		if *sec4 {
 			return usagef("-shards already streams the §4 samples chunked; drop -sec4")
 		}
+		k := *shards
+		if k == 0 {
+			// -checkpoint alone: one shard, byte-identical to a plain
+			// streaming run but resumable.
+			k = 1
+		}
 		return runSharded(stdout, *data, *exp, *plot, meshlab.ShardOptions{
-			Shards: *shards, Workers: *workers, MaxRetries: *retries, AllowPartial: *partial,
+			Shards: k, Workers: *workers, MaxRetries: *retries, AllowPartial: *partial,
+			CheckpointDir: *ckdir, CheckpointEvery: *ckevery, Resume: *resume,
 		})
 	}
 
@@ -154,13 +180,13 @@ func run(args []string, stdout io.Writer) error {
 // stderr so piped table output stays clean.
 func runSharded(stdout io.Writer, data, exp string, plot bool, so meshlab.ShardOptions) error {
 	if data == "" {
-		return usagef("-shards streams a binary dataset: pass -data fleet.bin or -data shard-dir/")
+		return usagef("-shards/-checkpoint stream a binary dataset: pass -data fleet.bin or -data shard-dir/")
 	}
 	res, err := meshlab.ShardedStream(context.Background(), data, so)
 	if err != nil {
 		return err
 	}
-	if res.Manifest.Degraded {
+	if res.Manifest.Degraded || res.Manifest.CheckpointNotes() {
 		fmt.Fprint(os.Stderr, res.Manifest.Format())
 	}
 	printed := false

@@ -32,8 +32,21 @@
 // I/O failures are retried per shard (-max-retries), corrupt shards are
 // quarantined, and -allow-partial lets the report complete in degraded
 // mode — the coverage manifest goes to stderr and the report preamble
-// names the run degraded. Exit codes: 0 success, 1 runtime failure,
-// 2 usage error, 3 corrupt input, 4 transient-retry budget exhausted.
+// names the run degraded.
+//
+// -checkpoint DIR makes the sharded run crash-resumable: every
+// -checkpoint-every fully-observed networks, each shard durably
+// snapshots its accumulator state into DIR (atomic temp+fsync+rename,
+// CRC-guarded, last two generations kept). A killed run restarted with
+// -resume seeks straight past the checkpointed work and produces a
+// byte-identical report; checkpoints from a different dataset or shard
+// layout are a usage error (exit 2), and stale or corrupt generations
+// are skipped by checksum and reported in the manifest. -checkpoint
+// without -shards runs one shard.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error (including a
+// -resume dataset mismatch), 3 corrupt input, 4 transient-retry budget
+// exhausted, 130 interrupted.
 package main
 
 import (
@@ -168,11 +181,13 @@ func usagef(format string, args ...any) error {
 }
 
 // exitCode implements the documented contract: 2 for usage errors
-// (including flag-parse failures), then the streaming classification —
-// 3 corrupt input, 4 transient exhaustion, 1 anything else.
+// (flag-parse failures, and a -resume whose checkpoints name a
+// different dataset), then the streaming classification — 3 corrupt
+// input, 4 transient exhaustion, 130 interrupted, 1 anything else. The
+// authoritative table lives on shard.ExitCode.
 func exitCode(err error) int {
 	var u usageError
-	if errors.As(err, &u) || errors.Is(err, flag.ErrHelp) {
+	if errors.As(err, &u) || errors.Is(err, flag.ErrHelp) || errors.Is(err, meshlab.ErrCheckpointMismatch) {
 		return 2
 	}
 	return meshlab.ShardExitCode(err)
@@ -199,6 +214,9 @@ func run(args []string, stdout io.Writer) error {
 		shards  = fs.Int("shards", 0, "run the suite as N fault-tolerant shards over an MLF2 -data file or shard directory (0: single-pass)")
 		retries = fs.Int("max-retries", 3, "per-shard transient-failure retry budget (sharded mode)")
 		partial = fs.Bool("allow-partial", false, "complete a degraded report without quarantined shards, printing a coverage manifest to stderr (default: a corrupt shard is fatal)")
+		ckdir   = fs.String("checkpoint", "", "checkpoint directory: durably snapshot each shard's progress so a killed run can -resume (implies one shard if -shards is 0)")
+		ckevery = fs.Int("checkpoint-every", 16, "networks between durable checkpoints per shard")
+		resume  = fs.Bool("resume", false, "resume from the newest valid checkpoints in -checkpoint before streaming")
 		rss     = fs.Bool("rusage", false, "print the process max RSS (getrusage) after the run — what the CI guardrail records")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -212,12 +230,24 @@ func run(args []string, stdout io.Writer) error {
 	if *data != "" && *cache != "" {
 		return usagef("-data and -dataset are mutually exclusive: -data reads a fixed file, -dataset manages a synthesis cache")
 	}
-	if *shards != 0 && *data == "" {
-		return usagef("-shards streams a binary dataset: pass -data fleet.bin or -data shard-dir/")
+	if (*shards != 0 || *ckdir != "") && *data == "" {
+		return usagef("-shards/-checkpoint stream a binary dataset: pass -data fleet.bin or -data shard-dir/")
+	}
+	if *resume && *ckdir == "" {
+		return usagef("-resume needs -checkpoint DIR to resume from")
+	}
+	k := *shards
+	if k == 0 && *ckdir != "" {
+		// -checkpoint alone: one shard, byte-identical to the plain
+		// streaming suite but resumable.
+		k = 1
 	}
 
-	so := meshlab.ShardOptions{Shards: *shards, Workers: *workers, MaxRetries: *retries, AllowPartial: *partial}
-	results, sum, label, expDur, err := obtainResults(*data, *cache, *seed, *scale, *workers, *stream, *shards != 0, so)
+	so := meshlab.ShardOptions{
+		Shards: k, Workers: *workers, MaxRetries: *retries, AllowPartial: *partial,
+		CheckpointDir: *ckdir, CheckpointEvery: *ckevery, Resume: *resume,
+	}
+	results, sum, label, expDur, err := obtainResults(*data, *cache, *seed, *scale, *workers, *stream, k != 0, so)
 	if err != nil {
 		return err
 	}
@@ -362,8 +392,10 @@ func runSharded(data string, so meshlab.ShardOptions) ([]*meshlab.Result, *meshl
 		NetworksN: res.NetworksN, ProbeSets: res.ProbeSets, FlatSamples: res.FlatSamples,
 	}
 	label := fmt.Sprintf("%s (sharded stream, %d shards)", data, len(res.Manifest.Shards))
-	if res.Manifest.Degraded {
+	if res.Manifest.Degraded || res.Manifest.CheckpointNotes() {
 		fmt.Fprint(os.Stderr, res.Manifest.Format())
+	}
+	if res.Manifest.Degraded {
 		label += fmt.Sprintf("; DEGRADED: %d of %d networks skipped",
 			len(res.Manifest.Skipped), res.Networks+len(res.Manifest.Skipped))
 	}

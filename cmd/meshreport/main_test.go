@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"meshlab"
+	"meshlab/internal/atomicio"
 )
 
 // update regenerates testdata/quick_report.golden instead of comparing:
@@ -43,7 +44,8 @@ func TestGoldenQuickReport(t *testing.T) {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+		// Atomic replace: a ^C mid-update can't leave a torn golden.
+		if err := atomicio.WriteBytes(golden, 0o644, []byte(got)); err != nil {
 			t.Fatal(err)
 		}
 		return

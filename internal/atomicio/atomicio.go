@@ -1,0 +1,142 @@
+// Package atomicio writes whole files atomically and durably: content
+// goes to a temporary file in the destination directory, is fsynced, and
+// replaces the destination with a single rename — so a reader (or a
+// crash) only ever observes the old bytes or the complete new bytes,
+// never a torn write. The dataset cache rewrite, the checkpoint writer,
+// and the golden-file -update path all share this protocol.
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// Hook observes the write protocol's phases, in order: "post-temp-write"
+// (payload written, before fsync; path is the temp file),
+// "pre-rename" (synced, closed, chmodded; path is the temp file),
+// "mid-rename" (immediately before the rename; path is the temp file, so
+// a crash-injection hook can corrupt the bytes the rename will publish),
+// and "renamed" (after the rename; path is the final file). A non-nil
+// return aborts the protocol at that phase — except after "renamed",
+// where the new file already exists and is kept. Checkpoint writing adds
+// its own "mid-snapshot" phase between payload sections.
+type Hook func(phase, path string) error
+
+// rename is swappable so tests can simulate a cross-device (EXDEV)
+// failure without mounting anything.
+var rename = os.Rename
+
+// WriteFile atomically replaces path with whatever write produces. The
+// callback receives the temp file; its error aborts the write and
+// removes the temp.
+func WriteFile(path string, mode os.FileMode, write func(*os.File) error) error {
+	return WriteFileHook(path, mode, nil, write)
+}
+
+// WriteBytes is WriteFile for in-memory content.
+func WriteBytes(path string, mode os.FileMode, data []byte) error {
+	return WriteFile(path, mode, func(f *os.File) error {
+		_, err := f.Write(data)
+		return err
+	})
+}
+
+// WriteFileHook is WriteFile with a phase hook for crash-injection
+// tests; a nil hook is a no-op.
+func WriteFileHook(path string, mode os.FileMode, hook Hook, write func(*os.File) error) error {
+	call := func(phase, p string) error {
+		if hook == nil {
+			return nil
+		}
+		return hook(phase, p)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpPath := tmp.Name()
+	cleanup := true
+	defer func() {
+		if cleanup {
+			tmp.Close()
+			os.Remove(tmpPath)
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return err
+	}
+	if err := call("post-temp-write", tmpPath); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmpPath, mode); err != nil {
+		return err
+	}
+	if err := call("pre-rename", tmpPath); err != nil {
+		return err
+	}
+	if err := call("mid-rename", tmpPath); err != nil {
+		return err
+	}
+	if err := rename(tmpPath, path); err != nil {
+		if !errors.Is(err, syscall.EXDEV) {
+			return err
+		}
+		// Cross-device destination (the temp necessarily shares the
+		// destination directory, but an overlay/bind mount inside it can
+		// still split devices): degrade to a direct rewrite of the
+		// destination. Durability is kept (fsync before returning);
+		// atomicity is not — a crash mid-copy leaves a torn destination,
+		// which checkpoint readers detect by CRC.
+		if err := copyInto(tmpPath, path, mode); err != nil {
+			return err
+		}
+	}
+	cleanup = false
+	os.Remove(tmpPath) // no-op after a successful rename
+	syncDir(dir)
+	return call("renamed", path)
+}
+
+// copyInto rewrites dst in place from the temp file's content.
+func copyInto(tmpPath, dst string, mode os.FileMode) error {
+	src, err := os.Open(tmpPath)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	out, err := os.OpenFile(dst, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, mode)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, src); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// syncDir persists the rename itself (the directory entry), best-effort:
+// some filesystems reject directory fsync, and the file content is
+// already durable either way.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -1,0 +1,170 @@
+package atomicio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("old"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBytes(path, 0o644, []byte("new content")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new content" {
+		t.Fatalf("content = %q", got)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o644 {
+		t.Fatalf("mode = %v, want 0644", info.Mode().Perm())
+	}
+	assertNoTemps(t, dir)
+}
+
+func TestWriteErrorKeepsOldContentAndCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteFile(path, 0o644, func(f *os.File) error {
+		f.Write([]byte("partial"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "old" {
+		t.Fatalf("destination changed to %q on failed write", got)
+	}
+	assertNoTemps(t, dir)
+}
+
+func TestHookPhasesInOrder(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	var phases []string
+	hook := func(phase, p string) error {
+		phases = append(phases, phase)
+		switch phase {
+		case "renamed":
+			if p != path {
+				t.Errorf("renamed path = %q, want %q", p, path)
+			}
+		default:
+			if p == path || !strings.Contains(filepath.Base(p), ".tmp-") {
+				t.Errorf("%s path = %q, want a temp file", phase, p)
+			}
+		}
+		return nil
+	}
+	if err := WriteFileHook(path, 0o644, hook, func(f *os.File) error {
+		_, err := f.Write([]byte("x"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"post-temp-write", "pre-rename", "mid-rename", "renamed"}
+	if strings.Join(phases, ",") != strings.Join(want, ",") {
+		t.Fatalf("phases = %v, want %v", phases, want)
+	}
+}
+
+func TestHookAbortBeforeRenameKeepsOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	killed := errors.New("killed")
+	err := WriteFileHook(path, 0o644, func(phase, _ string) error {
+		if phase == "pre-rename" {
+			return killed
+		}
+		return nil
+	}, func(f *os.File) error {
+		_, err := f.Write([]byte("new"))
+		return err
+	})
+	if !errors.Is(err, killed) {
+		t.Fatalf("err = %v, want killed", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "old" {
+		t.Fatalf("destination = %q, want old", got)
+	}
+	assertNoTemps(t, dir)
+}
+
+func TestEXDEVFallsBackToDirectCopy(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	orig := rename
+	calls := 0
+	rename = func(old, new string) error {
+		calls++
+		return &os.LinkError{Op: "rename", Old: old, New: new, Err: syscall.EXDEV}
+	}
+	defer func() { rename = orig }()
+	if err := WriteBytes(path, 0o644, []byte("crossed the device")); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("rename called %d times, want 1", calls)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "crossed the device" {
+		t.Fatalf("content = %q", got)
+	}
+	assertNoTemps(t, dir)
+}
+
+func TestNonEXDEVRenameErrorPropagates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	orig := rename
+	rename = func(old, new string) error {
+		return &os.LinkError{Op: "rename", Old: old, New: new, Err: syscall.EACCES}
+	}
+	defer func() { rename = orig }()
+	err := WriteBytes(path, 0o644, []byte("x"))
+	if !errors.Is(err, syscall.EACCES) {
+		t.Fatalf("err = %v, want EACCES", err)
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Fatalf("destination exists after failed rename")
+	}
+	assertNoTemps(t, dir)
+}
+
+func assertNoTemps(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}

@@ -1,0 +1,391 @@
+// Package checkpoint defines the durable on-disk snapshot format that
+// makes streaming runs crash-resumable. A checkpoint file carries a
+// manifest (which dataset, which shard range, how far the walk got) and
+// an opaque accumulator-state payload, each independently length-prefixed
+// and CRC32-guarded so a torn or bit-flipped file is detected — never
+// trusted — and the loader falls back to the previous generation.
+//
+// File layout (all integers little-endian):
+//
+//	magic   "MLCK" (4 bytes)
+//	version u8 (currently 1)
+//	section × 2, in fixed order:
+//	    tag     u8   (1 = manifest, 2 = state)
+//	    length  u64  (payload bytes)
+//	    payload
+//	    crc     u32  (CRC-32/IEEE of payload)
+//	(no trailing bytes)
+//
+// Files are written atomically (temp + fsync + rename, via
+// internal/atomicio) and named shardNNN.gGGGGGG.ckpt so generations sort
+// lexically. Save keeps the last two generations per shard: the newest
+// is the resume point, the previous survives as the fallback if the
+// newest turns out corrupt.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"meshlab/internal/atomicio"
+	"meshlab/internal/binio"
+	"meshlab/internal/dataset"
+)
+
+const (
+	magic   = "MLCK"
+	version = 1
+
+	tagManifest = 1
+	tagState    = 2
+
+	// manifestVersion versions the manifest payload encoding itself.
+	manifestVersion = 1
+)
+
+// ErrMismatch reports a checkpoint whose manifest names a different
+// dataset or shard layout than the run trying to resume from it.
+// Resuming across identities would silently blend two datasets, so
+// callers must treat it as fatal (the CLIs map it to a usage error).
+var ErrMismatch = errors.New("checkpoint: dataset identity mismatch")
+
+// Manifest names the run a checkpoint belongs to and how far it got.
+// The identity fields (everything except the progress fields and
+// Generation) must match exactly for a resume to be legal.
+type Manifest struct {
+	// Identity: which dataset and which slice of it.
+	Meta         dataset.Meta // dataset header (seed, durations)
+	File         string       // base name of the dataset file
+	PlanNetworks int          // total networks in the plan
+	Shard        int          // this shard's index
+	Shards       int          // total shards in the run
+	First        int          // first network index of this shard's range
+	Count        int          // number of networks in this shard's range
+	FlatSamples  bool         // dataset carries a flat-sample section
+
+	// Progress: how far the walk got when the snapshot was taken.
+	NetworksDone   int      // networks fully observed (walk phase)
+	SamplePhase    bool     // true once the deferred sample phase began
+	SampleNetsDone []string // fully fed sample groups, as "band/net" keys
+
+	// Tallies mirrored from the shard report so a resumed run can keep
+	// counting from where it stopped.
+	BG, N, ProbeSets int
+
+	// Generation is assigned by Save; callers leave it zero.
+	Generation uint64
+}
+
+// Loaded is a successfully decoded checkpoint.
+type Loaded struct {
+	Manifest Manifest
+	State    []byte
+	Path     string
+}
+
+func encodeManifest(m *Manifest) []byte {
+	var buf bytes.Buffer
+	w := binio.NewWriter(&buf)
+	w.U8(manifestVersion)
+	w.U64(m.Meta.Seed)
+	w.I64(int64(m.Meta.ProbeDuration))
+	w.I64(int64(m.Meta.ProbeInterval))
+	w.I64(int64(m.Meta.ClientDuration))
+	w.String(m.File)
+	w.Int(m.PlanNetworks)
+	w.Int(m.Shard)
+	w.Int(m.Shards)
+	w.Int(m.First)
+	w.Int(m.Count)
+	w.Bool(m.FlatSamples)
+	w.Int(m.NetworksDone)
+	w.Bool(m.SamplePhase)
+	w.Int(len(m.SampleNetsDone))
+	for _, net := range m.SampleNetsDone {
+		w.String(net)
+	}
+	w.Int(m.BG)
+	w.Int(m.N)
+	w.Int(m.ProbeSets)
+	w.U64(m.Generation)
+	return buf.Bytes()
+}
+
+func decodeManifest(data []byte) (*Manifest, error) {
+	r := binio.NewReader(bytes.NewReader(data))
+	if v := r.U8(); r.Err() == nil && v != manifestVersion {
+		return nil, fmt.Errorf("checkpoint: manifest version %d, want %d", v, manifestVersion)
+	}
+	m := &Manifest{}
+	m.Meta.Seed = r.U64()
+	m.Meta.ProbeDuration = int32(r.I64())
+	m.Meta.ProbeInterval = int32(r.I64())
+	m.Meta.ClientDuration = int32(r.I64())
+	m.File = r.String()
+	m.PlanNetworks = r.Int()
+	m.Shard = r.Int()
+	m.Shards = r.Int()
+	m.First = r.Int()
+	m.Count = r.Int()
+	m.FlatSamples = r.Bool()
+	m.NetworksDone = r.Int()
+	m.SamplePhase = r.Bool()
+	n := r.Count(8)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		m.SampleNetsDone = append(m.SampleNetsDone, r.String())
+	}
+	m.BG = r.Int()
+	m.N = r.Int()
+	m.ProbeSets = r.Int()
+	m.Generation = r.U64()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("checkpoint: manifest: %w", err)
+	}
+	return m, nil
+}
+
+// Validate checks that m's identity matches want's; a mismatch wraps
+// ErrMismatch with the first differing field. Progress fields are
+// bounds-checked against the identity but not compared.
+func (m *Manifest) Validate(want *Manifest) error {
+	switch {
+	case m.Meta != want.Meta:
+		return fmt.Errorf("%w: dataset meta %+v, run has %+v", ErrMismatch, m.Meta, want.Meta)
+	case m.File != want.File:
+		return fmt.Errorf("%w: dataset file %q, run has %q", ErrMismatch, m.File, want.File)
+	case m.PlanNetworks != want.PlanNetworks:
+		return fmt.Errorf("%w: plan has %d networks, run has %d", ErrMismatch, m.PlanNetworks, want.PlanNetworks)
+	case m.Shard != want.Shard || m.Shards != want.Shards:
+		return fmt.Errorf("%w: shard %d/%d, run has %d/%d", ErrMismatch, m.Shard, m.Shards, want.Shard, want.Shards)
+	case m.First != want.First || m.Count != want.Count:
+		return fmt.Errorf("%w: network range [%d,+%d), run has [%d,+%d)", ErrMismatch, m.First, m.Count, want.First, want.Count)
+	case m.FlatSamples != want.FlatSamples:
+		return fmt.Errorf("%w: flat-samples %v, run has %v", ErrMismatch, m.FlatSamples, want.FlatSamples)
+	}
+	if m.NetworksDone < 0 || m.NetworksDone > m.Count {
+		return fmt.Errorf("checkpoint: manifest claims %d networks done of %d", m.NetworksDone, m.Count)
+	}
+	return nil
+}
+
+// Encode serializes a full checkpoint file image (magic, version, both
+// CRC-guarded sections). Exposed for tests and fuzz corpus seeding; the
+// write path is Save.
+func Encode(m *Manifest, state []byte) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	buf.WriteByte(version)
+	writeSection(&buf, tagManifest, encodeManifest(m))
+	writeSection(&buf, tagState, state)
+	return buf.Bytes()
+}
+
+func writeSection(buf *bytes.Buffer, tag byte, payload []byte) {
+	buf.WriteByte(tag)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(payload)))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	buf.Write(crc[:])
+}
+
+func readSection(data []byte, wantTag byte) (payload, rest []byte, err error) {
+	if len(data) < 1+8 {
+		return nil, nil, fmt.Errorf("checkpoint: truncated section header")
+	}
+	if data[0] != wantTag {
+		return nil, nil, fmt.Errorf("checkpoint: section tag %d, want %d", data[0], wantTag)
+	}
+	n := binary.LittleEndian.Uint64(data[1 : 1+8])
+	rest = data[1+8:]
+	if n > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("checkpoint: section claims %d bytes, %d remain", n, len(rest))
+	}
+	payload, rest = rest[:n], rest[n:]
+	if len(rest) < 4 {
+		return nil, nil, fmt.Errorf("checkpoint: truncated section checksum")
+	}
+	want := binary.LittleEndian.Uint32(rest[:4])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, nil, fmt.Errorf("checkpoint: section %d checksum %08x, file says %08x", wantTag, got, want)
+	}
+	return payload, rest[4:], nil
+}
+
+// Decode parses a checkpoint file image, verifying magic, version, and
+// both section CRCs. It never panics on hostile input and never returns
+// partial state alongside an error.
+func Decode(data []byte) (*Manifest, []byte, error) {
+	if len(data) < len(magic)+1 {
+		return nil, nil, fmt.Errorf("checkpoint: file too short (%d bytes)", len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, nil, fmt.Errorf("checkpoint: bad magic %q", data[:len(magic)])
+	}
+	if v := data[len(magic)]; v != version {
+		return nil, nil, fmt.Errorf("checkpoint: file version %d, want %d", v, version)
+	}
+	rest := data[len(magic)+1:]
+	manifestBytes, rest, err := readSection(rest, tagManifest)
+	if err != nil {
+		return nil, nil, err
+	}
+	state, rest, err := readSection(rest, tagState)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(rest) != 0 {
+		return nil, nil, fmt.Errorf("checkpoint: %d trailing bytes", len(rest))
+	}
+	m, err := decodeManifest(manifestBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, state, nil
+}
+
+// fileName names shard s's generation g checkpoint; zero-padding makes
+// generations sort lexically (up to very large runs).
+func fileName(shard int, gen uint64) string {
+	return fmt.Sprintf("shard%03d.g%06d.ckpt", shard, gen)
+}
+
+// parseGen extracts the generation from a checkpoint file name for the
+// given shard, or (0, false) when the name is not one of ours.
+func parseGen(name string, shard int) (uint64, bool) {
+	prefix := fmt.Sprintf("shard%03d.g", shard)
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".ckpt") {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".ckpt")
+	if digits == "" {
+		return 0, false
+	}
+	var gen uint64
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		gen = gen*10 + uint64(c-'0')
+	}
+	return gen, true
+}
+
+// generations lists shard's checkpoint generations in dir, ascending.
+func generations(dir string, shard int) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var gens []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if gen, ok := parseGen(e.Name(), shard); ok {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// Save durably writes the next checkpoint generation for m.Shard in dir:
+// it stamps m.Generation, streams the state payload through the CRC
+// framing into a temp file, fsyncs, renames into place, then prunes
+// generations older than the previous one (keep-last-2). hook, when
+// non-nil, is invoked at the atomicio phases plus "mid-snapshot"
+// (between the two sections) — the crash-injection seam. The state
+// callback runs exactly once.
+func Save(dir string, shard int, m *Manifest, state func(w io.Writer) error, hook atomicio.Hook) (uint64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	gens, err := generations(dir, shard)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	gen := uint64(1)
+	if len(gens) > 0 {
+		gen = gens[len(gens)-1] + 1
+	}
+	m.Generation = gen
+
+	path := filepath.Join(dir, fileName(shard, gen))
+	err = atomicio.WriteFileHook(path, 0o644, hook, func(f *os.File) error {
+		var buf bytes.Buffer
+		buf.WriteString(magic)
+		buf.WriteByte(version)
+		writeSection(&buf, tagManifest, encodeManifest(m))
+		if _, err := f.Write(buf.Bytes()); err != nil {
+			return err
+		}
+		if hook != nil {
+			if err := hook("mid-snapshot", f.Name()); err != nil {
+				return err
+			}
+		}
+		var stateBuf bytes.Buffer
+		if err := state(&stateBuf); err != nil {
+			return err
+		}
+		var sec bytes.Buffer
+		writeSection(&sec, tagState, stateBuf.Bytes())
+		_, err := f.Write(sec.Bytes())
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	// Keep the newest two generations; prune the rest best-effort (a
+	// failed unlink must not fail the run — the loader ignores extras).
+	for _, old := range gens {
+		if old+1 < gen {
+			os.Remove(filepath.Join(dir, fileName(shard, old)))
+		}
+	}
+	return gen, nil
+}
+
+// Load returns the newest CRC-valid checkpoint for shard in dir, falling
+// back generation by generation when the newest is torn or corrupt. Each
+// skipped generation contributes a note for the run manifest. A missing
+// directory or no checkpoints returns (nil, notes, nil) — a fresh start.
+// The error return is reserved for environmental failures (unreadable
+// directory), not corrupt files.
+func Load(dir string, shard int) (*Loaded, []string, error) {
+	gens, err := generations(dir, shard)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var notes []string
+	for i := len(gens) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, fileName(shard, gens[i]))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			notes = append(notes, fmt.Sprintf("shard %d: checkpoint g%d unreadable (%v), falling back", shard, gens[i], err))
+			continue
+		}
+		m, state, err := Decode(data)
+		if err != nil {
+			notes = append(notes, fmt.Sprintf("shard %d: checkpoint g%d corrupt (%v), falling back", shard, gens[i], err))
+			continue
+		}
+		return &Loaded{Manifest: *m, State: state, Path: path}, notes, nil
+	}
+	return nil, notes, nil
+}

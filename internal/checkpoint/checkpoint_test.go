@@ -1,0 +1,319 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"meshlab/internal/dataset"
+)
+
+func testManifest() *Manifest {
+	return &Manifest{
+		Meta:           dataset.Meta{Seed: 42, ProbeDuration: 90, ProbeInterval: 1, ClientDuration: 300},
+		File:           "fleet.bin",
+		PlanNetworks:   10,
+		Shard:          1,
+		Shards:         3,
+		First:          3,
+		Count:          4,
+		FlatSamples:    true,
+		NetworksDone:   2,
+		SamplePhase:    false,
+		SampleNetsDone: []string{"net-03", "net-04"},
+		BG:             1,
+		N:              1,
+		ProbeSets:      7,
+	}
+}
+
+func saveState(state []byte) func(io.Writer) error {
+	return func(w io.Writer) error {
+		_, err := w.Write(state)
+		return err
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := testManifest()
+	state := []byte("accumulator state bytes")
+	gen, err := Save(dir, m.Shard, m, saveState(state), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 {
+		t.Fatalf("first generation = %d, want 1", gen)
+	}
+	loaded, notes, err := Load(dir, m.Shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(notes) != 0 {
+		t.Fatalf("unexpected notes: %v", notes)
+	}
+	if loaded == nil {
+		t.Fatal("no checkpoint loaded")
+	}
+	if !bytes.Equal(loaded.State, state) {
+		t.Fatalf("state = %q", loaded.State)
+	}
+	want := *m
+	want.Generation = 1
+	got := loaded.Manifest
+	if got.Meta != want.Meta || got.File != want.File || got.Generation != 1 ||
+		got.NetworksDone != want.NetworksDone || len(got.SampleNetsDone) != 2 ||
+		got.SampleNetsDone[0] != "net-03" || got.ProbeSets != want.ProbeSets {
+		t.Fatalf("manifest round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestLoadMissingDirIsFreshStart(t *testing.T) {
+	loaded, notes, err := Load(filepath.Join(t.TempDir(), "nope"), 0)
+	if err != nil || loaded != nil || len(notes) != 0 {
+		t.Fatalf("missing dir: loaded=%v notes=%v err=%v, want all empty", loaded, notes, err)
+	}
+}
+
+// TestGenerationPolicy: Save keeps exactly the last two generations, and
+// Load picks the newest.
+func TestGenerationPolicy(t *testing.T) {
+	dir := t.TempDir()
+	m := testManifest()
+	for i := 1; i <= 5; i++ {
+		m.NetworksDone = i
+		gen, err := Save(dir, m.Shard, m, saveState([]byte{byte(i)}), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen != uint64(i) {
+			t.Fatalf("generation = %d, want %d", gen, i)
+		}
+	}
+	gens, err := generations(dir, m.Shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 || gens[0] != 4 || gens[1] != 5 {
+		t.Fatalf("kept generations %v, want [4 5]", gens)
+	}
+	loaded, _, err := Load(dir, m.Shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Manifest.NetworksDone != 5 || loaded.State[0] != 5 {
+		t.Fatalf("loaded generation %d (done=%d), want newest", loaded.Manifest.Generation, loaded.Manifest.NetworksDone)
+	}
+}
+
+// TestCorruptNewestFallsBack: a torn or bit-flipped newest generation is
+// skipped with a note and the previous generation is used.
+func TestCorruptNewestFallsBack(t *testing.T) {
+	corruptions := []struct {
+		name    string
+		corrupt func(data []byte) []byte
+	}{
+		{"bit-flip", func(d []byte) []byte {
+			out := append([]byte(nil), d...)
+			out[len(out)-7] ^= 0x01
+			return out
+		}},
+		{"torn-tail", func(d []byte) []byte { return d[:len(d)-3] }},
+		{"empty", func([]byte) []byte { return nil }},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			m := testManifest()
+			m.NetworksDone = 1
+			if _, err := Save(dir, m.Shard, m, saveState([]byte("good")), nil); err != nil {
+				t.Fatal(err)
+			}
+			m.NetworksDone = 2
+			if _, err := Save(dir, m.Shard, m, saveState([]byte("newer")), nil); err != nil {
+				t.Fatal(err)
+			}
+			newest := filepath.Join(dir, fileName(m.Shard, 2))
+			data, err := os.ReadFile(newest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(newest, tc.corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			loaded, notes, err := Load(dir, m.Shard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded == nil || loaded.Manifest.Generation != 1 || string(loaded.State) != "good" {
+				t.Fatalf("loaded %+v, want generation 1 fallback", loaded)
+			}
+			if len(notes) != 1 || !strings.Contains(notes[0], "g2") {
+				t.Fatalf("notes = %v, want one g2 corruption note", notes)
+			}
+		})
+	}
+}
+
+func TestAllGenerationsCorruptIsFreshStartWithNotes(t *testing.T) {
+	dir := t.TempDir()
+	m := testManifest()
+	if _, err := Save(dir, m.Shard, m, saveState([]byte("x")), nil); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fileName(m.Shard, 1))
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, notes, err := Load(dir, m.Shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != nil {
+		t.Fatalf("loaded %+v from garbage", loaded)
+	}
+	if len(notes) != 1 {
+		t.Fatalf("notes = %v, want one", notes)
+	}
+}
+
+// TestShardsAreIndependent: shard N's checkpoints never shadow shard M's.
+func TestShardsAreIndependent(t *testing.T) {
+	dir := t.TempDir()
+	for shard := 0; shard < 3; shard++ {
+		m := testManifest()
+		m.Shard = shard
+		m.NetworksDone = shard + 1
+		if _, err := Save(dir, shard, m, saveState([]byte{byte(shard)}), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for shard := 0; shard < 3; shard++ {
+		loaded, _, err := Load(dir, shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded == nil || loaded.Manifest.Shard != shard || loaded.State[0] != byte(shard) {
+			t.Fatalf("shard %d loaded %+v", shard, loaded)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	base := testManifest()
+	cases := []struct {
+		name   string
+		mutate func(m *Manifest)
+	}{
+		{"seed", func(m *Manifest) { m.Meta.Seed++ }},
+		{"probe-duration", func(m *Manifest) { m.Meta.ProbeDuration++ }},
+		{"file", func(m *Manifest) { m.File = "other.bin" }},
+		{"plan-networks", func(m *Manifest) { m.PlanNetworks++ }},
+		{"shard", func(m *Manifest) { m.Shard++ }},
+		{"shards", func(m *Manifest) { m.Shards++ }},
+		{"first", func(m *Manifest) { m.First++ }},
+		{"count", func(m *Manifest) { m.Count++ }},
+		{"flat-samples", func(m *Manifest) { m.FlatSamples = !m.FlatSamples }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := *base
+			tc.mutate(&got)
+			if err := got.Validate(base); !errors.Is(err, ErrMismatch) {
+				t.Fatalf("err = %v, want ErrMismatch", err)
+			}
+		})
+	}
+	same := *base
+	same.NetworksDone = 999 // progress differs but is out of bounds
+	if err := same.Validate(base); err == nil || errors.Is(err, ErrMismatch) {
+		t.Fatalf("out-of-bounds progress: err = %v, want a non-mismatch error", err)
+	}
+	same.NetworksDone = base.Count
+	if err := same.Validate(base); err != nil {
+		t.Fatalf("identical identity rejected: %v", err)
+	}
+}
+
+// TestDecodeRejectsHostileInputs: every framing violation errors
+// contextually; none panic or return partial state.
+func TestDecodeRejectsHostileInputs(t *testing.T) {
+	valid := Encode(testManifest(), []byte("state"))
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short", []byte("ML")},
+		{"bad-magic", append([]byte("XXXX"), valid[4:]...)},
+		{"bad-version", func() []byte {
+			d := append([]byte(nil), valid...)
+			d[4] = 99
+			return d
+		}()},
+		{"trailing-garbage", append(append([]byte(nil), valid...), 0xAA)},
+		{"huge-section-length", func() []byte {
+			d := append([]byte(nil), valid...)
+			d[6] = 0xFF // manifest section length LSBs
+			d[7] = 0xFF
+			return d
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, state, err := Decode(tc.data)
+			if err == nil {
+				t.Fatal("decoded without error")
+			}
+			if m != nil || state != nil {
+				t.Fatal("partial state returned alongside error")
+			}
+		})
+	}
+	// Every truncation must fail.
+	for cut := 0; cut < len(valid); cut++ {
+		if _, _, err := Decode(valid[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d decoded without error", cut, len(valid))
+		}
+	}
+	// Every single-bit flip in either payload or CRC must fail.
+	for i := 5; i < len(valid); i++ {
+		d := append([]byte(nil), valid...)
+		d[i] ^= 0x40
+		if _, _, err := Decode(d); err == nil {
+			t.Fatalf("bit flip at byte %d decoded without error", i)
+		}
+	}
+}
+
+func TestSaveHookAbortLeavesPreviousGeneration(t *testing.T) {
+	dir := t.TempDir()
+	m := testManifest()
+	if _, err := Save(dir, m.Shard, m, saveState([]byte("g1")), nil); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("killed")
+	_, err := Save(dir, m.Shard, m, saveState([]byte("g2")), func(phase, _ string) error {
+		if phase == "mid-snapshot" {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want killed", err)
+	}
+	loaded, notes, err := Load(dir, m.Shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded == nil || loaded.Manifest.Generation != 1 || string(loaded.State) != "g1" {
+		t.Fatalf("loaded %+v, want generation 1 intact", loaded)
+	}
+	if len(notes) != 0 {
+		t.Fatalf("aborted save left a visible corrupt generation: %v", notes)
+	}
+}

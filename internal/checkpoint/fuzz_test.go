@@ -1,0 +1,117 @@
+package checkpoint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"meshlab/internal/dataset"
+)
+
+// fuzzSeeds builds real checkpoint images (plus adversarial variants) so
+// the fuzzer starts from structurally valid format bytes.
+func fuzzSeeds() [][]byte {
+	full := testFuzzManifest()
+	empty := &Manifest{}
+	seeds := [][]byte{
+		Encode(full, []byte("accumulator state")),
+		Encode(empty, nil),
+		Encode(full, make([]byte, 256)),
+	}
+	// A truncated and a bit-flipped variant of the first seed.
+	base := seeds[0]
+	seeds = append(seeds, base[:len(base)/2])
+	flipped := append([]byte(nil), base...)
+	flipped[len(flipped)/3] ^= 0x80
+	seeds = append(seeds, flipped)
+	return seeds
+}
+
+func testFuzzManifest() *Manifest {
+	return &Manifest{
+		Meta:           dataset.Meta{Seed: 7, ProbeDuration: 90, ProbeInterval: 1, ClientDuration: 300},
+		File:           "fleet.bin",
+		PlanNetworks:   12,
+		Shard:          2,
+		Shards:         4,
+		First:          6,
+		Count:          3,
+		FlatSamples:    true,
+		NetworksDone:   1,
+		SamplePhase:    true,
+		SampleNetsDone: []string{"net-06"},
+		BG:             1, N: 0, ProbeSets: 4,
+	}
+}
+
+// FuzzCheckpoint: Decode must never panic, never allocate absurdly on a
+// lying length, and never return partial state alongside an error. A
+// successful decode must re-encode to an image that decodes to the same
+// manifest (framing is canonical).
+func FuzzCheckpoint(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, state, err := Decode(data)
+		if err != nil {
+			if m != nil || state != nil {
+				t.Fatalf("partial state alongside error %v", err)
+			}
+			return
+		}
+		if m == nil {
+			t.Fatal("nil manifest without error")
+		}
+		re := Encode(m, state)
+		m2, state2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded image fails to decode: %v", err)
+		}
+		if m2.Meta != m.Meta || m2.File != m.File || m2.NetworksDone != m.NetworksDone ||
+			m2.Generation != m.Generation || len(state2) != len(state) {
+			t.Fatalf("re-encode round trip drifted:\n %+v\nvs %+v", m, m2)
+		}
+	})
+}
+
+var updateCorpus = flag.Bool("update-corpus", false, "rewrite the seed corpus under testdata/fuzz")
+
+// TestWriteFuzzCorpus materializes fuzzSeeds as checked-in corpus files
+// in Go's corpus encoding, so `go test -fuzz` starts from real format
+// bytes even before any local fuzzing has run.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if !*updateCorpus {
+		t.Skip("pass -update-corpus to rewrite testdata/fuzz")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzCheckpoint")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range fuzzSeeds() {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSeedCorpusInSync guards the checked-in corpus against silent
+// drift: every seed the fuzz target starts from must exist on disk (the
+// CI fuzz smoke runs from these files).
+func TestSeedCorpusInSync(t *testing.T) {
+	for i, seed := range fuzzSeeds() {
+		path := filepath.Join("testdata", "fuzz", "FuzzCheckpoint", fmt.Sprintf("seed-%02d", i))
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("corpus file missing (regenerate with -update-corpus): %v", err)
+		}
+		want := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		if string(got) != want {
+			t.Fatalf("%s out of sync with fuzzSeeds (regenerate with -update-corpus)", path)
+		}
+	}
+}

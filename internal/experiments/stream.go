@@ -158,6 +158,7 @@ type StreamContext struct {
 	collectorDone chan struct{}
 
 	mu          sync.Mutex
+	idle        *sync.Cond // broadcast when inFlight drops to 0 (Flush)
 	err         error
 	inFlight    int
 	maxInFlight int
@@ -204,6 +205,7 @@ func NewStreamContext(workers int) *StreamContext {
 		jobs:          make(chan *streamJob, workers),
 		collectorDone: make(chan struct{}),
 	}
+	s.idle = sync.NewCond(&s.mu)
 	for _, id := range s.ids {
 		s.accs = append(s.accs, registry[byID[id]].newAcc())
 	}
@@ -358,6 +360,9 @@ func (s *StreamContext) collect() {
 			}
 		}
 		s.inFlight--
+		if s.inFlight == 0 {
+			s.idle.Broadcast()
+		}
 		s.mu.Unlock()
 	}
 	close(s.collectorDone)

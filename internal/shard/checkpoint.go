@@ -1,0 +1,128 @@
+package shard
+
+// checkpoint.go hooks the durable-checkpoint layer (internal/checkpoint)
+// into the shard workers: each shard periodically snapshots its
+// StreamContext at a network boundary, and a retry — or a fresh process
+// started with Options.Resume — seeks straight to the last durable
+// position instead of re-walking the shard from zero.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"meshlab/internal/checkpoint"
+	"meshlab/internal/experiments"
+)
+
+// ErrCheckpoint marks a failure on the checkpoint write path. It is
+// never retried: a run that cannot persist its progress must stop and
+// surface the storage problem rather than burn the retry budget
+// re-streaming data it cannot checkpoint. (Injected kills from
+// faultfs.CrashPlan surface through here, which is what makes the
+// crash tests end the first process the way a real crash would.)
+var ErrCheckpoint = errors.New("shard: checkpoint failure")
+
+// ckptState is one shard's checkpoint bookkeeping, shared across that
+// shard's retries.
+type ckptState struct {
+	opts  Options
+	dir   string
+	shard int
+	every int
+
+	mu sync.Mutex
+	// ident is the manifest identity every save stamps and every load
+	// validates. In directory mode it is only known once the shard's
+	// plan is built, hence identSet.
+	ident    checkpoint.Manifest
+	identSet bool
+	// allowLoad starts as opts.Resume (a fresh run must not pick up a
+	// stale directory unless asked) and turns true after the first save,
+	// so in-process retries always resume from their own checkpoints.
+	allowLoad bool
+	notes     []string
+}
+
+func newCkptState(opts Options, shard int) *ckptState {
+	every := opts.CheckpointEvery
+	if every <= 0 {
+		every = 16
+	}
+	return &ckptState{
+		opts:      opts,
+		dir:       opts.CheckpointDir,
+		shard:     shard,
+		every:     every,
+		allowLoad: opts.Resume,
+	}
+}
+
+func (c *ckptState) setIdent(m checkpoint.Manifest) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ident = m
+	c.identSet = true
+}
+
+func (c *ckptState) note(s string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.notes = append(c.notes, s)
+}
+
+// takeNotes returns the notes accumulated so far (across retries).
+func (c *ckptState) takeNotes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.notes...)
+}
+
+// load returns the newest valid checkpoint to resume from, or nil for a
+// fresh start. Corrupt generations are skipped with notes (the
+// checkpoint loader falls back); an identity mismatch is fatal.
+func (c *ckptState) load() (*checkpoint.Loaded, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.allowLoad || !c.identSet {
+		return nil, nil
+	}
+	loaded, notes, err := checkpoint.Load(c.dir, c.shard)
+	c.notes = append(c.notes, notes...)
+	if err != nil || loaded == nil {
+		return nil, err
+	}
+	if err := loaded.Manifest.Validate(&c.ident); err != nil {
+		if errors.Is(err, checkpoint.ErrMismatch) {
+			return nil, err
+		}
+		// Structurally invalid progress: never trust it, start fresh.
+		c.notes = append(c.notes, fmt.Sprintf("shard %d: checkpoint g%d invalid (%v), starting fresh",
+			c.shard, loaded.Manifest.Generation, err))
+		return nil, nil
+	}
+	return loaded, nil
+}
+
+// save writes the next checkpoint generation: identity plus current
+// progress plus the accumulator snapshot. Must be called from the
+// shard's driver goroutine at a network (walk phase) or sample-group
+// boundary; sampleKeys are band-qualified "band/net" group keys.
+func (c *ckptState) save(sc *experiments.StreamContext, out *shardOut, netsDone int, samplePhase bool, sampleKeys []string) error {
+	c.mu.Lock()
+	m := c.ident
+	c.mu.Unlock()
+	m.NetworksDone = netsDone
+	m.SamplePhase = samplePhase
+	m.SampleNetsDone = append([]string(nil), sampleKeys...)
+	sort.Strings(m.SampleNetsDone)
+	m.BG, m.N, m.ProbeSets = out.bg, out.n, out.probeSets
+	if _, err := checkpoint.Save(c.dir, c.shard, &m, sc.Snapshot, c.opts.CheckpointHook); err != nil {
+		return fmt.Errorf("%w: shard %d: %w", ErrCheckpoint, c.shard, err)
+	}
+	c.mu.Lock()
+	c.allowLoad = true
+	c.mu.Unlock()
+	return nil
+}

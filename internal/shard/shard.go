@@ -31,6 +31,7 @@
 package shard
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -43,6 +44,7 @@ import (
 	"sync"
 	"time"
 
+	"meshlab/internal/checkpoint"
 	"meshlab/internal/conc"
 	"meshlab/internal/dataset"
 	"meshlab/internal/experiments"
@@ -68,6 +70,12 @@ const (
 	Quarantined
 	// Exhausted: every attempt failed with a presumed-transient error.
 	Exhausted
+	// Failed: the shard stopped for a non-transient, non-corrupt reason
+	// — a checkpoint-write failure (including an injected kill), a
+	// checkpoint identity mismatch, or cancellation. Never dressed up as
+	// an exhausted retry budget: the storage or invocation is wrong, not
+	// unlucky.
+	Failed
 )
 
 func (s State) String() string {
@@ -78,8 +86,25 @@ func (s State) String() string {
 		return "quarantined"
 	case Exhausted:
 		return "exhausted"
+	case Failed:
+		return "failed"
 	}
 	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// classify maps a shard attempt's final error to its report state.
+func classify(err error) State {
+	switch {
+	case err == nil:
+		return OK
+	case wire.IsCorrupt(err):
+		return Quarantined
+	case errors.Is(err, ErrCheckpoint) || errors.Is(err, checkpoint.ErrMismatch),
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return Failed
+	default:
+		return Exhausted
+	}
 }
 
 // Report describes one shard's outcome.
@@ -97,6 +122,9 @@ type Report struct {
 	// Err is the shard's final error (nil for OK shards), with its full
 	// wrap chain intact: wire.Error context, ErrCorrupt/transient cause.
 	Err error
+	// Checkpoint carries the shard's checkpoint activity notes: resume
+	// points taken, and stale or corrupt generations skipped by checksum.
+	Checkpoint []string
 }
 
 // Manifest is the coverage record of a sharded run: what was observed,
@@ -130,11 +158,26 @@ func (m *Manifest) Format() string {
 		if r.Err != nil {
 			fmt.Fprintf(&b, "    cause: %v\n", r.Err)
 		}
+		for _, note := range r.Checkpoint {
+			fmt.Fprintf(&b, "    checkpoint: %s\n", note)
+		}
 	}
 	if len(m.Skipped) > 0 {
 		fmt.Fprintf(&b, "  skipped networks: %s\n", strings.Join(m.Skipped, ", "))
 	}
 	return b.String()
+}
+
+// CheckpointNotes reports whether any shard recorded checkpoint
+// activity (resumes, or corrupt generations skipped) — the CLIs print
+// the manifest when this is true even for non-degraded runs.
+func (m *Manifest) CheckpointNotes() bool {
+	for i := range m.Shards {
+		if len(m.Shards[i].Checkpoint) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Result is a sharded run's output.
@@ -179,6 +222,24 @@ type Options struct {
 	// RetryBase is the backoff unit: attempt k sleeps in
 	// [base·2ᵏ, 1.5·base·2ᵏ), capped at 64·base. ≤ 0 means 5ms.
 	RetryBase time.Duration
+	// CheckpointDir enables durable checkpoints: each shard periodically
+	// snapshots its accumulator state into this directory (in the
+	// internal/checkpoint format) so a crashed or killed run can resume.
+	// Empty disables checkpointing.
+	CheckpointDir string
+	// CheckpointEvery is how many networks a shard fully observes between
+	// checkpoints; ≤ 0 means 16.
+	CheckpointEvery int
+	// Resume seeds each shard from the newest valid checkpoint in
+	// CheckpointDir before streaming (fresh start when none exists, with
+	// corrupt generations skipped by checksum). A checkpoint whose
+	// manifest names a different dataset or shard layout fails the run
+	// with checkpoint.ErrMismatch.
+	Resume bool
+	// CheckpointHook, when non-nil, observes every checkpoint write phase
+	// — the crash-injection seam (see faultfs.CrashPlan.Hook). Nil in
+	// production.
+	CheckpointHook func(phase, path string) error
 }
 
 func (o *Options) open() func(string) (io.ReadSeekCloser, error) {
@@ -195,14 +256,26 @@ func (o *Options) retryBase() time.Duration {
 	return 5 * time.Millisecond
 }
 
-// ExitCode maps a sharded-run (or any streaming) error to the CLI
-// exit-code contract: 0 success, 3 corrupt input, 4 transient
-// exhaustion, 1 anything else. (2 is reserved for usage errors, which
-// never reach this function.)
+// ExitCode maps a sharded-run (or any streaming) error to the CLI exit
+// code. This is the single authoritative statement of the contract —
+// the CLI doc headers and README mirror it:
+//
+//	0   success
+//	1   any other failure (I/O, internal, checkpoint write)
+//	2   usage errors — never reach this function; the CLIs exit 2
+//	    directly, including a -resume whose checkpoints name a
+//	    different dataset (checkpoint.ErrMismatch)
+//	3   corrupt input: wire-level corruption or a quarantined shard
+//	4   transient retry budget exhausted
+//	130 interrupted: context canceled or deadline exceeded (the shell
+//	    convention for SIGINT), checked first so a cancellation that
+//	    surfaces wrapped in a shard error still reports as such
 func ExitCode(err error) int {
 	switch {
 	case err == nil:
 		return 0
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return 130
 	case errors.Is(err, ErrCorruptShard) || wire.IsCorrupt(err):
 		return 3
 	case errors.Is(err, ErrExhausted):
@@ -277,7 +350,10 @@ func attempt(ctx context.Context, index int, opts Options, run func() (*shardOut
 		if err == nil {
 			return out, try + 1, nil
 		}
-		if wire.IsCorrupt(err) || try >= opts.MaxRetries {
+		// Corruption, checkpoint-write failures (including injected
+		// kills), and checkpoint identity mismatches are not transient:
+		// retrying re-streams data without fixing the cause.
+		if wire.IsCorrupt(err) || errors.Is(err, ErrCheckpoint) || errors.Is(err, checkpoint.ErrMismatch) || try >= opts.MaxRetries {
 			return nil, try + 1, err
 		}
 		if serr := sleep(ctx, backoff(opts.retryBase(), try, rng)); serr != nil {
@@ -290,27 +366,78 @@ func attempt(ctx context.Context, index int, opts Options, run func() (*shardOut
 // into a fresh StreamContext, then the flat-sample section filtered to
 // those networks, and drains the pipeline. keep is nil to take every
 // sample group (directory mode, where the shard is the whole file).
-func streamRange(f io.ReadSeeker, plan *wire.Plan, first, count int, keep map[string]bool, opts Options) (*shardOut, error) {
+//
+// With a non-nil ck, the walk checkpoints every ck.every fully-observed
+// networks (and, in the sample phase, every ck.every fully-fed sample
+// networks), and first resumes from the newest valid checkpoint: the
+// restored snapshot replaces the zero state, and the existing
+// ResumeNetworks/ResumeSamples seek path skips straight past the work
+// already covered instead of re-walking the shard from byte zero.
+func streamRange(f io.ReadSeeker, plan *wire.Plan, first, count int, keep map[string]bool, opts Options, ck *ckptState) (*shardOut, error) {
 	out := &shardOut{sc: experiments.NewStreamContext(opts.Workers)}
-	sc := out.sc
 	done := false
 	// The collector goroutine must be released on every exit path; a
 	// failed attempt's context is abandoned, not merged.
 	defer func() {
 		if !done {
-			sc.Drain()
+			out.sc.Drain()
 		}
 	}()
 	hasSamples := plan.SamplesOffset != 0
 	out.flatSamples = hasSamples
 	if hasSamples {
-		sc.DeferSamples()
+		out.sc.DeferSamples()
 	}
-	if count > 0 {
-		if _, err := f.Seek(plan.Networks[first].Offset, io.SeekStart); err != nil {
+
+	// Resume bookkeeping: how far a prior run got. resumeDone holds
+	// band-qualified "band/net" sample-group keys and is immutable once
+	// built (the sample filter reads it from decode goroutines); groups
+	// finished by *this* run accumulate separately.
+	netsDone := 0
+	var resumeDone map[string]bool
+	if ck != nil {
+		loaded, err := ck.load()
+		if err != nil {
 			return nil, err
 		}
-		r, err := plan.ResumeNetworks(f, first, count)
+		if loaded != nil {
+			if err := out.sc.Restore(bytes.NewReader(loaded.State)); err != nil {
+				// The file passed its checksums but the state does not fit
+				// this build's registry: never trust it, start fresh on a
+				// clean context (Restore may have partially mutated this one).
+				ck.note(fmt.Sprintf("shard %d: checkpoint g%d state unusable (%v), starting fresh",
+					ck.shard, loaded.Manifest.Generation, err))
+				out.sc.Drain()
+				out.sc = experiments.NewStreamContext(opts.Workers)
+				if hasSamples {
+					out.sc.DeferSamples()
+				}
+			} else {
+				m := &loaded.Manifest
+				netsDone = m.NetworksDone
+				if len(m.SampleNetsDone) > 0 {
+					resumeDone = make(map[string]bool, len(m.SampleNetsDone))
+					for _, key := range m.SampleNetsDone {
+						resumeDone[key] = true
+					}
+				}
+				out.bg, out.n, out.probeSets = m.BG, m.N, m.ProbeSets
+				phase := "network walk"
+				if m.SamplePhase {
+					phase = fmt.Sprintf("sample phase, %d sample groups done", len(m.SampleNetsDone))
+				}
+				ck.note(fmt.Sprintf("shard %d: resumed from checkpoint g%d (%d/%d networks, %s)",
+					ck.shard, m.Generation, netsDone, count, phase))
+			}
+		}
+	}
+	sc := out.sc
+
+	if count > 0 && netsDone < count {
+		if _, err := f.Seek(plan.Networks[first+netsDone].Offset, io.SeekStart); err != nil {
+			return nil, err
+		}
+		r, err := plan.ResumeNetworks(f, first+netsDone, count-netsDone)
 		if err != nil {
 			return nil, err
 		}
@@ -324,7 +451,14 @@ func streamRange(f io.ReadSeeker, plan *wire.Plan, first, count int, keep map[st
 			for _, l := range nd.Links {
 				out.probeSets += len(l.Sets)
 			}
-			return sc.Observe(nd)
+			if err := sc.Observe(nd); err != nil {
+				return err
+			}
+			netsDone++
+			if ck != nil && netsDone%ck.every == 0 && netsDone < count {
+				return ck.save(sc, out, netsDone, false, nil)
+			}
+			return nil
 		})
 		if err != nil {
 			return nil, err
@@ -338,11 +472,42 @@ func streamRange(f io.ReadSeeker, plan *wire.Plan, first, count int, keep map[st
 		if err != nil {
 			return nil, err
 		}
-		var filter func(string) bool
-		if keep != nil {
-			filter = func(net string) bool { return keep[net] }
+		var filter func(band, net string) bool
+		if keep != nil || resumeDone != nil {
+			filter = func(band, net string) bool {
+				return (keep == nil || keep[net]) && !resumeDone[band+"/"+net]
+			}
 		}
+		// Sample-phase checkpoints land on group boundaries: when a new
+		// (band, network) group's first chunk arrives, the previous group
+		// is fully fed and joins the done set — and the save happens before
+		// observing the new group, so a resumed run's filter excludes
+		// exactly the groups whose every sample reached the accumulators.
+		// Keys are band-qualified ("band/net"): a network streams one group
+		// per band it appears in, so a bare name would wrongly mark its
+		// later bands done along with its first.
+		var doneThisRun []string
+		cur := ""
+		pending := 0
 		err = r.FilterSampleGroups(opts.Workers, filter, func(g *wire.SampleGroup) error {
+			if key := g.Band + "/" + g.Net; ck != nil && key != cur {
+				if cur != "" {
+					doneThisRun = append(doneThisRun, cur)
+					pending++
+					if pending >= ck.every {
+						all := make([]string, 0, len(doneThisRun)+len(resumeDone))
+						all = append(all, doneThisRun...)
+						for k := range resumeDone {
+							all = append(all, k)
+						}
+						if err := ck.save(sc, out, netsDone, true, all); err != nil {
+							return err
+						}
+						pending = 0
+					}
+				}
+				cur = key
+			}
 			return sc.ObserveSampleGroup(g.Band, g.Samples)
 		})
 		if err != nil {
@@ -412,8 +577,22 @@ func runFile(ctx context.Context, path string, opts Options) (*Result, error) {
 			r.Networks = append(r.Networks, pn.Name)
 			keep[pn.Name] = true
 		}
+		var ck *ckptState
+		if opts.CheckpointDir != "" {
+			ck = newCkptState(opts, s)
+			ck.setIdent(checkpoint.Manifest{
+				Meta:         plan.Meta,
+				File:         filepath.Base(path),
+				PlanNetworks: n,
+				Shard:        s,
+				Shards:       k,
+				First:        first,
+				Count:        next - first,
+				FlatSamples:  plan.SamplesOffset != 0,
+			})
+		}
 		wg.Add(1)
-		go func(s, first, count int) {
+		go func(s, first, count int, ck *ckptState) {
 			defer wg.Done()
 			out, tries, err := attempt(ctx, s, opts, func() (*shardOut, error) {
 				f, err := open(path)
@@ -421,20 +600,16 @@ func runFile(ctx context.Context, path string, opts Options) (*Result, error) {
 					return nil, err
 				}
 				defer f.Close()
-				return streamRange(f, plan, first, count, keep, opts)
+				return streamRange(f, plan, first, count, keep, opts, ck)
 			})
 			r.Attempts = tries
 			r.Err = err
 			outs[s] = out
-			switch {
-			case err == nil:
-				r.State = OK
-			case wire.IsCorrupt(err):
-				r.State = Quarantined
-			default:
-				r.State = Exhausted
+			if ck != nil {
+				r.Checkpoint = ck.takeNotes()
 			}
-		}(s, first, next-first)
+			r.State = classify(err)
+		}(s, first, next-first, ck)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
@@ -471,8 +646,12 @@ func runDir(ctx context.Context, dir string, opts Options) (*Result, error) {
 		r := &tasks[s]
 		r.Index = s
 		r.File = path
+		var ck *ckptState
+		if opts.CheckpointDir != "" {
+			ck = newCkptState(opts, s)
+		}
 		wg.Add(1)
-		go func(s int, path string) {
+		go func(s int, path string, ck *ckptState) {
 			defer wg.Done()
 			out, tries, err := attempt(ctx, s, opts, func() (*shardOut, error) {
 				f, err := open(path)
@@ -490,20 +669,30 @@ func runDir(ctx context.Context, dir string, opts Options) (*Result, error) {
 					nets = append(nets, pn.Name)
 				}
 				r.Networks = nets
-				return streamRange(f, plan, 0, len(plan.Networks), nil, opts)
+				if ck != nil {
+					// The identity is only known once the shard's own plan
+					// exists (directory mode plans inside the attempt).
+					ck.setIdent(checkpoint.Manifest{
+						Meta:         plan.Meta,
+						File:         filepath.Base(path),
+						PlanNetworks: len(plan.Networks),
+						Shard:        s,
+						Shards:       len(files),
+						First:        0,
+						Count:        len(plan.Networks),
+						FlatSamples:  plan.SamplesOffset != 0,
+					})
+				}
+				return streamRange(f, plan, 0, len(plan.Networks), nil, opts, ck)
 			})
 			r.Attempts = tries
 			r.Err = err
 			outs[s] = out
-			switch {
-			case err == nil:
-				r.State = OK
-			case wire.IsCorrupt(err):
-				r.State = Quarantined
-			default:
-				r.State = Exhausted
+			if ck != nil {
+				r.Checkpoint = ck.takeNotes()
 			}
-		}(s, path)
+			r.State = classify(err)
+		}(s, path, ck)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
@@ -530,6 +719,14 @@ func runDir(ctx context.Context, dir string, opts Options) (*Result, error) {
 // assemble applies the failure policy and folds the surviving shard
 // contexts — in shard order — into the final results.
 func assemble(reports []Report, outs []*shardOut, meta dataset.Meta, clients []*dataset.ClientData, opts Options) (*Result, error) {
+	// A checkpoint identity mismatch is always fatal — even with
+	// AllowPartial — because it means the resume would have blended two
+	// datasets, not that data was lost.
+	for s := range reports {
+		if reports[s].Err != nil && errors.Is(reports[s].Err, checkpoint.ErrMismatch) {
+			return nil, fmt.Errorf("shard %d (%s): %w", reports[s].Index, reports[s].File, reports[s].Err)
+		}
+	}
 	m := &Manifest{Shards: reports}
 	res := &Result{Meta: meta, Manifest: m}
 	var primary *experiments.StreamContext
@@ -554,11 +751,17 @@ func assemble(reports []Report, outs []*shardOut, meta dataset.Meta, clients []*
 		m.Degraded = true
 		m.Skipped = append(m.Skipped, r.Networks...)
 		if firstErr == nil {
-			kind := ErrExhausted
-			if r.State == Quarantined {
-				kind = ErrCorruptShard
+			// Failed shards keep their own classification (checkpoint
+			// failure, cancellation) instead of being dressed up as an
+			// exhausted retry budget or corruption.
+			switch r.State {
+			case Quarantined:
+				firstErr = fmt.Errorf("%w: shard %d (%s) after %d attempt(s): %w", ErrCorruptShard, r.Index, r.File, r.Attempts, r.Err)
+			case Failed:
+				firstErr = fmt.Errorf("shard %d (%s) after %d attempt(s): %w", r.Index, r.File, r.Attempts, r.Err)
+			default:
+				firstErr = fmt.Errorf("%w: shard %d (%s) after %d attempt(s): %w", ErrExhausted, r.Index, r.File, r.Attempts, r.Err)
 			}
-			firstErr = fmt.Errorf("%w: shard %d (%s) after %d attempt(s): %w", kind, r.Index, r.File, r.Attempts, r.Err)
 		}
 	}
 	if firstErr != nil && !opts.AllowPartial {

@@ -32,22 +32,31 @@ func TestBackoffCapAndDeterminism(t *testing.T) {
 	}
 }
 
+// TestExitCodeMapping pins the full exit-code contract documented on
+// ExitCode (0/1/3/4/130 here; 2 is usage and never reaches it).
 func TestExitCodeMapping(t *testing.T) {
 	cases := []struct {
+		name string
 		err  error
 		want int
 	}{
-		{nil, 0},
-		{errors.New("anything else"), 1},
-		{fmt.Errorf("shard 2: %w", ErrCorruptShard), 3},
-		{fmt.Errorf("plan: %w", ErrExhausted), 4},
+		{"success", nil, 0},
+		{"other", errors.New("anything else"), 1},
+		{"checkpoint-write", fmt.Errorf("shard 1: %w", ErrCheckpoint), 1},
+		{"corrupt", fmt.Errorf("shard 2: %w", ErrCorruptShard), 3},
+		{"exhausted", fmt.Errorf("plan: %w", ErrExhausted), 4},
 		// Raw wire corruption (the -sec4 path) classifies without shard
 		// wrapping.
-		{fmt.Errorf("walk: %w", wire.ErrCorrupt), 3},
+		{"wire-corrupt", fmt.Errorf("walk: %w", wire.ErrCorrupt), 3},
+		{"canceled", context.Canceled, 130},
+		{"deadline", fmt.Errorf("shard: %w", context.DeadlineExceeded), 130},
+		// Cancellation wins even when a shard wrapper chained another
+		// classified sentinel around it mid-flight.
+		{"canceled-inside-exhausted", fmt.Errorf("%w: shard 0: %w", ErrExhausted, context.Canceled), 130},
 	}
 	for _, c := range cases {
 		if got := ExitCode(c.err); got != c.want {
-			t.Fatalf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+			t.Fatalf("%s: ExitCode(%v) = %d, want %d", c.name, c.err, got, c.want)
 		}
 	}
 }

@@ -1,0 +1,176 @@
+package snr
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// chunkCore is the shape every chunked §4 core shares; the snapshot
+// oracle drives them uniformly.
+type chunkCore interface {
+	ObserveGroup([]Sample)
+	Snapshot(w io.Writer) error
+	Restore(r io.Reader) error
+}
+
+type snapCase struct {
+	name  string
+	fresh func() chunkCore
+	fin   func(chunkCore) any
+}
+
+func snapCases() []snapCase {
+	const numRates = 7
+	cases := []snapCase{
+		{
+			name:  "penalty",
+			fresh: func() chunkCore { return NewPenaltyAccum(numRates, Scopes) },
+			fin:   func(c chunkCore) any { return c.(*PenaltyAccum).FinalizeDists() },
+		},
+		{
+			name:  "tput",
+			fresh: func() chunkCore { return NewTputAccum(numRates, 2) },
+			fin:   func(c chunkCore) any { return c.(*TputAccum).Finalize() },
+		},
+		{
+			name:  "rateset",
+			fresh: func() chunkCore { return NewRateSetAccum() },
+			fin:   func(c chunkCore) any { return c.(*RateSetAccum).Finalize() },
+		},
+		{
+			name:  "strategy",
+			fresh: func() chunkCore { return NewStrategyAccum(numRates, 20) },
+			fin:   func(c chunkCore) any { return c.(*StrategyAccum).Finalize() },
+		},
+		{
+			name:  "topk",
+			fresh: func() chunkCore { return NewTopKAccum(numRates, []int{1, 2, 3}) },
+			fin:   func(c chunkCore) any { return c.(*TopKAccum).Finalize() },
+		},
+	}
+	for _, sc := range Scopes {
+		sc := sc
+		cases = append(cases, snapCase{
+			name:  "coverage/" + sc.String(),
+			fresh: func() chunkCore { return NewCoverageAccum(numRates, sc, 8) },
+			fin:   func(c chunkCore) any { return c.(*CoverageAccum).Finalize() },
+		})
+	}
+	return cases
+}
+
+// sampleGroups materializes the fixture's per-network groups so the
+// oracle can split the stream at a network boundary.
+func sampleGroups(t *testing.T) [][]Sample {
+	t.Helper()
+	var groups [][]Sample
+	if err := ForEachSampleGroup(simulated(t), func(g []Sample) error {
+		groups = append(groups, g)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) < 3 {
+		t.Fatalf("only %d groups; the snapshot oracle needs a mid-stream boundary", len(groups))
+	}
+	return groups
+}
+
+// TestSnapshotRestoreContinueMatchesUninterrupted is the core snapshot
+// oracle: for every chunked core, (a) taking a snapshot mid-stream must
+// not disturb the run that continues, and (b) restoring the snapshot
+// into a fresh core and feeding the remaining groups must finalize
+// identically to the uninterrupted run.
+func TestSnapshotRestoreContinueMatchesUninterrupted(t *testing.T) {
+	groups := sampleGroups(t)
+	splits := []int{1, len(groups) / 2, len(groups) - 1}
+	for _, tc := range snapCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			full := tc.fresh()
+			for _, g := range groups {
+				full.ObserveGroup(g)
+			}
+			want := tc.fin(full)
+
+			for _, mid := range splits {
+				orig := tc.fresh()
+				for _, g := range groups[:mid] {
+					orig.ObserveGroup(g)
+				}
+				var buf bytes.Buffer
+				if err := orig.Snapshot(&buf); err != nil {
+					t.Fatalf("split %d: snapshot: %v", mid, err)
+				}
+
+				restored := tc.fresh()
+				if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+					t.Fatalf("split %d: restore: %v", mid, err)
+				}
+				for _, g := range groups[mid:] {
+					orig.ObserveGroup(g)
+					restored.ObserveGroup(g)
+				}
+				if got := tc.fin(orig); !reflect.DeepEqual(got, want) {
+					t.Errorf("split %d: continued-after-snapshot run diverged from uninterrupted", mid)
+				}
+				if got := tc.fin(restored); !reflect.DeepEqual(got, want) {
+					t.Errorf("split %d: restored run diverged from uninterrupted", mid)
+				}
+			}
+		})
+	}
+}
+
+// TestRestoreRejectsCorruptSnapshots: truncations and bit flips must
+// error contextually, never panic.
+func TestRestoreRejectsCorruptSnapshots(t *testing.T) {
+	groups := sampleGroups(t)
+	for _, tc := range snapCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			src := tc.fresh()
+			for _, g := range groups[:len(groups)/2] {
+				src.ObserveGroup(g)
+			}
+			var buf bytes.Buffer
+			if err := src.Snapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			snap := buf.Bytes()
+
+			// Every truncation must fail (except length 0 handled below too).
+			for cut := 0; cut < len(snap); cut += 1 + len(snap)/64 {
+				if err := tc.fresh().Restore(bytes.NewReader(snap[:cut])); err == nil {
+					t.Fatalf("truncation at %d/%d restored without error", cut, len(snap))
+				}
+			}
+			// A version flip must fail.
+			flipped := append([]byte(nil), snap...)
+			flipped[0] ^= 0xFF
+			if err := tc.fresh().Restore(bytes.NewReader(flipped)); err == nil {
+				t.Fatal("version-flipped snapshot restored without error")
+			}
+		})
+	}
+}
+
+// TestRestoreRejectsShapeMismatch: a snapshot taken under one
+// construction must not restore into a differently shaped core.
+func TestRestoreRejectsShapeMismatch(t *testing.T) {
+	groups := sampleGroups(t)
+	src := NewPenaltyAccum(7, Scopes)
+	for _, g := range groups[:2] {
+		src.ObserveGroup(g)
+	}
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewPenaltyAccum(5, Scopes).Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("rate-count mismatch restored without error")
+	}
+	if err := NewPenaltyAccum(7, []Scope{Global}).Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("scope-set mismatch restored without error")
+	}
+}

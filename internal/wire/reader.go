@@ -561,12 +561,15 @@ func (r *Reader) SampleGroups(workers int, fn func(*SampleGroup) error) error {
 }
 
 // FilterSampleGroups behaves like SampleGroups, but decodes only the
-// groups whose network name keep returns true for; the rest are
-// discarded raw, without decoding (their fixed-width byte length is
-// known from the group header). A nil keep keeps every group. This is
-// the shard runner's sample walk: each shard streams the one shared
-// section but pays decode cost only for its own networks.
-func (r *Reader) FilterSampleGroups(workers int, keep func(net string) bool, fn func(*SampleGroup) error) error {
+// groups keep returns true for; the rest are discarded raw, without
+// decoding (their fixed-width byte length is known from the group
+// header). keep receives both the band name and the network name: a
+// network can carry one group per band, so name alone does not identify
+// a group. A nil keep keeps every group. This is the shard runner's
+// sample walk: each shard streams the one shared section but pays
+// decode cost only for its own networks — and, on resume, only for the
+// (band, network) groups a prior run's checkpoint has not already fed.
+func (r *Reader) FilterSampleGroups(workers int, keep func(band, net string) bool, fn func(*SampleGroup) error) error {
 	if !r.HasFlatSamples() {
 		return fmt.Errorf("wire: file has no flat-sample section; stream the network records through snr.Flattener instead")
 	}
@@ -592,7 +595,7 @@ func (r *Reader) FilterSampleGroups(workers int, keep func(net string) bool, fn 
 // for the duration of the call and reads up to a window's worth of
 // groups ahead; the consumer (the caller's goroutine) applies fn in send
 // order.
-func (r *Reader) streamSampleGroups(workers int, keep func(net string) bool, fn func(*SampleGroup) error) error {
+func (r *Reader) streamSampleGroups(workers int, keep func(band, net string) bool, fn func(*SampleGroup) error) error {
 	// ordered is the in-order delivery window (double buffering needs
 	// ≥ 2); work feeds the decode pool. work's capacity plus the workers
 	// themselves always exceed the window, so the producer can park a
@@ -653,7 +656,7 @@ func (r *Reader) streamSampleGroups(workers int, keep func(net string) bool, fn 
 // emitting one job per group. Error jobs carry a pre-closed done channel
 // and skip the decode pool. Every send races quit so a consumer abort
 // unblocks the producer mid-window.
-func (r *Reader) produceSampleGroups(ordered, work chan<- *sampleGroupJob, quit <-chan struct{}, keep func(net string) bool) {
+func (r *Reader) produceSampleGroups(ordered, work chan<- *sampleGroupJob, quit <-chan struct{}, keep func(band, net string) bool) {
 	rd := &r.rd
 	fail := func(err error) {
 		j := &sampleGroupJob{err: r.sampErr(err), done: make(chan struct{})}
@@ -705,7 +708,7 @@ func (r *Reader) produceSampleGroups(ordered, work chan<- *sampleGroupJob, quit 
 					name, n, int64(n)*int64(rowLen), remaining))
 				return
 			}
-			if keep != nil && !keep(name) {
+			if keep != nil && !keep(bandName, name) {
 				// Not this shard's network: skip the group's fixed-width
 				// rows wholesale — the bound check above already proved the
 				// discard stays inside the section.

@@ -1,0 +1,302 @@
+package meshlab
+
+// Public-API tests for the checkpoint/resume layer: the kill-and-resume
+// oracle (a run killed at every durable-write phase, then resumed by a
+// fresh ShardedStream call, must finalize byte-identical to an
+// uninterrupted run), generation fallback past a torn newest
+// checkpoint, the identity-mismatch usage error, and a reference-scale
+// smoke gated behind MESHLAB_REFERENCE_SCALE for the CI guardrail.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"meshlab/internal/faultfs"
+	"meshlab/internal/shard"
+)
+
+// ckOpts is the checkpointed-run configuration the tests share: a tight
+// checkpoint cadence so even the 12-network quick fleet crosses several
+// durable writes per shard.
+func ckOpts(shards int, dir string) ShardOptions {
+	return ShardOptions{
+		Shards: shards, Workers: 2, RetryBase: fastRetry,
+		CheckpointDir: dir, CheckpointEvery: 2,
+	}
+}
+
+// baselineFormats streams path uninterrupted and returns each result's
+// formatted table — the byte-identical target every resumed run must hit.
+func baselineFormats(t *testing.T, path string) []string {
+	t.Helper()
+	want, _, err := StreamFleet(path, StreamOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(want))
+	for i := range want {
+		out[i] = want[i].Format()
+	}
+	return out
+}
+
+// shardNotes flattens every shard's checkpoint notes for substring
+// assertions.
+func shardNotes(res *ShardResult) string {
+	var b strings.Builder
+	for _, r := range res.Manifest.Shards {
+		for _, n := range r.Checkpoint {
+			b.WriteString(n)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// TestCheckpointKillAndResume is the tentpole oracle: for shard counts
+// {1, 3}, files with and without the flat-sample section, and a kill
+// injected at every durable-write phase, the first process must die
+// with the injected error and a fresh process started with Resume must
+// finalize byte-identical to an uninterrupted run. Skip:1 leaves the
+// first checkpoint durable so every resume exercises a real seek — and
+// the mid-rename phase additionally proves generation fallback: the
+// torn newest file is rejected by checksum and the previous generation
+// (or a fresh start) is used instead, never a panic, never wrong bytes.
+func TestCheckpointKillAndResume(t *testing.T) {
+	_, sampled, plain := saveShardFixture(t, 61)
+	phases := []string{"mid-snapshot", "post-temp-write", "pre-rename", "mid-rename"}
+	for _, fixture := range []struct{ name, path string }{
+		{"sampled", sampled},
+		{"plain", plain},
+	} {
+		want := baselineFormats(t, fixture.path)
+		for _, shards := range []int{1, 3} {
+			for _, phase := range phases {
+				t.Run(fmt.Sprintf("%s/shards=%d/%s", fixture.name, shards, phase), func(t *testing.T) {
+					dir := t.TempDir()
+					plan := &faultfs.CrashPlan{KillAt: phase, Skip: 1, Torn: 3}
+					opts := ckOpts(shards, dir)
+					opts.CheckpointHook = plan.Hook
+					_, err := ShardedStream(context.Background(), fixture.path, opts)
+					if !errors.Is(err, faultfs.ErrKilled) {
+						t.Fatalf("killed run: got %v, want ErrKilled", err)
+					}
+					if !plan.Fired() {
+						t.Fatal("crash plan never fired: the run took fewer checkpoints than the scenario assumes")
+					}
+					if !errors.Is(err, shard.ErrCheckpoint) {
+						t.Fatalf("kill not classified as a checkpoint failure: %v", err)
+					}
+					if code := ShardExitCode(err); code != 1 {
+						t.Fatalf("exit code %d for a checkpoint-write kill, want 1", code)
+					}
+
+					// The "fresh process": same checkpoint dir, Resume set,
+					// no fault hook.
+					opts = ckOpts(shards, dir)
+					opts.Resume = true
+					res, err := ShardedStream(context.Background(), fixture.path, opts)
+					if err != nil {
+						t.Fatalf("resume: %v", err)
+					}
+					if len(res.Results) != len(want) {
+						t.Fatalf("%d results after resume, want %d", len(res.Results), len(want))
+					}
+					for i := range want {
+						if got := res.Results[i].Format(); got != want[i] {
+							t.Fatalf("%s diverged after kill-and-resume:\n--- resumed ---\n%s\n--- uninterrupted ---\n%s",
+								res.Results[i].ID, got, want[i])
+						}
+					}
+					if !res.Manifest.CheckpointNotes() {
+						t.Fatalf("resumed run reported no checkpoint activity:\n%s", res.Manifest.Format())
+					}
+					notes := shardNotes(res)
+					if !strings.Contains(notes, "resumed from checkpoint") {
+						t.Fatalf("no resume note in manifest:\n%s", notes)
+					}
+					if phase == "mid-rename" && !strings.Contains(notes, "falling back") {
+						t.Fatalf("torn newest generation not reported as skipped:\n%s", notes)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCheckpointFirstGenerationTorn covers the fallback floor: when the
+// very first checkpoint is the one torn mid-rename, there is no earlier
+// generation to fall back to — the resume must report the corrupt file
+// and start fresh, still byte-identical.
+func TestCheckpointFirstGenerationTorn(t *testing.T) {
+	_, sampled, _ := saveShardFixture(t, 62)
+	want := baselineFormats(t, sampled)
+	dir := t.TempDir()
+	plan := &faultfs.CrashPlan{KillAt: "mid-rename", TornXOR: 0x40}
+	opts := ckOpts(1, dir)
+	opts.CheckpointHook = plan.Hook
+	if _, err := ShardedStream(context.Background(), sampled, opts); !errors.Is(err, faultfs.ErrKilled) {
+		t.Fatalf("got %v, want ErrKilled", err)
+	}
+	opts = ckOpts(1, dir)
+	opts.Resume = true
+	res, err := ShardedStream(context.Background(), sampled, opts)
+	if err != nil {
+		t.Fatalf("resume past a torn first generation: %v", err)
+	}
+	for i := range want {
+		if res.Results[i].Format() != want[i] {
+			t.Fatalf("%s diverged after torn-first-generation resume", res.Results[i].ID)
+		}
+	}
+	notes := shardNotes(res)
+	if !strings.Contains(notes, "falling back") {
+		t.Fatalf("corrupt generation not reported:\n%s", notes)
+	}
+	if strings.Contains(notes, "resumed from checkpoint") {
+		t.Fatalf("nothing durable existed, yet the run claims a resume:\n%s", notes)
+	}
+}
+
+// TestCheckpointRetryResumesInProcess: a transient read fault after the
+// first durable checkpoint must not force the retry attempt back to
+// network zero — the attempt reloads its own shard's checkpoint (no
+// Resume flag needed: in-process retries always trust their own saves)
+// and the final results stay byte-identical.
+func TestCheckpointRetryResumesInProcess(t *testing.T) {
+	_, sampled, _ := saveShardFixture(t, 63)
+	want := baselineFormats(t, sampled)
+	plan := buildPlan(t, sampled)
+	// Deep inside the sample payload, past every earlier pass: the plan
+	// scan's buffered read covers the section start, and the network
+	// walk's 1 MiB read-ahead can burn a fault up to that far past the
+	// walk's end without ever surfacing the parked error (the walk stops
+	// consuming at its last record). Only the sample stream itself reads
+	// this deep.
+	inj := faultfs.New(faultfs.Fault{
+		Kind: faultfs.Transient, Offset: plan.SamplesOffset + 3<<20, Count: 1,
+	})
+	opts := ckOpts(1, t.TempDir())
+	opts.MaxRetries = 2
+	opts.Open = inj.WrapOpen(func(p string) (io.ReadSeekCloser, error) { return os.Open(p) })
+	res, err := ShardedStream(context.Background(), sampled, opts)
+	if err != nil {
+		t.Fatalf("transient within budget failed the run: %v", err)
+	}
+	if got := inj.Fired(0); got != 1 {
+		t.Fatalf("injected transient fired %d times, want 1", got)
+	}
+	if res.Manifest.Shards[0].Attempts != 2 {
+		t.Fatalf("%d attempts, want 2", res.Manifest.Shards[0].Attempts)
+	}
+	for i := range want {
+		if res.Results[i].Format() != want[i] {
+			t.Fatalf("%s diverged after an in-process checkpoint resume", res.Results[i].ID)
+		}
+	}
+	if !strings.Contains(shardNotes(res), "resumed from checkpoint") {
+		t.Fatalf("retry did not resume from its own checkpoint:\n%s", shardNotes(res))
+	}
+}
+
+// TestCheckpointResumeIdentity pins the identity contract: resuming the
+// same dataset and layout after completion is legal (and byte-identical
+// — the tail past the last checkpoint is simply re-streamed), while a
+// different dataset, or a different shard layout over the same dataset,
+// is ErrCheckpointMismatch — fatal even under AllowPartial, because a
+// blended resume would silently merge two different runs.
+func TestCheckpointResumeIdentity(t *testing.T) {
+	_, sampled, _ := saveShardFixture(t, 64)
+	_, other, _ := saveShardFixture(t, 65)
+	want := baselineFormats(t, sampled)
+	dir := t.TempDir()
+	if _, err := ShardedStream(context.Background(), sampled, ckOpts(2, dir)); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := ckOpts(2, dir)
+	opts.Resume = true
+	res, err := ShardedStream(context.Background(), sampled, opts)
+	if err != nil {
+		t.Fatalf("resume after completion: %v", err)
+	}
+	for i := range want {
+		if res.Results[i].Format() != want[i] {
+			t.Fatalf("%s diverged on a post-completion resume", res.Results[i].ID)
+		}
+	}
+
+	opts = ckOpts(2, dir)
+	opts.Resume = true
+	if _, err := ShardedStream(context.Background(), other, opts); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("different dataset resumed: got %v, want ErrCheckpointMismatch", err)
+	} else if code := ShardExitCode(err); code == 2 {
+		// The 2 mapping belongs to the CLIs (usage error); the library
+		// classification must stay a plain failure so embedders decide.
+		t.Fatalf("library exit classification claimed usage error")
+	}
+
+	opts.AllowPartial = true
+	if _, err := ShardedStream(context.Background(), other, opts); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("AllowPartial masked the mismatch: got %v", err)
+	}
+
+	opts = ckOpts(3, dir)
+	opts.Resume = true
+	if _, err := ShardedStream(context.Background(), sampled, opts); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("different shard layout resumed: got %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+// TestCheckpointKillAndResumeReferenceScale is the guardrail-scale
+// smoke: the thesis-scale reference fleet, one injected kill past
+// several durable checkpoints, one resume, byte-identical results.
+// Gated behind MESHLAB_REFERENCE_SCALE=1 (the run takes minutes);
+// .github/workflows/guardrail.yml sets it and reuses its cached
+// dataset via MESHLAB_REFERENCE_DATA.
+func TestCheckpointKillAndResumeReferenceScale(t *testing.T) {
+	if os.Getenv("MESHLAB_REFERENCE_SCALE") == "" {
+		t.Skip("set MESHLAB_REFERENCE_SCALE=1 to run the reference-scale kill-and-resume smoke")
+	}
+	path := os.Getenv("MESHLAB_REFERENCE_DATA")
+	if path == "" {
+		fleet, err := GenerateFleet(ReferenceOptions(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		path = filepath.Join(t.TempDir(), "reference.bin")
+		if err := SaveFleetWithSamples(path, fleet); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := baselineFormats(t, path)
+	dir := t.TempDir()
+	plan := &faultfs.CrashPlan{KillAt: "mid-rename", Skip: 3, Torn: 7}
+	opts := ShardOptions{
+		Shards: 4, RetryBase: fastRetry,
+		CheckpointDir: dir, CheckpointEvery: 4, CheckpointHook: plan.Hook,
+	}
+	if _, err := ShardedStream(context.Background(), path, opts); !errors.Is(err, faultfs.ErrKilled) {
+		t.Fatalf("got %v, want ErrKilled", err)
+	}
+	opts.CheckpointHook = nil
+	opts.Resume = true
+	res, err := ShardedStream(context.Background(), path, opts)
+	if err != nil {
+		t.Fatalf("reference-scale resume: %v", err)
+	}
+	for i := range want {
+		if res.Results[i].Format() != want[i] {
+			t.Fatalf("%s diverged at reference scale after kill-and-resume", res.Results[i].ID)
+		}
+	}
+	if !strings.Contains(shardNotes(res), "resumed from checkpoint") {
+		t.Fatalf("reference-scale resume left no note:\n%s", shardNotes(res))
+	}
+}
