@@ -6,8 +6,14 @@
 //
 //	meshanalyze -data fleet.jsonl -exp fig5.1
 //	meshanalyze -seed 42 -exp all          # generate a quick fleet in memory
+//	meshanalyze -scenario high-churn -exp fig7.2   # generate a scenario in memory
 //	meshanalyze -data fleet.jsonl -exp fig5.2 -plot
 //	meshanalyze -data fleet.bin -sec4      # §4 tables at table-sized memory
+//
+// -scenario generates the declared fleet in memory (a built-in name or a
+// spec-file path; schema: docs/SCENARIOS.md) in place of the default
+// quick fleet. It does not combine with -data — the spec declares a
+// dataset, a file provides one.
 //
 // -sec4 streams the §4 samples out of a binary dataset one per-network
 // group at a time (the flat-sample section when present, decoded across
@@ -57,6 +63,7 @@ import (
 	"meshlab/internal/phy"
 	"meshlab/internal/routing"
 	"meshlab/internal/rusage"
+	"meshlab/internal/scenario"
 	"meshlab/internal/textplot"
 )
 
@@ -110,6 +117,7 @@ func run(args []string, stdout io.Writer) error {
 		resume  = fs.Bool("resume", false, "resume from the newest valid checkpoints in -checkpoint before streaming")
 		workers = fs.Int("workers", 0, "process-wide worker budget for every parallel kernel (0: all cores, 1: effectively single-threaded)")
 		rss     = fs.Bool("rusage", false, "print the process max RSS (getrusage) after the run")
+		scen    = fs.String("scenario", "", "declarative scenario to generate in memory: a built-in name or a spec-file path (conflicts with -data)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
@@ -131,6 +139,14 @@ func run(args []string, stdout io.Writer) error {
 	if *resume && *ckdir == "" {
 		return usagef("-resume needs -checkpoint DIR to resume from")
 	}
+	if *scen != "" {
+		if *data != "" {
+			return usagef("-scenario and -data are mutually exclusive: the spec declares a dataset, the file provides one (use meshreport -scenario -data to validate a file against a scenario)")
+		}
+		if *sec4 || *shards != 0 || *ckdir != "" {
+			return usagef("-scenario generates in memory; -sec4/-shards/-checkpoint stream a -data file (generate one with `meshgen -scenario %s`)", *scen)
+		}
+	}
 	if *shards != 0 || *ckdir != "" {
 		if *sec4 {
 			return usagef("-shards already streams the §4 samples chunked; drop -sec4")
@@ -151,7 +167,7 @@ func run(args []string, stdout io.Writer) error {
 		return runSampleOnly(stdout, *data, *exp, *plot, *workers)
 	}
 
-	fleet, err := loadOrGenerate(*data, *seed)
+	fleet, err := loadOrGenerate(*data, *scen, *seed)
 	if err != nil {
 		return err
 	}
@@ -247,9 +263,16 @@ func runSampleOnly(stdout io.Writer, data, exp string, plot bool, workers int) e
 	return nil
 }
 
-func loadOrGenerate(path string, seed uint64) (*meshlab.Fleet, error) {
+func loadOrGenerate(path, scen string, seed uint64) (*meshlab.Fleet, error) {
 	if path != "" {
 		return meshlab.LoadFleet(path)
+	}
+	if scen != "" {
+		sp, err := scenario.Resolve(scen)
+		if err != nil {
+			return nil, usageError{err}
+		}
+		return meshlab.GenerateFleet(sp.Options())
 	}
 	return meshlab.GenerateFleet(meshlab.QuickOptions(seed))
 }

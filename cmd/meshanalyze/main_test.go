@@ -205,3 +205,49 @@ func TestExitCodes(t *testing.T) {
 		t.Fatalf("truncated input: exit %d (%v), want 3", exitCode(err), err)
 	}
 }
+
+// TestScenarioInMemory: -scenario generates the declared fleet in memory
+// and runs the requested experiment over it.
+func TestScenarioInMemory(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "tiny.json")
+	if err := os.WriteFile(spec, []byte(`{
+		"version": 1, "name": "tiny", "seed": 9,
+		"fleet": {
+			"networks": 2,
+			"env_mix": {"indoor": 2},
+			"band_mix": {"bg": 2},
+			"size": {"min": 3, "max": 6, "log_mean": 1.2, "log_std": 0.3}
+		},
+		"probe": {"duration_s": 900, "interval_s": 300}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run([]string{"-scenario", spec, "-exp", "fig3.1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig3.1") {
+		t.Fatalf("scenario run produced no fig3.1 output:\n%s", buf.String())
+	}
+}
+
+// TestScenarioUsageErrors: -scenario excludes the file-driven modes, and
+// unknown names are usage errors.
+func TestScenarioUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scenario", "quick", "-data", "x.bin"},
+		{"-scenario", "quick", "-sec4"},
+		{"-scenario", "quick", "-shards", "2"},
+		{"-scenario", "quick", "-checkpoint", "ck"},
+	} {
+		err := run(args, &strings.Builder{})
+		if err == nil || exitCode(err) != 2 {
+			t.Fatalf("%v: want usage error (exit 2), got %v", args, err)
+		}
+	}
+	err := run([]string{"-scenario", "galactic", "-exp", "fig3.1"}, &strings.Builder{})
+	if err == nil || exitCode(err) != 2 || !strings.Contains(err.Error(), "no built-in named") {
+		t.Fatalf("unknown scenario: %v", err)
+	}
+}

@@ -6,6 +6,13 @@
 //	meshgen -seed 42 -scale quick -out fleet.jsonl
 //	meshgen -seed 42 -scale reference -interval 1200 -out fleet.bin
 //	meshgen -seed 42 -scale reference -dataset cache.bin -out fleet.jsonl
+//	meshgen -scenario dense-urban -out dense.bin
+//	meshgen -scenario specs/my-campus.json -out campus.bin
+//
+// -scenario replaces the -scale/-probe-hours/-interval knobs with a
+// declarative spec: a built-in name (see -list-scenarios) or a path to a
+// scenario JSON file (schema: docs/SCENARIOS.md). The spec pins the
+// seed; an explicit -seed overrides it.
 //
 // A ".bin" output suffix selects the compact binary format (spec:
 // docs/FORMAT.md); anything else writes JSON lines. -flat-samples
@@ -28,6 +35,7 @@ import (
 
 	"meshlab"
 	"meshlab/internal/conc"
+	"meshlab/internal/scenario"
 )
 
 func main() {
@@ -50,9 +58,14 @@ func run(args []string, stdout io.Writer) error {
 		workers    = fs.Int("workers", 0, "synthesis worker pool size (0: all cores, 1: serial)")
 		cache      = fs.String("dataset", "", "dataset cache path: loaded when it matches the seed/config, (re)written otherwise")
 		flatSamp   = fs.Bool("flat-samples", false, "append the pre-flattened §4 sample section to a .bin -out file (larger file, O(read) warm analysis)")
+		scen       = fs.String("scenario", "", "declarative scenario: a built-in name or a spec-file path (overrides -scale; see -list-scenarios)")
+		listScen   = fs.Bool("list-scenarios", false, "list the built-in scenarios and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *listScen {
+		return listScenarios(stdout)
 	}
 	// The flag doubles as the process-wide worker budget, so probe-link
 	// fan-out inside each network obeys it too.
@@ -62,21 +75,48 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	var opts meshlab.Options
-	switch *scale {
-	case "quick":
-		opts = meshlab.QuickOptions(*seed)
-	case "reference":
-		opts = meshlab.ReferenceOptions(*seed)
-	default:
-		return fmt.Errorf("unknown scale %q (quick|reference)", *scale)
+	if *scen != "" {
+		// The spec owns the fleet and probe knobs; mixing them with the
+		// imperative flags would make the scenario name a lie.
+		var conflict []string
+		seedSet := false
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "scale", "probe-hours", "interval":
+				conflict = append(conflict, "-"+f.Name)
+			case "seed":
+				seedSet = true
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("-scenario conflicts with %s: the spec declares the fleet and probe window", strings.Join(conflict, ", "))
+		}
+		sp, err := scenario.Resolve(*scen)
+		if err != nil {
+			return err
+		}
+		opts = sp.Options()
+		if seedSet {
+			opts.Seed = *seed
+		}
+		fmt.Fprintf(stdout, "scenario %s (spec sha256 %s)\n", sp.Name, sp.SHA256)
+	} else {
+		switch *scale {
+		case "quick":
+			opts = meshlab.QuickOptions(*seed)
+		case "reference":
+			opts = meshlab.ReferenceOptions(*seed)
+		default:
+			return fmt.Errorf("unknown scale %q (quick|reference)", *scale)
+		}
+		if *probeHours > 0 {
+			opts.Probe.Duration = *probeHours * 3600
+		}
+		if *interval > 0 {
+			opts.Probe.ReportInterval = *interval
+		}
 	}
-	if *probeHours > 0 {
-		opts.Probe.Duration = *probeHours * 3600
-	}
-	if *interval > 0 {
-		opts.Probe.ReportInterval = *interval
-	}
-	opts.SkipClients = *noClients
+	opts.SkipClients = opts.SkipClients || *noClients
 	opts.Workers = *workers
 
 	start := time.Now()
@@ -126,6 +166,20 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "  loaded from cache %s in %v\n", *cache, genDur.Round(time.Millisecond))
 	} else {
 		fmt.Fprintf(stdout, "  generated in     %v\n", genDur.Round(time.Millisecond))
+	}
+	return nil
+}
+
+// listScenarios prints the built-in catalog, one scenario per entry.
+func listScenarios(stdout io.Writer) error {
+	for _, name := range scenario.Names() {
+		sp, err := scenario.Builtin(name)
+		if err != nil {
+			return err
+		}
+		total, bg, n := sp.Datasets()
+		fmt.Fprintf(stdout, "%s\n  %d networks, %d datasets (bg %d, n %d), probe %gs @ %gs, seed %d\n  %s\n",
+			name, sp.Fleet.Networks, total, bg, n, sp.Probe.DurationS, sp.Probe.IntervalS, *sp.Seed, sp.Description)
 	}
 	return nil
 }

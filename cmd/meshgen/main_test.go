@@ -164,3 +164,104 @@ func TestRunWorkersIdentical(t *testing.T) {
 		t.Fatal("-workers changed the generated dataset bytes")
 	}
 }
+
+// TestRunScenarioMatchesScale: `-scenario quick` writes byte-identical
+// output to the hard-coded `-scale quick -seed 42` path — the catalog is
+// a faithful data form of the preset.
+func TestRunScenarioMatchesScale(t *testing.T) {
+	dir := t.TempDir()
+	byScale := filepath.Join(dir, "scale.bin")
+	byScenario := filepath.Join(dir, "scenario.bin")
+	if err := run([]string{"-scale", "quick", "-seed", "42", "-out", byScale}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run([]string{"-scenario", "quick", "-out", byScenario}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "scenario quick (spec sha256 ") {
+		t.Fatalf("summary does not name the scenario and spec hash: %q", buf.String())
+	}
+	a, _ := os.ReadFile(byScale)
+	b, _ := os.ReadFile(byScenario)
+	if !bytes.Equal(a, b) {
+		t.Fatal("-scenario quick and -scale quick -seed 42 wrote different datasets")
+	}
+}
+
+// TestRunScenarioSeedOverride: an explicit -seed wins over the spec's.
+func TestRunScenarioSeedOverride(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "f.bin")
+	if err := run([]string{"-scenario", "quick", "-seed", "7", "-out", out}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := meshlab.LoadFleet(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Meta.Seed != 7 {
+		t.Fatalf("seed override ignored: %d", fleet.Meta.Seed)
+	}
+}
+
+// TestRunScenarioConflictsAndErrors: the spec owns the scale knobs, and
+// unknown names fail with the catalog listed.
+func TestRunScenarioConflictsAndErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scenario", "quick", "-scale", "quick"},
+		{"-scenario", "quick", "-probe-hours", "1"},
+		{"-scenario", "quick", "-interval", "600"},
+	} {
+		err := run(args, &strings.Builder{})
+		if err == nil || !strings.Contains(err.Error(), "-scenario conflicts") {
+			t.Fatalf("%v: want a conflict error, got %v", args, err)
+		}
+	}
+	err := run([]string{"-scenario", "galactic"}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "no built-in named") {
+		t.Fatalf("unknown scenario: %v", err)
+	}
+}
+
+// TestRunScenarioFromFile: a path argument loads a user spec file.
+func TestRunScenarioFromFile(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "tiny.json")
+	if err := os.WriteFile(spec, []byte(`{
+		"version": 1, "name": "tiny", "seed": 6,
+		"fleet": {
+			"networks": 2,
+			"env_mix": {"indoor": 2},
+			"band_mix": {"bg": 2},
+			"size": {"min": 3, "max": 6, "log_mean": 1.2, "log_std": 0.3}
+		},
+		"probe": {"duration_s": 900, "interval_s": 300}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "tiny.bin")
+	if err := run([]string{"-scenario", spec, "-out", out}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := meshlab.LoadFleet(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Meta.Seed != 6 || len(fleet.Networks) != 2 {
+		t.Fatalf("spec-file dataset wrong: seed %d, %d networks", fleet.Meta.Seed, len(fleet.Networks))
+	}
+}
+
+// TestRunListScenarios: -list-scenarios prints every built-in and exits
+// without generating anything.
+func TestRunListScenarios(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-list-scenarios"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"quick", "reference", "dense-urban", "sparse-rural", "high-churn", "mixed-band-steering"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Fatalf("-list-scenarios missing %q:\n%s", name, buf.String())
+		}
+	}
+}

@@ -9,6 +9,14 @@
 //	meshreport -scale quick -workers 1 -out EXPERIMENTS.md   # serial scheduling
 //	meshreport -scale reference -dataset fleet.bin           # cache synthesis
 //	meshreport -scale reference -dataset fleet.bin -stream   # must stream, never regenerate
+//	meshreport -scenario dense-urban -dataset dense.bin      # declarative scenario, cached
+//	meshreport -scenario dense-urban -data dense.bin -stream # stream + validate identity
+//
+// -scenario resolves a declarative spec (a built-in name or a file path;
+// schema: docs/SCENARIOS.md) in place of -scale. With -data, the walk
+// doubles as identity validation: a file generated from a different
+// scenario fails with guidance instead of silently reporting over the
+// wrong dataset. With -dataset, a stale cache is regenerated.
 //
 // Experiments and dataset synthesis fan out across a worker pool
 // (-workers, default all cores; 1 schedules networks and experiments
@@ -62,6 +70,7 @@ import (
 	"meshlab"
 	"meshlab/internal/conc"
 	"meshlab/internal/rusage"
+	"meshlab/internal/scenario"
 )
 
 // paperClaims records what the thesis reports for each artifact, so the
@@ -218,6 +227,7 @@ func run(args []string, stdout io.Writer) error {
 		ckevery = fs.Int("checkpoint-every", 16, "networks between durable checkpoints per shard")
 		resume  = fs.Bool("resume", false, "resume from the newest valid checkpoints in -checkpoint before streaming")
 		rss     = fs.Bool("rusage", false, "print the process max RSS (getrusage) after the run — what the CI guardrail records")
+		scen    = fs.String("scenario", "", "declarative scenario: a built-in name or a spec-file path (replaces -scale; with -data, the file is validated against the scenario)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
@@ -243,11 +253,61 @@ func run(args []string, stdout io.Writer) error {
 		k = 1
 	}
 
+	// Resolve the generation identity: a scenario spec or the -scale/-seed
+	// knobs. ident labels the report; regen is the meshgen invocation
+	// -stream guidance quotes.
+	var (
+		opts  meshlab.Options
+		sp    *scenario.Spec
+		ident string
+		regen string
+	)
+	if *scen != "" {
+		scaleSet, seedSet := false, false
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "scale":
+				scaleSet = true
+			case "seed":
+				seedSet = true
+			}
+		})
+		if scaleSet {
+			return usagef("-scenario conflicts with -scale: the spec declares the fleet and probe window")
+		}
+		if k != 0 {
+			return usagef("-scenario does not combine with -shards/-checkpoint: the sharded walk cannot validate dataset identity; stream it plainly first")
+		}
+		var err error
+		sp, err = scenario.Resolve(*scen)
+		if err != nil {
+			return usageError{err}
+		}
+		opts = sp.Options()
+		if seedSet {
+			opts.Seed = *seed
+		}
+		ident = fmt.Sprintf("scenario %s, seed %d", sp.Name, opts.Seed)
+		regen = fmt.Sprintf("meshgen -scenario %s", *scen)
+	} else {
+		switch *scale {
+		case "quick":
+			opts = meshlab.QuickOptions(*seed)
+		case "reference":
+			opts = meshlab.ReferenceOptions(*seed)
+		default:
+			return usagef("unknown scale %q", *scale)
+		}
+		ident = fmt.Sprintf("%s, seed %d", *scale, *seed)
+		regen = fmt.Sprintf("meshgen -scale %s -seed %d", *scale, *seed)
+	}
+	opts.Workers = *workers
+
 	so := meshlab.ShardOptions{
 		Shards: k, Workers: *workers, MaxRetries: *retries, AllowPartial: *partial,
 		CheckpointDir: *ckdir, CheckpointEvery: *ckevery, Resume: *resume,
 	}
-	results, sum, label, expDur, err := obtainResults(*data, *cache, *seed, *scale, *workers, *stream, k != 0, so)
+	results, sum, label, expDur, err := obtainResults(*data, *cache, opts, sp, ident, regen, *workers, *stream, k != 0, so)
 	if err != nil {
 		return err
 	}
@@ -304,21 +364,41 @@ func run(args []string, stdout io.Writer) error {
 // and label for the report preamble. Binary datasets run through the
 // single-pass streaming suite; everything else (JSON lines, cache misses,
 // direct generation) materializes a fleet — unless forceStream forbids
-// the fallback. The returned duration covers experiment execution only
-// (for streaming, the walk is the execution).
-func obtainResults(data, cache string, seed uint64, scale string, workers int, forceStream, sharded bool, so meshlab.ShardOptions) ([]*meshlab.Result, *meshlab.StreamSummary, string, time.Duration, error) {
+// the fallback. opts is the resolved generation identity (from -scenario
+// or -scale/-seed), ident its short label, and regen the meshgen
+// invocation that guidance messages quote. A non-nil sp makes a -data
+// walk double as identity validation: the file must be the scenario's
+// dataset, and a mismatch is an error, never a silent reuse. The
+// returned duration covers experiment execution only (for streaming, the
+// walk is the execution).
+func obtainResults(data, cache string, opts meshlab.Options, sp *scenario.Spec, ident, regen string, workers int, forceStream, sharded bool, so meshlab.ShardOptions) ([]*meshlab.Result, *meshlab.StreamSummary, string, time.Duration, error) {
 	if data != "" {
 		if sharded {
 			return runSharded(data, so)
 		}
+		stream := meshlab.StreamOptions{Workers: workers}
+		label := fmt.Sprintf("%s (streamed)", data)
+		if sp != nil {
+			if opts.CacheValidatable() {
+				stream.Validate = &opts
+				label = fmt.Sprintf("%s (streamed; validated against %s)", data, ident)
+			} else {
+				label = fmt.Sprintf("%s (streamed; %s declares overrides a dataset cannot record, identity unvalidated)", data, ident)
+			}
+		}
 		start := time.Now()
-		results, sum, err := meshlab.StreamFleet(data, meshlab.StreamOptions{Workers: workers})
+		results, sum, err := meshlab.StreamFleet(data, stream)
 		switch {
 		case err == nil:
-			return results, sum, fmt.Sprintf("%s (streamed)", data), time.Since(start), nil
+			return results, sum, label, time.Since(start), nil
+		case errors.Is(err, meshlab.ErrCacheMismatch):
+			return nil, nil, "", 0, fmt.Errorf(
+				"%s is not the %s dataset: %w\nregenerate it: `%s -flat-samples -out %s`", data, ident, err, regen, data)
 		case forceStream:
 			return nil, nil, "", 0, fmt.Errorf("-stream: %w", err)
-		case !errors.Is(err, meshlab.ErrNotStreamable):
+		case sp != nil, !errors.Is(err, meshlab.ErrNotStreamable):
+			// A scenario-validated walk never falls back to an
+			// unvalidated materialization.
 			return nil, nil, "", 0, err
 		}
 		f, samples, err := meshlab.LoadFleetSamples(data)
@@ -327,16 +407,6 @@ func obtainResults(data, cache string, seed uint64, scale string, workers int, f
 		}
 		return runMaterialized(f, samples, workers, data)
 	}
-	var opts meshlab.Options
-	switch scale {
-	case "quick":
-		opts = meshlab.QuickOptions(seed)
-	case "reference":
-		opts = meshlab.ReferenceOptions(seed)
-	default:
-		return nil, nil, "", 0, fmt.Errorf("unknown scale %q", scale)
-	}
-	opts.Workers = workers
 	if cache != "" {
 		if opts.CacheValidatable() {
 			start := time.Now()
@@ -346,8 +416,8 @@ func obtainResults(data, cache string, seed uint64, scale string, workers int, f
 			}
 			if forceStream {
 				return nil, nil, "", 0, fmt.Errorf(
-					"-stream: %s cannot serve the streaming suite: %w\nregenerate it first: `meshgen -scale %s -seed %d -dataset %s` (or rerun without -stream to synthesize and materialize)",
-					cache, err, scale, seed, cache)
+					"-stream: %s cannot serve the streaming suite: %w\nregenerate it first: `%s -dataset %s` (or rerun without -stream to synthesize and materialize)",
+					cache, err, regen, cache)
 			}
 			// Any failure — missing file, mismatch, corruption — falls back
 			// to the materializing cache path, which regenerates.
@@ -362,9 +432,9 @@ func obtainResults(data, cache string, seed uint64, scale string, workers int, f
 		case hit:
 			return runMaterialized(f, samples, workers, fmt.Sprintf("%s (cache hit, synthesis skipped)", cache))
 		case !opts.CacheValidatable():
-			return runMaterialized(f, nil, workers, fmt.Sprintf("generated in-memory (%s, seed %d; -dataset bypassed: options not cache-validatable)", scale, seed))
+			return runMaterialized(f, nil, workers, fmt.Sprintf("generated in-memory (%s; -dataset bypassed: options not cache-validatable)", ident))
 		default:
-			return runMaterialized(f, samples, workers, fmt.Sprintf("%s (cache written: %s, seed %d)", cache, scale, seed))
+			return runMaterialized(f, samples, workers, fmt.Sprintf("%s (cache written: %s)", cache, ident))
 		}
 	}
 	if forceStream {
@@ -374,7 +444,7 @@ func obtainResults(data, cache string, seed uint64, scale string, workers int, f
 	if err != nil {
 		return nil, nil, "", 0, err
 	}
-	return runMaterialized(f, nil, workers, fmt.Sprintf("generated in-memory (%s, seed %d)", scale, seed))
+	return runMaterialized(f, nil, workers, fmt.Sprintf("generated in-memory (%s)", ident))
 }
 
 // runSharded runs the suite as a fault-tolerant sharded stream. The

@@ -10,6 +10,7 @@ import (
 
 	"meshlab"
 	"meshlab/internal/atomicio"
+	"meshlab/internal/scenario"
 )
 
 // update regenerates testdata/quick_report.golden instead of comparing:
@@ -342,5 +343,125 @@ func TestExitCodeMapping(t *testing.T) {
 	}
 	if exitCode(nil) != 0 {
 		t.Fatal("nil error must exit 0")
+	}
+}
+
+// scenarioSpecFile writes a tiny scenario spec for scenario-flag tests;
+// extra is spliced into the fleet object (e.g. a spacing_scale) so two
+// specs can share metadata while declaring different layouts.
+func scenarioSpecFile(t *testing.T, dir, name, extra string) string {
+	t.Helper()
+	path := filepath.Join(dir, name+".json")
+	spec := `{
+		"version": 1, "name": "` + name + `", "seed": 8,
+		"fleet": {
+			"networks": 2,
+			"env_mix": {"indoor": 2},
+			"band_mix": {"bg": 2},
+			"size": {"min": 3, "max": 6, "log_mean": 1.2, "log_std": 0.3}` + extra + `
+		},
+		"probe": {"duration_s": 900, "interval_s": 300}
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestScenarioValidatesDataFile: with -scenario and -data, the streamed
+// walk doubles as identity validation — the generating scenario passes
+// and is labeled as validated, a different scenario's dataset is an
+// error with regeneration guidance, never a silent report.
+func TestScenarioValidatesDataFile(t *testing.T) {
+	dir := t.TempDir()
+	specA := scenarioSpecFile(t, dir, "tiny-a", "")
+	specB := scenarioSpecFile(t, dir, "tiny-b", `, "spacing_scale": 0.5`)
+
+	sp, err := scenario.LoadFile(specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := meshlab.GenerateFleet(sp.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := filepath.Join(dir, "a.bin")
+	if err := meshlab.SaveFleetWithSamples(data, fleet); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "a.md")
+	if err := run([]string{"-scenario", specA, "-data", data, "-stream", "-out", out}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	md, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "validated against scenario tiny-a") {
+		t.Fatalf("report label does not record validation: %q", string(md)[:300])
+	}
+
+	err = run([]string{"-scenario", specB, "-data", data, "-out", out}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "is not the scenario tiny-b") {
+		t.Fatalf("stale dataset for a different scenario should fail with guidance: %v", err)
+	}
+	if !strings.Contains(err.Error(), "meshgen -scenario") {
+		t.Fatalf("mismatch error misses the regeneration hint: %v", err)
+	}
+}
+
+// TestScenarioCacheRegeneratedOnMismatch: a -dataset cache written by one
+// scenario is regenerated — not silently reused — when a different
+// scenario asks for it.
+func TestScenarioCacheRegeneratedOnMismatch(t *testing.T) {
+	dir := t.TempDir()
+	specA := scenarioSpecFile(t, dir, "tiny-a", "")
+	specB := scenarioSpecFile(t, dir, "tiny-b", `, "spacing_scale": 0.5`)
+	cache := filepath.Join(dir, "cache.bin")
+	out := filepath.Join(dir, "r.md")
+
+	if err := run([]string{"-scenario", specA, "-dataset", cache, "-out", out}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", specB, "-dataset", cache, "-out", out}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	md, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "cache written: scenario tiny-b") {
+		t.Fatalf("stale cache was not regenerated for the new scenario: %q", string(md)[:300])
+	}
+	// And now tiny-b hits its own regenerated cache.
+	if err := run([]string{"-scenario", specB, "-dataset", cache, "-out", out}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	md, _ = os.ReadFile(out)
+	if !strings.Contains(string(md), "cache hit, synthesis skipped") {
+		t.Fatalf("regenerated cache should hit for its own scenario: %q", string(md)[:300])
+	}
+}
+
+// TestScenarioFlagConflicts: scenario runs reject the knobs the spec
+// owns, with usage exit codes.
+func TestScenarioFlagConflicts(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scenario", "quick", "-scale", "quick"},
+		{"-scenario", "quick", "-shards", "2", "-data", "x.bin"},
+		{"-scenario", "quick", "-checkpoint", "ck", "-data", "x.bin"},
+	} {
+		err := run(args, &strings.Builder{})
+		if err == nil {
+			t.Fatalf("%v: want a usage error", args)
+		}
+		if exitCode(err) != 2 {
+			t.Fatalf("%v: usage error should exit 2, got %d (%v)", args, exitCode(err), err)
+		}
+	}
+	err := run([]string{"-scenario", "galactic"}, &strings.Builder{})
+	if err == nil || exitCode(err) != 2 || !strings.Contains(err.Error(), "no built-in named") {
+		t.Fatalf("unknown scenario should be a usage error listing the catalog: %v", err)
 	}
 }

@@ -1,0 +1,93 @@
+// registry.go resolves scenario names against the embedded built-in
+// catalog (the checked-in scenarios/*.json files) and file paths against
+// the filesystem.
+
+package scenario
+
+import (
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+	"sync"
+
+	"meshlab/scenarios"
+)
+
+// catalog is the lazily parsed built-in registry, keyed by spec name.
+var catalog struct {
+	once  sync.Once
+	specs map[string]*Spec
+	err   error
+}
+
+// loadCatalog parses every embedded spec once. A built-in that fails to
+// parse, or whose file name disagrees with its declared name, poisons
+// the whole catalog — the checked-in files are part of the build, so
+// that is a build defect, surfaced as an error (never a panic).
+func loadCatalog() (map[string]*Spec, error) {
+	catalog.once.Do(func() {
+		specs := make(map[string]*Spec)
+		entries, err := fs.Glob(scenarios.FS, "*.json")
+		if err != nil {
+			catalog.err = fmt.Errorf("scenario: built-in catalog: %w", err)
+			return
+		}
+		for _, name := range entries {
+			raw, err := fs.ReadFile(scenarios.FS, name)
+			if err != nil {
+				catalog.err = fmt.Errorf("scenario: built-in catalog: %w", err)
+				return
+			}
+			sp, err := Parse(raw, "builtin:"+name)
+			if err != nil {
+				catalog.err = fmt.Errorf("built-in catalog is broken: %w", err)
+				return
+			}
+			if want := strings.TrimSuffix(name, ".json"); sp.Name != want {
+				catalog.err = fmt.Errorf("scenario: built-in %s declares name %q; the file name is the registry key and they must agree", name, sp.Name)
+				return
+			}
+			specs[sp.Name] = sp
+		}
+		catalog.specs = specs
+	})
+	return catalog.specs, catalog.err
+}
+
+// Names lists the built-in scenario names, sorted.
+func Names() []string {
+	specs, err := loadCatalog()
+	if err != nil {
+		return nil
+	}
+	names := make([]string, 0, len(specs))
+	for n := range specs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Builtin returns the named built-in scenario.
+func Builtin(name string) (*Spec, error) {
+	specs, err := loadCatalog()
+	if err != nil {
+		return nil, err
+	}
+	sp, ok := specs[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: no built-in named %q (have: %s); pass a path to use a spec file", name, strings.Join(Names(), ", "))
+	}
+	return sp, nil
+}
+
+// Resolve turns a CLI -scenario argument into a spec: an argument that
+// looks like a path (contains a separator or ends in .json) loads a
+// file, anything else names a built-in.
+func Resolve(arg string) (*Spec, error) {
+	if strings.ContainsRune(arg, '/') || strings.HasSuffix(arg, ".json") {
+		return LoadFile(arg)
+	}
+	return Builtin(arg)
+}

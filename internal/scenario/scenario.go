@@ -1,0 +1,407 @@
+// Package scenario makes fleet configurations data instead of Go code: a
+// versioned, schema-validated scenario spec (plain JSON — a strict subset
+// of YAML 1.2, no dependencies) declares a fleet's topology family,
+// density, band mix, client-churn mixture, interference regime, probe
+// cadence, and seed, and compiles deterministically into synth.Options.
+// The checked-in catalog under scenarios/ registers the named built-ins
+// (Reference, Quick, and the extended families) that the CLIs accept via
+// -scenario; user files work the same way by path. Every malformed field
+// is a contextual *scenario.Error naming the field and the source file —
+// never a panic. See docs/SCENARIOS.md for the schema.
+package scenario
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"meshlab/internal/clients"
+	"meshlab/internal/probe"
+	"meshlab/internal/radio"
+	"meshlab/internal/synth"
+	"meshlab/internal/topology"
+)
+
+// Version is the scenario spec schema version this package reads.
+const Version = 1
+
+// Error describes one problem with a scenario spec: the source it was
+// read from, the offending field (dotted path), and what is wrong.
+type Error struct {
+	// Source names where the spec came from (a file path or a built-in
+	// name).
+	Source string
+	// Field is the dotted path of the offending field, e.g.
+	// "fleet.env_mix" ("(document)" for document-level problems).
+	Field string
+	// Msg says what is wrong with it.
+	Msg string
+}
+
+// Error renders "scenario SOURCE: FIELD: MSG".
+func (e *Error) Error() string {
+	return fmt.Sprintf("scenario %s: %s: %s", e.Source, e.Field, e.Msg)
+}
+
+// errf builds a field-level *Error.
+func errf(source, field, format string, args ...any) error {
+	return &Error{Source: source, Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Spec is one parsed scenario. Obtain it with Parse, LoadFile, Builtin,
+// or Resolve — a Spec those return has been validated, so Options never
+// fails on it.
+type Spec struct {
+	// Version is the schema version; only Version (1) is accepted.
+	Version int `json:"version"`
+	// Name identifies the scenario (lowercase letters, digits, dashes).
+	// Built-in specs are registered under it, and golden reports are
+	// keyed by it.
+	Name string `json:"name"`
+	// Description is free-form prose for catalog listings.
+	Description string `json:"description,omitempty"`
+	// Seed is the root RNG seed; required so a scenario alone pins its
+	// dataset bytes.
+	Seed *uint64 `json:"seed"`
+	// Fleet declares the network population.
+	Fleet FleetSpec `json:"fleet"`
+	// Probe declares the probe collection window.
+	Probe ProbeSpec `json:"probe"`
+	// Clients optionally tunes (or skips) client simulation; omitted
+	// means the calibrated default mixture over the full 11-hour
+	// snapshot.
+	Clients *ClientsSpec `json:"clients,omitempty"`
+	// Interference optionally scales the interference-burst regime on
+	// top of the calibrated radio defaults. Setting it makes the
+	// compiled options bypass dataset caches (the wire format cannot
+	// record radio overrides).
+	Interference *InterferenceSpec `json:"interference,omitempty"`
+
+	// Source names where the spec was parsed from; SHA256 is the hex
+	// sha256 of the raw spec bytes — the identity golden reports embed
+	// and scripts/check_goldens.sh verifies.
+	Source string `json:"-"`
+	SHA256 string `json:"-"`
+}
+
+// FleetSpec declares the network population: how many networks, their
+// environment and band mixes, the size distribution, and the density.
+type FleetSpec struct {
+	// Networks is the total network count.
+	Networks int `json:"networks"`
+	// EnvMix partitions Networks by deployment environment.
+	EnvMix EnvMix `json:"env_mix"`
+	// BandMix partitions Networks by deployed radio bands.
+	BandMix BandMix `json:"band_mix"`
+	// Size parameterizes the lognormal network-size distribution.
+	Size SizeSpec `json:"size"`
+	// SpacingScale multiplies the environment-default AP spacing
+	// (omitted: 1). Below 1 is denser, above 1 sparser; must be > 0
+	// when present.
+	SpacingScale *float64 `json:"spacing_scale,omitempty"`
+}
+
+// EnvMix counts networks per environment class; the counts must sum to
+// fleet.networks.
+type EnvMix struct {
+	Indoor  int `json:"indoor"`
+	Outdoor int `json:"outdoor"`
+	Mixed   int `json:"mixed"`
+}
+
+// BandMix counts networks per deployed band set — "bg" only, "n" only,
+// or "both" radios; the counts must sum to fleet.networks. Any other
+// band key is an unknown-field error.
+type BandMix struct {
+	BG   int `json:"bg"`
+	N    int `json:"n"`
+	Both int `json:"both"`
+}
+
+// SizeSpec parameterizes network sizes: size = min + round(exp(N(
+// log_mean, log_std))) − 1, clamped to [min, max]; pin_largest forces
+// the largest draw to max.
+type SizeSpec struct {
+	Min        int     `json:"min"`
+	Max        int     `json:"max"`
+	LogMean    float64 `json:"log_mean"`
+	LogStd     float64 `json:"log_std"`
+	PinLargest bool    `json:"pin_largest,omitempty"`
+}
+
+// ProbeSpec declares the probe collection window in whole seconds (the
+// dataset metadata stores whole seconds, so fractional values would not
+// be cache-validatable).
+type ProbeSpec struct {
+	DurationS float64 `json:"duration_s"`
+	IntervalS float64 `json:"interval_s"`
+}
+
+// ClientsSpec tunes client simulation. Non-default per_ap or mix values
+// compile to options that bypass dataset caches (the wire format cannot
+// record them).
+type ClientsSpec struct {
+	// Skip disables client simulation entirely (probe-only datasets).
+	Skip bool `json:"skip,omitempty"`
+	// DurationS is the snapshot length in whole seconds (omitted: the
+	// thesis's 39600 s).
+	DurationS float64 `json:"duration_s,omitempty"`
+	// PerAP scales the population (omitted: 1 client per AP).
+	PerAP float64 `json:"per_ap,omitempty"`
+	// Mix sets the behavioral mixture; omitted keeps the calibrated
+	// resident-dominated default.
+	Mix *MixSpec `json:"mix,omitempty"`
+}
+
+// MixSpec is the client behavioral mixture; the fractions must be
+// non-negative and sum to something positive (they are renormalized).
+type MixSpec struct {
+	Resident float64 `json:"resident"`
+	Visitor  float64 `json:"visitor"`
+	Walker   float64 `json:"walker"`
+}
+
+// InterferenceSpec scales the calibrated interference-burst regime. All
+// scales must be > 0 when present; omitted means unscaled.
+type InterferenceSpec struct {
+	// BurstRateScale multiplies the mean burst arrival rate.
+	BurstRateScale *float64 `json:"burst_rate_scale,omitempty"`
+	// BurstProneScale multiplies the fraction of burst-prone links
+	// (clamped to 1).
+	BurstProneScale *float64 `json:"burst_prone_scale,omitempty"`
+	// BurstPenaltyScale multiplies the burst SNR penalty bounds.
+	BurstPenaltyScale *float64 `json:"burst_penalty_scale,omitempty"`
+	// DisableBursts removes bursts entirely (the abl4.burst regime).
+	DisableBursts bool `json:"disable_bursts,omitempty"`
+}
+
+// Parse decodes and validates a scenario spec. Unknown fields anywhere
+// in the document, trailing data, and every semantic violation are
+// contextual errors naming source; a valid spec comes back with its
+// SHA256 stamped.
+func Parse(raw []byte, source string) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	sp := &Spec{}
+	if err := dec.Decode(sp); err != nil {
+		return nil, errf(source, "(document)", "%v", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, errf(source, "(document)", "trailing data after the spec object")
+	}
+	sp.Source = source
+	sum := sha256.Sum256(raw)
+	sp.SHA256 = hex.EncodeToString(sum[:])
+	if err := sp.validate(); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+// LoadFile reads and parses a scenario spec file.
+func LoadFile(path string) (*Spec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return Parse(raw, path)
+}
+
+// nameOK reports whether a scenario name is a lowercase slug.
+func nameOK(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+		case c == '-' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// wholeSeconds reports whether d is a positive whole-second duration the
+// int32 dataset metadata can record exactly.
+func wholeSeconds(d float64) bool {
+	return d > 0 && d == math.Trunc(d) && d <= math.MaxInt32
+}
+
+// validate checks every semantic rule; the first violation is returned
+// as a field-level *Error.
+func (s *Spec) validate() error {
+	src := s.Source
+	if s.Version != Version {
+		return errf(src, "version", "unsupported spec version %d (this build reads version %d)", s.Version, Version)
+	}
+	if !nameOK(s.Name) {
+		return errf(src, "name", "%q is not a scenario name (lowercase letters, digits, and interior dashes)", s.Name)
+	}
+	if s.Seed == nil {
+		return errf(src, "seed", "required: a scenario alone must pin its dataset bytes")
+	}
+	f := &s.Fleet
+	if f.Networks < 1 {
+		return errf(src, "fleet.networks", "must be at least 1 (got %d)", f.Networks)
+	}
+	for _, c := range []struct {
+		field string
+		n     int
+	}{
+		{"fleet.env_mix.indoor", f.EnvMix.Indoor},
+		{"fleet.env_mix.outdoor", f.EnvMix.Outdoor},
+		{"fleet.env_mix.mixed", f.EnvMix.Mixed},
+		{"fleet.band_mix.bg", f.BandMix.BG},
+		{"fleet.band_mix.n", f.BandMix.N},
+		{"fleet.band_mix.both", f.BandMix.Both},
+	} {
+		if c.n < 0 {
+			return errf(src, c.field, "must not be negative (got %d)", c.n)
+		}
+	}
+	if sum := f.EnvMix.Indoor + f.EnvMix.Outdoor + f.EnvMix.Mixed; sum != f.Networks {
+		return errf(src, "fleet.env_mix", "indoor+outdoor+mixed = %d, but fleet.networks = %d", sum, f.Networks)
+	}
+	if sum := f.BandMix.BG + f.BandMix.N + f.BandMix.Both; sum != f.Networks {
+		return errf(src, "fleet.band_mix", "bg+n+both = %d, but fleet.networks = %d", sum, f.Networks)
+	}
+	if f.Size.Min < 1 {
+		return errf(src, "fleet.size.min", "must be at least 1 (got %d)", f.Size.Min)
+	}
+	if f.Size.Max < f.Size.Min {
+		return errf(src, "fleet.size.max", "must be ≥ min %d (got %d)", f.Size.Min, f.Size.Max)
+	}
+	if f.Size.LogStd < 0 {
+		return errf(src, "fleet.size.log_std", "must not be negative (got %g)", f.Size.LogStd)
+	}
+	if f.SpacingScale != nil && !(*f.SpacingScale > 0) {
+		return errf(src, "fleet.spacing_scale", "must be > 0 when present (got %g): zero density places every AP on top of its neighbors", *f.SpacingScale)
+	}
+	if !wholeSeconds(s.Probe.DurationS) {
+		return errf(src, "probe.duration_s", "must be a positive whole number of seconds (got %g): the dataset metadata records whole int32 seconds", s.Probe.DurationS)
+	}
+	if !wholeSeconds(s.Probe.IntervalS) {
+		return errf(src, "probe.interval_s", "must be a positive whole number of seconds (got %g)", s.Probe.IntervalS)
+	}
+	if s.Probe.IntervalS > s.Probe.DurationS {
+		return errf(src, "probe.interval_s", "report interval %g s exceeds the %g s probe window: no probe set would ever be reported", s.Probe.IntervalS, s.Probe.DurationS)
+	}
+	if c := s.Clients; c != nil {
+		if c.DurationS != 0 && !wholeSeconds(c.DurationS) {
+			return errf(src, "clients.duration_s", "must be a positive whole number of seconds when present (got %g)", c.DurationS)
+		}
+		if c.PerAP < 0 {
+			return errf(src, "clients.per_ap", "must not be negative (got %g)", c.PerAP)
+		}
+		if m := c.Mix; m != nil {
+			if m.Resident < 0 || m.Visitor < 0 || m.Walker < 0 {
+				return errf(src, "clients.mix", "fractions must not be negative (got %g/%g/%g)", m.Resident, m.Visitor, m.Walker)
+			}
+			if m.Resident+m.Visitor+m.Walker <= 0 {
+				return errf(src, "clients.mix", "fractions sum to zero: no client would have a behavior")
+			}
+		}
+		if c.Skip && (c.DurationS != 0 || c.PerAP != 0 || c.Mix != nil) {
+			return errf(src, "clients.skip", "true contradicts the other clients fields: drop them or the skip")
+		}
+	}
+	if iv := s.Interference; iv != nil {
+		for _, c := range []struct {
+			field string
+			v     *float64
+		}{
+			{"interference.burst_rate_scale", iv.BurstRateScale},
+			{"interference.burst_prone_scale", iv.BurstProneScale},
+			{"interference.burst_penalty_scale", iv.BurstPenaltyScale},
+		} {
+			if c.v != nil && !(*c.v > 0) {
+				return errf(src, c.field, "must be > 0 when present (got %g); use disable_bursts to remove bursts", *c.v)
+			}
+		}
+		if iv.DisableBursts && (iv.BurstRateScale != nil || iv.BurstProneScale != nil || iv.BurstPenaltyScale != nil) {
+			return errf(src, "interference.disable_bursts", "true contradicts the burst scales: drop them or the disable")
+		}
+	}
+	return nil
+}
+
+// Options compiles the spec into synth.Options. The compilation is a
+// pure function of the spec — equal specs compile to equal options, and
+// equal options generate byte-identical fleets — and the reference and
+// quick built-ins compile to exactly the hard-coded synth.Reference and
+// synth.Quick configurations (pinned by test). Options.Workers is left 0
+// for the caller (a runtime knob, not scenario identity).
+func (s *Spec) Options() synth.Options {
+	f := s.Fleet
+	o := synth.Options{
+		Seed: *s.Seed,
+		Fleet: topology.FleetConfig{
+			NumNetworks:  f.Networks,
+			NumIndoor:    f.EnvMix.Indoor,
+			NumOutdoor:   f.EnvMix.Outdoor,
+			NumMixed:     f.EnvMix.Mixed,
+			NumN:         f.BandMix.N + f.BandMix.Both,
+			NumBoth:      f.BandMix.Both,
+			MinSize:      f.Size.Min,
+			MaxSize:      f.Size.Max,
+			SizeLogMean:  f.Size.LogMean,
+			SizeLogStd:   f.Size.LogStd,
+			ForceMaxSize: f.Size.PinLargest,
+		},
+		Probe: probe.Config{Duration: s.Probe.DurationS, ReportInterval: s.Probe.IntervalS},
+	}
+	if f.SpacingScale != nil {
+		o.Fleet.SpacingScale = *f.SpacingScale
+	}
+	if c := s.Clients; c != nil {
+		o.SkipClients = c.Skip
+		o.Clients = clients.Config{Duration: c.DurationS, ClientsPerAP: c.PerAP}
+		if c.Mix != nil {
+			o.Clients.ResidentFrac = c.Mix.Resident
+			o.Clients.VisitorFrac = c.Mix.Visitor
+			o.Clients.WalkerFrac = c.Mix.Walker
+		}
+	}
+	if iv := s.Interference; iv != nil {
+		// Capture by value so the closure is a pure function of the spec.
+		ivv := *iv
+		o.RadioParams = func(outdoor bool) radio.Params {
+			env := radio.Indoor
+			if outdoor {
+				env = radio.Outdoor
+			}
+			p := radio.DefaultParams(env)
+			if ivv.DisableBursts {
+				p.DisableBursts = true
+			}
+			if ivv.BurstRateScale != nil {
+				p.BurstMeanRate *= *ivv.BurstRateScale
+			}
+			if ivv.BurstProneScale != nil {
+				p.BurstProneFrac = math.Min(1, p.BurstProneFrac**ivv.BurstProneScale)
+			}
+			if ivv.BurstPenaltyScale != nil {
+				p.BurstPenaltyLo *= *ivv.BurstPenaltyScale
+				p.BurstPenaltyHi *= *ivv.BurstPenaltyScale
+			}
+			return p
+		}
+	}
+	return o
+}
+
+// Datasets returns how many per-band network datasets the compiled fleet
+// holds in total and per band: a "both" network contributes one dataset
+// to each band.
+func (s *Spec) Datasets() (total, bg, n int) {
+	bg = s.Fleet.BandMix.BG + s.Fleet.BandMix.Both
+	n = s.Fleet.BandMix.N + s.Fleet.BandMix.Both
+	return bg + n, bg, n
+}

@@ -1,0 +1,391 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"meshlab/internal/radio"
+	"meshlab/internal/synth"
+	"meshlab/internal/topology"
+	"meshlab/internal/wire"
+)
+
+// baseDoc returns a minimal valid spec as a mutable document, so each
+// malformed-field case below edits exactly one thing.
+func baseDoc() map[string]any {
+	return map[string]any{
+		"version": 1,
+		"name":    "unit",
+		"seed":    9,
+		"fleet": map[string]any{
+			"networks": 4,
+			"env_mix":  map[string]any{"indoor": 2, "outdoor": 1, "mixed": 1},
+			"band_mix": map[string]any{"bg": 3, "n": 1},
+			"size":     map[string]any{"min": 3, "max": 8, "log_mean": 1.2, "log_std": 0.4},
+		},
+		"probe": map[string]any{"duration_s": 1800, "interval_s": 300},
+	}
+}
+
+func parseDoc(t *testing.T, doc map[string]any, source string) (*Spec, error) {
+	t.Helper()
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Parse(raw, source)
+}
+
+// TestScenarioSpecValidationErrors: every malformed field yields a
+// contextual error naming the field and the source file — never a panic
+// and never a silent acceptance.
+func TestScenarioSpecValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		edit func(doc map[string]any)
+		want string // substring the error must contain (beyond the source)
+	}{
+		{"unknown top-level key", func(d map[string]any) { d["topology"] = "ring" }, `unknown field "topology"`},
+		{"unknown fleet key", func(d map[string]any) { d["fleet"].(map[string]any)["density"] = 3 }, `unknown field "density"`},
+		{"bad band", func(d map[string]any) {
+			d["fleet"].(map[string]any)["band_mix"] = map[string]any{"bg": 3, "ac": 1}
+		}, `unknown field "ac"`},
+		{"bad env", func(d map[string]any) {
+			d["fleet"].(map[string]any)["env_mix"] = map[string]any{"indoor": 3, "underwater": 1}
+		}, `unknown field "underwater"`},
+		{"wrong version", func(d map[string]any) { d["version"] = 2 }, "version"},
+		{"bad name", func(d map[string]any) { d["name"] = "Dense Urban!" }, "name"},
+		{"missing seed", func(d map[string]any) { delete(d, "seed") }, "seed"},
+		{"zero networks", func(d map[string]any) {
+			f := d["fleet"].(map[string]any)
+			f["networks"] = 0
+			f["env_mix"] = map[string]any{}
+			f["band_mix"] = map[string]any{}
+		}, "fleet.networks"},
+		{"negative env count", func(d map[string]any) {
+			d["fleet"].(map[string]any)["env_mix"] = map[string]any{"indoor": 5, "outdoor": -1}
+		}, "fleet.env_mix.outdoor"},
+		{"env mix sum", func(d map[string]any) {
+			d["fleet"].(map[string]any)["env_mix"] = map[string]any{"indoor": 2, "outdoor": 1}
+		}, "fleet.env_mix"},
+		{"band mix sum", func(d map[string]any) {
+			d["fleet"].(map[string]any)["band_mix"] = map[string]any{"bg": 1, "n": 1}
+		}, "fleet.band_mix"},
+		{"zero min size", func(d map[string]any) {
+			d["fleet"].(map[string]any)["size"].(map[string]any)["min"] = 0
+		}, "fleet.size.min"},
+		{"max below min", func(d map[string]any) {
+			d["fleet"].(map[string]any)["size"].(map[string]any)["max"] = 1
+		}, "fleet.size.max"},
+		{"negative log std", func(d map[string]any) {
+			d["fleet"].(map[string]any)["size"].(map[string]any)["log_std"] = -0.1
+		}, "fleet.size.log_std"},
+		{"zero density", func(d map[string]any) {
+			d["fleet"].(map[string]any)["spacing_scale"] = 0
+		}, "fleet.spacing_scale"},
+		{"negative duration", func(d map[string]any) {
+			d["probe"].(map[string]any)["duration_s"] = -3600
+		}, "probe.duration_s"},
+		{"fractional duration", func(d map[string]any) {
+			d["probe"].(map[string]any)["duration_s"] = 1800.5
+		}, "probe.duration_s"},
+		{"interval beyond window", func(d map[string]any) {
+			d["probe"].(map[string]any)["interval_s"] = 7200
+		}, "probe.interval_s"},
+		{"negative client duration", func(d map[string]any) {
+			d["clients"] = map[string]any{"duration_s": -1}
+		}, "clients.duration_s"},
+		{"negative per_ap", func(d map[string]any) {
+			d["clients"] = map[string]any{"per_ap": -0.5}
+		}, "clients.per_ap"},
+		{"all-zero mix", func(d map[string]any) {
+			d["clients"] = map[string]any{"mix": map[string]any{"resident": 0, "visitor": 0, "walker": 0}}
+		}, "clients.mix"},
+		{"skip contradiction", func(d map[string]any) {
+			d["clients"] = map[string]any{"skip": true, "per_ap": 2}
+		}, "clients.skip"},
+		{"zero burst scale", func(d map[string]any) {
+			d["interference"] = map[string]any{"burst_rate_scale": 0}
+		}, "interference.burst_rate_scale"},
+		{"disable contradiction", func(d map[string]any) {
+			d["interference"] = map[string]any{"disable_bursts": true, "burst_prone_scale": 2}
+		}, "interference.disable_bursts"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			doc := baseDoc()
+			tc.edit(doc)
+			const source = "bad/scenario.json"
+			_, err := parseDoc(t, doc, source)
+			if err == nil {
+				t.Fatalf("malformed spec accepted")
+			}
+			if !strings.Contains(err.Error(), source) {
+				t.Fatalf("error does not name the source file: %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error does not name the field (want %q): %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// TestScenarioTrailingData: a second document after the spec is an
+// error, not silently ignored.
+func TestScenarioTrailingData(t *testing.T) {
+	raw, err := json.Marshal(baseDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(append(raw, []byte(" {}")...), "two.json"); err == nil ||
+		!strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing data accepted: %v", err)
+	}
+}
+
+// TestScenarioValidSpecParses: the base document is valid, gets its hash
+// stamped, and compiles.
+func TestScenarioValidSpecParses(t *testing.T) {
+	sp, err := parseDoc(t, baseDoc(), "ok.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Source != "ok.json" || len(sp.SHA256) != 64 {
+		t.Fatalf("source/hash not stamped: %q %q", sp.Source, sp.SHA256)
+	}
+	o := sp.Options()
+	if o.Seed != 9 || o.Fleet.NumNetworks != 4 || o.Probe.Duration != 1800 {
+		t.Fatalf("compiled options wrong: %+v", o)
+	}
+	if !o.CacheValidatable() {
+		t.Fatal("a plain spec should compile to cache-validatable options")
+	}
+}
+
+// TestScenarioRegistry: the built-in catalog holds the documented
+// scenarios under their file names, and Resolve distinguishes names from
+// paths.
+func TestScenarioRegistry(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"reference", "quick", "dense-urban", "sparse-rural", "high-churn", "mixed-band-steering"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("built-in %q missing from catalog %v", want, names)
+		}
+	}
+	if _, err := Builtin("galactic"); err == nil || !strings.Contains(err.Error(), "quick") {
+		t.Fatalf("unknown builtin should list the catalog: %v", err)
+	}
+	sp, err := Resolve("dense-urban")
+	if err != nil || sp.Name != "dense-urban" {
+		t.Fatalf("resolve builtin: %v", err)
+	}
+	if sp.Description == "" {
+		t.Fatal("built-in scenarios must carry a description for catalog listings")
+	}
+}
+
+// TestScenarioResolveFile: a path argument loads the file (the checked-in
+// catalog files double as the fixture: they must parse from disk too).
+func TestScenarioResolveFile(t *testing.T) {
+	sp, err := Resolve("../../scenarios/sparse-rural.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtin, err := Builtin("sparse-rural")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.SHA256 != builtin.SHA256 {
+		t.Fatalf("disk and embedded copies of sparse-rural diverge: %s vs %s", sp.SHA256, builtin.SHA256)
+	}
+}
+
+// optionsIgnoringRadio strips the uncomparable RadioParams closure,
+// reporting whether it was set.
+func optionsIgnoringRadio(o synth.Options) (synth.Options, bool) {
+	had := o.RadioParams != nil
+	o.RadioParams = nil
+	return o, had
+}
+
+// TestScenarioCompileDeterministic: parsing the same bytes twice and
+// compiling yields identical options, including the radio override's
+// effective parameters.
+func TestScenarioCompileDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		sp1, err := Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A genuinely fresh parse of the same bytes.
+		sp2, err := Resolve("../../scenarios/" + name + ".json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		o1, hadRadio1 := optionsIgnoringRadio(sp1.Options())
+		o2, hadRadio2 := optionsIgnoringRadio(sp2.Options())
+		if !reflect.DeepEqual(o1, o2) || hadRadio1 != hadRadio2 {
+			t.Fatalf("%s compiled differently across parses:\n%+v\nvs\n%+v", name, o1, o2)
+		}
+		if hadRadio1 {
+			for _, outdoor := range []bool{false, true} {
+				p1 := sp1.Options().RadioParams(outdoor)
+				p2 := sp2.Options().RadioParams(outdoor)
+				if p1 != p2 {
+					t.Fatalf("%s radio override differs (outdoor=%v):\n%+v\nvs\n%+v", name, outdoor, p1, p2)
+				}
+				if p1 == radio.DefaultParams(radioEnv(outdoor)) {
+					t.Fatalf("%s declares interference but compiles to default radio params (outdoor=%v)", name, outdoor)
+				}
+			}
+		}
+	}
+}
+
+func radioEnv(outdoor bool) radio.Environment {
+	if outdoor {
+		return radio.Outdoor
+	}
+	return radio.Indoor
+}
+
+// TestScenarioBuiltinParity: the quick and reference built-ins compile
+// to exactly the hard-coded configurations — field for field — so the
+// catalog is a faithful data form of today's presets.
+func TestScenarioBuiltinParity(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want synth.Options
+	}{
+		{"quick", synth.Quick(42)},
+		{"reference", synth.Reference(42)},
+	} {
+		sp, err := Builtin(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sp.Options()
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("%s compiles to\n%+v\nwant the hard-coded\n%+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestScenarioQuickFleetByteIdentical: beyond option equality, the quick
+// built-in's *generated fleet* is wire-byte-identical to synth.Quick's —
+// the strongest round-trip pin, at a scale small enough to pay for.
+func TestScenarioQuickFleetByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates two quick fleets")
+	}
+	sp, err := Builtin("quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	encode := func(o synth.Options) []byte {
+		f, err := synth.Generate(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := wire.Write(&b, f); err != nil {
+			t.Fatal(err)
+		}
+		return []byte(b.String())
+	}
+	got := encode(sp.Options())
+	want := encode(synth.Quick(42))
+	if string(got) != string(want) {
+		t.Fatal("quick scenario generates different fleet bytes than synth.Quick(42)")
+	}
+}
+
+// TestScenarioReferenceTopologyIdentical: the reference built-in's
+// layout-only fleet topology matches the hard-coded preset's — pinning
+// the 110-network configuration without paying for probe simulation.
+func TestScenarioReferenceTopologyIdentical(t *testing.T) {
+	sp, err := Builtin("reference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := synth.NewTopologyMatcher(synth.Reference(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := synth.NewTopologyMatcher(sp.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, m2) {
+		t.Fatal("reference scenario derives a different fleet topology than synth.Reference(42)")
+	}
+}
+
+// TestScenarioSpacingScaleChangesLayout: the density knob must actually
+// move AP placements (and nothing else about the population shape).
+func TestScenarioSpacingScaleChangesLayout(t *testing.T) {
+	doc := baseDoc()
+	sp1, err := parseDoc(t, doc, "a.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc["fleet"].(map[string]any)["spacing_scale"] = 0.5
+	sp2, err := parseDoc(t, doc, "b.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := synth.NewTopologyMatcher(sp1.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := synth.NewTopologyMatcher(sp2.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(m1, m2) {
+		t.Fatal("spacing_scale 0.5 left the fleet layout unchanged")
+	}
+}
+
+// TestScenarioDatasets: the per-band dataset arithmetic that reports
+// declare.
+func TestScenarioDatasets(t *testing.T) {
+	sp, err := Builtin("mixed-band-steering")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, bg, n := sp.Datasets()
+	if bg != 8 || n != 8 || total != 16 {
+		t.Fatalf("mixed-band-steering datasets = %d (bg %d, n %d), want 16 (bg 8, n 8)", total, bg, n)
+	}
+}
+
+// TestScenarioCatalogIsCacheFriendlyWhereDocumented: scenarios without
+// interference or client tuning must compile to cache-validatable
+// options; the ones with overrides must honestly report they bypass.
+func TestScenarioCatalogIsCacheFriendlyWhereDocumented(t *testing.T) {
+	wantBypass := map[string]bool{
+		"dense-urban":  true, // interference override
+		"sparse-rural": true, // interference override
+		"high-churn":   true, // client mixture tuning
+	}
+	for _, name := range Names() {
+		sp, err := Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := !sp.Options().CacheValidatable(); got != wantBypass[name] {
+			t.Fatalf("%s: cache bypass = %v, want %v", name, got, wantBypass[name])
+		}
+	}
+}
+
+var _ = topology.FleetConfig{} // keep the import for doc-comment references

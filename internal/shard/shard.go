@@ -364,7 +364,8 @@ func attempt(ctx context.Context, index int, opts Options, run func() (*shardOut
 
 // streamRange streams networks [first, first+count) of a planned file
 // into a fresh StreamContext, then the flat-sample section filtered to
-// those networks, and drains the pipeline. keep is nil to take every
+// those networks, and drains the pipeline. keep holds band-qualified
+// "band/name" keys of the shard's dataset entries; nil takes every
 // sample group (directory mode, where the shard is the whole file).
 //
 // With a non-nil ck, the walk checkpoints every ck.every fully-observed
@@ -475,7 +476,7 @@ func streamRange(f io.ReadSeeker, plan *wire.Plan, first, count int, keep map[st
 		var filter func(band, net string) bool
 		if keep != nil || resumeDone != nil {
 			filter = func(band, net string) bool {
-				return (keep == nil || keep[net]) && !resumeDone[band+"/"+net]
+				return (keep == nil || keep[band+"/"+net]) && !resumeDone[band+"/"+net]
 			}
 		}
 		// Sample-phase checkpoints land on group boundaries: when a new
@@ -575,7 +576,11 @@ func runFile(ctx context.Context, path string, opts Options) (*Result, error) {
 		keep := make(map[string]bool, next-first)
 		for _, pn := range plan.Networks[first:next] {
 			r.Networks = append(r.Networks, pn.Name)
-			keep[pn.Name] = true
+			// Band-qualified: a dual-band network's bg and n dataset
+			// entries share a name, and a shard boundary can fall
+			// between them — a bare-name key would make both shards
+			// claim both of its sample groups and double-count them.
+			keep[pn.Band+"/"+pn.Name] = true
 		}
 		var ck *ckptState
 		if opts.CheckpointDir != "" {

@@ -200,6 +200,12 @@ type FleetConfig struct {
 	// ForceMaxSize, when true, pins the largest network to MaxSize so
 	// the fleet always contains the thesis's 203-AP network.
 	ForceMaxSize bool
+	// SpacingScale multiplies every network's environment-default
+	// nearest-neighbor spacing (0 or 1 leaves it unscaled). It is the
+	// scenario catalog's density knob: values below 1 pack APs tighter
+	// (dense urban deployments), values above 1 spread them out (sparse
+	// rural ones). Negative values are rejected.
+	SpacingScale float64
 }
 
 // DefaultFleetConfig returns the thesis-shaped fleet configuration.
@@ -272,6 +278,9 @@ func GenerateFleet(r *rng.Stream, cfg FleetConfig) (*Fleet, error) {
 	if cfg.MinSize < 1 || cfg.MaxSize < cfg.MinSize {
 		return nil, fmt.Errorf("topology: bad size bounds [%d, %d]", cfg.MinSize, cfg.MaxSize)
 	}
+	if cfg.SpacingScale < 0 {
+		return nil, fmt.Errorf("topology: SpacingScale %g < 0", cfg.SpacingScale)
+	}
 
 	// Assign environments.
 	envs := make([]EnvClass, 0, cfg.NumNetworks)
@@ -336,11 +345,18 @@ func GenerateFleet(r *rng.Stream, cfg FleetConfig) (*Fleet, error) {
 
 	fleet := &Fleet{}
 	for i := 0; i < cfg.NumNetworks; i++ {
+		// SpacingScale 0 or exactly 1 keeps Spacing at 0 so Generate's
+		// default path runs and historic fleets stay byte-identical.
+		spacing := 0.0
+		if cfg.SpacingScale > 0 && cfg.SpacingScale != 1 {
+			spacing = defaultSpacing(shuffledEnvs[i]) * cfg.SpacingScale
+		}
 		net, err := Generate(r.SplitN("network", i), Config{
-			Name:  fmt.Sprintf("net%03d", i),
-			Size:  sizes[i],
-			Env:   shuffledEnvs[i],
-			Bands: bands[i],
+			Name:    fmt.Sprintf("net%03d", i),
+			Size:    sizes[i],
+			Env:     shuffledEnvs[i],
+			Bands:   bands[i],
+			Spacing: spacing,
 		})
 		if err != nil {
 			return nil, err

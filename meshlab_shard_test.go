@@ -21,7 +21,9 @@ import (
 
 	"meshlab/internal/dataset"
 	"meshlab/internal/faultfs"
+	"meshlab/internal/probe"
 	"meshlab/internal/shard"
+	"meshlab/internal/topology"
 	"meshlab/internal/wire"
 )
 
@@ -91,6 +93,49 @@ func TestShardedStreamMatchesStreamFleet(t *testing.T) {
 					t.Fatalf("FlatSamples %v vs %v", res.FlatSamples, wantSum.FlatSamples)
 				}
 			}
+		}
+	}
+}
+
+// TestShardedStreamSplitDualBandNetwork pins the regression where a
+// shard boundary falls between a dual-band network's adjacent bg and n
+// dataset entries: with bare-name sample filtering both shards claimed
+// both of the network's sample groups and double-counted them. The
+// fleet is all dual-band (10 entries from 5 networks), so 3 shards
+// split at entry 3 — inside the pair of network 1 — deterministically.
+func TestShardedStreamSplitDualBandNetwork(t *testing.T) {
+	opts := Options{
+		Seed: 17,
+		Fleet: topology.FleetConfig{
+			NumNetworks: 5, NumIndoor: 5,
+			NumN: 5, NumBoth: 5,
+			MinSize: 3, MaxSize: 8, SizeLogMean: 1.2, SizeLogStd: 0.4,
+		},
+		Probe: probe.Config{Duration: 900, ReportInterval: 300},
+	}
+	fleet, err := GenerateFleet(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.Networks) != 10 {
+		t.Fatalf("fixture holds %d dataset entries, want 10", len(fleet.Networks))
+	}
+	path := filepath.Join(t.TempDir(), "both.bin")
+	if err := SaveFleetWithSamples(path, fleet); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := StreamFleet(path, StreamOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ShardedStream(context.Background(), path, ShardOptions{Shards: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if g, w := res.Results[i].Format(), want[i].Format(); g != w {
+			t.Fatalf("%s diverged across a split dual-band pair:\n--- sharded ---\n%s\n--- whole ---\n%s",
+				want[i].ID, g, w)
 		}
 	}
 }

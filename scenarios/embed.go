@@ -1,0 +1,15 @@
+// Package scenarios holds the built-in scenario catalog: the checked-in,
+// versioned scenario spec files (*.json) that internal/scenario compiles
+// into synth.Options. The files in this directory are the single source
+// of truth for the named scenarios the CLIs accept via -scenario; the
+// registry reads them from the embedded filesystem so binaries carry the
+// catalog with them. See docs/SCENARIOS.md for the spec schema and the
+// golden-report workflow that pins each scenario's analysis output.
+package scenarios
+
+import "embed"
+
+// FS embeds every checked-in scenario spec.
+//
+//go:embed *.json
+var FS embed.FS

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Fails if any scenario golden is stale against its spec, or if a
+# built-in scenario is missing its golden.
+#
+# Every golden report embeds the sha256 of the spec bytes it was
+# generated from ("spec: version N sha256 <hex>", written by
+# internal/scenario/e2e.Report). Editing scenarios/<name>.json without
+# regenerating testdata/scenarios/<name>.golden leaves the old hash
+# behind, and this check catches it. Regenerate with:
+#
+#   go test -run TestScenarioE2EGoldens -update .
+#
+# The reference scenario is exempt: it is guardrail-scale and carries no
+# checked-in golden.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+for golden in testdata/scenarios/*.golden; do
+    [ -e "$golden" ] || { echo "no goldens found under testdata/scenarios/" >&2; exit 1; }
+    name=$(basename "$golden" .golden)
+    spec="scenarios/$name.json"
+    if [ ! -f "$spec" ]; then
+        echo "STALE: $golden has no spec $spec (scenario removed or renamed?)" >&2
+        fail=1
+        continue
+    fi
+    want=$(sha256sum "$spec" | cut -d' ' -f1)
+    if ! grep -q "^spec: version [0-9]* sha256 $want\$" "$golden"; then
+        echo "STALE: $golden was not generated from the current $spec" >&2
+        echo "  spec sha256 now: $want" >&2
+        echo "  golden records:  $(grep -m1 '^spec: version' "$golden" || echo '(no spec line)')" >&2
+        echo "  regenerate: go test -run TestScenarioE2EGoldens -update ." >&2
+        fail=1
+    fi
+done
+
+for spec in scenarios/*.json; do
+    name=$(basename "$spec" .json)
+    [ "$name" = reference ] && continue
+    if [ ! -f "testdata/scenarios/$name.golden" ]; then
+        echo "MISSING: built-in scenario $name has no golden (run: go test -run TestScenarioE2EGoldens -update .)" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "scenario goldens OK ($(ls testdata/scenarios/*.golden | wc -l) checked)"
