@@ -22,10 +22,19 @@
 // the dataset is byte-identical at any worker count. With -dataset, the
 // synthesized fleet is cached at the given path in the binary format and
 // later runs with a matching seed/config load it instead of
-// re-synthesizing.
+// re-synthesizing. A cache file that claims the binary format but whose
+// header cannot be decoded is corrupt input — reported with exit 3
+// rather than silently clobbered by a fresh synthesis.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 corrupt
+// input, 4 transient-retry budget exhausted, 130 interrupted — the same
+// contract meshanalyze and meshreport document.
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -35,14 +44,62 @@ import (
 
 	"meshlab"
 	"meshlab/internal/conc"
+	"meshlab/internal/rusage"
 	"meshlab/internal/scenario"
+	"meshlab/internal/wire"
 )
+
+// usageError marks an error as the caller's invocation being wrong (bad
+// flag, bad combination), mapping it to exit code 2 instead of the
+// runtime-failure codes.
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+// exitCode implements the documented contract: 2 for usage errors, then
+// the streaming classification — 3 corrupt input, 4 transient
+// exhaustion, 130 interrupted, 1 anything else. The authoritative table
+// lives on shard.ExitCode.
+func exitCode(err error) int {
+	var u usageError
+	if errors.As(err, &u) || errors.Is(err, flag.ErrHelp) {
+		return 2
+	}
+	return meshlab.ShardExitCode(err)
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "meshgen: %v\n", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// probeCache classifies an existing -dataset file that claims the
+// binary format but whose header cannot be decoded: that is corrupt
+// input the user pointed us at, not a cache miss to overwrite. A
+// missing file, a JSON-lines file, or a too-short file stays on the
+// plain miss/regenerate path.
+func probeCache(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil // missing or unreadable: the regular cache-miss path
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head, err := br.Peek(len(wire.Magic))
+	if err != nil || (!bytes.Equal(head, wire.Magic[:]) && !bytes.Equal(head, wire.Magic2[:])) {
+		return nil
+	}
+	if _, err := wire.NewReader(br); err != nil {
+		return fmt.Errorf("dataset cache %s: %w", path, err)
+	}
+	return nil
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -60,9 +117,10 @@ func run(args []string, stdout io.Writer) error {
 		flatSamp   = fs.Bool("flat-samples", false, "append the pre-flattened §4 sample section to a .bin -out file (larger file, O(read) warm analysis)")
 		scen       = fs.String("scenario", "", "declarative scenario: a built-in name or a spec-file path (overrides -scale; see -list-scenarios)")
 		listScen   = fs.Bool("list-scenarios", false, "list the built-in scenarios and exit")
+		rss        = fs.Bool("rusage", false, "print the process max RSS (getrusage) after the run — what the CI guardrail records")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageError{err}
 	}
 	if *listScen {
 		return listScenarios(stdout)
@@ -70,8 +128,13 @@ func run(args []string, stdout io.Writer) error {
 	// The flag doubles as the process-wide worker budget, so probe-link
 	// fan-out inside each network obeys it too.
 	conc.SetBudget(*workers)
+	if *rss {
+		defer func() {
+			fmt.Fprintf(stdout, "max RSS (getrusage): %d MB\n", rusage.MaxRSSBytes()>>20)
+		}()
+	}
 	if *flatSamp && !strings.HasSuffix(*out, ".bin") {
-		return fmt.Errorf("-flat-samples requires a .bin -out path (the JSON-lines format has no sample section)")
+		return usagef("-flat-samples requires a .bin -out path (the JSON-lines format has no sample section)")
 	}
 
 	var opts meshlab.Options
@@ -89,7 +152,7 @@ func run(args []string, stdout io.Writer) error {
 			}
 		})
 		if len(conflict) > 0 {
-			return fmt.Errorf("-scenario conflicts with %s: the spec declares the fleet and probe window", strings.Join(conflict, ", "))
+			return usagef("-scenario conflicts with %s: the spec declares the fleet and probe window", strings.Join(conflict, ", "))
 		}
 		sp, err := scenario.Resolve(*scen)
 		if err != nil {
@@ -107,7 +170,7 @@ func run(args []string, stdout io.Writer) error {
 		case "reference":
 			opts = meshlab.ReferenceOptions(*seed)
 		default:
-			return fmt.Errorf("unknown scale %q (quick|reference)", *scale)
+			return usagef("unknown scale %q (quick|reference)", *scale)
 		}
 		if *probeHours > 0 {
 			opts.Probe.Duration = *probeHours * 3600
@@ -126,6 +189,11 @@ func run(args []string, stdout io.Writer) error {
 	if *cache != "" {
 		if !opts.CacheValidatable() {
 			fmt.Fprintf(stdout, "note: -dataset bypassed: these options cannot be validated against a cache file\n")
+		}
+		// Surface a corrupt cache file (exit 3) before the cache loader
+		// would silently treat it as a miss and overwrite it.
+		if err := probeCache(*cache); err != nil {
+			return err
 		}
 		fleet, cached, err = meshlab.LoadOrGenerateFleet(*cache, opts)
 	} else {

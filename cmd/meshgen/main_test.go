@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -263,5 +265,81 @@ func TestRunListScenarios(t *testing.T) {
 		if !strings.Contains(buf.String(), name) {
 			t.Fatalf("-list-scenarios missing %q:\n%s", name, buf.String())
 		}
+	}
+}
+
+// TestExitCodeClassification pins the regression the sibling CLIs
+// already enforce: main must route errors through the exit-code
+// contract instead of exiting 1 for everything — usage errors are 2,
+// corrupt input is 3, plain runtime failures stay 1.
+func TestExitCodeClassification(t *testing.T) {
+	if got := exitCode(usagef("bad invocation")); got != 2 {
+		t.Errorf("usage error: exit %d, want 2", got)
+	}
+	if got := exitCode(flag.ErrHelp); got != 2 {
+		t.Errorf("flag.ErrHelp: exit %d, want 2", got)
+	}
+	if got := exitCode(errors.New("runtime")); got != 1 {
+		t.Errorf("runtime error: exit %d, want 1", got)
+	}
+
+	// run() classifies its own failures: a bad flag parses to usage...
+	err := run([]string{"-no-such-flag"}, &strings.Builder{})
+	if err == nil || exitCode(err) != 2 {
+		t.Errorf("bad flag: err %v, exit %d, want 2", err, exitCode(err))
+	}
+	err = run([]string{"-scale", "galactic"}, &strings.Builder{})
+	if err == nil || exitCode(err) != 2 {
+		t.Errorf("bad scale: err %v, exit %d, want 2", err, exitCode(err))
+	}
+	err = run([]string{"-flat-samples", "-out", "fleet.jsonl"}, &strings.Builder{})
+	if err == nil || exitCode(err) != 2 {
+		t.Errorf("-flat-samples on jsonl: err %v, exit %d, want 2", err, exitCode(err))
+	}
+	err = run([]string{"-scenario", "quick", "-scale", "reference"}, &strings.Builder{})
+	if err == nil || exitCode(err) != 2 {
+		t.Errorf("scenario conflict: err %v, exit %d, want 2", err, exitCode(err))
+	}
+}
+
+// TestCorruptDatasetCacheExits3 pins the corrupt-input path: a -dataset
+// file that claims the binary format but cannot be decoded must be
+// reported with exit code 3 — and left intact — rather than silently
+// clobbered by a fresh synthesis.
+func TestCorruptDatasetCacheExits3(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "cache.bin")
+	garbage := append([]byte("MLF2"), bytes.Repeat([]byte{0xFF}, 64)...)
+	if err := os.WriteFile(cache, garbage, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "fleet.bin")
+	err := run([]string{"-seed", "4", "-out", out, "-dataset", cache, "-no-clients"}, &strings.Builder{})
+	if err == nil {
+		t.Fatal("corrupt cache: run succeeded, want a corrupt-input error")
+	}
+	if got := exitCode(err); got != 3 {
+		t.Fatalf("corrupt cache: err %v, exit %d, want 3", err, got)
+	}
+	// The corrupt file is evidence; it must not have been overwritten.
+	b, readErr := os.ReadFile(cache)
+	if readErr != nil || !bytes.Equal(b, garbage) {
+		t.Fatal("corrupt cache file was modified")
+	}
+	if _, statErr := os.Stat(out); statErr == nil {
+		t.Fatal("output written despite corrupt cache")
+	}
+}
+
+// TestRusageFlag: -rusage prints the max-RSS line after the run (CLI
+// parity with meshanalyze and meshreport; the CI guardrail greps it).
+func TestRusageFlag(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fleet.jsonl")
+	var buf strings.Builder
+	if err := run([]string{"-seed", "3", "-out", out, "-rusage"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "max RSS (getrusage):") {
+		t.Fatalf("-rusage output missing the RSS line:\n%s", buf.String())
 	}
 }

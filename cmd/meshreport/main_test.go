@@ -165,19 +165,6 @@ func TestRunMissingData(t *testing.T) {
 	}
 }
 
-func TestPaperClaimsCoverCoreArtifacts(t *testing.T) {
-	for _, id := range []string{
-		"fig3.1", "fig4.1", "fig4.2", "fig4.3", "fig4.4", "fig4.5", "fig4.6", "tab4.1",
-		"fig5.1", "fig5.2", "fig5.3", "fig5.4", "fig5.5",
-		"fig6.1", "fig6.2", "sec6.3",
-		"fig7.1", "fig7.2", "fig7.3", "fig7.4", "fig7.5",
-	} {
-		if len(paperClaims[id]) == 0 {
-			t.Errorf("no paper claims recorded for %s", id)
-		}
-	}
-}
-
 // TestDatasetCacheSkipsSynthesis runs the report twice against the same
 // -dataset path: the first run writes the cache, the second loads it and
 // must produce a byte-identical experiments section.

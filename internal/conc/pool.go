@@ -1,0 +1,181 @@
+// pool.go divides one worker budget among concurrent tasks of two
+// weights: light tasks (a serving query that needs one worker) and
+// heavy tasks (a streaming warm that wants a share of the budget).
+// meshd uses it so many concurrent queries and cold-dataset warms
+// together never exceed the process budget, and so heavy work can
+// never hold the reserved floor that keeps light queries moving.
+
+package conc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Pool is a weighted worker-slot semaphore over a fixed capacity.
+// Light holders take one slot each; Heavy holders take a granted share,
+// and all Heavy holders combined are capped below the capacity by a
+// reserved floor only Light acquisitions may use — so a drained pool
+// always frees query slots as fast as queries finish, regardless of how
+// much streaming work is queued behind it. The zero value is not
+// usable; construct with NewPool.
+type Pool struct {
+	capacity int
+	reserved int
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	light int
+	heavy int
+	high  int
+}
+
+// NewPool returns a pool of capacity worker slots (≤ 0: the process
+// Budget) of which reserved (clamped to [1, capacity-1], with a
+// capacity-1 ceiling; ≤ 0 picks a quarter of the capacity) are held
+// back from heavy tasks. A capacity of 1 leaves heavy tasks a single
+// shared slot and no reservation — light and heavy then simply
+// alternate.
+func NewPool(capacity, reserved int) *Pool {
+	if capacity <= 0 {
+		capacity = Budget()
+	}
+	if reserved <= 0 {
+		reserved = capacity / 4
+	}
+	if reserved < 1 {
+		reserved = 1
+	}
+	if reserved > capacity-1 {
+		reserved = capacity - 1
+	}
+	if reserved < 0 {
+		reserved = 0
+	}
+	p := &Pool{capacity: capacity, reserved: reserved}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Capacity returns the pool's total slot count.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// heavyCap is the most slots heavy holders may occupy together.
+func (p *Pool) heavyCap() int {
+	if c := p.capacity - p.reserved; c > 0 {
+		return c
+	}
+	return 1
+}
+
+// wake arranges for a context cancellation to re-check every blocked
+// acquire; the returned stop must be called when the wait ends.
+func (p *Pool) wake(ctx context.Context) func() bool {
+	return context.AfterFunc(ctx, func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.cond.Broadcast()
+	})
+}
+
+// Light blocks until one slot is free (any slot, including the reserved
+// floor) and takes it, or returns ctx's error. Pair with ReleaseLight.
+func (p *Pool) Light(ctx context.Context) error {
+	defer p.wake(ctx)()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.light+p.heavy >= p.capacity {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		p.cond.Wait()
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	p.light++
+	p.note()
+	return nil
+}
+
+// ReleaseLight returns a Light slot.
+func (p *Pool) ReleaseLight() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.light <= 0 {
+		panic("conc: ReleaseLight without a held light slot")
+	}
+	p.light--
+	p.cond.Broadcast()
+}
+
+// Heavy blocks until at least one unreserved slot is free, then grants
+// min(want, free unreserved slots) ≥ 1 of them, so an idle pool gives
+// one warm its full share while competing warms split what is left.
+// want ≤ 0 asks for the whole heavy share. Returns the granted count
+// (pass it to ReleaseHeavy) or ctx's error.
+func (p *Pool) Heavy(ctx context.Context, want int) (int, error) {
+	defer p.wake(ctx)()
+	if want <= 0 || want > p.heavyCap() {
+		want = p.heavyCap()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.heavy >= p.heavyCap() || p.light+p.heavy >= p.capacity {
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+		p.cond.Wait()
+	}
+	if ctx.Err() != nil {
+		return 0, ctx.Err()
+	}
+	grant := want
+	if free := p.heavyCap() - p.heavy; grant > free {
+		grant = free
+	}
+	if free := p.capacity - p.light - p.heavy; grant > free {
+		grant = free
+	}
+	p.heavy += grant
+	p.note()
+	return grant, nil
+}
+
+// ReleaseHeavy returns n Heavy slots.
+func (p *Pool) ReleaseHeavy(n int) {
+	if n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n > p.heavy {
+		panic(fmt.Sprintf("conc: ReleaseHeavy(%d) exceeds %d held", n, p.heavy))
+	}
+	p.heavy -= n
+	p.cond.Broadcast()
+}
+
+// note records the in-flight high-water mark; callers hold p.mu.
+func (p *Pool) note() {
+	if t := p.light + p.heavy; t > p.high {
+		p.high = t
+	}
+}
+
+// InFlight returns the currently held slot count.
+func (p *Pool) InFlight() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.light + p.heavy
+}
+
+// High returns the largest number of slots ever held at once — the
+// budget-enforcement witness the meshd tests assert never exceeds
+// Capacity.
+func (p *Pool) High() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.high
+}

@@ -1,0 +1,168 @@
+package conc
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolCapacityDefaultsAndClamps(t *testing.T) {
+	p := NewPool(8, 0)
+	if p.Capacity() != 8 || p.reserved != 2 {
+		t.Fatalf("NewPool(8,0): capacity %d reserved %d, want 8/2", p.Capacity(), p.reserved)
+	}
+	if p = NewPool(8, 100); p.reserved != 7 {
+		t.Fatalf("reserved should clamp to capacity-1, got %d", p.reserved)
+	}
+	if p = NewPool(1, 0); p.Capacity() != 1 || p.heavyCap() != 1 {
+		t.Fatalf("capacity-1 pool: capacity %d heavyCap %d, want 1/1", p.Capacity(), p.heavyCap())
+	}
+	defer SetBudget(0)
+	SetBudget(3)
+	if p = NewPool(0, 0); p.Capacity() != 3 {
+		t.Fatalf("NewPool(0,·) should use the process budget, got %d", p.Capacity())
+	}
+}
+
+// TestPoolHeavyLeavesReservedFloor: heavy holders can never occupy the
+// reserved slots, so a light acquire succeeds immediately even when all
+// heavy capacity is held.
+func TestPoolHeavyLeavesReservedFloor(t *testing.T) {
+	p := NewPool(4, 1)
+	g, err := p.Heavy(context.Background(), 0)
+	if err != nil || g != 3 {
+		t.Fatalf("idle Heavy grant = %d, %v; want the full 3-slot share", g, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Light(context.Background()) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("light acquire blocked behind heavy holders despite the reserved floor")
+	}
+	p.ReleaseLight()
+	p.ReleaseHeavy(g)
+}
+
+// TestPoolHeavySplitsShare: a second warm gets at least one slot only
+// after the first releases some, and grants never exceed the heavy cap.
+func TestPoolHeavySplitsShare(t *testing.T) {
+	p := NewPool(8, 2)
+	ctx := context.Background()
+	g1, err := p.Heavy(ctx, 0)
+	if err != nil || g1 != 6 {
+		t.Fatalf("first Heavy grant = %d, %v; want 6", g1, err)
+	}
+	got := make(chan int, 1)
+	go func() {
+		g, err := p.Heavy(ctx, 4)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- g
+	}()
+	select {
+	case g := <-got:
+		t.Fatalf("second Heavy acquired %d slots while the cap was full", g)
+	case <-time.After(50 * time.Millisecond):
+	}
+	p.ReleaseHeavy(2)
+	select {
+	case g := <-got:
+		if g != 2 {
+			t.Fatalf("second Heavy grant = %d, want the 2 freed slots", g)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("second Heavy still blocked after slots freed")
+	}
+	p.ReleaseHeavy(4)
+	p.ReleaseHeavy(2)
+	if p.InFlight() != 0 {
+		t.Fatalf("in-flight %d after releasing everything", p.InFlight())
+	}
+}
+
+// TestPoolNeverExceedsCapacity hammers the pool from light and heavy
+// acquirers and asserts the high-water mark stays within capacity.
+func TestPoolNeverExceedsCapacity(t *testing.T) {
+	const capacity = 5
+	p := NewPool(capacity, 2)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var over atomic.Bool
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		heavy := i%4 == 0
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if heavy {
+					g, err := p.Heavy(ctx, 2)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if p.InFlight() > capacity {
+						over.Store(true)
+					}
+					p.ReleaseHeavy(g)
+				} else {
+					if err := p.Light(ctx); err != nil {
+						t.Error(err)
+						return
+					}
+					if p.InFlight() > capacity {
+						over.Store(true)
+					}
+					p.ReleaseLight()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if over.Load() {
+		t.Fatal("in-flight slots exceeded capacity")
+	}
+	if h := p.High(); h > capacity || h == 0 {
+		t.Fatalf("high-water mark %d, want 1..%d", h, capacity)
+	}
+}
+
+// TestPoolAcquireHonorsContext: a cancelled context unblocks waiters
+// with its error instead of leaking them.
+func TestPoolAcquireHonorsContext(t *testing.T) {
+	p := NewPool(2, 1)
+	g, err := p.Heavy(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Light(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 2)
+	go func() { errc <- p.Light(ctx) }()
+	go func() {
+		_, err := p.Heavy(ctx, 1)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errc:
+			if err != context.Canceled {
+				t.Fatalf("blocked acquire returned %v, want context.Canceled", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("cancelled acquire never returned")
+		}
+	}
+	p.ReleaseHeavy(g)
+	p.ReleaseLight()
+}

@@ -1,0 +1,82 @@
+package meshd
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// BenchmarkMeshdConcurrentQueries measures query latency at 1, 8, and
+// 64 in-flight report queries against a warm dataset, reporting p50 and
+// p99 alongside the usual ns/op (the PERF.md serving numbers).
+func BenchmarkMeshdConcurrentQueries(b *testing.B) {
+	dir := b.TempDir()
+	specPath := filepath.Join(dir, "meshd-tiny.json")
+	if err := os.WriteFile(specPath, []byte(tinySpecJSON), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	s := New(Config{Dir: dir})
+	defer s.Shutdown(context.Background())
+	if _, err := s.RegisterScenario("bench", specPath); err != nil {
+		b.Fatal(err)
+	}
+	for {
+		if _, err := s.Snapshot("bench"); err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	url := ts.URL + "/v1/datasets/bench/report"
+
+	for _, inflight := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("inflight=%d", inflight), func(b *testing.B) {
+			var mu sync.Mutex
+			lat := make([]time.Duration, 0, b.N)
+			var wg sync.WaitGroup
+			work := make(chan struct{})
+			for g := 0; g < inflight; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for range work {
+						t0 := time.Now()
+						resp, err := http.Get(url)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						d := time.Since(t0)
+						mu.Lock()
+						lat = append(lat, d)
+						mu.Unlock()
+					}
+				}()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work <- struct{}{}
+			}
+			close(work)
+			wg.Wait()
+			b.StopTimer()
+			if len(lat) == 0 {
+				return
+			}
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			b.ReportMetric(float64(lat[len(lat)/2].Nanoseconds()), "p50-ns")
+			b.ReportMetric(float64(lat[len(lat)*99/100].Nanoseconds()), "p99-ns")
+		})
+	}
+}

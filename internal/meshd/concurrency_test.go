@@ -1,0 +1,100 @@
+package meshd
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMeshdConcurrentQueriesWhileWarming is the acceptance-criteria
+// race test: ≥64 concurrent queries against a warm dataset while a
+// second cold dataset registers and warms. Every query must complete
+// (a warm never blocks the query path), the answers must all be the
+// snapshot's exact bytes, and the pool's high-water mark must stay
+// within the process worker budget.
+func TestMeshdConcurrentQueriesWhileWarming(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeTinySpec(t, dir)
+	// A deliberately small budget so the 64 queries and the warm
+	// genuinely contend for slots.
+	s := New(Config{Dir: dir, Workers: 8})
+	defer s.Shutdown(context.Background())
+	if _, err := s.RegisterScenario("hot", spec); err != nil {
+		t.Fatal(err)
+	}
+	snap := waitReady(t, s, "hot")
+	wantReport, wantSec4 := snap.Report(), snap.Sec4()
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const queries = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, queries)
+	start := make(chan struct{})
+	for i := 0; i < queries; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			path, want := "/v1/datasets/hot/report", wantReport
+			if i%2 == 1 {
+				path, want = "/v1/datasets/hot/sec4", wantSec4
+			}
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				errs <- err
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("query %d: status %d", i, resp.StatusCode)
+				return
+			}
+			if string(body) != want {
+				errs <- fmt.Errorf("query %d: response diverged from the snapshot bytes", i)
+			}
+		}(i)
+	}
+
+	// Fire the queries and, mid-flight, register the cold dataset so
+	// its warm streams while the queries drain.
+	close(start)
+	if _, err := s.RegisterScenario("cold", spec); err != nil {
+		t.Fatalf("cold registration during query load: %v", err)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("concurrent queries blocked: the warm starved the query path")
+	}
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The cold dataset's warm must complete too — queries didn't starve
+	// it either.
+	waitReady(t, s, "cold")
+
+	capacity, high := s.PoolStats()
+	if high > capacity {
+		t.Fatalf("worker budget exceeded: high-water mark %d > capacity %d", high, capacity)
+	}
+	if high == 0 {
+		t.Fatal("pool high-water mark is 0: queries and warms never took slots")
+	}
+}

@@ -1,0 +1,245 @@
+// http.go maps the Server onto its HTTP API (documented in
+// docs/MESHD.md). Every data read takes one light pool slot — the
+// per-query worker budget — and resolves against an immutable
+// snapshot, so handlers never contend with warms beyond that slot.
+
+package meshd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"meshlab"
+)
+
+// registration is the POST /v1/datasets body: a dataset file by path,
+// or a declarative scenario by built-in name or spec-file path.
+type registration struct {
+	Name     string `json:"name,omitempty"`
+	Path     string `json:"path,omitempty"`
+	Scenario string `json:"scenario,omitempty"`
+}
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	mux.HandleFunc("POST /v1/datasets", s.handleRegister)
+	mux.HandleFunc("GET /v1/datasets/{name}", s.handleStatus)
+	mux.HandleFunc("GET /v1/datasets/{name}/report", s.dataHandler(func(snap *Snapshot, r *http.Request) (any, error) {
+		return text(snap.Report()), nil
+	}))
+	mux.HandleFunc("GET /v1/datasets/{name}/sec4", s.dataHandler(func(snap *Snapshot, r *http.Request) (any, error) {
+		return text(snap.Sec4()), nil
+	}))
+	mux.HandleFunc("GET /v1/datasets/{name}/experiments", s.dataHandler(listExperiments))
+	mux.HandleFunc("GET /v1/datasets/{name}/experiments/{id}", s.dataHandler(func(snap *Snapshot, r *http.Request) (any, error) {
+		txt, err := snap.Experiment(r.PathValue("id"))
+		if err != nil {
+			return nil, err
+		}
+		return text(txt), nil
+	}))
+	mux.HandleFunc("GET /v1/datasets/{name}/networks", s.dataHandler(listNetworks))
+	return mux
+}
+
+// text marks a handler result as preformatted plain text (the CLI byte
+// paths) rather than a JSON document.
+type text string
+
+// httpError maps the package's error taxonomy onto status codes:
+// 404 unknown name, 503+Retry-After still warming, 500 failed warm or
+// internal fault, 400 bad request, 503 shutting down.
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrNotReady):
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrClosed):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrBadRequest):
+		code = http.StatusBadRequest
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// dataHandler wraps a snapshot read: resolve the dataset, take one
+// light worker slot for the query's duration, run fn against the
+// immutable snapshot, and render text or JSON.
+func (s *Server) dataHandler(fn func(snap *Snapshot, r *http.Request) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		snap, err := s.Snapshot(r.PathValue("name"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		// The per-query budget: one worker slot per in-flight query, so
+		// 64 concurrent queries fan across the pool instead of all
+		// running at once, and a streaming warm can never consume the
+		// slots queries are waiting on (the pool's reserved floor).
+		if err := s.pool.Light(r.Context()); err != nil {
+			httpError(w, fmt.Errorf("%w: %v", ErrClosed, err))
+			return
+		}
+		defer s.pool.ReleaseLight()
+		v, err := fn(snap, r)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		if t, ok := v.(text); ok {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, string(t))
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	}
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var reg registration
+	if err := json.NewDecoder(r.Body).Decode(&reg); err != nil {
+		httpError(w, fmt.Errorf("%w: body: %v", ErrBadRequest, err))
+		return
+	}
+	var name string
+	var err error
+	switch {
+	case reg.Path != "" && reg.Scenario != "":
+		err = fmt.Errorf("%w: path and scenario are mutually exclusive", ErrBadRequest)
+	case reg.Path != "":
+		name = reg.Name
+		err = s.RegisterPath(name, reg.Path)
+	case reg.Scenario != "":
+		name, err = s.RegisterScenario(reg.Name, reg.Scenario)
+	default:
+		err = fmt.Errorf("%w: a registration needs a path or a scenario", ErrBadRequest)
+	}
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	// 202 + a pollable status document: warming happens in the
+	// background, clients poll the Location until state is ready.
+	w.Header().Set("Location", "/v1/datasets/"+name)
+	st, _ := s.Status(name)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("name"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	sel, err := parseSelector(r, "state", "source")
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	out := []Status{}
+	for _, st := range s.Statuses() {
+		if sel.matches(map[string]string{"state": string(st.State), "source": st.Source}) {
+			out = append(out, st)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// experimentEntry is one row of the experiment list resource.
+type experimentEntry struct {
+	ID         string `json:"id"`
+	Section    string `json:"section"`
+	SampleOnly bool   `json:"sampleOnly"`
+	Title      string `json:"title"`
+}
+
+// experimentSection derives the paper chapter from the artifact ID
+// ("fig4.2" → "4", "abl5.sym" → "5", "sec6.3" → "6").
+func experimentSection(id string) string {
+	for i := 0; i < len(id); i++ {
+		if id[i] >= '0' && id[i] <= '9' {
+			return id[i : i+1]
+		}
+	}
+	return ""
+}
+
+// listExperiments serves the filterable experiment list: section (the
+// paper chapter) and sampleOnly (runs from §4 samples alone) are the
+// selector fields.
+func listExperiments(snap *Snapshot, r *http.Request) (any, error) {
+	sel, err := parseSelector(r, "section", "sampleOnly")
+	if err != nil {
+		return nil, err
+	}
+	sampleOnly := make(map[string]bool)
+	for _, id := range sampleIDs() {
+		sampleOnly[id] = true
+	}
+	out := []experimentEntry{}
+	for _, res := range snap.Results {
+		e := experimentEntry{
+			ID:         res.ID,
+			Section:    experimentSection(res.ID),
+			SampleOnly: sampleOnly[res.ID],
+			Title:      res.Title,
+		}
+		if sel.matches(map[string]string{
+			"section":    e.Section,
+			"sampleOnly": fmt.Sprintf("%t", e.SampleOnly),
+		}) {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// listNetworks serves the filterable network index: band, env, and the
+// minAPs/maxAPs size window are the selector fields.
+func listNetworks(snap *Snapshot, r *http.Request) (any, error) {
+	sel, err := parseSelector(r, "band", "env", "minAPs", "maxAPs")
+	if err != nil {
+		return nil, err
+	}
+	minAPs, maxAPs, err := sel.intRange("minAPs", "maxAPs")
+	if err != nil {
+		return nil, err
+	}
+	out := []NetworkEntry{}
+	for _, n := range snap.Networks {
+		if n.APs < minAPs || n.APs > maxAPs {
+			continue
+		}
+		if sel.matches(map[string]string{"band": n.Band, "env": n.Env}) {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// sampleIDs lists the §4 sample-path artifacts (the meshanalyze -sample
+// set), used to tag the experiment list's sampleOnly field.
+func sampleIDs() []string { return meshlab.SampleExperimentIDs() }

@@ -1,0 +1,480 @@
+// Package meshd is the long-running analysis service: it registers
+// datasets (binary fleet files by path, or declarative scenarios by
+// name), warms each one's derived state through the bounded streaming
+// pipeline (finalized accumulators, chunked §4 tables, memoized
+// censuses), and serves report, section, and figure queries over HTTP
+// with list-style filtering — the serving layer the ROADMAP's "meshd"
+// item describes, modeled on flightctl's API server and field-selector
+// list parameters.
+//
+// Heavy-traffic shape:
+//
+//   - Concurrent read queries share immutable finalized state through
+//     copy-on-write snapshots: a warm publishes one atomic pointer
+//     swap, readers never take the registry lock on the data path, and
+//     a re-registration builds its replacement snapshot off to the
+//     side while the old one keeps serving.
+//   - Cold datasets stream in via meshlab.StreamFleet in background
+//     goroutines, so warming never blocks serving warm datasets;
+//     registration returns 202 plus a pollable status document (the
+//     e2e harness's polling discipline, over HTTP).
+//   - One conc.Pool divides the process worker budget between warms
+//     (heavy holders, capped below capacity) and queries (light
+//     holders with a reserved floor), so one expensive request can
+//     never starve the rest and total workers never exceed the budget.
+//   - Graceful shutdown stops accepting registrations, unblocks queued
+//     warms, and drains in-flight work.
+//
+// Responses reuse the CLIs' exact byte paths: an experiment query
+// returns what `meshanalyze -exp ID` prints, the §4 section returns
+// what `meshanalyze -sec4` prints, and the report is cmd/meshreport's
+// markdown (shared internal/report renderer) — so the whole golden and
+// scenario oracle net pins the server's output too. See docs/MESHD.md
+// for the HTTP API.
+package meshd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"meshlab"
+	"meshlab/internal/conc"
+	"meshlab/internal/report"
+	"meshlab/internal/scenario"
+	"meshlab/internal/scenario/e2e"
+)
+
+// State is a registered dataset's lifecycle phase.
+type State string
+
+const (
+	// StateWarming: registered, derived state still streaming in; no
+	// snapshot is served yet.
+	StateWarming State = "warming"
+	// StateReady: a finalized snapshot is being served.
+	StateReady State = "ready"
+	// StateFailed: the warm failed; Status.Error says why. A
+	// re-registration retries.
+	StateFailed State = "failed"
+)
+
+// Errors the HTTP layer maps to status codes; see httpError.
+var (
+	// ErrNotFound: no dataset (or experiment) under that name.
+	ErrNotFound = errors.New("meshd: not found")
+	// ErrNotReady: the dataset is still warming; poll its status.
+	ErrNotReady = errors.New("meshd: dataset not ready")
+	// ErrWarmFailed: the dataset's warm failed; the status carries the
+	// cause.
+	ErrWarmFailed = errors.New("meshd: warm failed")
+	// ErrClosed: the server is shutting down.
+	ErrClosed = errors.New("meshd: server is shutting down")
+	// ErrBadRequest: an invalid registration or query.
+	ErrBadRequest = errors.New("meshd: bad request")
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Dir is where scenario registrations synthesize their dataset
+	// files (reused across registrations — the compilation is
+	// deterministic, so a present file is the right file). Required
+	// when scenarios are registered.
+	Dir string
+	// Workers caps the server's total worker slots — warms plus
+	// queries (≤ 0: the process budget, conc.Budget()).
+	Workers int
+	// Reserved worker slots a warm may never hold, so queries keep
+	// moving while cold datasets stream in (≤ 0: a quarter of the
+	// capacity, at least 1).
+	Reserved int
+}
+
+// Server is the concurrent analysis service. Create with New, serve
+// via Handler, stop with Shutdown.
+type Server struct {
+	cfg    Config
+	pool   *conc.Pool
+	warms  sync.WaitGroup
+	base   context.Context
+	cancel context.CancelFunc
+
+	mu       sync.RWMutex
+	closed   bool
+	datasets map[string]*dsEntry
+}
+
+// dsEntry is one registered dataset: mutable status under mu, plus the
+// immutable published snapshot behind an atomic pointer so the query
+// path never takes a lock that a warm holds.
+type dsEntry struct {
+	name   string
+	source string
+
+	mu      sync.Mutex
+	state   State
+	warmErr error
+	gen     int  // bumped per (re)registration; a stale warm may not publish
+	warming bool // a warm goroutine is in flight (initial or refresh)
+
+	snap atomic.Pointer[Snapshot]
+}
+
+// Snapshot is a dataset's finalized derived state: everything a query
+// can ask for, fully materialized and immutable. Queries resolve
+// against whichever snapshot pointer they load; a refresh publishes a
+// new snapshot without touching the old one (copy-on-write).
+type Snapshot struct {
+	// Summary is the streaming walk's dataset summary.
+	Summary meshlab.StreamSummary
+	// Results holds every experiment result in paper order.
+	Results []*meshlab.Result
+	// Networks indexes the walked network datasets for filtered list
+	// queries, in file order.
+	Networks []NetworkEntry
+	// DatasetPath is the binary file the snapshot was streamed from.
+	DatasetPath string
+	// WarmDuration is how long the streaming suite took.
+	WarmDuration time.Duration
+
+	report string            // cmd/meshreport markdown, rendered once
+	byID   map[string]string // experiment ID → meshanalyze -exp bytes
+	ids    []string          // experiment IDs in paper order
+	sec4   string            // meshanalyze -sec4 bytes
+}
+
+// NetworkEntry is one network dataset in a snapshot's queryable index.
+type NetworkEntry struct {
+	Name      string `json:"name"`
+	Band      string `json:"band"`
+	Env       string `json:"env"`
+	APs       int    `json:"aps"`
+	Links     int    `json:"links"`
+	ProbeSets int    `json:"probeSets"`
+}
+
+// Status is the pollable registration document.
+type Status struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+	State  State  `json:"state"`
+	// Refreshing reports a re-registration warming a replacement
+	// snapshot while the current one keeps serving.
+	Refreshing bool `json:"refreshing,omitempty"`
+	// Error carries the warm failure when State is failed.
+	Error string `json:"error,omitempty"`
+	// Dataset facts, present once ready.
+	Networks   int    `json:"networks,omitempty"`
+	ProbeSets  int    `json:"probeSets,omitempty"`
+	Seed       uint64 `json:"seed,omitempty"`
+	WarmMillis int64  `json:"warmMillis,omitempty"`
+}
+
+// New returns a Server ready to register datasets.
+func New(cfg Config) *Server {
+	base, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:      cfg,
+		pool:     conc.NewPool(cfg.Workers, cfg.Reserved),
+		base:     base,
+		cancel:   cancel,
+		datasets: make(map[string]*dsEntry),
+	}
+}
+
+// PoolStats exposes the worker pool's capacity and in-flight high-water
+// mark: the budget-enforcement witness the concurrency tests assert.
+func (s *Server) PoolStats() (capacity, high int) {
+	return s.pool.Capacity(), s.pool.High()
+}
+
+// validName matches the scenario-name discipline: lowercase letters,
+// digits, dashes, dots (so a name can mirror a file stem).
+func validName(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	for _, r := range name {
+		ok := r == '-' || r == '.' || (r >= '0' && r <= '9') || (r >= 'a' && r <= 'z')
+		if !ok {
+			return false
+		}
+	}
+	return strings.Trim(name, ".-") != "" // no all-punctuation names
+}
+
+// RegisterPath registers (or refreshes) name backed by a binary fleet
+// file and starts warming it in the background. Returns immediately;
+// poll Status until ready.
+func (s *Server) RegisterPath(name, path string) error {
+	if path == "" {
+		return fmt.Errorf("%w: empty dataset path", ErrBadRequest)
+	}
+	return s.register(name, "path:"+path)
+}
+
+// RegisterScenario registers (or refreshes) a declarative scenario — a
+// built-in name or a spec-file path — synthesizing its dataset into
+// Config.Dir if it is not already there, then warming it. name may be
+// empty to use the scenario's own name.
+func (s *Server) RegisterScenario(name, scen string) (string, error) {
+	sp, err := scenario.Resolve(scen)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if name == "" {
+		name = sp.Name
+	}
+	if s.cfg.Dir == "" {
+		return "", fmt.Errorf("%w: this server has no dataset directory for scenario synthesis", ErrBadRequest)
+	}
+	return name, s.register(name, "scenario:"+scen)
+}
+
+// register installs (or refreshes) the entry and launches the warm
+// goroutine. A registration racing an in-flight warm of the same name
+// is rejected rather than queued — callers poll to ready first.
+func (s *Server) register(name, source string) error {
+	if !validName(name) {
+		return fmt.Errorf("%w: invalid dataset name %q (lowercase letters, digits, dashes, dots)", ErrBadRequest, name)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	d := s.datasets[name]
+	if d == nil {
+		d = &dsEntry{name: name, state: StateWarming}
+		s.datasets[name] = d
+	}
+	d.mu.Lock()
+	if d.warming {
+		d.mu.Unlock()
+		s.mu.Unlock()
+		return fmt.Errorf("%w: dataset %q is already warming; poll its status", ErrBadRequest, name)
+	}
+	d.source = source
+	d.warming = true
+	d.warmErr = nil
+	d.gen++
+	if d.snap.Load() == nil {
+		d.state = StateWarming
+	}
+	gen := d.gen
+	d.mu.Unlock()
+	s.warms.Add(1)
+	s.mu.Unlock()
+	go s.warm(d, source, gen)
+	return nil
+}
+
+// warm builds the dataset's snapshot under a heavy pool share and
+// publishes it with one pointer swap. A warm superseded by a newer
+// registration generation publishes nothing.
+func (s *Server) warm(d *dsEntry, source string, gen int) {
+	defer s.warms.Done()
+	snap, err := s.buildSnapshot(source)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.gen != gen {
+		return // superseded; the newer warm owns the status
+	}
+	d.warming = false
+	if err != nil {
+		d.warmErr = err
+		if d.snap.Load() == nil {
+			d.state = StateFailed
+		}
+		return
+	}
+	d.snap.Store(snap)
+	d.state = StateReady
+}
+
+// buildSnapshot resolves the source to a binary dataset file, streams
+// the full suite over it, and materializes every query answer once —
+// the report markdown, the per-experiment texts, the §4 section, and
+// the network index — so the query path is pure immutable reads.
+func (s *Server) buildSnapshot(source string) (*Snapshot, error) {
+	grant, err := s.pool.Heavy(s.base, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	defer s.pool.ReleaseHeavy(grant)
+
+	path := source
+	so := meshlab.StreamOptions{Workers: grant}
+	if scen, ok := strings.CutPrefix(source, "scenario:"); ok {
+		sp, err := scenario.Resolve(scen)
+		if err != nil {
+			return nil, err
+		}
+		// The e2e harness owns the synthesize-once discipline (a present
+		// file is the right file); the streamed walk below still
+		// validates it when the scenario is cache-validatable.
+		h := e2e.New(s.cfg.Dir)
+		h.Workers = grant
+		if path, err = h.Synthesize(sp); err != nil {
+			return nil, err
+		}
+		opts := sp.Options()
+		if opts.CacheValidatable() {
+			so.Validate = &opts
+		}
+	} else {
+		path = strings.TrimPrefix(source, "path:")
+	}
+
+	snap := &Snapshot{DatasetPath: path}
+	so.OnNetwork = func(info meshlab.NetworkInfo, links, probeSets int) {
+		snap.Networks = append(snap.Networks, NetworkEntry{
+			Name: info.Name, Band: info.Band, Env: info.Env,
+			APs: len(info.APs), Links: links, ProbeSets: probeSets,
+		})
+	}
+	start := time.Now()
+	results, sum, err := meshlab.StreamFleet(path, so)
+	if err != nil {
+		return nil, err
+	}
+	snap.WarmDuration = time.Since(start)
+	snap.Summary = *sum
+	snap.Results = results
+
+	// Pre-render every response on the CLIs' exact byte paths, so
+	// serving is a map lookup and the golden/oracle net transfers.
+	snap.byID = make(map[string]string, len(results))
+	snap.ids = make([]string, 0, len(results))
+	for _, r := range results {
+		snap.ids = append(snap.ids, r.ID)
+		snap.byID[r.ID] = r.Format() + "\n" // what `meshanalyze -exp ID` prints
+	}
+	var sec4 strings.Builder
+	for _, id := range meshlab.SampleExperimentIDs() {
+		if txt, ok := snap.byID[id]; ok {
+			sec4.WriteString(txt) // what `meshanalyze -sec4` prints
+		}
+	}
+	snap.sec4 = sec4.String()
+	label := fmt.Sprintf("%s (meshd; warmed via streaming suite)", path)
+	snap.report = report.Markdown(report.Preamble{Label: label, Sum: sum, ExpDuration: snap.WarmDuration}, results)
+	return snap, nil
+}
+
+// lookup returns the entry for name.
+func (s *Server) lookup(name string) (*dsEntry, error) {
+	s.mu.RLock()
+	d := s.datasets[name]
+	s.mu.RUnlock()
+	if d == nil {
+		return nil, fmt.Errorf("%w: dataset %q", ErrNotFound, name)
+	}
+	return d, nil
+}
+
+// Status returns the pollable status document for name.
+func (s *Server) Status(name string) (Status, error) {
+	d, err := s.lookup(name)
+	if err != nil {
+		return Status{}, err
+	}
+	d.mu.Lock()
+	st := Status{Name: d.name, Source: d.source, State: d.state, Refreshing: d.warming && d.state == StateReady}
+	if d.warmErr != nil {
+		st.Error = d.warmErr.Error()
+	}
+	d.mu.Unlock()
+	if snap := d.snap.Load(); snap != nil && st.State == StateReady {
+		st.Networks = snap.Summary.Networks
+		st.ProbeSets = snap.Summary.ProbeSets
+		st.Seed = snap.Summary.Meta.Seed
+		st.WarmMillis = snap.WarmDuration.Milliseconds()
+	}
+	return st, nil
+}
+
+// Statuses lists every registered dataset's status, sorted by name.
+func (s *Server) Statuses() []Status {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.datasets))
+	for n := range s.datasets {
+		names = append(names, n)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]Status, 0, len(names))
+	for _, n := range names {
+		if st, err := s.Status(n); err == nil {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Snapshot returns name's current published snapshot: the immutable
+// state every query of that dataset reads. ErrNotReady while the first
+// warm is in flight, ErrWarmFailed (wrapping the cause) after a failed
+// first warm.
+func (s *Server) Snapshot(name string) (*Snapshot, error) {
+	d, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if snap := d.snap.Load(); snap != nil {
+		return snap, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.warmErr != nil {
+		return nil, fmt.Errorf("%w: %w", ErrWarmFailed, d.warmErr)
+	}
+	return nil, fmt.Errorf("%w: %q is warming", ErrNotReady, name)
+}
+
+// Report returns the dataset's full markdown report — byte-identical to
+// cmd/meshreport's output up to the dataset-label and wall-time
+// preamble lines.
+func (snap *Snapshot) Report() string { return snap.report }
+
+// Experiment returns one experiment's rendered table: exactly what
+// `meshanalyze -exp id` prints.
+func (snap *Snapshot) Experiment(id string) (string, error) {
+	txt, ok := snap.byID[id]
+	if !ok {
+		return "", fmt.Errorf("%w: experiment %q", ErrNotFound, id)
+	}
+	return txt, nil
+}
+
+// Sec4 returns the §4 sample-only section: exactly what
+// `meshanalyze -sec4` prints for this dataset.
+func (snap *Snapshot) Sec4() string { return snap.sec4 }
+
+// Shutdown stops the server: no new registrations, queued warms are
+// unblocked with ErrClosed, and in-flight warms are drained (bounded by
+// ctx — an unfinished drain returns ctx.Err()). Draining in-flight HTTP
+// queries is the HTTP server's job (http.Server.Shutdown); cmd/meshd
+// sequences the two.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	done := make(chan struct{})
+	go func() {
+		s.warms.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

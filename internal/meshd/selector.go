@@ -1,0 +1,92 @@
+// selector.go implements list-style field filtering for the HTTP list
+// resources: a ?selector=field=value,field=value query parameter in the
+// style of Kubernetes field selectors. Unknown fields are a 400, not a
+// silent empty result, so typos fail loudly.
+
+package meshd
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// selector is a parsed field filter: exact-match requirements keyed by
+// field name. An empty selector matches everything.
+type selector map[string]string
+
+// parseSelector reads the request's selector parameter (plus any bare
+// query parameters with the same field names, so ?band=n works as
+// shorthand) and validates every field against the allowed set.
+func parseSelector(r *http.Request, allowed ...string) (selector, error) {
+	ok := make(map[string]bool, len(allowed))
+	for _, f := range allowed {
+		ok[f] = true
+	}
+	sel := selector{}
+	add := func(field, value string) error {
+		if !ok[field] {
+			return fmt.Errorf("%w: unknown selector field %q (allowed: %s)",
+				ErrBadRequest, field, strings.Join(allowed, ", "))
+		}
+		sel[field] = value
+		return nil
+	}
+	q := r.URL.Query()
+	for _, raw := range q["selector"] {
+		for _, term := range strings.Split(raw, ",") {
+			term = strings.TrimSpace(term)
+			if term == "" {
+				continue
+			}
+			field, value, found := strings.Cut(term, "=")
+			if !found {
+				return nil, fmt.Errorf("%w: selector term %q is not field=value", ErrBadRequest, term)
+			}
+			if err := add(strings.TrimSpace(field), strings.TrimSpace(value)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, f := range allowed {
+		if v := q.Get(f); v != "" {
+			sel[f] = v
+		}
+	}
+	return sel, nil
+}
+
+// matches reports whether every selector requirement present in fields
+// is satisfied. Requirements on fields absent from the map (the numeric
+// range fields handled separately) are ignored.
+func (s selector) matches(fields map[string]string) bool {
+	for field, want := range s {
+		got, present := fields[field]
+		if present && got != want {
+			return false
+		}
+	}
+	return true
+}
+
+// intRange reads a min/max field pair as a closed integer window,
+// defaulting to (0, MaxInt) when unset.
+func (s selector) intRange(minField, maxField string) (int, int, error) {
+	lo, hi := 0, int(^uint(0)>>1)
+	if v, ok := s[minField]; ok {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, 0, fmt.Errorf("%w: %s: %v", ErrBadRequest, minField, err)
+		}
+		lo = n
+	}
+	if v, ok := s[maxField]; ok {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, 0, fmt.Errorf("%w: %s: %v", ErrBadRequest, maxField, err)
+		}
+		hi = n
+	}
+	return lo, hi, nil
+}

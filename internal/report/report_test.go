@@ -1,0 +1,57 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"meshlab"
+)
+
+// TestPaperClaimsCoverCoreArtifacts keeps the claim table in sync with
+// the thesis's core figures (moved here from cmd/meshreport alongside
+// the renderer).
+func TestPaperClaimsCoverCoreArtifacts(t *testing.T) {
+	for _, id := range []string{
+		"fig3.1", "fig4.1", "fig4.2", "fig4.3", "fig4.4", "fig4.5", "fig4.6", "tab4.1",
+		"fig5.1", "fig5.2", "fig5.3", "fig5.4", "fig5.5",
+		"fig6.1", "fig6.2", "sec6.3",
+		"fig7.1", "fig7.2", "fig7.3", "fig7.4", "fig7.5",
+	} {
+		if len(paperClaims[id]) == 0 {
+			t.Errorf("no paper claims recorded for %s", id)
+		}
+	}
+}
+
+// TestMarkdownShape pins the structure the CLI and meshd both serve:
+// the preamble lines, one "## id — title" section per result, the
+// claims block, and a padded markdown table with short rows filled.
+func TestMarkdownShape(t *testing.T) {
+	sum := &meshlab.StreamSummary{
+		Meta:     meshlab.Meta{Seed: 7, ProbeDuration: 900, ProbeInterval: 300, ClientDuration: 100},
+		Networks: 3, NetworksBG: 2, NetworksN: 1, ProbeSets: 42,
+	}
+	results := []*meshlab.Result{
+		{ID: "fig5.1", Title: "opportunistic gains", Header: []string{"a", "b"},
+			Rows: [][]string{{"1", "2"}, {"3"}}, Notes: []string{"shape holds"}},
+		{ID: "x.custom", Title: "no claims"},
+	}
+	md := Markdown(Preamble{Label: "unit.bin (streamed)", Sum: sum, ExpDuration: 1500 * time.Millisecond}, results)
+	for _, want := range []string{
+		"# EXPERIMENTS — paper vs. measured",
+		"- dataset: unit.bin (streamed)\n",
+		"- seed: 7; probe duration 900s at 300s cadence; client snapshot 100s\n",
+		"- networks: 3 datasets (2 b/g, 1 n); probe sets: 42\n",
+		"- experiment wall time: 1.5s\n",
+		"## fig5.1 — opportunistic gains",
+		"Paper reports:",
+		"| a | b |\n| --- | --- |\n| 1 | 2 |\n| 3 |  |\n",
+		"> shape holds\n",
+		"## x.custom — no claims",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, md)
+		}
+	}
+}
