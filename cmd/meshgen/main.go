@@ -188,11 +188,13 @@ func run(args []string, stdout io.Writer) error {
 	cached := false
 	if *cache != "" {
 		if !opts.CacheValidatable() {
+			// The loader neither reads nor rewrites the file on this
+			// path, so there is nothing to protect: skip the corruption
+			// probe too.
 			fmt.Fprintf(stdout, "note: -dataset bypassed: these options cannot be validated against a cache file\n")
-		}
-		// Surface a corrupt cache file (exit 3) before the cache loader
-		// would silently treat it as a miss and overwrite it.
-		if err := probeCache(*cache); err != nil {
+		} else if err := probeCache(*cache); err != nil {
+			// Surface a corrupt cache file (exit 3) before the cache
+			// loader would silently treat it as a miss and overwrite it.
 			return err
 		}
 		fleet, cached, err = meshlab.LoadOrGenerateFleet(*cache, opts)

@@ -343,3 +343,31 @@ func TestRusageFlag(t *testing.T) {
 		t.Fatalf("-rusage output missing the RSS line:\n%s", buf.String())
 	}
 }
+
+// TestCorruptCacheIgnoredWhenBypassed: options the cache file cannot
+// record bypass -dataset entirely — the file is neither read nor
+// rewritten — so a corrupt file there must not fail the run (the
+// corruption probe only guards files the loader would consult).
+func TestCorruptCacheIgnoredWhenBypassed(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "cache.bin")
+	garbage := append([]byte("MLF2"), bytes.Repeat([]byte{0xFF}, 64)...)
+	if err := os.WriteFile(cache, garbage, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "fleet.jsonl")
+	var buf strings.Builder
+	// A fractional report interval cannot be recorded in the dataset
+	// metadata, so these options are not cache-validatable.
+	if err := run([]string{"-seed", "4", "-interval", "300.5", "-out", out, "-dataset", cache, "-no-clients"}, &buf); err != nil {
+		t.Fatalf("bypassed run failed on a corrupt cache it would never touch: %v", err)
+	}
+	if !strings.Contains(buf.String(), "-dataset bypassed") {
+		t.Fatalf("run was not bypassed:\n%s", buf.String())
+	}
+	// Bypassed means untouched: the file's bytes are preserved.
+	b, err := os.ReadFile(cache)
+	if err != nil || !bytes.Equal(b, garbage) {
+		t.Fatal("bypassed run modified the cache file")
+	}
+}

@@ -98,3 +98,32 @@ func TestMeshdConcurrentQueriesWhileWarming(t *testing.T) {
 		t.Fatal("pool high-water mark is 0: queries and warms never took slots")
 	}
 }
+
+// TestMeshdConcurrentSameScenarioWarms: the API allows one scenario to
+// register under two names at once (e.g. -register campus=quick,quick),
+// so both warms target the same dataset file. The per-path synthesis
+// lock plus the atomic save must make them share one synthesis: both
+// reach ready, off one complete file, serving identical bytes.
+func TestMeshdConcurrentSameScenarioWarms(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeTinySpec(t, dir)
+	s := New(Config{Dir: dir})
+	defer s.Shutdown(context.Background())
+	if _, err := s.RegisterScenario("campus", spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RegisterScenario("quick-alias", spec); err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := waitReady(t, s, "campus"), waitReady(t, s, "quick-alias")
+	if sa.DatasetPath != sb.DatasetPath {
+		t.Fatalf("warms diverged on dataset path: %q vs %q", sa.DatasetPath, sb.DatasetPath)
+	}
+	if sa.Sec4() != sb.Sec4() {
+		t.Fatal("one scenario under two names served different §4 bytes")
+	}
+	// Reports differ only in the run-specific wall-time preamble line.
+	if stripRunLines(sa.Report()) != stripRunLines(sb.Report()) {
+		t.Fatal("one scenario under two names served different reports")
+	}
+}

@@ -195,6 +195,9 @@ func listExperiments(snap *Snapshot, r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := sel.normBool("sampleOnly"); err != nil {
+		return nil, err
+	}
 	sampleOnly := make(map[string]bool)
 	for _, id := range sampleIDs() {
 		sampleOnly[id] = true

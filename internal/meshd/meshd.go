@@ -107,6 +107,14 @@ type Server struct {
 	mu       sync.RWMutex
 	closed   bool
 	datasets map[string]*dsEntry
+
+	// synthMu guards synthLocks, the per-dataset-path mutexes that
+	// serialize scenario synthesis: two concurrent warms of the same
+	// scenario (registered under different names) share one synthesis —
+	// the second enters Synthesize after the first's atomic rename has
+	// published the file and reuses it.
+	synthMu    sync.Mutex
+	synthLocks map[string]*sync.Mutex
 }
 
 // dsEntry is one registered dataset: mutable status under mu, plus the
@@ -168,23 +176,41 @@ type Status struct {
 	Refreshing bool `json:"refreshing,omitempty"`
 	// Error carries the warm failure when State is failed.
 	Error string `json:"error,omitempty"`
-	// Dataset facts, present once ready.
-	Networks   int    `json:"networks,omitempty"`
-	ProbeSets  int    `json:"probeSets,omitempty"`
-	Seed       uint64 `json:"seed,omitempty"`
-	WarmMillis int64  `json:"warmMillis,omitempty"`
+	// Dataset facts, meaningful once State is ready. Always serialized
+	// (no omitempty): a ready dataset with a legitimate zero value —
+	// seed 0, an empty fleet — must be distinguishable from "fact not
+	// yet available", and State already says which one a client holds.
+	Networks   int    `json:"networks"`
+	ProbeSets  int    `json:"probeSets"`
+	Seed       uint64 `json:"seed"`
+	WarmMillis int64  `json:"warmMillis"`
 }
 
 // New returns a Server ready to register datasets.
 func New(cfg Config) *Server {
 	base, cancel := context.WithCancel(context.Background())
 	return &Server{
-		cfg:      cfg,
-		pool:     conc.NewPool(cfg.Workers, cfg.Reserved),
-		base:     base,
-		cancel:   cancel,
-		datasets: make(map[string]*dsEntry),
+		cfg:        cfg,
+		pool:       conc.NewPool(cfg.Workers, cfg.Reserved),
+		base:       base,
+		cancel:     cancel,
+		datasets:   make(map[string]*dsEntry),
+		synthLocks: make(map[string]*sync.Mutex),
 	}
+}
+
+// synthLock returns the mutex serializing synthesis of the dataset file
+// at path. Locks are never removed: the map is bounded by the set of
+// distinct scenario paths ever registered.
+func (s *Server) synthLock(path string) *sync.Mutex {
+	s.synthMu.Lock()
+	defer s.synthMu.Unlock()
+	m := s.synthLocks[path]
+	if m == nil {
+		m = &sync.Mutex{}
+		s.synthLocks[path] = m
+	}
+	return m
 }
 
 // PoolStats exposes the worker pool's capacity and in-flight high-water
@@ -315,12 +341,19 @@ func (s *Server) buildSnapshot(source string) (*Snapshot, error) {
 		if err != nil {
 			return nil, err
 		}
-		// The e2e harness owns the synthesize-once discipline (a present
-		// file is the right file); the streamed walk below still
-		// validates it when the scenario is cache-validatable.
+		// The e2e harness owns the synthesize-once discipline (its atomic
+		// save makes a present file a complete file); the per-path lock
+		// makes concurrent warms of one scenario share a single
+		// synthesis instead of racing to generate the same bytes. The
+		// streamed walk below still validates the file when the scenario
+		// is cache-validatable.
 		h := e2e.New(s.cfg.Dir)
 		h.Workers = grant
-		if path, err = h.Synthesize(sp); err != nil {
+		lock := s.synthLock(h.DatasetPath(sp))
+		lock.Lock()
+		path, err = h.Synthesize(sp)
+		lock.Unlock()
+		if err != nil {
 			return nil, err
 		}
 		opts := sp.Options()

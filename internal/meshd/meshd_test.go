@@ -327,6 +327,29 @@ func TestMeshdHTTPSurface(t *testing.T) {
 			}
 		}
 	}
+	// Boolean selector values accept every strconv.ParseBool spelling
+	// ("1" means true) and reject anything else loudly, matching the
+	// fail-loudly rule for field names.
+	if code, body := get("/v1/datasets/tiny/experiments?selector=sampleOnly=1"); code != http.StatusOK {
+		t.Errorf("sampleOnly=1: status %d", code)
+	} else {
+		exps = nil
+		if err := json.Unmarshal([]byte(body), &exps); err != nil {
+			t.Errorf("sampleOnly=1 list: %v", err)
+		}
+		if len(exps) == 0 {
+			t.Error("sampleOnly=1 selector matched nothing")
+		}
+		for _, e := range exps {
+			if !e.SampleOnly {
+				t.Errorf("sampleOnly=1 selector let through %q", e.ID)
+			}
+		}
+	}
+	if code, _ := get("/v1/datasets/tiny/experiments?selector=sampleOnly=yes"); code != http.StatusBadRequest {
+		t.Errorf("sampleOnly=yes: status %d, want 400", code)
+	}
+
 	var nets []NetworkEntry
 	if code, body := get("/v1/datasets/tiny/networks?selector=band=bg"); code != http.StatusOK {
 		t.Errorf("network list: status %d", code)
@@ -419,5 +442,21 @@ func TestMeshdRefreshKeepsServing(t *testing.T) {
 			return
 		}
 		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestStatusJSONKeepsZeroFacts: the dataset-fact fields carry no
+// omitempty, so a ready dataset with legitimate zeros (seed 0, an
+// empty fleet) serializes them explicitly instead of becoming
+// indistinguishable from "fact not yet available".
+func TestStatusJSONKeepsZeroFacts(t *testing.T) {
+	b, err := json.Marshal(Status{Name: "z", Source: "path:z.bin", State: StateReady})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"networks":0`, `"probeSets":0`, `"seed":0`, `"warmMillis":0`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("ready status JSON omits %s: %s", key, b)
+		}
 	}
 }

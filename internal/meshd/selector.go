@@ -70,6 +70,24 @@ func (s selector) matches(fields map[string]string) bool {
 	return true
 }
 
+// normBool canonicalizes a boolean selector value in place so matching
+// against fmt.Sprintf("%t", ...) fields works for every spelling
+// strconv.ParseBool accepts (1/t/TRUE/…). An unparseable value is a
+// 400, not a silently-empty result — the same fail-loudly rule the
+// field-name validation applies.
+func (s selector) normBool(field string) error {
+	v, ok := s[field]
+	if !ok {
+		return nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return fmt.Errorf("%w: selector field %s wants a boolean, got %q", ErrBadRequest, field, v)
+	}
+	s[field] = strconv.FormatBool(b)
+	return nil
+}
+
 // intRange reads a min/max field pair as a closed integer window,
 // defaulting to (0, MaxInt) when unset.
 func (s selector) intRange(minField, maxField string) (int, int, error) {

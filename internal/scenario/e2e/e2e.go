@@ -61,9 +61,13 @@ func (h *Harness) DatasetPath(sp *scenario.Spec) string {
 }
 
 // Synthesize materializes the scenario's dataset file, reusing an
-// existing one (the compilation is deterministic, so a present file is
-// the right file — the streamed variant still cross-checks it when the
-// scenario is cache-validatable).
+// existing one (the compilation is deterministic and the save is atomic
+// — temp + fsync + rename — so a present file is the right, complete
+// file even against concurrent synthesizers or a mid-write kill; the
+// streamed variant still cross-checks it when the scenario is
+// cache-validatable). Concurrent Synthesize calls for one path are
+// safe but may each pay the generation; callers wanting to share one
+// synthesis serialize per path, as meshd does.
 func (h *Harness) Synthesize(sp *scenario.Spec) (string, error) {
 	path := h.DatasetPath(sp)
 	if _, err := os.Stat(path); err == nil {

@@ -257,3 +257,42 @@ func TestSynthesizeReusesDataset(t *testing.T) {
 		t.Errorf("synthesized dataset wrong: %d networks, seed %d", len(f.Networks), f.Meta.Seed)
 	}
 }
+
+// TestSynthesizeConcurrentAtomic: concurrent Synthesize calls for one
+// spec race stat-then-generate, but the atomic save (temp + fsync +
+// rename) means no caller can ever observe a partial dataset — every
+// returned path loads as a complete fleet even mid-race. Callers
+// wanting to share one synthesis serialize per path, as meshd does;
+// this pins the safety floor underneath that.
+func TestSynthesizeConcurrentAtomic(t *testing.T) {
+	h := New(t.TempDir())
+	sp := tinySpec(t)
+	const n = 4
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			path, err := h.Synthesize(sp)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			f, err := meshlab.LoadFleet(path)
+			if err != nil {
+				errs[i] = fmt.Errorf("synthesized dataset unreadable mid-race: %w", err)
+				return
+			}
+			if len(f.Networks) != 2 || f.Meta.Seed != 9 {
+				errs[i] = fmt.Errorf("partial dataset observed: %d networks, seed %d", len(f.Networks), f.Meta.Seed)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
