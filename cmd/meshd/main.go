@@ -17,8 +17,17 @@
 // scenario's own name). Additional datasets register at runtime via
 // POST /v1/datasets.
 //
+// -query-timeout bounds each data query end to end (a saturated worker
+// pool answers 503 + Retry-After within it); -warm-retries controls how
+// many times a transiently-failed warm re-runs with backoff before the
+// dataset is marked failed; -dataset-ttl and -max-datasets bound how
+// many warmed snapshots a long-lived process retains (TTL and LRU
+// eviction). See docs/MESHD.md.
+//
 // SIGINT/SIGTERM shut down gracefully: the listener stops accepting,
-// in-flight queries drain, then background warms drain.
+// in-flight queries drain, then background warms drain (a warm sitting
+// in a retry backoff aborts immediately); exceeding -drain hard-cancels
+// in-flight warm streams and exits 1.
 //
 // Exit codes: 0 clean shutdown, 1 runtime failure, 2 usage error.
 package main
@@ -108,6 +117,11 @@ func run(args []string, stdout io.Writer) error {
 		reserved = fs.Int("reserved", 0, "worker slots warms may never hold, kept free for queries (0: a quarter of the budget)")
 		register = fs.String("register", "", "datasets to register at startup: comma-separated NAME=SOURCE or SOURCE entries (.bin file paths or scenario names/spec paths)")
 		drain    = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for draining in-flight queries and warms")
+
+		queryTimeout = fs.Duration("query-timeout", 30*time.Second, "per-query deadline across worker-slot wait and rendering; a saturated pool answers 503 within it (0: no deadline)")
+		warmRetries  = fs.Int("warm-retries", 3, "retries for a transiently-failed warm before the dataset is marked failed (-1: never retry; corrupt data never retries)")
+		datasetTTL   = fs.Duration("dataset-ttl", 0, "evict a ready dataset unqueried for this long, releasing its snapshot (0: keep forever)")
+		maxDatasets  = fs.Int("max-datasets", 0, "cap on registered datasets; past it the least-recently-queried ready dataset is evicted (0: unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
@@ -121,7 +135,13 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("-dir: %w", err)
 		}
 	}
-	s := meshd.New(meshd.Config{Dir: *dir, Workers: *workers, Reserved: *reserved})
+	s := meshd.New(meshd.Config{
+		Dir: *dir, Workers: *workers, Reserved: *reserved,
+		QueryTimeout: *queryTimeout,
+		WarmRetries:  *warmRetries,
+		MaxDatasets:  *maxDatasets,
+		DatasetTTL:   *datasetTTL,
+	})
 	if err := registerAll(s, *register, stdout); err != nil {
 		if errors.Is(err, meshd.ErrBadRequest) {
 			return usageError{err}

@@ -1,0 +1,144 @@
+// shutdown_test.go drives the real binary through the shutdown paths
+// the exit-code contract promises: SIGINT during a retrying warm drains
+// cleanly (exit 0, the backoff sleep aborts immediately), and a warm
+// that outlives the drain budget is hard-canceled with the failure
+// reported (exit 1).
+
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildMeshd compiles the binary once per test invocation.
+func buildMeshd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "meshd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startMeshd launches the binary and blocks until it reports the
+// listener is up, returning the running command and its stderr buffer.
+func startMeshd(t *testing.T, bin string, args ...string) (*exec.Cmd, *bytes.Buffer) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() })
+	guard := time.AfterFunc(60*time.Second, func() { cmd.Process.Kill() })
+	t.Cleanup(func() { guard.Stop() })
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), "serving on") {
+			go io.Copy(io.Discard, stdout) // keep draining so the child never blocks on its pipe
+			return cmd, &stderr
+		}
+	}
+	t.Fatalf("binary never reported serving (stderr: %s)", stderr.String())
+	return nil, nil
+}
+
+// waitExit waits for the process, bounded.
+func waitExit(t *testing.T, cmd *exec.Cmd) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("binary never exited")
+		return nil
+	}
+}
+
+// TestMeshdBinarySigintDuringRetryingWarm: a dataset path that is
+// actually a directory makes every warm attempt fail with a transient
+// read error (EISDIR), so the warm loops in retry backoff forever.
+// SIGINT mid-retry must still exit 0 — the backoff sleep aborts at
+// shutdown instead of holding the drain hostage.
+func TestMeshdBinarySigintDuringRetryingWarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping binary shutdown test")
+	}
+	bin := buildMeshd(t)
+	dir := t.TempDir()
+	// A directory named like a dataset: open succeeds, the first read
+	// fails EISDIR — classified transient, so the warm retries.
+	if err := os.Mkdir(filepath.Join(dir, "stuck.bin"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cmd, stderr := startMeshd(t, bin,
+		"-addr", "127.0.0.1:0",
+		"-register", "s="+filepath.Join(dir, "stuck.bin"),
+		"-warm-retries", "1000",
+		"-drain", "30s",
+	)
+	// Let the first attempt fail and the warm settle into its backoff.
+	time.Sleep(400 * time.Millisecond)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitExit(t, cmd); err != nil {
+		t.Fatalf("SIGINT during a retrying warm exited non-zero: %v\nstderr: %s", err, stderr.String())
+	}
+}
+
+// TestMeshdBinaryDrainBudgetExceeded: a warm wedged in an uncancelable
+// open (a FIFO with no writer) cannot drain; exceeding -drain must
+// report the failed drain and exit 1 instead of hanging forever.
+func TestMeshdBinaryDrainBudgetExceeded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping binary shutdown test")
+	}
+	if runtime.GOOS != "linux" && runtime.GOOS != "darwin" {
+		t.Skip("needs FIFO open semantics")
+	}
+	bin := buildMeshd(t)
+	dir := t.TempDir()
+	fifo := filepath.Join(dir, "fifo.bin")
+	if err := syscall.Mkfifo(fifo, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	cmd, stderr := startMeshd(t, bin,
+		"-addr", "127.0.0.1:0",
+		"-register", "f="+fifo,
+		"-drain", "300ms",
+	)
+	time.Sleep(100 * time.Millisecond) // let the warm park in its open
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	err := waitExit(t, cmd)
+	ee := new(exec.ExitError)
+	if !errors.As(err, &ee) || ee.ExitCode() != 1 {
+		t.Fatalf("exceeded drain budget exited %v, want exit 1\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "draining warms") {
+		t.Fatalf("stderr does not name the failed drain: %s", stderr.String())
+	}
+}

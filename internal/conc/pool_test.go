@@ -166,3 +166,38 @@ func TestPoolAcquireHonorsContext(t *testing.T) {
 	p.ReleaseHeavy(g)
 	p.ReleaseLight()
 }
+
+// TestPoolTimeoutLeaksNoSlot: an acquisition that times out while
+// queued must leave the pool exactly as it found it — the regression
+// the serving layer's per-query deadline depends on (a timed-out 503
+// must never strand a slot).
+func TestPoolTimeoutLeaksNoSlot(t *testing.T) {
+	p := NewPool(3, 1)
+	for i := 0; i < p.Capacity(); i++ {
+		if err := p.Light(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+		err := p.Light(ctx)
+		cancel()
+		if err != context.DeadlineExceeded {
+			t.Fatalf("saturated acquire %d returned %v, want DeadlineExceeded", i, err)
+		}
+	}
+	if n := p.InFlight(); n != p.Capacity() {
+		t.Fatalf("in-flight %d after timed-out waits, want %d (a slot leaked or was stolen)", n, p.Capacity())
+	}
+	for i := 0; i < p.Capacity(); i++ {
+		p.ReleaseLight()
+	}
+	if n := p.InFlight(); n != 0 {
+		t.Fatalf("in-flight %d after releasing everything, want 0", n)
+	}
+	// The pool still serves: a fresh acquire succeeds immediately.
+	if err := p.Light(context.Background()); err != nil {
+		t.Fatalf("pool unusable after timeouts: %v", err)
+	}
+	p.ReleaseLight()
+}

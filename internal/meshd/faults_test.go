@@ -1,0 +1,304 @@
+// faults_test.go is the service-level fault-injection suite: faultfs
+// plans drive warms through transient EIO, stalls, torn files, and
+// persistent corruption, and the assertions pin the retry taxonomy —
+// transients converge to ready with byte-identical responses, corrupt
+// data fails fast with the wire.ErrCorrupt chain intact, and retry
+// evidence (attempt, nextRetry, the degraded healthz) is visible while
+// a warm is down.
+
+package meshd
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"meshlab/internal/faultfs"
+	"meshlab/internal/scenario"
+	"meshlab/internal/scenario/e2e"
+	"meshlab/internal/wire"
+)
+
+// synthTiny synthesizes the tiny scenario's dataset file and returns
+// its directory and path — the raw .bin the fault plans wrap.
+func synthTiny(t *testing.T) (dir, path string) {
+	t.Helper()
+	dir = t.TempDir()
+	sp, err := scenario.Resolve(writeTinySpec(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err = e2e.New(dir).Synthesize(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, path
+}
+
+// waitFailed polls until the dataset's warm has failed for good.
+func waitFailed(t *testing.T, s *Server, name string) Status {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		st, err := s.Status(name)
+		if err != nil {
+			t.Fatalf("Status(%s): %v", name, err)
+		}
+		if st.State == StateFailed {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dataset %s never failed (state %s)", name, st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func passThrough(p string) (io.ReadSeekCloser, error) { return os.Open(p) }
+
+// firstBandCodeOffset locates the band-code byte of the file's first
+// network record — v2 framing: u32 record length, u16 name length, the
+// name, then the band code. XORing it makes decode validation fail
+// deterministically ("unknown band code"), the persistent-corruption
+// target that can never look like an I/O error.
+func firstBandCodeOffset(t *testing.T, path string) int64 {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	plan, err := wire.BuildPlan(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Networks) == 0 {
+		t.Fatal("fixture has no network records")
+	}
+	rec := plan.Networks[0]
+	return rec.Offset + 4 + 2 + int64(len(rec.Name))
+}
+
+// TestMeshdWarmRetriesTransient: two injected EIOs during warming must
+// cost two retries and nothing else — the dataset converges to ready
+// and serves bytes identical to a fault-free warm of the same file.
+func TestMeshdWarmRetriesTransient(t *testing.T) {
+	dir, path := synthTiny(t)
+	// Offset 16 sits in the header every attempt reads first, so the
+	// fault fires once per attempt until it burns out.
+	inj := faultfs.New(faultfs.Fault{Kind: faultfs.Transient, Offset: 16, Count: 2})
+	s := New(Config{Dir: dir, RetryBase: 2 * time.Millisecond, Open: inj.WrapOpen(passThrough)})
+	defer s.Shutdown(context.Background())
+	if err := s.RegisterPath("flaky", path); err != nil {
+		t.Fatal(err)
+	}
+	snap := waitReady(t, s, "flaky")
+	if got := inj.Fired(0); got != 2 {
+		t.Fatalf("injected transient fired %d times, want 2", got)
+	}
+	st, err := s.Status("flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Attempt != 3 {
+		t.Fatalf("ready after attempt %d, want 3 (two transients, then success)", st.Attempt)
+	}
+	if st.Retrying || st.Error != "" || st.NextRetry != "" {
+		t.Fatalf("ready status still carries retry evidence: %+v", st)
+	}
+
+	// Byte identity against a fault-free warm of the same file (report
+	// compared up to the run-specific wall-time lines).
+	clean := New(Config{Dir: dir})
+	defer clean.Shutdown(context.Background())
+	if err := clean.RegisterPath("clean", path); err != nil {
+		t.Fatal(err)
+	}
+	ref := waitReady(t, clean, "clean")
+	if snap.Sec4() != ref.Sec4() {
+		t.Fatal("§4 bytes diverge after transient retries")
+	}
+	if stripRunLines(snap.Report()) != stripRunLines(ref.Report()) {
+		t.Fatal("report bytes diverge after transient retries")
+	}
+	for _, id := range ref.ids {
+		want, _ := ref.Experiment(id)
+		got, err := snap.Experiment(id)
+		if err != nil || got != want {
+			t.Fatalf("experiment %s diverges after transient retries (err %v)", id, err)
+		}
+	}
+}
+
+// TestMeshdRetryEvidenceVisible: while a warm sits in its backoff sleep
+// the status must expose attempt, the transient cause, and nextRetry,
+// and /healthz must degrade to a warning — then all of it clears once
+// the retry succeeds.
+func TestMeshdRetryEvidenceVisible(t *testing.T) {
+	dir, path := synthTiny(t)
+	inj := faultfs.New(faultfs.Fault{Kind: faultfs.Transient, Offset: 16, Count: 1})
+	// A one-second base keeps the retry window wide open for the poll.
+	s := New(Config{Dir: dir, RetryBase: time.Second, Open: inj.WrapOpen(passThrough)})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if err := s.RegisterPath("flaky", path); err != nil {
+		t.Fatal(err)
+	}
+
+	var st Status
+	deadline := time.Now().Add(time.Minute)
+	for {
+		var err error
+		st, err = s.Status("flaky")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Retrying {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("warm never entered the retry state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.State != StateWarming || st.Attempt < 1 {
+		t.Fatalf("retrying status: %+v", st)
+	}
+	if !strings.Contains(st.Error, "transient") {
+		t.Fatalf("retrying status lost the transient cause: %q", st.Error)
+	}
+	next, err := time.Parse(time.RFC3339Nano, st.NextRetry)
+	if err != nil {
+		t.Fatalf("nextRetry %q: %v", st.NextRetry, err)
+	}
+	if next.Before(time.Now().Add(-time.Second)) {
+		t.Fatalf("nextRetry %v is not a future retry time", next)
+	}
+	if body := getBody(t, ts.URL+"/healthz"); !strings.Contains(body, "warn") {
+		t.Fatalf("healthz not degraded while retrying: %q", body)
+	}
+
+	waitReady(t, s, "flaky")
+	if body := getBody(t, ts.URL+"/healthz"); strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthz still degraded after recovery: %q", body)
+	}
+	st, _ = s.Status("flaky")
+	if st.Retrying || st.Error != "" || st.NextRetry != "" {
+		t.Fatalf("retry evidence survived recovery: %+v", st)
+	}
+}
+
+// TestMeshdWarmCorruptFailsFast: persistent corruption (the first
+// network record's band code XORed on every read, a deterministic
+// decode-validation failure) must fail on the first attempt — never
+// retried — with the wire.ErrCorrupt chain reachable from Snapshot's
+// error and the status document.
+func TestMeshdWarmCorruptFailsFast(t *testing.T) {
+	dir, path := synthTiny(t)
+	inj := faultfs.New(faultfs.Fault{Kind: faultfs.Corrupt, Offset: firstBandCodeOffset(t, path), XOR: 0xFF})
+	s := New(Config{Dir: dir, RetryBase: time.Millisecond, Open: inj.WrapOpen(passThrough)})
+	defer s.Shutdown(context.Background())
+	if err := s.RegisterPath("bad", path); err != nil {
+		t.Fatal(err)
+	}
+	st := waitFailed(t, s, "bad")
+	if st.Attempt != 1 {
+		t.Fatalf("corruption was retried: %d attempts", st.Attempt)
+	}
+	if st.Retrying || st.NextRetry != "" {
+		t.Fatalf("failed status still promises a retry: %+v", st)
+	}
+	_, err := s.Snapshot("bad")
+	if !errors.Is(err, ErrWarmFailed) || !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("Snapshot error lost the corrupt chain: %v", err)
+	}
+}
+
+// TestMeshdWarmTornFileFailsCorrupt: a truncated dataset is corrupt
+// data (io.ErrUnexpectedEOF), not a transient — it must fail fast.
+func TestMeshdWarmTornFileFailsCorrupt(t *testing.T) {
+	dir, path := synthTiny(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "torn.bin")
+	if err := os.WriteFile(torn, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Dir: dir, RetryBase: time.Millisecond})
+	defer s.Shutdown(context.Background())
+	if err := s.RegisterPath("torn", torn); err != nil {
+		t.Fatal(err)
+	}
+	st := waitFailed(t, s, "torn")
+	if st.Attempt != 1 {
+		t.Fatalf("torn file was retried: %d attempts", st.Attempt)
+	}
+	_, err = s.Snapshot("torn")
+	if !wire.IsCorrupt(err) {
+		t.Fatalf("torn-file failure not classified corrupt: %v", err)
+	}
+}
+
+// TestMeshdWarmStallConverges: injected latency is not a failure — the
+// warm rides it out and converges on the first attempt.
+func TestMeshdWarmStallConverges(t *testing.T) {
+	dir, path := synthTiny(t)
+	inj := faultfs.New(faultfs.Fault{Kind: faultfs.Stall, Offset: 16, Delay: 50 * time.Millisecond, Count: 1})
+	s := New(Config{Dir: dir, Open: inj.WrapOpen(passThrough)})
+	defer s.Shutdown(context.Background())
+	if err := s.RegisterPath("slow", path); err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, s, "slow")
+	if got := inj.Fired(0); got != 1 {
+		t.Fatalf("stall fired %d times, want 1", got)
+	}
+	if st, _ := s.Status("slow"); st.Attempt != 1 {
+		t.Fatalf("stalled warm took %d attempts, want 1", st.Attempt)
+	}
+}
+
+// TestMeshdWarmExhaustsRetries: a fault outliving the retry budget
+// fails the dataset with the transient root cause still in the chain.
+func TestMeshdWarmExhaustsRetries(t *testing.T) {
+	dir, path := synthTiny(t)
+	inj := faultfs.New(faultfs.Fault{Kind: faultfs.Transient, Offset: 16, Count: 1 << 20})
+	s := New(Config{Dir: dir, WarmRetries: 2, RetryBase: time.Millisecond, Open: inj.WrapOpen(passThrough)})
+	defer s.Shutdown(context.Background())
+	if err := s.RegisterPath("doomed", path); err != nil {
+		t.Fatal(err)
+	}
+	st := waitFailed(t, s, "doomed")
+	if st.Attempt != 3 {
+		t.Fatalf("exhaustion after attempt %d, want 3 (initial + 2 retries)", st.Attempt)
+	}
+	_, err := s.Snapshot("doomed")
+	if !errors.Is(err, faultfs.ErrTransient) {
+		t.Fatalf("exhaustion lost the transient root cause: %v", err)
+	}
+}
+
+// getBody GETs a URL and returns its body.
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

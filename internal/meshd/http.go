@@ -1,15 +1,24 @@
 // http.go maps the Server onto its HTTP API (documented in
 // docs/MESHD.md). Every data read takes one light pool slot — the
-// per-query worker budget — and resolves against an immutable
-// snapshot, so handlers never contend with warms beyond that slot.
+// per-query worker budget — under the query deadline, and resolves
+// against an immutable snapshot, so handlers never contend with warms
+// beyond that slot. Retry-After values are derived from observed
+// latency (the dataset's last warm for 503-not-ready, a query-latency
+// EWMA for 503-overloaded), and the pre-rendered text endpoints carry
+// strong ETags so pollers revalidate with 304s instead of re-downloading
+// reports.
 
 package meshd
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
+	"time"
 
 	"meshlab"
 )
@@ -25,45 +34,69 @@ type registration struct {
 // Handler returns the service's HTTP API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	mux.HandleFunc("POST /v1/datasets", s.handleRegister)
 	mux.HandleFunc("GET /v1/datasets/{name}", s.handleStatus)
-	mux.HandleFunc("GET /v1/datasets/{name}/report", s.dataHandler(func(snap *Snapshot, r *http.Request) (any, error) {
+	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDelete)
+	mux.HandleFunc("GET /v1/datasets/{name}/report", s.dataHandler(cacheable, func(snap *Snapshot, r *http.Request) (any, error) {
 		return text(snap.Report()), nil
 	}))
-	mux.HandleFunc("GET /v1/datasets/{name}/sec4", s.dataHandler(func(snap *Snapshot, r *http.Request) (any, error) {
+	mux.HandleFunc("GET /v1/datasets/{name}/sec4", s.dataHandler(cacheable, func(snap *Snapshot, r *http.Request) (any, error) {
 		return text(snap.Sec4()), nil
 	}))
-	mux.HandleFunc("GET /v1/datasets/{name}/experiments", s.dataHandler(listExperiments))
-	mux.HandleFunc("GET /v1/datasets/{name}/experiments/{id}", s.dataHandler(func(snap *Snapshot, r *http.Request) (any, error) {
+	mux.HandleFunc("GET /v1/datasets/{name}/experiments", s.dataHandler(uncached, listExperiments))
+	mux.HandleFunc("GET /v1/datasets/{name}/experiments/{id}", s.dataHandler(cacheable, func(snap *Snapshot, r *http.Request) (any, error) {
 		txt, err := snap.Experiment(r.PathValue("id"))
 		if err != nil {
 			return nil, err
 		}
 		return text(txt), nil
 	}))
-	mux.HandleFunc("GET /v1/datasets/{name}/networks", s.dataHandler(listNetworks))
+	mux.HandleFunc("GET /v1/datasets/{name}/networks", s.dataHandler(uncached, listNetworks))
 	return mux
+}
+
+// handleHealthz is the liveness probe. It stays 200 while any dataset
+// retries a warm — the process is serving — but the body degrades from
+// "ok" to a warning so probes and humans see the flapping storage.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if n := s.retrying(); n > 0 {
+		fmt.Fprintf(w, "warn: %d dataset(s) retrying a warm\n", n)
+		return
+	}
+	fmt.Fprintln(w, "ok")
 }
 
 // text marks a handler result as preformatted plain text (the CLI byte
 // paths) rather than a JSON document.
 type text string
 
+// cacheable/uncached tag dataHandler endpoints whose whole response is
+// pre-rendered at warm time (report, §4, one experiment): those carry
+// the snapshot's ETag and honor If-None-Match with 304. The filtered
+// list endpoints vary by selector and stay unvalidated.
+const (
+	cacheable = true
+	uncached  = false
+)
+
 // httpError maps the package's error taxonomy onto status codes:
-// 404 unknown name, 503+Retry-After still warming, 500 failed warm or
-// internal fault, 400 bad request, 503 shutting down.
+// 404 unknown name, 503+Retry-After still warming, 503+Retry-After
+// overloaded (query deadline expired waiting for a worker slot), 500
+// failed warm or internal fault, 400 bad request, 503 shutting down.
+// A Retry-After the handler already derived from observed latency is
+// kept; the bare "1" is only the no-evidence fallback.
 func httpError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrNotFound):
 		code = http.StatusNotFound
-	case errors.Is(err, ErrNotReady):
-		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrNotReady), errors.Is(err, ErrOverloaded):
+		if w.Header().Get("Retry-After") == "" {
+			w.Header().Set("Retry-After", "1")
+		}
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, ErrClosed):
 		code = http.StatusServiceUnavailable
@@ -81,26 +114,117 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-// dataHandler wraps a snapshot read: resolve the dataset, take one
-// light worker slot for the query's duration, run fn against the
-// immutable snapshot, and render text or JSON.
-func (s *Server) dataHandler(fn func(snap *Snapshot, r *http.Request) (any, error)) http.HandlerFunc {
+// ceilSeconds renders observed millis as a Retry-After value: whole
+// seconds, rounded up, floor 1 (the header is integer seconds and
+// "retry immediately" is never the advice a 503 wants to give).
+func ceilSeconds(ms int64) string {
+	sec := (ms + 999) / 1000
+	if sec < 1 {
+		sec = 1
+	}
+	return strconv.FormatInt(sec, 10)
+}
+
+// retryAfterWarm derives the 503-not-ready Retry-After from evidence:
+// the dataset's own last successful warm, else the most recent warm
+// anywhere on the server (a cold dataset has no history of its own),
+// else 1s.
+func (s *Server) retryAfterWarm(name string) string {
+	var ms int64
+	if d, err := s.lookup(name); err == nil {
+		d.mu.Lock()
+		ms = d.lastWarmMillis
+		d.mu.Unlock()
+	}
+	if ms <= 0 {
+		ms = s.lastWarmMillis.Load()
+	}
+	return ceilSeconds(ms)
+}
+
+// retryAfterQuery derives the 503-overloaded Retry-After from the
+// query-latency EWMA: a saturated pool frees a slot roughly one query
+// duration from now.
+func (s *Server) retryAfterQuery() string {
+	return ceilSeconds(s.lastQueryMillis.Load())
+}
+
+// observeQuery folds one data query's duration into the latency EWMA
+// (weight 1/4) that backs overload Retry-After derivation.
+func (s *Server) observeQuery(d time.Duration) {
+	ms := max64(d.Milliseconds(), 1)
+	old := s.lastQueryMillis.Load()
+	if old > 0 {
+		ms = (3*old + ms) / 4
+	}
+	s.lastQueryMillis.Store(ms)
+}
+
+// etagMatch implements If-None-Match: "*" matches anything with a
+// current representation, otherwise any listed tag equal to the
+// snapshot's (weak-comparison — a W/ prefix is ignored — which is safe
+// here because the tags are strong and the endpoints are GETs).
+func etagMatch(header, etag string) bool {
+	for _, c := range strings.Split(header, ",") {
+		c = strings.TrimSpace(c)
+		if c == "*" || strings.TrimPrefix(c, "W/") == strings.TrimPrefix(etag, "W/") {
+			return true
+		}
+	}
+	return false
+}
+
+// dataHandler wraps a snapshot read: resolve the dataset, revalidate
+// the client's cache when the endpoint is cacheable, take one light
+// worker slot under the query deadline, run fn against the immutable
+// snapshot, and render text or JSON.
+func (s *Server) dataHandler(withETag bool, fn func(snap *Snapshot, r *http.Request) (any, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		snap, err := s.Snapshot(r.PathValue("name"))
+		name := r.PathValue("name")
+		snap, err := s.Snapshot(name)
 		if err != nil {
+			if errors.Is(err, ErrNotReady) {
+				w.Header().Set("Retry-After", s.retryAfterWarm(name))
+			}
 			httpError(w, err)
 			return
+		}
+		if withETag {
+			// The whole response was rendered at warm time, so the
+			// snapshot's tag validates it exactly — and a match answers 304
+			// before spending a worker slot.
+			w.Header().Set("ETag", snap.ETag())
+			if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, snap.ETag()) {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
 		}
 		// The per-query budget: one worker slot per in-flight query, so
 		// 64 concurrent queries fan across the pool instead of all
 		// running at once, and a streaming warm can never consume the
-		// slots queries are waiting on (the pool's reserved floor).
-		if err := s.pool.Light(r.Context()); err != nil {
+		// slots queries are waiting on (the pool's reserved floor). The
+		// wait is bounded by Config.QueryTimeout: a saturated pool
+		// answers 503 within the budget instead of queueing open-endedly.
+		ctx := r.Context()
+		if s.cfg.QueryTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+			defer cancel()
+		}
+		if err := s.pool.Light(ctx); err != nil {
+			if ctx.Err() != nil && r.Context().Err() == nil {
+				// Our deadline expired (the client is still here): overload.
+				w.Header().Set("Retry-After", s.retryAfterQuery())
+				httpError(w, fmt.Errorf("%w: %v", ErrOverloaded, err))
+				return
+			}
 			httpError(w, fmt.Errorf("%w: %v", ErrClosed, err))
 			return
 		}
 		defer s.pool.ReleaseLight()
-		v, err := fn(snap, r)
+		start := time.Now()
+		v, err := fn(snap, r.WithContext(ctx))
+		s.observeQuery(time.Since(start))
 		if err != nil {
 			httpError(w, err)
 			return
@@ -151,6 +275,18 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleDelete removes a dataset (canceling its in-flight warm).
+// In-flight queries holding the snapshot finish on it — the
+// copy-on-write contract — so 204 only promises the registry no longer
+// knows the name.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.Delete(r.PathValue("name")); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {

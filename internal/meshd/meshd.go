@@ -23,7 +23,26 @@
 //     holders with a reserved floor), so one expensive request can
 //     never starve the rest and total workers never exceed the budget.
 //   - Graceful shutdown stops accepting registrations, unblocks queued
-//     warms, and drains in-flight work.
+//     warms, and drains in-flight work; an exceeded drain budget
+//     hard-cancels in-flight warms (their streams abort at the next
+//     read) instead of waiting forever.
+//
+// Long-lived-serving hardening (see docs/MESHD.md):
+//
+//   - Warm failures are classified with the shard taxonomy: corrupt
+//     data (wire.IsCorrupt) fails fast with the evidence intact, while
+//     presumed-transient I/O retries on a fresh handle with capped
+//     exponential backoff + jitter (retry.go). Retries are
+//     generation-numbered, so a retry superseded by a re-registration
+//     or DELETE never publishes.
+//   - Data queries carry a deadline (Config.QueryTimeout) through pool
+//     acquisition: a saturated pool answers 503 + Retry-After derived
+//     from observed latency, never an open-ended wait.
+//   - Datasets have a lifecycle (lifecycle.go): TTL and LRU eviction
+//     bound how many snapshots a long-lived process retains, and
+//     DELETE cancels an in-flight warm. Eviction racing a query is
+//     safe by the copy-on-write contract — an in-flight query finishes
+//     on the snapshot generation it resolved.
 //
 // Responses reuse the CLIs' exact byte paths: an experiment query
 // returns what `meshanalyze -exp ID` prints, the §4 section returns
@@ -35,8 +54,11 @@ package meshd
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -77,6 +99,10 @@ var (
 	ErrClosed = errors.New("meshd: server is shutting down")
 	// ErrBadRequest: an invalid registration or query.
 	ErrBadRequest = errors.New("meshd: bad request")
+	// ErrOverloaded: the query's deadline expired before a worker slot
+	// freed up. The HTTP layer maps it to 503 with a Retry-After derived
+	// from observed query latency.
+	ErrOverloaded = errors.New("meshd: overloaded: no worker slot within the query deadline")
 )
 
 // Config tunes a Server.
@@ -93,6 +119,30 @@ type Config struct {
 	// moving while cold datasets stream in (≤ 0: a quarter of the
 	// capacity, at least 1).
 	Reserved int
+	// QueryTimeout bounds one data query end to end — the wait for a
+	// worker slot plus rendering. Exceeding it answers 503 with a
+	// derived Retry-After instead of waiting open-endedly on a
+	// saturated pool. ≤ 0 disables the deadline.
+	QueryTimeout time.Duration
+	// WarmRetries is how many times a transiently-failed warm re-runs
+	// on a fresh handle before the dataset is marked failed (< 0:
+	// never retry; 0: the default, 3). Corrupt or otherwise permanent
+	// failures never retry regardless.
+	WarmRetries int
+	// RetryBase is the warm-retry backoff unit: retry k sleeps in
+	// [base·2ᵏ, 1.5·base·2ᵏ), capped at 64·base. ≤ 0 means 250ms.
+	RetryBase time.Duration
+	// MaxDatasets caps the registered-dataset count: a registration
+	// pushing past it evicts the least-recently-queried ready datasets
+	// first (warming datasets are never evicted). ≤ 0 means unlimited.
+	MaxDatasets int
+	// DatasetTTL evicts a ready dataset whose snapshot has gone
+	// unqueried for this long, releasing its memory. ≤ 0 disables TTL
+	// eviction.
+	DatasetTTL time.Duration
+	// Open opens dataset files for warming; nil means os.Open. The
+	// service-level fault-injection suite hooks faultfs here.
+	Open func(path string) (io.ReadSeekCloser, error)
 }
 
 // Server is the concurrent analysis service. Create with New, serve
@@ -103,6 +153,18 @@ type Server struct {
 	warms  sync.WaitGroup
 	base   context.Context
 	cancel context.CancelFunc
+	// closing is closed when Shutdown begins: queued warms abort their
+	// pool waits and retrying warms abort their backoff sleeps, while
+	// in-flight warm attempts keep draining until the budget expires
+	// (then s.cancel hard-cancels their streams).
+	closing chan struct{}
+
+	// lastWarmMillis / lastQueryMillis are the observed-latency
+	// witnesses behind derived Retry-After headers: the most recent
+	// successful warm duration anywhere on the server, and an EWMA of
+	// data-query latency.
+	lastWarmMillis  atomic.Int64
+	lastQueryMillis atomic.Int64
 
 	mu       sync.RWMutex
 	closed   bool
@@ -129,6 +191,21 @@ type dsEntry struct {
 	warmErr error
 	gen     int  // bumped per (re)registration; a stale warm may not publish
 	warming bool // a warm goroutine is in flight (initial or refresh)
+	// cancel aborts the in-flight warm's context (DELETE, or shutdown's
+	// drain budget expiring). Nil when no warm is in flight.
+	cancel context.CancelFunc
+	// attempt is the in-flight (or final) warm attempt number, 1-based;
+	// nextRetry is when the next attempt starts while the warm sits in
+	// a backoff sleep (zero while an attempt is actively running).
+	attempt   int
+	nextRetry time.Time
+	// lastWarmMillis is the duration of this dataset's most recent
+	// successful warm — the basis of its ErrNotReady Retry-After.
+	lastWarmMillis int64
+
+	// lastUsed is the unix-nano timestamp of the last snapshot
+	// resolution (the query path), driving TTL and LRU eviction.
+	lastUsed atomic.Int64
 
 	snap atomic.Pointer[Snapshot]
 }
@@ -154,6 +231,7 @@ type Snapshot struct {
 	byID   map[string]string // experiment ID → meshanalyze -exp bytes
 	ids    []string          // experiment IDs in paper order
 	sec4   string            // meshanalyze -sec4 bytes
+	etag   string            // cache validator: source identity + warm generation
 }
 
 // NetworkEntry is one network dataset in a snapshot's queryable index.
@@ -174,8 +252,16 @@ type Status struct {
 	// Refreshing reports a re-registration warming a replacement
 	// snapshot while the current one keeps serving.
 	Refreshing bool `json:"refreshing,omitempty"`
-	// Error carries the warm failure when State is failed.
+	// Error carries the warm failure when State is failed, or the most
+	// recent attempt's transient failure while the warm is retrying.
 	Error string `json:"error,omitempty"`
+	// Attempt is the warm attempt number (1-based) once a warm has
+	// started; Retrying reports an in-flight warm that has already
+	// failed at least once and will retry; NextRetry (RFC 3339, UTC) is
+	// when the next attempt starts while the warm sleeps in backoff.
+	Attempt   int    `json:"attempt,omitempty"`
+	Retrying  bool   `json:"retrying,omitempty"`
+	NextRetry string `json:"nextRetry,omitempty"`
 	// Dataset facts, meaningful once State is ready. Always serialized
 	// (no omitempty): a ready dataset with a legitimate zero value —
 	// seed 0, an empty fleet — must be distinguishable from "fact not
@@ -186,17 +272,23 @@ type Status struct {
 	WarmMillis int64  `json:"warmMillis"`
 }
 
-// New returns a Server ready to register datasets.
+// New returns a Server ready to register datasets. A positive
+// Config.DatasetTTL starts the eviction janitor (stopped by Shutdown).
 func New(cfg Config) *Server {
 	base, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:        cfg,
 		pool:       conc.NewPool(cfg.Workers, cfg.Reserved),
 		base:       base,
 		cancel:     cancel,
+		closing:    make(chan struct{}),
 		datasets:   make(map[string]*dsEntry),
 		synthLocks: make(map[string]*sync.Mutex),
 	}
+	if cfg.DatasetTTL > 0 {
+		go s.janitor()
+	}
+	return s
 }
 
 // synthLock returns the mutex serializing synthesis of the dataset file
@@ -288,59 +380,55 @@ func (s *Server) register(name, source string) error {
 	d.source = source
 	d.warming = true
 	d.warmErr = nil
+	d.attempt = 0
+	d.nextRetry = time.Time{}
 	d.gen++
 	if d.snap.Load() == nil {
 		d.state = StateWarming
 	}
 	gen := d.gen
+	ctx, cancel := context.WithCancel(s.base)
+	d.cancel = cancel
+	d.lastUsed.Store(time.Now().UnixNano())
 	d.mu.Unlock()
 	s.warms.Add(1)
 	s.mu.Unlock()
-	go s.warm(d, source, gen)
+	s.enforceMaxDatasets(d)
+	go s.warm(ctx, cancel, d, source, gen)
 	return nil
-}
-
-// warm builds the dataset's snapshot under a heavy pool share and
-// publishes it with one pointer swap. A warm superseded by a newer
-// registration generation publishes nothing.
-func (s *Server) warm(d *dsEntry, source string, gen int) {
-	defer s.warms.Done()
-	snap, err := s.buildSnapshot(source)
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.gen != gen {
-		return // superseded; the newer warm owns the status
-	}
-	d.warming = false
-	if err != nil {
-		d.warmErr = err
-		if d.snap.Load() == nil {
-			d.state = StateFailed
-		}
-		return
-	}
-	d.snap.Store(snap)
-	d.state = StateReady
 }
 
 // buildSnapshot resolves the source to a binary dataset file, streams
 // the full suite over it, and materializes every query answer once —
 // the report markdown, the per-experiment texts, the §4 section, and
-// the network index — so the query path is pure immutable reads.
-func (s *Server) buildSnapshot(source string) (*Snapshot, error) {
-	grant, err := s.pool.Heavy(s.base, 0)
+// the network index — so the query path is pure immutable reads. ctx is
+// the warm's context: it cancels the pool wait, and every read of the
+// dataset file, so DELETE and an expired shutdown drain abort the
+// stream instead of waiting it out.
+func (s *Server) buildSnapshot(ctx context.Context, source string, gen int) (*Snapshot, error) {
+	// The pool wait additionally aborts when shutdown begins: a queued
+	// warm should unblock immediately, while already-streaming warms
+	// keep draining under the shutdown budget.
+	acqCtx, stopAcq := s.closingAware(ctx)
+	grant, err := s.pool.Heavy(acqCtx, 0)
+	stopAcq()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrClosed, err)
+		if ctx.Err() == nil && s.isClosing() {
+			return nil, fmt.Errorf("%w: %v", ErrClosed, err)
+		}
+		return nil, err
 	}
 	defer s.pool.ReleaseHeavy(grant)
 
 	path := source
-	so := meshlab.StreamOptions{Workers: grant}
+	ident := source
+	so := meshlab.StreamOptions{Workers: grant, Open: s.warmOpen(ctx)}
 	if scen, ok := strings.CutPrefix(source, "scenario:"); ok {
 		sp, err := scenario.Resolve(scen)
 		if err != nil {
 			return nil, err
 		}
+		ident = "spec:" + sp.SHA256
 		// The e2e harness owns the synthesize-once discipline (its atomic
 		// save makes a present file a complete file); the per-path lock
 		// makes concurrent warms of one scenario share a single
@@ -397,8 +485,25 @@ func (s *Server) buildSnapshot(source string) (*Snapshot, error) {
 	snap.sec4 = sec4.String()
 	label := fmt.Sprintf("%s (meshd; warmed via streaming suite)", path)
 	snap.report = report.Markdown(report.Preamble{Label: label, Sum: sum, ExpDuration: snap.WarmDuration}, results)
+	snap.etag = etagFor(ident, gen)
 	return snap, nil
 }
+
+// etagFor derives a snapshot's entity tag from its source identity —
+// the scenario spec's sha256, or the registered dataset path — plus the
+// registration generation that built it, so a refresh of the same name
+// invalidates cached responses while a byte-identical re-serve stays a
+// 304. The tag is strong: snapshots are immutable, and every response
+// byte is pre-rendered at warm time.
+func etagFor(ident string, gen int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s#g%d", ident, gen)))
+	return `"` + hex.EncodeToString(sum[:16]) + `"`
+}
+
+// ETag returns the snapshot's entity tag: the cache validator served
+// (and honored via If-None-Match) on the report, §4, and experiment
+// endpoints.
+func (snap *Snapshot) ETag() string { return snap.etag }
 
 // lookup returns the entry for name.
 func (s *Server) lookup(name string) (*dsEntry, error) {
@@ -418,9 +523,17 @@ func (s *Server) Status(name string) (Status, error) {
 		return Status{}, err
 	}
 	d.mu.Lock()
-	st := Status{Name: d.name, Source: d.source, State: d.state, Refreshing: d.warming && d.state == StateReady}
+	st := Status{
+		Name: d.name, Source: d.source, State: d.state,
+		Refreshing: d.warming && d.state == StateReady,
+		Attempt:    d.attempt,
+		Retrying:   d.warming && d.warmErr != nil,
+	}
 	if d.warmErr != nil {
 		st.Error = d.warmErr.Error()
+	}
+	if d.warming && !d.nextRetry.IsZero() {
+		st.NextRetry = d.nextRetry.UTC().Format(time.RFC3339Nano)
 	}
 	d.mu.Unlock()
 	if snap := d.snap.Load(); snap != nil && st.State == StateReady {
@@ -459,12 +572,16 @@ func (s *Server) Snapshot(name string) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	d.lastUsed.Store(time.Now().UnixNano())
 	if snap := d.snap.Load(); snap != nil {
 		return snap, nil
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.warmErr != nil {
+	// warmErr only means failed once the warm goroutine has given up; a
+	// retrying warm keeps its latest transient error visible in Status
+	// while the dataset stays not-ready.
+	if d.warmErr != nil && !d.warming {
 		return nil, fmt.Errorf("%w: %w", ErrWarmFailed, d.warmErr)
 	}
 	return nil, fmt.Errorf("%w: %q is warming", ErrNotReady, name)
@@ -490,15 +607,19 @@ func (snap *Snapshot) Experiment(id string) (string, error) {
 func (snap *Snapshot) Sec4() string { return snap.sec4 }
 
 // Shutdown stops the server: no new registrations, queued warms are
-// unblocked with ErrClosed, and in-flight warms are drained (bounded by
-// ctx — an unfinished drain returns ctx.Err()). Draining in-flight HTTP
-// queries is the HTTP server's job (http.Server.Shutdown); cmd/meshd
-// sequences the two.
+// unblocked, retrying warms abort their backoff sleeps, and in-flight
+// warm attempts are drained — bounded by ctx. When the drain budget
+// expires, in-flight warms are hard-canceled (their dataset streams
+// abort at the next read) and Shutdown returns ctx.Err(). Draining
+// in-flight HTTP queries is the HTTP server's job
+// (http.Server.Shutdown); cmd/meshd sequences the two.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	s.closed = true
+	if !s.closed {
+		s.closed = true
+		close(s.closing)
+	}
 	s.mu.Unlock()
-	s.cancel()
 	done := make(chan struct{})
 	go func() {
 		s.warms.Wait()
@@ -506,8 +627,38 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.cancel()
 		return nil
 	case <-ctx.Done():
+		// Drain budget exceeded: cancel every warm's context so their
+		// streams abort, and report the unfinished drain.
+		s.cancel()
 		return ctx.Err()
 	}
+}
+
+// isClosing reports whether Shutdown has begun.
+func (s *Server) isClosing() bool {
+	select {
+	case <-s.closing:
+		return true
+	default:
+		return false
+	}
+}
+
+// closingAware derives a context that additionally cancels when
+// Shutdown begins — the pool-wait context for queued warms, which must
+// unblock immediately at shutdown while in-flight streams keep
+// draining. The returned stop releases the watcher goroutine.
+func (s *Server) closingAware(ctx context.Context) (context.Context, context.CancelFunc) {
+	c, cancel := context.WithCancel(ctx)
+	go func() {
+		select {
+		case <-s.closing:
+			cancel()
+		case <-c.Done():
+		}
+	}()
+	return c, cancel
 }
